@@ -1,0 +1,58 @@
+/**
+ * Ablation — remote CHA comparators versus local-only comparison in
+ * the Core-integrated scheme (the Sec. V-A design choice of putting
+ * comparators into every CHA for long keys).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace qei;
+using namespace qei::bench;
+
+int
+main()
+{
+    std::printf("=== Ablation: remote CHA comparators "
+                "(Core-integrated) ===\n");
+
+    TablePrinter table;
+    table.header({"workload", "key bytes", "with remote cmp",
+                  "local only", "remote compares/query"});
+
+    for (const auto& workload : makeAllWorkloads()) {
+        World world(42);
+        workload->build(world);
+        const Prepared prepared =
+            workload->prepare(world, workload->defaultQueries());
+        const CoreRunResult baseline = runBaseline(world, prepared);
+
+        SchemeConfig remote = SchemeConfig::coreIntegrated();
+        SchemeConfig local = SchemeConfig::coreIntegrated();
+        local.remoteComparators = false;
+
+        const QeiRunStats withRemote =
+            runQei(world, prepared, remote);
+        const QeiRunStats localOnly = runQei(world, prepared, local);
+
+        // Key length from the first job's header.
+        const StructHeader h = StructHeader::readFrom(
+            world.vm, prepared.jobs.front().headerAddr);
+
+        table.row({workload->name(), std::to_string(h.keyLen),
+                   TablePrinter::speedup(
+                       speedupOf(baseline, withRemote)),
+                   TablePrinter::speedup(
+                       speedupOf(baseline, localOnly)),
+                   TablePrinter::num(
+                       static_cast<double>(withRemote.remoteCompares) /
+                           static_cast<double>(withRemote.queries),
+                       2)});
+    }
+    table.print();
+    std::printf("expectation: long-key workloads (rocksdb 100B) "
+                "benefit from comparing in place at the CHA; 8B-key "
+                "workloads never ship compares remotely\n");
+    return 0;
+}

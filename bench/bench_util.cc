@@ -1,0 +1,42 @@
+#include "bench_util.hh"
+
+namespace qei::bench {
+
+WorkloadRun
+runWorkload(Workload& workload, std::size_t queries,
+            const std::vector<SchemeConfig>& schemes, QueryMode mode,
+            std::uint64_t seed)
+{
+    WorkloadRun run;
+    run.name = workload.name();
+    const std::size_t n =
+        queries == 0 ? workload.defaultQueries() : queries;
+
+    World world(seed);
+    workload.build(world);
+    run.prepared = workload.prepare(world, n);
+
+    // runBaseline/runQei reset every activity counter up front, so a
+    // post-run capture is exactly this run's activity.
+    run.baseline = runBaseline(world, run.prepared);
+    run.activity["baseline"] = ChipActivity::capture(world.hierarchy);
+
+    for (const auto& scheme : schemes) {
+        run.schemes[scheme.name()] =
+            runQei(world, run.prepared, scheme, mode);
+        run.activity[scheme.name()] =
+            ChipActivity::capture(world.hierarchy);
+    }
+    return run;
+}
+
+std::vector<std::string>
+schemeNames()
+{
+    std::vector<std::string> names;
+    for (const auto& s : SchemeConfig::allSchemes())
+        names.push_back(s.name());
+    return names;
+}
+
+} // namespace qei::bench

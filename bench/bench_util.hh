@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure/table benchmark harnesses: build
+ * a workload once, run the software baseline and every integration
+ * scheme on identical query streams, and report.
+ */
+
+#ifndef QEI_BENCH_BENCH_UTIL_HH
+#define QEI_BENCH_BENCH_UTIL_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.hh"
+#include "power/energy_model.hh"
+#include "workloads/workload.hh"
+
+namespace qei::bench {
+
+/** Results for one workload across the baseline and all schemes. */
+struct WorkloadRun
+{
+    std::string name;
+    CoreRunResult baseline;
+    Prepared prepared;
+    /** Keyed by SchemeConfig::name(). */
+    std::map<std::string, QeiRunStats> schemes;
+    /** Activity deltas for the energy model, keyed like `schemes`,
+     *  plus "baseline". */
+    std::map<std::string, ChipActivity> activity;
+
+    double
+    speedup(const std::string& scheme) const
+    {
+        auto it = schemes.find(scheme);
+        return it == schemes.end()
+                   ? 0.0
+                   : speedupOf(baseline, it->second);
+    }
+};
+
+/**
+ * Build @p workload in a fresh world and run baseline + the given
+ * schemes on @p queries matched queries (workload default when 0).
+ */
+WorkloadRun runWorkload(Workload& workload, std::size_t queries = 0,
+                        const std::vector<SchemeConfig>& schemes =
+                            SchemeConfig::allSchemes(),
+                        QueryMode mode = QueryMode::Blocking,
+                        std::uint64_t seed = 42);
+
+/** Scheme names in the paper's presentation order. */
+std::vector<std::string> schemeNames();
+
+} // namespace qei::bench
+
+#endif // QEI_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,42 @@
+// Scratch probe used while calibrating the timing model; not part of
+// the paper's figures. Prints per-scheme per-query breakdowns.
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace qei;
+using namespace qei::bench;
+
+int
+main(int argc, char** argv)
+{
+    const std::string only = argc > 1 ? argv[1] : "";
+    for (const auto& workload : makeAllWorkloads()) {
+        if (!only.empty() && workload->name() != only)
+            continue;
+        const WorkloadRun run = runWorkload(*workload);
+        std::printf("== %s: baseline %.1f cyc/q, %.0f instr/q, "
+                    "%.2f touches/q, ipc %.2f\n",
+                    run.name.c_str(), run.baseline.cyclesPerQuery(),
+                    static_cast<double>(run.baseline.instructions) /
+                        run.baseline.queries,
+                    static_cast<double>(run.baseline.loads) /
+                        run.baseline.queries,
+                    run.baseline.ipc());
+        for (const auto& name : schemeNames()) {
+            const QeiRunStats& s = run.schemes.at(name);
+            std::printf("   %-16s %8.1f cyc/q  %5.2fx  mem/q=%.1f "
+                        "uops/q=%.1f rcmp/q=%.2f occ=%.1f "
+                        "maxinfl=%.0f\n",
+                        name.c_str(), s.cyclesPerQuery(),
+                        run.speedup(name),
+                        static_cast<double>(s.memAccesses) / s.queries,
+                        static_cast<double>(s.microOps) / s.queries,
+                        static_cast<double>(s.remoteCompares) /
+                            s.queries,
+                        s.avgQstOccupancy, s.maxInFlightObserved);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * Fig. 7 — Speedup of lookup operations in different workloads with
+ * different integration schemes (blocking QUERY_B).
+ *
+ * Paper shape to reproduce: CHA-TLB fastest (up to ~12.7x),
+ * Core-integrated within ~0.9-15% of it (up to ~10.4x), CHA-noTLB
+ * 0.5-17.9% behind CHA-TLB, and the Device schemes clearly behind on
+ * short queries (hash tables) while closing the gap on long ones
+ * (tree/trie).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace qei;
+using namespace qei::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 7: ROI speedup per workload x scheme "
+                "(blocking queries) ===\n");
+
+    TablePrinter table;
+    std::vector<std::string> header{"workload"};
+    for (const auto& s : schemeNames())
+        header.push_back(s);
+    header.push_back("baseline cyc/q");
+    table.header(header);
+
+    double geoProd = 1.0;
+    int geoCount = 0;
+    for (const auto& workload : makeAllWorkloads()) {
+        const WorkloadRun run = runWorkload(*workload);
+        std::vector<std::string> row{run.name};
+        for (const auto& s : schemeNames()) {
+            row.push_back(TablePrinter::speedup(run.speedup(s)));
+            if (s == "Core-integrated") {
+                geoProd *= run.speedup(s);
+                ++geoCount;
+            }
+        }
+        row.push_back(
+            TablePrinter::num(run.baseline.cyclesPerQuery(), 1));
+        table.row(row);
+
+        std::uint64_t mismatches = 0;
+        for (const auto& [name, stats] : run.schemes)
+            mismatches += stats.mismatches;
+        if (mismatches != 0) {
+            std::printf("WARNING: %llu functional mismatches in %s\n",
+                        static_cast<unsigned long long>(mismatches),
+                        run.name.c_str());
+        }
+    }
+    table.print();
+
+    const double geomean =
+        geoCount ? std::pow(geoProd, 1.0 / geoCount) : 0.0;
+    std::printf("Core-integrated geomean speedup: %.2fx "
+                "(paper: ~8x average, 6.5x~11.2x range)\n",
+                geomean);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * Fig. 9 — End-to-end query/packet-per-second improvement of the full
+ * applications (ROI + non-ROI), for the Core-integrated and CHA
+ * schemes.
+ *
+ * Paper shape: 36.2%~66.7% end-to-end throughput improvement;
+ * Core-integrated at the same level as the CHA-based schemes.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace qei;
+using namespace qei::bench;
+
+namespace {
+
+/** Amdahl composition: ROI sped up by s, the rest untouched. */
+double
+endToEndGain(double roi_fraction, double roi_speedup)
+{
+    const double t = (1.0 - roi_fraction) + roi_fraction / roi_speedup;
+    return 1.0 / t - 1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 9: end-to-end throughput improvement ===\n");
+
+    TablePrinter table;
+    table.header({"workload", "ROI share", "ROI speedup (Core-int)",
+                  "end-to-end gain (Core-int)",
+                  "end-to-end gain (CHA-TLB)",
+                  "end-to-end gain (CHA-noTLB)"});
+
+    for (const auto& workload : makeAllWorkloads()) {
+        const WorkloadRun run = runWorkload(
+            *workload, 0,
+            {SchemeConfig::chaTlb(), SchemeConfig::chaNoTlb(),
+             SchemeConfig::coreIntegrated()});
+        const double f = run.prepared.profile.roiFraction;
+        table.row({run.name, TablePrinter::percent(f),
+                   TablePrinter::speedup(run.speedup("Core-integrated")),
+                   TablePrinter::percent(endToEndGain(
+                       f, run.speedup("Core-integrated"))),
+                   TablePrinter::percent(
+                       endToEndGain(f, run.speedup("CHA-TLB"))),
+                   TablePrinter::percent(
+                       endToEndGain(f, run.speedup("CHA-noTLB")))});
+    }
+    table.print();
+    std::printf("paper reference: 36.2%%~66.7%% end-to-end gain; "
+                "Core-integrated on par with the CHA schemes\n");
+    return 0;
+}

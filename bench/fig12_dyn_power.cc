@@ -1,0 +1,59 @@
+/**
+ * Fig. 12 — Average dynamic power (energy) per query of QEI relative
+ * to the software baseline, per workload and scheme.
+ *
+ * Paper shape: the accelerators cut more than 60% of the per-query
+ * dynamic power, mostly by eliminating OoO-pipeline instructions and
+ * private-cache activity.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace qei;
+using namespace qei::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 12: dynamic energy per query vs software "
+                "baseline ===\n");
+
+    EnergyModel model;
+
+    TablePrinter table;
+    std::vector<std::string> header{"workload"};
+    for (const auto& s : schemeNames())
+        header.push_back(s);
+    header.push_back("baseline pJ/q");
+    table.header(header);
+
+    for (const auto& workload : makeAllWorkloads()) {
+        const WorkloadRun run = runWorkload(*workload);
+
+        EnergyInputs base;
+        base.activity = run.activity.at("baseline");
+        base.coreInstructions = run.baseline.instructions;
+        base.queries = run.baseline.queries;
+        const double basePj = model.perQuery(base).totalPj();
+
+        std::vector<std::string> row{run.name};
+        for (const auto& name : schemeNames()) {
+            const QeiRunStats& stats = run.schemes.at(name);
+            EnergyInputs in;
+            in.activity = run.activity.at(name);
+            in.coreInstructions = stats.coreInstructions;
+            in.acceleratorMicroOps = stats.microOps;
+            in.queries = stats.queries;
+            const double pj = model.perQuery(in).totalPj();
+            row.push_back(TablePrinter::percent(pj / basePj));
+        }
+        row.push_back(TablePrinter::num(basePj, 0));
+        table.row(row);
+    }
+    table.print();
+    std::printf("paper reference: accelerator dynamic power <= ~40%% "
+                "of the software baseline per query\n");
+    return 0;
+}

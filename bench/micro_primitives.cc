@@ -1,0 +1,155 @@
+/**
+ * Google-benchmark microbenchmarks for the library primitives: hash
+ * functions, cache/TLB/mesh/DRAM models, the event kernel, and one
+ * end-to-end accelerated query. These measure *host* performance of
+ * the simulator itself (useful when scaling experiments up), not
+ * simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ds/chained_hash.hh"
+#include "workloads/workload.hh"
+
+using namespace qei;
+
+namespace {
+
+void
+BM_Crc32c(benchmark::State& state)
+{
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(state.range(0)), 0xA5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            crc32c(buf.data(), buf.size()));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(16)->Arg(100)->Arg(1024);
+
+void
+BM_Jhash(benchmark::State& state)
+{
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(state.range(0)), 0xA5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(jhash(buf.data(), buf.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_Jhash)->Arg(16)->Arg(100)->Arg(1024);
+
+void
+BM_CacheAccess(benchmark::State& state)
+{
+    Cache cache(CacheParams{"bm", 1 << 20, 16, 14});
+    Rng rng(1);
+    for (auto _ : state) {
+        const Addr a = rng.below(1 << 22) * kCacheLineBytes;
+        if (!cache.access(a, false))
+            cache.fill(a);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbLookup(benchmark::State& state)
+{
+    Tlb tlb(1536, 9);
+    for (Addr v = 0; v < 1536; ++v)
+        tlb.fill(v);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.lookup(rng.below(2048)));
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_MeshTraverse(benchmark::State& state)
+{
+    Mesh mesh;
+    Rng rng(3);
+    Cycles now = 0;
+    for (auto _ : state) {
+        const int from = static_cast<int>(rng.below(24));
+        const int to = static_cast<int>(rng.below(24));
+        benchmark::DoNotOptimize(mesh.traverse(from, to, 64, now));
+        ++now;
+    }
+}
+BENCHMARK(BM_MeshTraverse);
+
+void
+BM_DramAccess(benchmark::State& state)
+{
+    Dram dram;
+    Rng rng(4);
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dram.access(rng.below(1 << 30), now));
+        now += 10;
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_EventQueueChurn(benchmark::State& state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(static_cast<Cycles>(i % 97), [&] { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void
+BM_AcceleratedQuery(benchmark::State& state)
+{
+    // End-to-end: one blocking query per iteration through the
+    // Core-integrated accelerator (host-time cost of the simulation).
+    World world(5);
+    Rng rng(6);
+    std::vector<std::pair<Key, std::uint64_t>> items;
+    for (int i = 0; i < 2000; ++i)
+        items.emplace_back(randomKey(rng, 16), i);
+    SimChainedHash table(world.vm, items, 512);
+
+    Prepared prep;
+    prep.profile.nonQueryInstrPerOp = 10;
+    for (int i = 0; i < 64; ++i) {
+        const Key& key = items[rng.below(items.size())].first;
+        QueryTrace t = table.query(key);
+        QueryJob job;
+        job.headerAddr = table.headerAddr();
+        job.keyAddr = table.stageKey(key);
+        job.resultAddr = world.vm.alloc(16, 16);
+        job.expectFound = t.found;
+        job.expectValue = t.resultValue;
+        prep.jobs.push_back(job);
+        prep.traces.push_back(std::move(t));
+    }
+
+    for (auto _ : state) {
+        const QeiRunStats stats =
+            runQei(world, prep, SchemeConfig::coreIntegrated());
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_AcceleratedQuery);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+/**
+ * Tab. I — Comparison of the integration schemes: accelerator-core
+ * latency, accelerator-data latency, and the qualitative columns.
+ * The latencies are measured from the model (core 0 issuing, averaged
+ * over slices) rather than copied from the paper.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace qei;
+using namespace qei::bench;
+
+namespace {
+
+/** Average one-way small-message latency from core 0 to all tiles. */
+double
+avgNocOneWay(MemoryHierarchy& memory)
+{
+    double sum = 0.0;
+    for (int t = 0; t < memory.cores(); ++t)
+        sum += static_cast<double>(memory.messageOneWay(0, t, 0));
+    return sum / memory.cores();
+}
+
+/** Average LLC-hit access latency from a CHA on each tile. */
+double
+avgChaData(MemoryHierarchy& memory, VirtualMemory& vm, Addr probe)
+{
+    const Addr paddr = vm.translate(probe);
+    double sum = 0.0;
+    int n = 0;
+    for (int t = 0; t < memory.cores(); ++t) {
+        memory.preloadLlc(paddr);
+        sum += static_cast<double>(
+            memory.chaAccess(t, paddr, false, 0).latency);
+        ++n;
+    }
+    return sum / n;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Tab. I: integration scheme comparison ===\n");
+
+    World world(7);
+    const Addr probe = world.vm.alloc(kCacheLineBytes, kCacheLineBytes);
+    const double noc = avgNocOneWay(world.hierarchy);
+    const double chaData = avgChaData(world.hierarchy, world.vm, probe);
+
+    TablePrinter table;
+    table.header({"scheme", "acc-core lat (cyc)", "acc-data lat (cyc)",
+                  "HW cost", "mem mgmt", "NoC hotspot", "priv $ poll",
+                  "scalability"});
+
+    for (const auto& s : SchemeConfig::allSchemes()) {
+        double accCore = static_cast<double>(s.submitLatency) +
+                         static_cast<double>(s.deviceIfLatency);
+        double accData = chaData + static_cast<double>(s.dataOverhead);
+        std::string cost;
+        std::string mem;
+        std::string hotspot = "no";
+        std::string scal = "good";
+        switch (s.scheme) {
+          case IntegrationScheme::ChaTlb:
+            accCore += noc;
+            cost = "low+TLB";
+            mem = "dedicated";
+            break;
+          case IntegrationScheme::ChaNoTlb:
+            accCore += noc;
+            accData += 2.0 * noc; // MMU round trip per access
+            cost = "low";
+            mem = "shared (remote)";
+            break;
+          case IntegrationScheme::DeviceDirect:
+            accCore += noc;
+            cost = "medium";
+            mem = "dedicated";
+            hotspot = "yes";
+            scal = "medium";
+            break;
+          case IntegrationScheme::DeviceIndirect:
+            accCore += noc;
+            cost = "medium/high";
+            mem = "dedicated";
+            hotspot = "yes";
+            scal = "medium";
+            break;
+          case IntegrationScheme::CoreIntegrated:
+            accData = 4.0 + 18.0 + noc; // L2 probe + slice + mesh
+            cost = "low";
+            mem = "shared (L2-TLB)";
+            break;
+        }
+        table.row({s.name(), TablePrinter::num(accCore, 0),
+                   TablePrinter::num(accData, 0), cost, mem, hotspot,
+                   "no", scal});
+    }
+    table.print();
+    std::printf("paper reference: CHA 40~60 / 10~50, Device 100~500 / "
+                "100~500, Core-integrated 10~25 / 20~40 cycles\n");
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * Tab. II — The simulated CPU model configuration, printed from the
+ * single ChipConfig every experiment runs against.
+ */
+
+#include <cstdio>
+
+#include "core/chip_config.hh"
+
+using namespace qei;
+
+int
+main()
+{
+    std::printf("=== Tab. II: simulated CPU model configuration ===\n");
+    const ChipConfig chip = defaultChip();
+    std::fputs(chip.describe().c_str(), stdout);
+    std::printf("QST entries       : %d per accelerator "
+                "(Core/CHA schemes), %d total (Device schemes)\n",
+                chip.qei.qstEntriesPerAccel, chip.qei.qstEntriesDevice);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * Tab. III — Area and static power of the three QEI configurations,
+ * from the analytic 22 nm model, with the paper's McPAT/CACTI values
+ * alongside.
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.hh"
+#include "power/area_model.hh"
+
+using namespace qei;
+
+int
+main()
+{
+    std::printf("=== Tab. III: area and static power ===\n");
+
+    const AreaModel model;
+    struct Row
+    {
+        AreaReport report;
+        double paperArea;
+        double paperPower;
+    };
+    const Row rows[] = {
+        {model.qei10(), 0.1752, 10.8984},
+        {model.qei10WithTlb(), 0.5730, 30.9049},
+        {model.qei240(), 1.0901, 20.8764},
+    };
+
+    TablePrinter table;
+    table.header({"configuration", "area mm^2 (model)",
+                  "area mm^2 (paper)", "static mW (model)",
+                  "static mW (paper)"});
+    for (const auto& row : rows) {
+        table.row({row.report.config,
+                   TablePrinter::num(row.report.totalAreaMm2(), 4),
+                   TablePrinter::num(row.paperArea, 4),
+                   TablePrinter::num(row.report.totalStaticPowerMw(), 2),
+                   TablePrinter::num(row.paperPower, 2)});
+    }
+    table.print();
+
+    std::printf("\nper-component breakdowns:\n");
+    for (const auto& row : rows) {
+        std::printf("%s:\n", row.report.config.c_str());
+        for (const auto& item : row.report.items) {
+            std::printf("  %-28s %8.4f mm^2  %8.3f mW\n",
+                        item.name.c_str(), item.areaMm2,
+                        item.staticPowerMw);
+        }
+    }
+    std::printf("\ncontext: a modern core tile is ~18 mm^2, so even "
+                "QEI-240 is ~6%% of one core\n");
+    return 0;
+}

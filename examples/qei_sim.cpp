@@ -1,0 +1,191 @@
+/**
+ * qei_sim: command-line experiment driver. Runs any paper workload
+ * against any integration scheme with configurable query counts,
+ * modes and seeds — the entry point for exploring the design space
+ * beyond the canned figures.
+ *
+ *   qei_sim [--workload dpdk|jvm|rocksdb|snort|flann]
+ *           [--scheme cha-tlb|cha-notlb|device-direct|
+ *                     device-indirect|core-integrated|all]
+ *           [--queries N] [--mode b|nb] [--cores N] [--seed N]
+ *           [--poll-batch N] [--verbose]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <string>
+
+#include "workloads/workload.hh"
+
+using namespace qei;
+
+namespace {
+
+struct Options
+{
+    std::string workload = "dpdk";
+    std::string scheme = "all";
+    std::size_t queries = 0; // 0 = workload default
+    QueryMode mode = QueryMode::Blocking;
+    int cores = 1;
+    std::uint64_t seed = 42;
+    int pollBatch = 32;
+    bool verbose = false;
+};
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--workload dpdk|jvm|rocksdb|snort|flann]\n"
+        "          [--scheme cha-tlb|cha-notlb|device-direct|\n"
+        "                    device-indirect|core-integrated|all]\n"
+        "          [--queries N] [--mode b|nb] [--cores N]\n"
+        "          [--seed N] [--poll-batch N] [--verbose]\n",
+        argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char** argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            opt.workload = value();
+        } else if (arg == "--scheme") {
+            opt.scheme = value();
+        } else if (arg == "--queries") {
+            opt.queries = static_cast<std::size_t>(
+                std::strtoull(value(), nullptr, 10));
+        } else if (arg == "--mode") {
+            const std::string m = value();
+            if (m == "b") {
+                opt.mode = QueryMode::Blocking;
+            } else if (m == "nb") {
+                opt.mode = QueryMode::NonBlocking;
+            } else {
+                usage(argv[0]);
+            }
+        } else if (arg == "--cores") {
+            opt.cores = std::atoi(value());
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--poll-batch") {
+            opt.pollBatch = std::atoi(value());
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+SchemeConfig
+schemeByName(const std::string& name)
+{
+    if (name == "cha-tlb")
+        return SchemeConfig::chaTlb();
+    if (name == "cha-notlb")
+        return SchemeConfig::chaNoTlb();
+    if (name == "device-direct")
+        return SchemeConfig::deviceDirect();
+    if (name == "device-indirect")
+        return SchemeConfig::deviceIndirect();
+    if (name == "core-integrated")
+        return SchemeConfig::coreIntegrated();
+    fatal("unknown scheme '{}'", name);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Options opt = parse(argc, argv);
+    if (opt.verbose)
+        setLogLevel(LogLevel::Info);
+
+    std::unique_ptr<Workload> workload;
+    for (auto& w : makeAllWorkloads()) {
+        if (w->name() == opt.workload)
+            workload = std::move(w);
+    }
+    if (!workload)
+        fatal("unknown workload '{}'", opt.workload);
+
+    World world(opt.seed);
+    std::printf("building %s ...\n", workload->description().c_str());
+    workload->build(world);
+    const std::size_t n =
+        opt.queries ? opt.queries : workload->defaultQueries();
+    const Prepared prep = workload->prepare(world, n);
+    std::printf("%zu queries prepared (seed %llu)\n\n",
+                prep.jobs.size(),
+                static_cast<unsigned long long>(opt.seed));
+
+    const CoreRunResult baseline = runBaseline(world, prep);
+    std::printf("%-18s %10.1f cyc/q   %8.0f instr/q   ipc %.2f\n",
+                "software", baseline.cyclesPerQuery(),
+                static_cast<double>(baseline.instructions) /
+                    static_cast<double>(baseline.queries),
+                baseline.ipc());
+
+    std::vector<SchemeConfig> schemes;
+    if (opt.scheme == "all") {
+        schemes = SchemeConfig::allSchemes();
+    } else {
+        schemes.push_back(schemeByName(opt.scheme));
+    }
+
+    for (const auto& scheme : schemes) {
+        QeiRunStats stats;
+        world.resetTiming();
+        world.warmLlc();
+        QeiSystem system(world.chip, world.events, world.hierarchy,
+                         world.vm, world.firmware, scheme);
+        if (opt.cores > 1) {
+            stats = system.runBlockingMultiCore(prep.jobs, opt.cores,
+                                                prep.profile);
+        } else {
+            system.warmTlbs([&] {
+                std::vector<Addr> vpns;
+                for (const auto& [vpn, pfn] :
+                     world.vm.pageTable().entries()) {
+                    (void)pfn;
+                    vpns.push_back(vpn);
+                }
+                std::sort(vpns.begin(), vpns.end());
+                return vpns;
+            }());
+            if (opt.mode == QueryMode::Blocking) {
+                stats = system.runBlocking(prep.jobs, 0, prep.profile);
+            } else {
+                stats = system.runNonBlocking(prep.jobs, 0,
+                                              prep.profile,
+                                              opt.pollBatch);
+            }
+        }
+        if (opt.verbose)
+            std::fputs(system.renderStats().c_str(), stdout);
+        std::printf("%-18s %10.1f cyc/q   %6.2fx   occ %4.1f   "
+                    "mem/q %.1f   mismatches %llu\n",
+                    scheme.name().c_str(), stats.cyclesPerQuery(),
+                    speedupOf(baseline, stats),
+                    stats.avgQstOccupancy,
+                    static_cast<double>(stats.memAccesses) /
+                        static_cast<double>(stats.queries),
+                    static_cast<unsigned long long>(stats.mismatches));
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+#include "format.hh"
+
+namespace qei {
+namespace fmtdetail {
+
+std::string
+formatImpl(std::string_view fmt_str, const Arg* args, std::size_t count)
+{
+    std::ostringstream os;
+    std::size_t argIndex = 0;
+    for (std::size_t i = 0; i < fmt_str.size(); ++i) {
+        const char c = fmt_str[i];
+        if (c == '{') {
+            if (i + 1 < fmt_str.size() && fmt_str[i + 1] == '{') {
+                os << '{';
+                ++i;
+                continue;
+            }
+            const std::size_t close = fmt_str.find('}', i);
+            if (close == std::string_view::npos) {
+                os << fmt_str.substr(i);
+                break;
+            }
+            std::string_view field = fmt_str.substr(i + 1, close - i - 1);
+            FormatSpec spec;
+            const std::size_t colon = field.find(':');
+            if (colon != std::string_view::npos)
+                spec = parseSpec(field.substr(colon + 1));
+            if (argIndex < count)
+                args[argIndex++].write(os, spec);
+            else
+                os << "{?}";
+            i = close;
+        } else if (c == '}') {
+            if (i + 1 < fmt_str.size() && fmt_str[i + 1] == '}')
+                ++i;
+            os << '}';
+        } else {
+            os << c;
+        }
+    }
+    return os.str();
+}
+
+} // namespace fmtdetail
+} // namespace qei

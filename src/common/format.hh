@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Minimal std::format-style string formatting for toolchains without
+ * <format> (GCC 12). Supports the subset this codebase uses:
+ *
+ *   {}          default formatting
+ *   {:x} {:#x}  hex integers (# adds the 0x prefix)
+ *   {:.Nf}      fixed-point floating point with N decimals
+ *   {:Nd}/{:N}  minimum width, right-aligned, space filled
+ *
+ * Unknown or malformed specs fall back to default formatting rather
+ * than throwing: a log line must never kill a simulation.
+ */
+
+#ifndef QEI_COMMON_FORMAT_HH
+#define QEI_COMMON_FORMAT_HH
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace qei {
+
+namespace fmtdetail {
+
+struct FormatSpec
+{
+    bool hex = false;
+    bool alt = false;    ///< '#' — prefix hex with 0x
+    bool fixed = false;  ///< 'f'
+    int precision = -1;
+    int width = 0;
+};
+
+/** Parse the text between ':' and '}' of a replacement field. */
+inline FormatSpec
+parseSpec(std::string_view s)
+{
+    FormatSpec spec;
+    std::size_t i = 0;
+    if (i < s.size() && s[i] == '#') {
+        spec.alt = true;
+        ++i;
+    }
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+        spec.width = spec.width * 10 + (s[i] - '0');
+        ++i;
+    }
+    if (i < s.size() && s[i] == '.') {
+        ++i;
+        spec.precision = 0;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+            spec.precision = spec.precision * 10 + (s[i] - '0');
+            ++i;
+        }
+    }
+    if (i < s.size()) {
+        if (s[i] == 'x' || s[i] == 'X')
+            spec.hex = true;
+        else if (s[i] == 'f')
+            spec.fixed = true;
+        // 'd', 'u', unknown letters: default rendering
+    }
+    return spec;
+}
+
+template <typename T>
+void
+writeValue(std::ostringstream& os, const FormatSpec& spec, const T& value)
+{
+    std::ostringstream tmp;
+    if constexpr (std::is_same_v<T, bool>) {
+        tmp << (value ? "true" : "false");
+    } else if constexpr (std::is_floating_point_v<T>) {
+        if (spec.precision >= 0 || spec.fixed) {
+            tmp << std::fixed
+                << std::setprecision(spec.precision >= 0 ? spec.precision
+                                                         : 6);
+        }
+        tmp << value;
+    } else if constexpr (std::is_integral_v<T>) {
+        if (spec.hex) {
+            if (spec.alt)
+                tmp << "0x";
+            tmp << std::hex;
+        }
+        // '+' promotes char-sized integers to a numeric rendering.
+        tmp << +value;
+    } else {
+        tmp << value;
+    }
+    std::string str = tmp.str();
+    if (static_cast<int>(str.size()) < spec.width)
+        str.insert(0, static_cast<std::size_t>(spec.width) - str.size(),
+                   ' ');
+    os << str;
+}
+
+/** Type-erased argument formatter. */
+class Arg
+{
+  public:
+    template <typename T>
+    explicit Arg(const T& value)
+        : object_(&value),
+          write_([](std::ostringstream& os, const FormatSpec& spec,
+                    const void* obj) {
+              writeValue(os, spec, *static_cast<const T*>(obj));
+          })
+    {
+    }
+
+    void
+    write(std::ostringstream& os, const FormatSpec& spec) const
+    {
+        write_(os, spec, object_);
+    }
+
+  private:
+    const void* object_;
+    void (*write_)(std::ostringstream&, const FormatSpec&, const void*);
+};
+
+std::string formatImpl(std::string_view fmt_str, const Arg* args,
+                       std::size_t count);
+
+} // namespace fmtdetail
+
+/** Format @p fmt_str with positional {} replacement fields. */
+template <typename... Args>
+std::string
+fmt(std::string_view fmt_str, const Args&... args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        // Still run the parser so {{ }} escapes behave consistently.
+        return fmtdetail::formatImpl(fmt_str, nullptr, 0);
+    } else {
+        const fmtdetail::Arg erased[] = {fmtdetail::Arg(args)...};
+        return fmtdetail::formatImpl(fmt_str, erased, sizeof...(Args));
+    }
+}
+
+} // namespace qei
+
+#endif // QEI_COMMON_FORMAT_HH

@@ -1,0 +1,64 @@
+#include "logging.hh"
+
+#include <atomic>
+
+namespace qei {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(std::string_view msg, std::source_location loc)
+{
+    std::cerr << "panic: " << msg << "\n    at " << loc.file_name() << ":"
+              << loc.line() << " (" << loc.function_name() << ")"
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(std::string_view msg, std::source_location loc)
+{
+    std::cerr << "fatal: " << msg << "\n    at " << loc.file_name() << ":"
+              << loc.line() << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(std::string_view msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(std::string_view msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(std::string_view msg)
+{
+    std::cout << "debug: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace qei

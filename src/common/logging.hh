@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Logging and error-reporting primitives in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated; this is a bug in the
+ *            simulator itself. Aborts so a debugger/core dump is useful.
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments). Exits with code 1.
+ * warn()   — something is modelled approximately; the run continues.
+ * inform() — plain status output.
+ */
+
+#ifndef QEI_COMMON_LOGGING_HH
+#define QEI_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <source_location>
+#include <string>
+#include <string_view>
+
+#include "format.hh"
+
+namespace qei {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Process-wide log verbosity; defaults to Warn so tests stay quiet. */
+LogLevel logLevel();
+
+/** Set the process-wide log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(std::string_view msg,
+                            std::source_location loc);
+[[noreturn]] void fatalImpl(std::string_view msg,
+                            std::source_location loc);
+void warnImpl(std::string_view msg);
+void informImpl(std::string_view msg);
+void debugImpl(std::string_view msg);
+
+} // namespace detail
+
+/** Abort with a formatted message; use for simulator bugs only. */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt_str, const Args&... args)
+{
+    detail::panicImpl(fmt(fmt_str, args...),
+                      std::source_location::current());
+}
+
+/** Exit(1) with a formatted message; use for user/config errors. */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt_str, const Args&... args)
+{
+    detail::fatalImpl(fmt(fmt_str, args...),
+                      std::source_location::current());
+}
+
+/** Non-fatal warning about approximate or suspicious behaviour. */
+template <typename... Args>
+void
+warn(std::string_view fmt_str, const Args&... args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::warnImpl(fmt(fmt_str, args...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(std::string_view fmt_str, const Args&... args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::informImpl(fmt(fmt_str, args...));
+}
+
+/** Debug-level trace message. */
+template <typename... Args>
+void
+debugLog(std::string_view fmt_str, const Args&... args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::debugImpl(fmt(fmt_str, args...));
+}
+
+/**
+ * Check an invariant that must hold regardless of user input.
+ * Unlike assert(), stays active in release builds.
+ */
+template <typename... Args>
+void
+simAssert(bool cond, std::string_view fmt_str, const Args&... args)
+{
+    if (!cond) {
+        detail::panicImpl(fmt(fmt_str, args...),
+                          std::source_location::current());
+    }
+}
+
+} // namespace qei
+
+#endif // QEI_COMMON_LOGGING_HH

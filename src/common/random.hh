@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible runs.
+ *
+ * All stochastic choices in the simulator (workload key draws, allocator
+ * fragmentation, skip-list levels, ...) must go through Rng so that a
+ * given seed reproduces a run bit-for-bit.
+ */
+
+#ifndef QEI_COMMON_RANDOM_HH
+#define QEI_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace qei {
+
+/** xoshiro256** generator: fast, high quality, fully deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        // SplitMix64 expansion of the seed into the four state words.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        simAssert(bound != 0, "Rng::below(0)");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (true) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform value in the closed range [lo, hi]. */
+    std::uint64_t
+    inRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        simAssert(lo <= hi, "Rng::inRange({}, {})", lo, hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return toUnit(next()) < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return toUnit(next()); }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static double
+    toUnit(std::uint64_t x)
+    {
+        return static_cast<double>(x >> 11) * 0x1.0p-53;
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace qei
+
+#endif // QEI_COMMON_RANDOM_HH

@@ -1,0 +1,67 @@
+#include "stats.hh"
+
+#include "common/format.hh"
+
+namespace qei {
+
+double
+Histogram::percentile(double fraction) const
+{
+    if (fraction < 0.0)
+        fraction = 0.0;
+    if (fraction > 1.0)
+        fraction = 1.0;
+    const std::uint64_t total = scalar_.count();
+    if (total == 0)
+        return 0.0;
+    const double target = fraction * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (static_cast<double>(seen) >= target)
+            return (static_cast<double>(i) + 1.0) * bucketWidth_;
+    }
+    return static_cast<double>(buckets_.size()) * bucketWidth_;
+}
+
+void
+StatGroup::addCounter(const std::string& name, const Counter& c)
+{
+    counters_[name] = &c;
+}
+
+void
+StatGroup::addScalar(const std::string& name, const ScalarStat& s)
+{
+    scalars_[name] = &s;
+}
+
+void
+StatGroup::addHistogram(const std::string& name, const Histogram& h)
+{
+    histograms_[name] = &h;
+}
+
+std::string
+StatGroup::render() const
+{
+    std::string out;
+    for (const auto& [name, c] : counters_)
+        out += qei::fmt("{}.{} {}\n", name_, name, c->value());
+    for (const auto& [name, s] : scalars_) {
+        out += qei::fmt("{}.{} count={} mean={:.4f} min={:.4f} "
+                           "max={:.4f}\n",
+                           name_, name, s->count(), s->mean(), s->min(),
+                           s->max());
+    }
+    for (const auto& [name, h] : histograms_) {
+        out += qei::fmt("{}.{} count={} mean={:.4f} p50={:.2f} "
+                           "p99={:.2f}\n",
+                           name_, name, h->scalar().count(),
+                           h->scalar().mean(), h->percentile(0.50),
+                           h->percentile(0.99));
+    }
+    return out;
+}
+
+} // namespace qei

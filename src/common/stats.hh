@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Lightweight statistics collection.
+ *
+ * Components own Counter / ScalarStat / Histogram members and register
+ * them with a StatGroup; the group can render everything for reports and
+ * tests can assert on individual values.
+ */
+
+#ifndef QEI_COMMON_STATS_HH
+#define QEI_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qei {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples; reports count / sum / mean / min / max. */
+class ScalarStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [0, bucketWidth * bucketCount). */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width = 1.0, std::size_t bucket_count = 64)
+        : bucketWidth_(bucket_width), buckets_(bucket_count, 0)
+    {
+    }
+
+    void
+    sample(double v)
+    {
+        scalar_.sample(v);
+        std::size_t idx = v <= 0.0
+            ? 0
+            : static_cast<std::size_t>(v / bucketWidth_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+
+    void
+    reset()
+    {
+        scalar_.reset();
+        for (auto& b : buckets_)
+            b = 0;
+    }
+
+    /** Value below which @p fraction of all samples fall (approximate). */
+    double percentile(double fraction) const;
+
+    const ScalarStat& scalar() const { return scalar_; }
+    const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+    double bucketWidth() const { return bucketWidth_; }
+
+  private:
+    ScalarStat scalar_;
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+};
+
+/**
+ * Named collection of statistics owned by one component.
+ *
+ * The group stores non-owning pointers; the registered stats must
+ * outlive the group (the usual pattern is members of the same object).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string& name, const Counter& c);
+    void addScalar(const std::string& name, const ScalarStat& s);
+    void addHistogram(const std::string& name, const Histogram& h);
+
+    /** Render all registered statistics as "group.name value" lines. */
+    std::string render() const;
+
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, const Counter*> counters_;
+    std::map<std::string, const ScalarStat*> scalars_;
+    std::map<std::string, const Histogram*> histograms_;
+};
+
+} // namespace qei
+
+#endif // QEI_COMMON_STATS_HH

@@ -1,0 +1,98 @@
+#include "table_printer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+
+#include "logging.hh"
+
+namespace qei {
+
+void
+TablePrinter::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TablePrinter::row(std::vector<std::string> cells)
+{
+    simAssert(header_.empty() || cells.size() == header_.size(),
+              "row has {} cells, header has {}", cells.size(),
+              header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::render() const
+{
+    const std::size_t ncols =
+        header_.empty() ? (rows_.empty() ? 0 : rows_.front().size())
+                        : header_.size();
+    std::vector<std::size_t> width(ncols, 0);
+    auto account = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size() && i < ncols; ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    account(header_);
+    for (const auto& r : rows_)
+        account(r);
+
+    std::size_t total = 1;
+    for (auto w : width)
+        total += w + 3;
+
+    std::string rule(total, '-');
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    out += rule + "\n";
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        out += "|";
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string& c = i < cells.size() ? cells[i] : "";
+            out += " " + c + std::string(width[i] - c.size(), ' ') + " |";
+        }
+        out += "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        out += rule + "\n";
+    }
+    for (const auto& r : rows_)
+        emit(r);
+    out += rule + "\n";
+    return out;
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TablePrinter::num(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+TablePrinter::speedup(double v)
+{
+    return qei::fmt("{:.2f}x", v);
+}
+
+std::string
+TablePrinter::percent(double v, int decimals)
+{
+    return num(v * 100.0, decimals) + "%";
+}
+
+} // namespace qei

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harnesses to print the
+ * paper's tables and figure series in a uniform layout.
+ */
+
+#ifndef QEI_COMMON_TABLE_PRINTER_HH
+#define QEI_COMMON_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace qei {
+
+/** Column-aligned table with a header row and an optional title. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title = {})
+        : title_(std::move(title))
+    {
+    }
+
+    /** Set header cells; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to a string (title, rule, header, rule, rows, rule). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p decimals digits after the point. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format a ratio as "N.NNx". */
+    static std::string speedup(double v);
+
+    /** Format a fraction as "NN.N%". */
+    static std::string percent(double v, int decimals = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qei
+
+#endif // QEI_COMMON_TABLE_PRINTER_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fundamental simulator-wide types and address helpers.
+ */
+
+#ifndef QEI_COMMON_TYPES_HH
+#define QEI_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace qei {
+
+/** Simulated time in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A simulated virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no address" / null pointer in simulated memory. */
+inline constexpr Addr kNullAddr = 0;
+
+/** Sentinel for an invalid cycle count. */
+inline constexpr Cycles kInvalidCycle =
+    std::numeric_limits<Cycles>::max();
+
+/** Cacheline size used throughout the model (and by QEI's DPU). */
+inline constexpr std::uint32_t kCacheLineBytes = 64;
+
+/** Page size of the simulated virtual memory system. */
+inline constexpr std::uint32_t kPageBytes = 4096;
+
+/** Align @p addr down to the containing cacheline. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kCacheLineBytes - 1);
+}
+
+/** Offset of @p addr within its cacheline. */
+constexpr std::uint32_t
+lineOffset(Addr addr)
+{
+    return static_cast<std::uint32_t>(addr &
+                                      static_cast<Addr>(kCacheLineBytes - 1));
+}
+
+/** Align @p addr down to the containing page. */
+constexpr Addr
+pageAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kPageBytes - 1);
+}
+
+/** Virtual page number of @p addr. */
+constexpr Addr
+pageNumber(Addr addr)
+{
+    return addr / kPageBytes;
+}
+
+/** Offset of @p addr within its page. */
+constexpr std::uint32_t
+pageOffset(Addr addr)
+{
+    return static_cast<std::uint32_t>(addr &
+                                      static_cast<Addr>(kPageBytes - 1));
+}
+
+/** Number of cachelines covering @p bytes starting at @p addr. */
+constexpr std::uint64_t
+linesCovering(Addr addr, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    const Addr first = lineAlign(addr);
+    const Addr last = lineAlign(addr + bytes - 1);
+    return (last - first) / kCacheLineBytes + 1;
+}
+
+/** True iff @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2(@p value); @p value must be non-zero. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t value)
+{
+    std::uint32_t result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Ceiling of integer division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace qei
+
+#endif // QEI_COMMON_TYPES_HH

@@ -1,0 +1,192 @@
+#include "core_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qei {
+
+double
+CoreRunResult::frontendBoundFraction(int width) const
+{
+    const double slots =
+        static_cast<double>(cycles) * static_cast<double>(width);
+    return slots > 0 ? frontendStallCycles * width / slots : 0.0;
+}
+
+double
+CoreRunResult::backendBoundFraction(int width) const
+{
+    const double slots =
+        static_cast<double>(cycles) * static_cast<double>(width);
+    return slots > 0 ? backendStallCycles * width / slots : 0.0;
+}
+
+double
+CoreRunResult::retiringFraction(int width) const
+{
+    const double slots =
+        static_cast<double>(cycles) * static_cast<double>(width);
+    return slots > 0 ? static_cast<double>(instructions) / slots : 0.0;
+}
+
+void
+CoreModel::fetchInstructions(std::uint32_t count, std::uint32_t branches,
+                             std::uint32_t mispredicts, double stall_per,
+                             double resolve_time)
+{
+    (void)branches; // predicted-taken branches flow at full width
+    instrIndex_ += count;
+    stats_.instructions += count;
+    const double base =
+        static_cast<double>(count) / params_.issueWidth;
+    const double frontend =
+        static_cast<double>(mispredicts) *
+            static_cast<double>(params_.branchMispredictPenalty) +
+        stall_per * static_cast<double>(count);
+    fetchTime_ += base + frontend;
+    stats_.frontendStallCycles += frontend;
+
+    if (mispredicts > 0 && resolve_time > fetchTime_) {
+        // The mispredicted branch resolves only when the load feeding
+        // it completes; everything fetched down the wrong path is
+        // thrown away, so fetch restarts from the resolution point.
+        stats_.backendStallCycles += resolve_time - fetchTime_;
+        fetchTime_ = resolve_time;
+    }
+}
+
+void
+CoreModel::applyWindowLimits()
+{
+    // ROB: fetch cannot run more than robEntries instructions past the
+    // oldest incomplete instruction; equivalently, a load retires (and
+    // frees its slot) only once complete, and fetch stalls at the
+    // window edge.
+    const double before = fetchTime_;
+    while (!inflight_.empty()) {
+        const InflightLoad& oldest = inflight_.front();
+        const bool robFull =
+            instrIndex_ >
+            oldest.instrIndex + static_cast<std::uint64_t>(
+                                    params_.robEntries);
+        const bool lqFull =
+            inflight_.size() >=
+            static_cast<std::size_t>(params_.loadQueueEntries);
+        if (!robFull && !lqFull)
+            break;
+        fetchTime_ = std::max(fetchTime_, oldest.completion);
+        inflight_.pop_front();
+    }
+    // Drop already-complete loads that fetch has naturally passed.
+    while (!inflight_.empty() &&
+           inflight_.front().completion <= fetchTime_) {
+        inflight_.pop_front();
+    }
+    // Store queue: stores drain in order; a full SQ stalls fetch.
+    while (!inflightStores_.empty()) {
+        const bool sqFull =
+            inflightStores_.size() >=
+            static_cast<std::size_t>(params_.storeQueueEntries);
+        if (!sqFull &&
+            inflightStores_.front().completion > fetchTime_) {
+            break;
+        }
+        fetchTime_ =
+            std::max(fetchTime_, inflightStores_.front().completion);
+        if (!sqFull)
+            break;
+        inflightStores_.pop_front();
+    }
+    while (!inflightStores_.empty() &&
+           inflightStores_.front().completion <= fetchTime_) {
+        inflightStores_.pop_front();
+    }
+    stats_.backendStallCycles += fetchTime_ - before;
+}
+
+CoreRunResult
+CoreModel::runQueries(const std::vector<QueryTrace>& traces,
+                      const RoiProfile& profile)
+{
+    for (const auto& trace : traces) {
+        ++stats_.queries;
+        // Surrounding non-query work (key pre-processing, memcpy, loop
+        // management) executed before each lookup.
+        fetchInstructions(profile.nonQueryInstrPerOp,
+                          profile.nonQueryBranchesPerOp,
+                          profile.nonQueryMispredictsPerOp,
+                          profile.frontendStallPerInstr);
+
+        double prevCompletion = lastLoadCompletion_;
+        const double queryStart = fetchTime_;
+        bool first = true;
+        for (const auto& touch : trace.touches) {
+            fetchInstructions(touch.instrBefore + 1,
+                              touch.branchesBefore,
+                              touch.mispredictsBefore,
+                              profile.frontendStallPerInstr,
+                              prevCompletion);
+            applyWindowLimits();
+
+            // Address generation: dependent loads wait for the prior
+            // load plus the serial compute producing the address;
+            // independent loads still wait for the compute chain that
+            // starts with the query (e.g. hashing the key).
+            double issue = fetchTime_;
+            const double operands =
+                (touch.dependsOnPrev && !first) ? prevCompletion
+                                                : queryStart;
+            issue = std::max(issue, operands + touch.computeLatency);
+            first = false;
+
+            const Cycles now = static_cast<Cycles>(issue);
+            const Translation tr = mmu_.translate(touch.vaddr);
+            simAssert(tr.valid, "baseline touched unmapped addr {:#x}",
+                      touch.vaddr);
+            double latency = static_cast<double>(tr.latency);
+            const MemAccess acc =
+                memory_.coreAccess(coreId_, tr.paddr, touch.isStore,
+                                   now + static_cast<Cycles>(latency));
+            latency += static_cast<double>(acc.latency);
+
+            const double completion = issue + latency;
+            if (touch.isStore) {
+                // Stores retire from the core quickly (store buffer)
+                // but hold an SQ slot until the write drains.
+                inflightStores_.push_back(
+                    InflightLoad{instrIndex_, completion});
+                ++stats_.stores;
+            } else {
+                prevCompletion = completion;
+                lastLoadCompletion_ = completion;
+                maxCompletion_ = std::max(maxCompletion_, completion);
+                inflight_.push_back(
+                    InflightLoad{instrIndex_, completion});
+                ++stats_.loads;
+            }
+        }
+
+        fetchInstructions(trace.instrAfter, trace.branchesAfter,
+                          trace.mispredictsAfter,
+                          profile.frontendStallPerInstr,
+                          lastLoadCompletion_);
+    }
+
+    // Drain: the run ends when the last instruction retires.
+    const double end = std::max(fetchTime_, maxCompletion_);
+    stats_.cycles = static_cast<Cycles>(std::ceil(end));
+    return stats_;
+}
+
+void
+CoreModel::reset()
+{
+    fetchTime_ = 0.0;
+    instrIndex_ = 0;
+    lastLoadCompletion_ = 0.0;
+    maxCompletion_ = 0.0;
+    inflight_.clear();
+    stats_ = CoreRunResult{};
+}
+
+} // namespace qei

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Interval-style out-of-order core timing model.
+ *
+ * The model executes a stream of QueryTraces (plus their surrounding
+ * non-query work) against the shared memory hierarchy. It is a
+ * limit-study pipeline in the Sniper tradition:
+ *
+ *  - the frontend streams instructions at issueWidth per cycle, paying
+ *    branch-mispredict penalties and per-instruction frontend stalls
+ *    (i-cache/decode pressure for large-footprint code);
+ *  - loads issue when their operands are ready: pointer-chasing loads
+ *    wait for the previous load, independent loads overlap;
+ *  - the ROB and load queue bound how far fetch can run ahead of the
+ *    oldest incomplete load, which is exactly what limits the baseline
+ *    software's memory-level parallelism across queries.
+ *
+ * The same machinery produces the top-down pipeline-slot accounting
+ * (frontend-bound / backend-bound / retiring) behind Fig. 1.
+ */
+
+#ifndef QEI_CORE_CORE_MODEL_HH
+#define QEI_CORE_CORE_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/chip_config.hh"
+#include "core/trace.hh"
+#include "mem/hierarchy.hh"
+#include "vm/tlb.hh"
+
+namespace qei {
+
+/** Aggregate result of running a trace stream on the core model. */
+struct CoreRunResult
+{
+    Cycles cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t queries = 0;
+
+    /** Cycles fetch stalled on the ROB/LQ (backend, memory-bound). */
+    double backendStallCycles = 0.0;
+    /** Cycles lost to mispredicts + frontend pressure. */
+    double frontendStallCycles = 0.0;
+
+    double
+    cyclesPerQuery() const
+    {
+        return queries ? static_cast<double>(cycles) /
+                             static_cast<double>(queries)
+                       : 0.0;
+    }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Top-down slot fractions (of width * cycles issue slots). */
+    double frontendBoundFraction(int width) const;
+    double backendBoundFraction(int width) const;
+    double retiringFraction(int width) const;
+};
+
+/** One core executing software query loops. */
+class CoreModel
+{
+  public:
+    CoreModel(int core_id, const CoreParams& params,
+              MemoryHierarchy& memory, Mmu& mmu)
+        : coreId_(core_id), params_(params), memory_(memory), mmu_(mmu)
+    {
+    }
+
+    /**
+     * Run @p traces back to back, interleaving @p profile's non-query
+     * work between consecutive queries (the software does its key
+     * pre-processing, memcpy, etc. between lookups).
+     */
+    CoreRunResult runQueries(const std::vector<QueryTrace>& traces,
+                             const RoiProfile& profile);
+
+    /** Reset pipeline state between runs (caches/TLBs stay warm). */
+    void reset();
+
+  private:
+    struct InflightLoad
+    {
+        std::uint64_t instrIndex = 0;
+        double completion = 0.0;
+    };
+
+    /**
+     * Charge @p count instructions of straight-line work to fetch.
+     * Mispredicted branches are data dependent (key compares, loop
+     * exits): the pipeline restarts only after @p resolve_time — the
+     * completion of the load feeding the branch — plus the flush
+     * penalty. This is what collapses cross-query MLP in the
+     * software baseline.
+     */
+    void fetchInstructions(std::uint32_t count, std::uint32_t branches,
+                           std::uint32_t mispredicts, double stall_per,
+                           double resolve_time = 0.0);
+
+    /** Apply ROB / LQ occupancy limits before issuing a new load. */
+    void applyWindowLimits();
+
+    int coreId_;
+    CoreParams params_;
+    MemoryHierarchy& memory_;
+    Mmu& mmu_;
+
+    double fetchTime_ = 0.0;
+    std::uint64_t instrIndex_ = 0;
+    double lastLoadCompletion_ = 0.0;
+    double maxCompletion_ = 0.0;
+    std::deque<InflightLoad> inflight_;
+    std::deque<InflightLoad> inflightStores_;
+
+    CoreRunResult stats_;
+};
+
+} // namespace qei
+
+#endif // QEI_CORE_CORE_MODEL_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Abstract instruction traces.
+ *
+ * Workload reference implementations emit one QueryTrace per query: the
+ * ordered list of memory touches (with their dependence structure) plus
+ * counts of the surrounding non-memory work. The core model turns a
+ * stream of traces into cycles; the same traces also give the Fig. 11
+ * dynamic-instruction-count baseline.
+ */
+
+#ifndef QEI_CORE_TRACE_HH
+#define QEI_CORE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace qei {
+
+/** One load the query routine performs, in program order. */
+struct MemTouch
+{
+    Addr vaddr = 0;
+    /**
+     * True when the address was computed from the previous touch's
+     * data (pointer chasing) — the load cannot issue until the
+     * previous one completes.
+     */
+    bool dependsOnPrev = true;
+    /**
+     * Serial compute cycles producing this load's address after its
+     * operands are ready (pointer arithmetic ~2, a chained CRC hash of
+     * the key ~10-20). Independent touches wait this long after the
+     * query's first instruction instead.
+     */
+    std::uint32_t computeLatency = 2;
+    /**
+     * True for stores (the software update path of Sec. IV-A:
+     * inserts/deletes never run on QEI). Stores drain through the
+     * store queue; a full SQ stalls fetch like a full LQ does.
+     */
+    bool isStore = false;
+    /** Instructions executed between the previous touch and this one. */
+    std::uint32_t instrBefore = 0;
+    /** Conditional branches in that slice of instructions. */
+    std::uint32_t branchesBefore = 0;
+    /** Of those, branches the predictor gets wrong. */
+    std::uint32_t mispredictsBefore = 0;
+};
+
+/** The footprint of one software query operation. */
+struct QueryTrace
+{
+    std::vector<MemTouch> touches;
+    /** Instructions after the last touch (result handling etc.). */
+    std::uint32_t instrAfter = 0;
+    std::uint32_t branchesAfter = 0;
+    std::uint32_t mispredictsAfter = 0;
+
+    /** Functional outcome, used to validate QEI against software. */
+    bool found = false;
+    std::uint64_t resultValue = 0;
+
+    /** Total dynamic instruction count of this query (for Fig. 11). */
+    std::uint32_t
+    dynamicInstructions() const
+    {
+        std::uint32_t n = instrAfter;
+        for (const auto& t : touches)
+            n += t.instrBefore + 1; // +1 for the load itself
+        return n;
+    }
+
+    std::uint32_t
+    branches() const
+    {
+        std::uint32_t n = branchesAfter;
+        for (const auto& t : touches)
+            n += t.branchesBefore;
+        return n;
+    }
+
+    std::uint32_t
+    mispredicts() const
+    {
+        std::uint32_t n = mispredictsAfter;
+        for (const auto& t : touches)
+            n += t.mispredictsBefore;
+        return n;
+    }
+};
+
+/**
+ * Per-workload characterisation of the code *around* the query loop —
+ * the "query density" of Sec. VII-A — plus the knobs the profiling
+ * figure needs.
+ */
+struct RoiProfile
+{
+    /** Independent (non-query) instructions executed per query. */
+    std::uint32_t nonQueryInstrPerOp = 40;
+    /** Branches within the non-query work. */
+    std::uint32_t nonQueryBranchesPerOp = 6;
+    /** Mispredicted branches within the non-query work. */
+    std::uint32_t nonQueryMispredictsPerOp = 0;
+    /**
+     * Extra frontend stall cycles per instruction modelling i-cache /
+     * decode pressure of a large code footprint (RocksDB ≫ DPDK).
+     */
+    double frontendStallPerInstr = 0.0;
+    /** Fraction of whole-application time spent in the ROI (Fig. 1). */
+    double roiFraction = 0.30;
+};
+
+} // namespace qei
+
+#endif // QEI_CORE_TRACE_HH

@@ -1,0 +1,381 @@
+#include "bplus_tree.hh"
+
+#include <algorithm>
+
+#include "qei/firmware.hh"
+
+namespace qei {
+
+SimBPlusTree::SimBPlusTree(
+    VirtualMemory& vm, std::vector<std::pair<Key, std::uint64_t>> items)
+    : vm_(vm)
+{
+    simAssert(!items.empty(), "empty B+-tree");
+    keyLen_ = static_cast<std::uint32_t>(items.front().first.size());
+    stride_ = pad8(keyLen_);
+    keysOff_ = 16 + static_cast<std::uint64_t>(kFanout) * 8;
+    size_ = items.size();
+
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) {
+                  return compareKeys(a.first, b.first) < 0;
+              });
+
+    // Level 0: pack sorted items into chained leaves.
+    struct Entry
+    {
+        Key firstKey;
+        Addr node;
+    };
+    std::vector<Entry> level;
+    Addr prevLeaf = kNullAddr;
+    for (std::size_t at = 0; at < items.size(); at += kFanout) {
+        const std::size_t n =
+            std::min<std::size_t>(kFanout, items.size() - at);
+        const Addr leaf = allocNode(/*leaf=*/true);
+        vm_.write<std::uint16_t>(leaf + 2,
+                                 static_cast<std::uint16_t>(n));
+        for (std::size_t i = 0; i < n; ++i) {
+            vm_.write<std::uint64_t>(leaf + 16 + i * 8,
+                                     items[at + i].second);
+            writeKey(leaf, static_cast<int>(i), items[at + i].first);
+        }
+        if (prevLeaf != kNullAddr)
+            vm_.write<std::uint64_t>(prevLeaf + 8, leaf);
+        else
+            firstLeaf_ = leaf;
+        prevLeaf = leaf;
+        level.push_back(Entry{items[at].first, leaf});
+    }
+    height_ = 1;
+
+    // Build inner levels until one root remains. Inner node with C
+    // children stores C-1 separators: the first key under each child
+    // but the leftmost.
+    while (level.size() > 1) {
+        std::vector<Entry> parent;
+        for (std::size_t at = 0; at < level.size(); at += kFanout) {
+            const std::size_t c =
+                std::min<std::size_t>(kFanout, level.size() - at);
+            const Addr inner = allocNode(/*leaf=*/false);
+            vm_.write<std::uint16_t>(
+                inner + 2, static_cast<std::uint16_t>(c - 1));
+            for (std::size_t i = 0; i < c; ++i) {
+                vm_.write<std::uint64_t>(inner + 16 + i * 8,
+                                         level[at + i].node);
+                if (i > 0) {
+                    writeKey(inner, static_cast<int>(i - 1),
+                             level[at + i].firstKey);
+                }
+            }
+            parent.push_back(Entry{level[at].firstKey, inner});
+        }
+        level = std::move(parent);
+        ++height_;
+    }
+    root_ = level.front().node;
+
+    headerAddr_ = vm_.allocLines(kCacheLineBytes);
+    StructHeader h;
+    h.root = root_;
+    h.type = kBPlusTreeType;
+    h.subtype = kFanout;
+    h.keyLen = static_cast<std::uint16_t>(keyLen_);
+    h.flags = kFlagInlineKey | kFlagRemoteCompareOk;
+    h.size = size_;
+    h.aux0 = keysOff_;
+    h.aux2 = stride_;
+    h.writeTo(vm_, headerAddr_);
+}
+
+Addr
+SimBPlusTree::allocNode(bool leaf) const
+{
+    const std::uint64_t bytes =
+        keysOff_ + static_cast<std::uint64_t>(kFanout) * stride_;
+    const Addr node = vm_.alloc(bytes, kCacheLineBytes);
+    vm_.write<std::uint16_t>(node + 0, leaf ? 1 : 0);
+    vm_.write<std::uint16_t>(node + 2, 0);
+    vm_.write<std::uint64_t>(node + 8, kNullAddr);
+    return node;
+}
+
+Addr
+SimBPlusTree::keyAddrIn(Addr node, int idx) const
+{
+    return node + keysOff_ + static_cast<Addr>(idx) * stride_;
+}
+
+void
+SimBPlusTree::writeKey(Addr node, int idx, const Key& key)
+{
+    storeKey(vm_, keyAddrIn(node, idx), key);
+}
+
+Key
+SimBPlusTree::readKey(Addr node, int idx) const
+{
+    return loadKey(vm_, keyAddrIn(node, idx), keyLen_);
+}
+
+QueryTrace
+SimBPlusTree::query(const Key& key) const
+{
+    simAssert(key.size() == keyLen_, "bad query key length");
+    QueryTrace trace;
+    const std::uint32_t perCompare = 8 + memcmpInstrCost(keyLen_);
+
+    Addr node = root_;
+    bool first = true;
+    while (true) {
+        const bool leaf = vm_.read<std::uint16_t>(node) != 0;
+        const int count = vm_.read<std::uint16_t>(node + 2);
+
+        MemTouch touch;
+        touch.vaddr = node;
+        touch.dependsOnPrev = !first;
+        touch.instrBefore = first ? 6 : 10;
+        touch.branchesBefore = 2;
+        touch.mispredictsBefore = first ? 0 : 1;
+        trace.touches.push_back(touch);
+        first = false;
+
+        int idx = 0;
+        int scanned = 0;
+        if (!leaf) {
+            // Descend right of every separator <= query.
+            while (idx < count &&
+                   compareKeys(readKey(node, idx), key) <= 0) {
+                ++idx;
+                ++scanned;
+            }
+            // Separator keys live past the first line of the node.
+            MemTouch keyTouch;
+            keyTouch.vaddr = keyAddrIn(node, std::max(0, idx - 1));
+            keyTouch.dependsOnPrev = true;
+            keyTouch.instrBefore =
+                perCompare * static_cast<std::uint32_t>(
+                                 std::max(1, scanned));
+            keyTouch.branchesBefore =
+                static_cast<std::uint32_t>(scanned) + 1;
+            trace.touches.push_back(keyTouch);
+            node = vm_.read<std::uint64_t>(node + 16 +
+                                           static_cast<Addr>(idx) * 8);
+            continue;
+        }
+
+        // Leaf: exact match in the sorted run.
+        for (idx = 0; idx < count; ++idx) {
+            ++scanned;
+            const int c = compareKeys(readKey(node, idx), key);
+            if (c == 0) {
+                trace.found = true;
+                trace.resultValue = vm_.read<std::uint64_t>(
+                    node + 16 + static_cast<Addr>(idx) * 8);
+                break;
+            }
+            if (c > 0)
+                break; // sorted: passed the slot
+        }
+        MemTouch keyTouch;
+        keyTouch.vaddr = keyAddrIn(node, std::max(0, idx - 1));
+        keyTouch.dependsOnPrev = true;
+        keyTouch.instrBefore =
+            perCompare *
+            static_cast<std::uint32_t>(std::max(1, scanned));
+        keyTouch.branchesBefore =
+            static_cast<std::uint32_t>(scanned) + 1;
+        keyTouch.mispredictsBefore = 1;
+        trace.touches.push_back(keyTouch);
+        break;
+    }
+    trace.instrAfter = 4;
+    trace.branchesAfter = 1;
+    trace.mispredictsAfter = 1;
+    return trace;
+}
+
+std::vector<std::uint64_t>
+SimBPlusTree::scanAll() const
+{
+    std::vector<std::uint64_t> out;
+    Addr leaf = firstLeaf_;
+    while (leaf != kNullAddr) {
+        const int count = vm_.read<std::uint16_t>(leaf + 2);
+        for (int i = 0; i < count; ++i) {
+            out.push_back(vm_.read<std::uint64_t>(
+                leaf + 16 + static_cast<Addr>(i) * 8));
+        }
+        leaf = vm_.read<std::uint64_t>(leaf + 8);
+    }
+    return out;
+}
+
+Addr
+SimBPlusTree::stageKey(const Key& key)
+{
+    simAssert(key.size() == keyLen_, "bad staged key length");
+    const Addr addr = vm_.alloc(pad8(keyLen_), kCacheLineBytes);
+    storeKey(vm_, addr, key);
+    return addr;
+}
+
+} // namespace qei
+
+namespace qei {
+namespace firmware {
+
+CfaProgram
+buildBPlusTree()
+{
+    // Dispatch: R5 = aux2 = key stride, R7 = aux0 = keys offset,
+    // R1 = root. R3 doubles as count scratch until it becomes the
+    // result, R4 is the in-node index, R6 the address temporary.
+    ProgramBuilder b("bplus-tree");
+    const std::uint8_t sNode = 0, sIsLeaf = 1, sICnt = 2, sIIdx = 3,
+                       sILoop = 4, sIMul = 5, sIAddOff = 6,
+                       sIAddNode = 7, sICmp = 8, sIAdv = 9, sDesc0 = 10,
+                       sDesc1 = 11, sDesc2 = 12, sLCnt = 13, sLIdx = 14,
+                       sLLoop = 15, sLMul = 16, sLAddOff = 17,
+                       sLAddNode = 18, sLCmp = 19, sVal0 = 20,
+                       sVal1 = 21, sVal2 = 22, sLAdv = 23, sFail = 24,
+                       sOk = 25;
+
+    auto alu = [](std::uint8_t dst, AluFn fn, std::uint8_t a,
+                  bool use_imm, std::uint64_t imm, std::uint8_t srcb,
+                  std::uint8_t next, const char* label) {
+        MicroInst mi;
+        mi.op = MicroOpcode::Alu;
+        mi.dst = dst;
+        mi.srcA = a;
+        mi.srcB = srcb;
+        mi.useImm = use_imm;
+        mi.imm = imm;
+        mi.aluFn = fn;
+        mi.next = next;
+        mi.label = label;
+        return mi;
+    };
+    auto mem = [](std::uint8_t dst, std::uint8_t addr,
+                  std::uint64_t off, std::uint8_t width,
+                  std::uint8_t next, const char* label) {
+        MicroInst mi;
+        mi.op = MicroOpcode::MemReadField;
+        mi.dst = dst;
+        mi.srcA = addr;
+        mi.imm = off;
+        mi.width = width;
+        mi.next = next;
+        mi.label = label;
+        return mi;
+    };
+
+    b.add(mem(kRegResult, kRegNode, 0, 2, sIsLeaf, "isLeaf"));
+
+    MicroInst isLeaf;
+    isLeaf.op = MicroOpcode::CompareReg;
+    isLeaf.srcA = kRegResult;
+    isLeaf.useImm = true;
+    isLeaf.imm = 0;
+    isLeaf.onEq = sICnt;
+    isLeaf.onLt = sLCnt;
+    isLeaf.onGt = sLCnt;
+    isLeaf.label = "inner or leaf?";
+    b.add(isLeaf);
+
+    // -- inner-node separator scan --
+    b.add(mem(kRegResult, kRegNode, 2, 2, sIIdx, "count"));
+    b.add(alu(kRegT4, AluFn::Mov, 0, true, 0, 0, sILoop, "idx = 0"));
+
+    MicroInst iLoop;
+    iLoop.op = MicroOpcode::CompareReg;
+    iLoop.srcA = kRegT4;
+    iLoop.srcB = kRegResult;
+    iLoop.useImm = false;
+    iLoop.onEq = sDesc0; // past the last separator
+    iLoop.onLt = sIMul;
+    iLoop.onGt = sIMul;
+    iLoop.label = "idx == count?";
+    b.add(iLoop);
+
+    b.add(alu(kRegT6, AluFn::Mul, kRegT4, false, 0, kRegT5, sIAddOff,
+              "idx*stride"));
+    b.add(alu(kRegT6, AluFn::Add, kRegT6, false, 0, kRegT7, sIAddNode,
+              "+keysOff"));
+    b.add(alu(kRegT6, AluFn::Add, kRegT6, false, 0, kRegNode, sICmp,
+              "+node"));
+
+    MicroInst iCmp;
+    iCmp.op = MicroOpcode::CompareKey;
+    iCmp.srcA = kRegT6;
+    iCmp.onGt = sDesc0; // separator > query: descend here
+    iCmp.onEq = sIAdv;  // equal: right subtree holds >= sep
+    iCmp.onLt = sIAdv;
+    iCmp.label = "sep ? query";
+    b.add(iCmp);
+
+    b.add(alu(kRegT4, AluFn::Add, kRegT4, true, 1, 0, sILoop,
+              "idx++"));
+
+    b.add(alu(kRegT6, AluFn::Shl, kRegT4, true, 3, 0, sDesc1,
+              "idx*8"));
+    b.add(alu(kRegT6, AluFn::Add, kRegT6, false, 0, kRegNode, sDesc2,
+              "+node"));
+    b.add(mem(kRegNode, kRegT6, 16, 8, sNode, "node = child[idx]"));
+
+    // -- leaf scan --
+    b.add(mem(kRegResult, kRegNode, 2, 2, sLIdx, "count"));
+    b.add(alu(kRegT4, AluFn::Mov, 0, true, 0, 0, sLLoop, "idx = 0"));
+
+    MicroInst lLoop;
+    lLoop.op = MicroOpcode::CompareReg;
+    lLoop.srcA = kRegT4;
+    lLoop.srcB = kRegResult;
+    lLoop.useImm = false;
+    lLoop.onEq = sFail;
+    lLoop.onLt = sLMul;
+    lLoop.onGt = sLMul;
+    lLoop.label = "idx == count?";
+    b.add(lLoop);
+
+    b.add(alu(kRegT6, AluFn::Mul, kRegT4, false, 0, kRegT5, sLAddOff,
+              "idx*stride"));
+    b.add(alu(kRegT6, AluFn::Add, kRegT6, false, 0, kRegT7, sLAddNode,
+              "+keysOff"));
+    b.add(alu(kRegT6, AluFn::Add, kRegT6, false, 0, kRegNode, sLCmp,
+              "+node"));
+
+    MicroInst lCmp;
+    lCmp.op = MicroOpcode::CompareKey;
+    lCmp.srcA = kRegT6;
+    lCmp.onEq = sVal0;
+    lCmp.onLt = sLAdv; // stored < query: keep scanning
+    lCmp.onGt = sFail; // sorted leaf: went past the slot
+    lCmp.label = "leaf key ? query";
+    b.add(lCmp);
+
+    b.add(alu(kRegT6, AluFn::Shl, kRegT4, true, 3, 0, sVal1, "idx*8"));
+    b.add(alu(kRegT6, AluFn::Add, kRegT6, false, 0, kRegNode, sVal2,
+              "+node"));
+    b.add(mem(kRegResult, kRegT6, 16, 8, sOk, "value = slot[idx]"));
+
+    b.add(alu(kRegT4, AluFn::Add, kRegT4, true, 1, 0, sLLoop,
+              "idx++"));
+
+    MicroInst fail;
+    fail.op = MicroOpcode::Return;
+    fail.imm = 0;
+    fail.label = "not found";
+    b.add(fail);
+
+    MicroInst ok;
+    ok.op = MicroOpcode::Return;
+    ok.imm = 1;
+    ok.label = "found";
+    b.add(ok);
+
+    return b.finish();
+}
+
+} // namespace firmware
+} // namespace qei

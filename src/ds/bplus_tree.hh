@@ -1,0 +1,85 @@
+/**
+ * @file
+ * B+-tree in simulated memory — the index-traversal structure of
+ * in-memory databases (the Widx/Meet-the-walkers use case the paper
+ * cites as related work). Ships with its own CFA program installed
+ * through the firmware-update path, demonstrating that new structures
+ * ride on the same QEI hardware.
+ *
+ * Node layout (fanout F = 8):
+ *   off 0  : u16 isLeaf
+ *   off 2  : u16 count           (keys in this node)
+ *   off 8  : next-leaf pointer   (leaves only)
+ *   off 16 : slots[F]            (children for inner, values for leaf)
+ *   off 80 : keys[F]             (pad8(keyLen) stride each)
+ * Header: aux0 = keys offset (80), aux2 = key stride.
+ */
+
+#ifndef QEI_DS_BPLUS_TREE_HH
+#define QEI_DS_BPLUS_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hh"
+#include "ds/keys.hh"
+#include "qei/firmware.hh"
+#include "qei/struct_header.hh"
+#include "vm/virtual_memory.hh"
+
+namespace qei {
+
+/** The StructType slot the B+-tree firmware installs into. */
+inline constexpr StructType kBPlusTreeType = static_cast<StructType>(7);
+
+/** Builder + reference query for an in-sim-memory B+-tree. */
+class SimBPlusTree
+{
+  public:
+    static constexpr int kFanout = 8;
+
+    /** Bulk-build from @p items (sorted internally). */
+    SimBPlusTree(VirtualMemory& vm,
+                 std::vector<std::pair<Key, std::uint64_t>> items);
+
+    Addr headerAddr() const { return headerAddr_; }
+    Addr rootAddr() const { return root_; }
+    std::uint32_t keyLen() const { return keyLen_; }
+    std::size_t size() const { return size_; }
+    int height() const { return height_; }
+
+    /** Software reference search with baseline trace. */
+    QueryTrace query(const Key& key) const;
+
+    /** In-order scan of all values via the leaf chain (validation). */
+    std::vector<std::uint64_t> scanAll() const;
+
+    Addr stageKey(const Key& key);
+
+  private:
+    Addr allocNode(bool leaf) const;
+    Addr keyAddrIn(Addr node, int idx) const;
+    void writeKey(Addr node, int idx, const Key& key);
+    Key readKey(Addr node, int idx) const;
+
+    VirtualMemory& vm_;
+    Addr headerAddr_ = kNullAddr;
+    Addr root_ = kNullAddr;
+    Addr firstLeaf_ = kNullAddr;
+    std::uint32_t keyLen_ = 0;
+    std::uint64_t stride_ = 0;
+    std::uint64_t keysOff_ = 0;
+    std::size_t size_ = 0;
+    int height_ = 0;
+};
+
+namespace firmware {
+
+/** Build the B+-tree query CFA (installed under kBPlusTreeType). */
+CfaProgram buildBPlusTree();
+
+} // namespace firmware
+
+} // namespace qei
+
+#endif // QEI_DS_BPLUS_TREE_HH

@@ -1,0 +1,186 @@
+#include "linked_list.hh"
+
+namespace qei {
+
+SimLinkedList::SimLinkedList(
+    VirtualMemory& vm,
+    const std::vector<std::pair<Key, std::uint64_t>>& items)
+    : vm_(vm)
+{
+    simAssert(!items.empty(), "empty linked list");
+    keyLen_ = static_cast<std::uint32_t>(items.front().first.size());
+    size_ = items.size();
+    const std::uint64_t nodeBytes = 16 + pad8(keyLen_);
+    // Nodes that fit one cacheline are line-aligned so the whole node
+    // (next, value, key) arrives in a single staged line.
+    const std::uint64_t align =
+        nodeBytes <= kCacheLineBytes ? kCacheLineBytes : 8;
+
+    Addr prev = kNullAddr;
+    // Build back to front so each node can point at its successor.
+    for (auto it = items.rbegin(); it != items.rend(); ++it) {
+        simAssert(it->first.size() == keyLen_,
+                  "inconsistent key length");
+        const Addr node = vm_.alloc(nodeBytes, align);
+        vm_.write<std::uint64_t>(node + 0, prev);
+        vm_.write<std::uint64_t>(node + 8, it->second);
+        storeKey(vm_, node + 16, it->first);
+        prev = node;
+    }
+    root_ = prev;
+
+    headerAddr_ = vm_.allocLines(kCacheLineBytes);
+    StructHeader h;
+    h.root = root_;
+    h.type = StructType::LinkedList;
+    h.keyLen = static_cast<std::uint16_t>(keyLen_);
+    h.flags = kFlagInlineKey | kFlagRemoteCompareOk;
+    h.size = size_;
+    h.writeTo(vm_, headerAddr_);
+}
+
+std::uint32_t
+SimLinkedList::nodeLoopInstr() const
+{
+    // while (current) { memcmp; current = current->next; }
+    // loop control + pointer update + compare call.
+    return 8 + memcmpInstrCost(keyLen_);
+}
+
+QueryTrace
+SimLinkedList::query(const Key& key) const
+{
+    simAssert(key.size() == keyLen_, "bad query key length");
+    QueryTrace trace;
+    const std::uint32_t perNode = nodeLoopInstr();
+
+    Addr current = root_;
+    bool first = true;
+    while (current != kNullAddr) {
+        MemTouch touch;
+        touch.vaddr = current;
+        touch.dependsOnPrev = !first; // pointer chase after node 0
+        touch.instrBefore = first ? 4 : perNode;
+        touch.branchesBefore = first ? 1 : 3;
+        // The loop-exit branch and the match check are data dependent;
+        // the predictor learns "keep going", so only the final
+        // iteration mispredicts (charged below).
+        trace.touches.push_back(touch);
+        first = false;
+
+        const Key stored = loadKey(vm_, current + 16, keyLen_);
+        if (compareKeys(stored, key) == 0) {
+            trace.found = true;
+            trace.resultValue =
+                vm_.read<std::uint64_t>(current + 8);
+            break;
+        }
+        current = vm_.read<std::uint64_t>(current);
+    }
+    trace.instrAfter = 4;
+    trace.branchesAfter = 1;
+    trace.mispredictsAfter = 1; // loop exit / match branch
+    return trace;
+}
+
+QueryTrace
+SimLinkedList::insertFront(const Key& key, std::uint64_t value)
+{
+    simAssert(key.size() == keyLen_, "bad insert key length");
+    QueryTrace trace;
+    const std::uint64_t nodeBytes = 16 + pad8(keyLen_);
+    const std::uint64_t align =
+        nodeBytes <= kCacheLineBytes ? kCacheLineBytes : 8;
+    const Addr node = vm_.alloc(nodeBytes, align);
+    vm_.write<std::uint64_t>(node + 0, root_);
+    vm_.write<std::uint64_t>(node + 8, value);
+    storeKey(vm_, node + 16, key);
+    root_ = node;
+    ++size_;
+
+    // The root moved: software republishes the header (one store to
+    // the header line; QEI parses it fresh on every query).
+    StructHeader h = StructHeader::readFrom(vm_, headerAddr_);
+    h.root = root_;
+    h.size = size_;
+    h.writeTo(vm_, headerAddr_);
+
+    MemTouch fill;
+    fill.vaddr = node;
+    fill.isStore = true;
+    fill.dependsOnPrev = false;
+    fill.instrBefore =
+        18 + 2 * static_cast<std::uint32_t>(divCeil(keyLen_, 8));
+    trace.touches.push_back(fill);
+    MemTouch header;
+    header.vaddr = headerAddr_;
+    header.isStore = true;
+    header.instrBefore = 4;
+    trace.touches.push_back(header);
+    trace.found = false;
+    trace.resultValue = value;
+    trace.instrAfter = 2;
+    return trace;
+}
+
+QueryTrace
+SimLinkedList::erase(const Key& key)
+{
+    simAssert(key.size() == keyLen_, "bad erase key length");
+    QueryTrace trace;
+    const std::uint32_t perNode = nodeLoopInstr();
+
+    Addr prev = kNullAddr;
+    Addr node = root_;
+    bool first = true;
+    while (node != kNullAddr) {
+        MemTouch touch;
+        touch.vaddr = node;
+        touch.dependsOnPrev = !first;
+        touch.instrBefore = first ? 4 : perNode;
+        touch.branchesBefore = 3;
+        trace.touches.push_back(touch);
+        first = false;
+
+        if (compareKeys(loadKey(vm_, node + 16, keyLen_), key) == 0) {
+            const Addr next = vm_.read<std::uint64_t>(node);
+            MemTouch st;
+            st.isStore = true;
+            st.instrBefore = 3;
+            if (prev == kNullAddr) {
+                root_ = next;
+                StructHeader h =
+                    StructHeader::readFrom(vm_, headerAddr_);
+                h.root = root_;
+                h.size = size_ - 1;
+                h.writeTo(vm_, headerAddr_);
+                st.vaddr = headerAddr_;
+            } else {
+                vm_.write<std::uint64_t>(prev, next);
+                st.vaddr = prev;
+            }
+            --size_;
+            trace.touches.push_back(st);
+            trace.found = true;
+            return trace;
+        }
+        prev = node;
+        node = vm_.read<std::uint64_t>(node);
+    }
+    trace.found = false;
+    trace.instrAfter = 4;
+    trace.mispredictsAfter = 1;
+    return trace;
+}
+
+Addr
+SimLinkedList::stageKey(const Key& key)
+{
+    simAssert(key.size() == keyLen_, "bad staged key length");
+    // Line-aligned so a staged key of up to 64 B is one fetch.
+    const Addr addr = vm_.alloc(pad8(keyLen_), kCacheLineBytes);
+    storeKey(vm_, addr, key);
+    return addr;
+}
+
+} // namespace qei

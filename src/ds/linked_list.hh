@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Singly linked list laid out in simulated memory (List 1 of the
+ * paper), with the Fig. 4 header and a software reference query that
+ * doubles as the baseline trace generator.
+ *
+ * Node layout: [next 8][value 8][key keyLen], 8 B aligned.
+ */
+
+#ifndef QEI_DS_LINKED_LIST_HH
+#define QEI_DS_LINKED_LIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hh"
+#include "ds/keys.hh"
+#include "qei/struct_header.hh"
+#include "vm/virtual_memory.hh"
+
+namespace qei {
+
+/** Builder + reference query for the in-sim-memory linked list. */
+class SimLinkedList
+{
+  public:
+    /**
+     * Build a list of @p items (key, value) pairs in @p vm. Nodes are
+     * allocated individually so they scatter across physical frames.
+     */
+    SimLinkedList(VirtualMemory& vm,
+                  const std::vector<std::pair<Key, std::uint64_t>>& items);
+
+    /** Virtual address of the Fig. 4 header. */
+    Addr headerAddr() const { return headerAddr_; }
+    Addr rootAddr() const { return root_; }
+    std::uint32_t keyLen() const { return keyLen_; }
+    std::size_t size() const { return size_; }
+
+    /**
+     * Software reference query: walks the list exactly as List 1 does,
+     * returning the functional result and the baseline core trace.
+     */
+    QueryTrace query(const Key& key) const;
+
+    /**
+     * Software update path (Sec. IV-A): push a node at the head. The
+     * root moves, so the routine also rewrites the Fig.-4 header —
+     * the software side of the accelerator contract.
+     */
+    QueryTrace insertFront(const Key& key, std::uint64_t value);
+
+    /** Software unlink of the first node matching @p key. */
+    QueryTrace erase(const Key& key);
+
+    /** Stage a key in sim memory for the accelerator (returns vaddr). */
+    Addr stageKey(const Key& key);
+
+    /** Per-node instruction cost of the software loop. */
+    std::uint32_t nodeLoopInstr() const;
+
+  private:
+    VirtualMemory& vm_;
+    Addr headerAddr_ = kNullAddr;
+    Addr root_ = kNullAddr;
+    std::uint32_t keyLen_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace qei
+
+#endif // QEI_DS_LINKED_LIST_HH

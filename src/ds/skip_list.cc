@@ -1,0 +1,166 @@
+#include "skip_list.hh"
+
+namespace qei {
+
+SimSkipList::SimSkipList(
+    VirtualMemory& vm,
+    const std::vector<std::pair<Key, std::uint64_t>>& items,
+    std::uint64_t seed)
+    : vm_(vm)
+{
+    simAssert(!items.empty(), "empty skip list");
+    keyLen_ = static_cast<std::uint32_t>(items.front().first.size());
+    fwdBase_ = 16 + pad8(keyLen_);
+    size_ = items.size();
+
+    // Head sentinel: full height, never key-compared.
+    head_ = allocNode(kMaxHeight, Key(keyLen_, 0), 0);
+
+    Rng rng(seed);
+    for (const auto& [key, value] : items) {
+        simAssert(key.size() == keyLen_, "inconsistent key length");
+        insert(key, value, rng);
+    }
+
+    headerAddr_ = vm_.allocLines(kCacheLineBytes);
+    StructHeader h;
+    h.root = head_;
+    h.type = StructType::SkipList;
+    h.subtype = kMaxHeight;
+    h.keyLen = static_cast<std::uint16_t>(keyLen_);
+    h.flags = kFlagInlineKey | kFlagRemoteCompareOk;
+    h.size = size_;
+    h.aux0 = fwdBase_;
+    h.aux1 = kMaxHeight - 1; // dispatch: R4 = top level
+    h.writeTo(vm_, headerAddr_);
+}
+
+Addr
+SimSkipList::allocNode(int height, const Key& key, std::uint64_t value)
+{
+    const std::uint64_t bytes =
+        fwdBase_ + static_cast<std::uint64_t>(height) * 8;
+    const Addr node = vm_.alloc(bytes, 8);
+    vm_.write<std::uint64_t>(node + 0,
+                             static_cast<std::uint64_t>(height));
+    vm_.write<std::uint64_t>(node + 8, value);
+    storeKey(vm_, node + 16, key);
+    for (int lvl = 0; lvl < height; ++lvl)
+        setForward(node, lvl, kNullAddr);
+    return node;
+}
+
+Addr
+SimSkipList::forward(Addr node, int level) const
+{
+    return vm_.read<std::uint64_t>(node + fwdBase_ +
+                                   static_cast<Addr>(level) * 8);
+}
+
+void
+SimSkipList::setForward(Addr node, int level, Addr target)
+{
+    vm_.write<std::uint64_t>(node + fwdBase_ +
+                                 static_cast<Addr>(level) * 8,
+                             target);
+}
+
+void
+SimSkipList::insert(const Key& key, std::uint64_t value, Rng& rng)
+{
+    Addr update[kMaxHeight];
+    Addr node = head_;
+    for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {
+        while (true) {
+            const Addr next = forward(node, lvl);
+            if (next == kNullAddr)
+                break;
+            const Key stored = loadKey(vm_, next + 16, keyLen_);
+            if (compareKeys(stored, key) >= 0)
+                break;
+            node = next;
+        }
+        update[lvl] = node;
+    }
+
+    // Geometric height, p = 1/2 (Pugh's classic choice).
+    int height = 1;
+    while (height < kMaxHeight && rng.chance(0.5))
+        ++height;
+
+    const Addr fresh = allocNode(height, key, value);
+    for (int lvl = 0; lvl < height; ++lvl) {
+        setForward(fresh, lvl, forward(update[lvl], lvl));
+        setForward(update[lvl], lvl, fresh);
+    }
+}
+
+QueryTrace
+SimSkipList::query(const Key& key) const
+{
+    simAssert(key.size() == keyLen_, "bad query key length");
+    QueryTrace trace;
+    // Per visited node: level bookkeeping, forward-pointer load, the
+    // comparator dispatch (RocksDB: varint key decode + InternalKey
+    // comparator + user comparator virtual call), the memcmp itself,
+    // and the seek-loop control around it.
+    const std::uint32_t perNode = 44 + memcmpInstrCost(keyLen_);
+
+    Addr node = head_;
+    bool first = true;
+    for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {
+        while (true) {
+            // Load forward pointer: touches the node's forward array.
+            MemTouch touch;
+            touch.vaddr = node + fwdBase_ + static_cast<Addr>(lvl) * 8;
+            touch.dependsOnPrev = !first;
+            touch.instrBefore = first ? 6 : perNode;
+            touch.branchesBefore = 3;
+            touch.mispredictsBefore = first ? 0 : 1;
+            trace.touches.push_back(touch);
+            first = false;
+
+            const Addr next = forward(node, lvl);
+            if (next == kNullAddr)
+                break;
+
+            // Compare the next node's key (same dependent chain; the
+            // key bytes are a second touch of the next node).
+            MemTouch keyTouch;
+            keyTouch.vaddr = next + 16;
+            keyTouch.dependsOnPrev = true;
+            keyTouch.instrBefore = 2;
+            trace.touches.push_back(keyTouch);
+
+            const Key stored = loadKey(vm_, next + 16, keyLen_);
+            const int c = compareKeys(stored, key);
+            if (c == 0) {
+                trace.found = true;
+                trace.resultValue = vm_.read<std::uint64_t>(next + 8);
+                trace.instrAfter = 6;
+                trace.branchesAfter = 1;
+                trace.mispredictsAfter = 1;
+                return trace;
+            }
+            if (c > 0)
+                break; // descend
+            node = next;
+        }
+    }
+    trace.instrAfter = 6;
+    trace.branchesAfter = 1;
+    trace.mispredictsAfter = 1;
+    return trace;
+}
+
+Addr
+SimSkipList::stageKey(const Key& key)
+{
+    simAssert(key.size() == keyLen_, "bad staged key length");
+    // Line-aligned so a staged key of up to 64 B is one fetch.
+    const Addr addr = vm_.alloc(pad8(keyLen_), kCacheLineBytes);
+    storeKey(vm_, addr, key);
+    return addr;
+}
+
+} // namespace qei

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Skip list in simulated memory — the RocksDB memtable workload.
+ *
+ * Node layout (fixed key offset so the CFA needs no per-node height
+ * arithmetic before the compare):
+ *   [height 8][value 8][key pad8(keyLen)][forward[height] 8 each]
+ * The forward-array base offset (16 + pad8(keyLen)) is published in
+ * header.aux0; the top level (maxHeight-1) in header.aux1.
+ */
+
+#ifndef QEI_DS_SKIP_LIST_HH
+#define QEI_DS_SKIP_LIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "core/trace.hh"
+#include "ds/keys.hh"
+#include "qei/struct_header.hh"
+#include "vm/virtual_memory.hh"
+
+namespace qei {
+
+/** Builder + reference query for an in-sim-memory skip list. */
+class SimSkipList
+{
+  public:
+    static constexpr int kMaxHeight = 12;
+
+    SimSkipList(VirtualMemory& vm,
+                const std::vector<std::pair<Key, std::uint64_t>>& items,
+                std::uint64_t seed = 7);
+
+    Addr headerAddr() const { return headerAddr_; }
+    Addr headAddr() const { return head_; }
+    std::uint32_t keyLen() const { return keyLen_; }
+    std::size_t size() const { return size_; }
+    std::uint64_t forwardBase() const { return fwdBase_; }
+
+    /** Software reference search with baseline trace. */
+    QueryTrace query(const Key& key) const;
+
+    Addr stageKey(const Key& key);
+
+  private:
+    Addr allocNode(int height, const Key& key, std::uint64_t value);
+    Addr forward(Addr node, int level) const;
+    void setForward(Addr node, int level, Addr target);
+    void insert(const Key& key, std::uint64_t value, Rng& rng);
+
+    VirtualMemory& vm_;
+    Addr headerAddr_ = kNullAddr;
+    Addr head_ = kNullAddr;
+    std::uint32_t keyLen_ = 0;
+    std::uint64_t fwdBase_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace qei
+
+#endif // QEI_DS_SKIP_LIST_HH

@@ -1,0 +1,70 @@
+#include "tuple_space.hh"
+
+namespace qei {
+
+SimTupleSpace::SimTupleSpace(VirtualMemory& vm, int tuples,
+                             std::size_t rules_per_tuple,
+                             std::uint32_t key_len, Rng& rng)
+    : vm_(vm), keyLen_(key_len)
+{
+    simAssert(tuples > 0, "need at least one tuple");
+    std::size_t buckets = 64;
+    while (buckets * SimCuckooHash::kEntriesPerBucket <
+           rules_per_tuple * 2)
+        buckets *= 2;
+
+    for (int t = 0; t < tuples; ++t) {
+        masks_.push_back(randomKey(rng, key_len));
+        tables_.push_back(std::make_unique<SimCuckooHash>(
+            vm_, buckets, key_len));
+        installed_.emplace_back();
+        for (std::size_t r = 0; r < rules_per_tuple; ++r) {
+            const Key rule = randomKey(rng, key_len);
+            if (tables_.back()->insert(rule,
+                                       (static_cast<std::uint64_t>(t)
+                                        << 32) |
+                                           r)) {
+                installed_.back().push_back(rule);
+            }
+        }
+        simAssert(!installed_.back().empty(),
+                  "tuple {} has no installed rules", t);
+    }
+}
+
+Key
+SimTupleSpace::subKey(const Key& packet_key, int tuple) const
+{
+    const Key& mask = masks_[static_cast<std::size_t>(tuple)];
+    Key sub(packet_key.size());
+    for (std::size_t i = 0; i < sub.size(); ++i)
+        sub[i] = packet_key[i] ^ mask[i];
+    return sub;
+}
+
+Key
+SimTupleSpace::sampleInstalledKey(int tuple, Rng& rng) const
+{
+    const auto& rules = installed_[static_cast<std::size_t>(tuple)];
+    const Key& sub = rules[rng.below(rules.size())];
+    // Invert the mask so subKey(packet, tuple) == sub.
+    const Key& mask = masks_[static_cast<std::size_t>(tuple)];
+    Key packet(sub.size());
+    for (std::size_t i = 0; i < sub.size(); ++i)
+        packet[i] = sub[i] ^ mask[i];
+    return packet;
+}
+
+std::vector<QueryTrace>
+SimTupleSpace::classify(const Key& packet_key) const
+{
+    std::vector<QueryTrace> traces;
+    traces.reserve(tables_.size());
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        traces.push_back(tables_[t]->query(
+            subKey(packet_key, static_cast<int>(t))));
+    }
+    return traces;
+}
+
+} // namespace qei

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tuple-space search over a set of cuckoo hash tables — the packet
+ * classification pattern of Srinivasan et al. used by the paper's
+ * non-blocking evaluation (Fig. 10). Each "tuple" masks a packet
+ * header down to a sub-key and looks it up in that tuple's table; the
+ * classifier probes every tuple and takes the best match.
+ */
+
+#ifndef QEI_DS_TUPLE_SPACE_HH
+#define QEI_DS_TUPLE_SPACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "core/trace.hh"
+#include "ds/cuckoo_hash.hh"
+#include "ds/keys.hh"
+
+namespace qei {
+
+/** A classifier of N independent cuckoo tables. */
+class SimTupleSpace
+{
+  public:
+    /**
+     * @param tuples number of tuples (tables)
+     * @param rules_per_tuple rules installed in each table
+     * @param key_len bytes of the lookup key (packet 5-tuple ~ 16 B)
+     */
+    SimTupleSpace(VirtualMemory& vm, int tuples,
+                  std::size_t rules_per_tuple, std::uint32_t key_len,
+                  Rng& rng);
+
+    int tupleCount() const { return static_cast<int>(tables_.size()); }
+    SimCuckooHash& table(int i) { return *tables_[static_cast<std::size_t>(i)]; }
+    std::uint32_t keyLen() const { return keyLen_; }
+
+    /**
+     * The tuple-specific sub-key for @p packet_key: the packet key
+     * XOR-masked by the tuple's mask (stands in for field masking).
+     */
+    Key subKey(const Key& packet_key, int tuple) const;
+
+    /** Draw a key that hits in @p tuple (for match-rate control). */
+    Key sampleInstalledKey(int tuple, Rng& rng) const;
+
+    /** Software reference: probe all tuples serially (the baseline). */
+    std::vector<QueryTrace> classify(const Key& packet_key) const;
+
+  private:
+    VirtualMemory& vm_;
+    std::uint32_t keyLen_;
+    std::vector<std::unique_ptr<SimCuckooHash>> tables_;
+    std::vector<Key> masks_;
+    std::vector<std::vector<Key>> installed_;
+};
+
+} // namespace qei
+
+#endif // QEI_DS_TUPLE_SPACE_HH

@@ -1,0 +1,134 @@
+#include "cache.hh"
+
+namespace qei {
+
+Cache::Cache(const CacheParams& params) : params_(params)
+{
+    const std::uint64_t lines = params_.sizeBytes / kCacheLineBytes;
+    simAssert(lines >= params_.ways && params_.ways > 0,
+              "{}: bad geometry ({} B, {} ways)", params_.name,
+              params_.sizeBytes, params_.ways);
+    sets_ = static_cast<std::uint32_t>(lines / params_.ways);
+    simAssert(isPowerOfTwo(sets_), "{}: set count {} not a power of two",
+              params_.name, sets_);
+    lines_.resize(static_cast<std::size_t>(sets_) * params_.ways);
+}
+
+std::uint32_t
+Cache::setIndex(Addr paddr) const
+{
+    return static_cast<std::uint32_t>((paddr / kCacheLineBytes) &
+                                      (sets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr paddr) const
+{
+    return (paddr / kCacheLineBytes) / sets_;
+}
+
+bool
+Cache::access(Addr paddr, bool is_write)
+{
+    const std::uint32_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line* base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = ++useClock_;
+            line.dirty = line.dirty || is_write;
+            hits_.inc();
+            return true;
+        }
+    }
+    misses_.inc();
+    return false;
+}
+
+bool
+Cache::probe(Addr paddr) const
+{
+    const std::uint32_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    const Line* base =
+        &lines_[static_cast<std::size_t>(set) * params_.ways];
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+CacheAccess
+Cache::fill(Addr paddr, bool dirty)
+{
+    CacheAccess result;
+    const std::uint32_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line* base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            // Already present (e.g. racing fills); just refresh.
+            line.lastUse = ++useClock_;
+            line.dirty = line.dirty || dirty;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Victim choice: prefer an invalid way, else true LRU.
+    Line* victim = nullptr;
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Line& line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    if (victim->valid) {
+        evictions_.inc();
+        if (victim->dirty) {
+            writebacks_.inc();
+            result.writeback =
+                (victim->tag * sets_ + set) * kCacheLineBytes;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = dirty;
+    victim->lastUse = ++useClock_;
+    return result;
+}
+
+void
+Cache::invalidate(Addr paddr)
+{
+    const std::uint32_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line* base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.valid = false;
+            line.dirty = false;
+            return;
+        }
+    }
+}
+
+void
+Cache::flushAll()
+{
+    for (auto& line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace qei

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Set-associative write-back cache timing/state model.
+ *
+ * Tag-array only: data always lives in SimMemory (single coherence
+ * domain, one writer at a time), so the model tracks presence, dirty
+ * bits, and true LRU order per set.
+ */
+
+#ifndef QEI_MEM_CACHE_HH
+#define QEI_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace qei {
+
+/** Cache geometry and latency. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 8;
+    Cycles accessLatency = 4;
+};
+
+/** Result of a cache access or fill. */
+struct CacheAccess
+{
+    bool hit = false;
+    /** Physical line address of a dirty victim, if one was evicted. */
+    std::optional<Addr> writeback;
+};
+
+/** One set-associative cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams& params);
+
+    /**
+     * Access the line containing @p paddr; on a miss the line is NOT
+     * filled automatically (callers fill on response to model
+     * allocate-on-fill).
+     */
+    bool access(Addr paddr, bool is_write);
+
+    /** Probe without updating LRU or stats. */
+    bool probe(Addr paddr) const;
+
+    /** Insert the line containing @p paddr; returns any dirty victim. */
+    CacheAccess fill(Addr paddr, bool dirty = false);
+
+    /** Drop the line containing @p paddr if present. */
+    void invalidate(Addr paddr);
+
+    /** Drop everything (used between independent experiments). */
+    void flushAll();
+
+    /** Zero the hit/miss/eviction counters (fresh measurement). */
+    void
+    resetStats()
+    {
+        hits_.reset();
+        misses_.reset();
+        evictions_.reset();
+        writebacks_.reset();
+    }
+
+    const CacheParams& params() const { return params_; }
+    Cycles latency() const { return params_.accessLatency; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+
+    double
+    hitRate() const
+    {
+        const auto total = hits_.value() + misses_.value();
+        return total ? static_cast<double>(hits_.value()) / total : 0.0;
+    }
+
+    std::uint32_t sets() const { return sets_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t setIndex(Addr paddr) const;
+    Addr tagOf(Addr paddr) const;
+
+    CacheParams params_;
+    std::uint32_t sets_;
+    std::vector<Line> lines_; ///< sets_ * ways, row-major by set
+    std::uint64_t useClock_ = 0;
+
+    Counter hits_;
+    Counter misses_;
+    Counter evictions_;
+    Counter writebacks_;
+};
+
+} // namespace qei
+
+#endif // QEI_MEM_CACHE_HH

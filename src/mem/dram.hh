@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Multi-channel DDR4 timing model.
+ *
+ * Tab. II: 6 DDR4-2666 channels, 19.2 GB/s each, on a 2.5 GHz core
+ * clock. Each access is routed to a channel by line address; a channel
+ * serialises transfers at its bandwidth, so heavy traffic queues.
+ */
+
+#ifndef QEI_MEM_DRAM_HH
+#define QEI_MEM_DRAM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace qei {
+
+/** DRAM configuration. */
+struct DramParams
+{
+    int channels = 6;
+    /** Device service latency (activate + CAS + transfer start). */
+    Cycles serviceLatency = 150;
+    /** Per-channel bandwidth: 19.2 GB/s at 2.5 GHz = 7.68 B/cycle. */
+    double bytesPerCycle = 7.68;
+};
+
+/** Channel-queued DRAM model. */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams& params = {})
+        : params_(params),
+          busyUntil_(static_cast<std::size_t>(params.channels), 0)
+    {
+    }
+
+    /**
+     * Access @p bytes at physical @p paddr starting at @p now.
+     * @return total latency until the data is available.
+     */
+    Cycles
+    access(Addr paddr, Cycles now, std::uint32_t bytes = kCacheLineBytes)
+    {
+        accesses_.inc();
+        totalBytes_.inc(bytes);
+        const auto ch = static_cast<std::size_t>(
+            (paddr / kCacheLineBytes) %
+            static_cast<Addr>(params_.channels));
+        const Cycles start = std::max(now, busyUntil_[ch]);
+        const Cycles transfer = static_cast<Cycles>(
+            static_cast<double>(bytes) / params_.bytesPerCycle + 0.5);
+        busyUntil_[ch] = start + transfer;
+        const Cycles done = start + params_.serviceLatency + transfer;
+        const Cycles latency = done - now;
+        queueDelay_.sample(static_cast<double>(start - now));
+        return latency;
+    }
+
+    const DramParams& params() const { return params_; }
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t totalBytes() const { return totalBytes_.value(); }
+    const ScalarStat& queueDelay() const { return queueDelay_; }
+
+    void
+    reset()
+    {
+        std::fill(busyUntil_.begin(), busyUntil_.end(), 0);
+        accesses_.reset();
+        totalBytes_.reset();
+        queueDelay_.reset();
+    }
+
+  private:
+    DramParams params_;
+    std::vector<Cycles> busyUntil_;
+    Counter accesses_;
+    Counter totalBytes_;
+    ScalarStat queueDelay_;
+};
+
+} // namespace qei
+
+#endif // QEI_MEM_DRAM_HH

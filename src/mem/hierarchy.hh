@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The chip's memory system: per-core private L1D/L2, a 24-slice shared
+ * NUCA LLC with one CHA per slice, the mesh NoC between tiles, and the
+ * DRAM channels behind the LLC.
+ *
+ * Every timing consumer (the OoO core model, QEI in each integration
+ * scheme, the remote comparators) goes through this façade so that all
+ * of them contend for the same cache state, NoC links, and DRAM
+ * channels.
+ */
+
+#ifndef QEI_MEM_HIERARCHY_HH
+#define QEI_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "noc/mesh.hh"
+
+namespace qei {
+
+/** Which level served an access. */
+enum class ServedBy : std::uint8_t { L1, L2, Llc, Dram };
+
+/** Outcome of one timed memory access. */
+struct MemAccess
+{
+    Cycles latency = 0;
+    ServedBy servedBy = ServedBy::L1;
+    int homeSlice = 0;
+};
+
+/** Chip-level cache configuration (Tab. II defaults). */
+struct HierarchyParams
+{
+    int cores = 24;
+    CacheParams l1d{"l1d", 32 * 1024, 8, 4};
+    CacheParams l2{"l2", 1024 * 1024, 16, 14};
+    /** Per-slice share of the 33 MB 11-way LLC. */
+    CacheParams llcSlice{"llc", 33 * 1024 * 1024 / 24, 11, 18};
+    DramParams dram{};
+    MeshParams mesh{};
+    /** Request / response message sizes on the NoC. */
+    std::uint32_t reqBytes = 16;
+    std::uint32_t respBytes = 72; // 64B line + header
+};
+
+/**
+ * The full memory system for one simulated socket.
+ *
+ * Tiles are numbered 0..23 on a 6x4 mesh; core i and LLC slice i share
+ * tile i (Skylake-SP style).
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyParams& params = {});
+
+    const HierarchyParams& params() const { return params_; }
+    int cores() const { return params_.cores; }
+    Mesh& mesh() { return mesh_; }
+    Dram& dram() { return dram_; }
+
+    /** NUCA hash: home LLC slice of the line containing @p paddr. */
+    int homeSlice(Addr paddr) const;
+
+    /**
+     * A demand access from core @p core's pipeline:
+     * L1D -> L2 -> home LLC slice (over the NoC) -> DRAM.
+     */
+    MemAccess coreAccess(int core, Addr paddr, bool is_write, Cycles now);
+
+    /**
+     * An access issued by QEI sitting beside core @p core's L2
+     * (Core-integrated scheme): skips L1, starts at the L2.
+     */
+    MemAccess l2Access(int core, Addr paddr, bool is_write, Cycles now);
+
+    /**
+     * An access issued from the CHA on tile @p tile (CHA-based QEI or a
+     * remote comparator): LLC home slice first (NoC if not local),
+     * then DRAM. Private caches are never touched or polluted.
+     */
+    MemAccess chaAccess(int tile, Addr paddr, bool is_write, Cycles now);
+
+    /**
+     * An access from a device-class accelerator parked on @p tile:
+     * like chaAccess but always crosses the NoC from its own stop.
+     */
+    MemAccess deviceAccess(int tile, Addr paddr, bool is_write,
+                           Cycles now);
+
+    /** Round-trip NoC latency between two tiles for a small message. */
+    Cycles messageRoundTrip(int from, int to, Cycles now);
+
+    /** One-way small-message latency between two tiles. */
+    Cycles messageOneWay(int from, int to, Cycles now);
+
+    Cache& l1d(int core) { return *l1d_[static_cast<std::size_t>(core)]; }
+    Cache& l2(int core) { return *l2_[static_cast<std::size_t>(core)]; }
+    Cache& llcSlice(int slice)
+    {
+        return *llc_[static_cast<std::size_t>(slice)];
+    }
+
+    /** Aggregate LLC hit rate over all slices. */
+    double llcHitRate() const;
+
+    /** Warm a line straight into the LLC (workload setup). */
+    void preloadLlc(Addr paddr);
+
+    /** Drop all cache state (fresh experiment, same topology). */
+    void flushAllCaches();
+
+    /** Zero all cache hit/miss counters (fresh measurement window). */
+    void resetCacheStats();
+
+  private:
+    /** LLC slice lookup + DRAM fallback, shared by all entry points. */
+    MemAccess llcPath(int requester_tile, Addr paddr, bool is_write,
+                      Cycles now, Cycles accumulated);
+
+    HierarchyParams params_;
+    Mesh mesh_;
+    Dram dram_;
+    std::vector<std::unique_ptr<Cache>> l1d_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::vector<std::unique_ptr<Cache>> llc_;
+};
+
+} // namespace qei
+
+#endif // QEI_MEM_HIERARCHY_HH

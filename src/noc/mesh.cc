@@ -1,0 +1,128 @@
+#include "mesh.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qei {
+
+Mesh::Mesh(const MeshParams& params) : params_(params)
+{
+    simAssert(params_.cols > 0 && params_.rows > 0,
+              "degenerate mesh {}x{}", params_.cols, params_.rows);
+    const std::size_t links =
+        static_cast<std::size_t>(tiles()) * 4;
+    windowBytes_.assign(links, 0);
+    lastUtilisation_.assign(links, 0.0);
+}
+
+TileCoord
+Mesh::coordOf(int tile) const
+{
+    simAssert(tile >= 0 && tile < tiles(), "tile {} out of range", tile);
+    return TileCoord{tile % params_.cols, tile / params_.cols};
+}
+
+int
+Mesh::tileOf(TileCoord coord) const
+{
+    simAssert(coord.x >= 0 && coord.x < params_.cols && coord.y >= 0 &&
+                  coord.y < params_.rows,
+              "coord ({}, {}) out of range", coord.x, coord.y);
+    return coord.y * params_.cols + coord.x;
+}
+
+int
+Mesh::hops(int from, int to) const
+{
+    const TileCoord a = coordOf(from);
+    const TileCoord b = coordOf(to);
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+int
+Mesh::linkId(TileCoord at, Direction dir) const
+{
+    return tileOf(at) * 4 + static_cast<int>(dir);
+}
+
+void
+Mesh::rollWindow(Cycles now)
+{
+    if (now < windowStart_ + params_.utilisationWindow)
+        return;
+    const double capacity =
+        params_.linkBytesPerCycle *
+        static_cast<double>(params_.utilisationWindow);
+    double peak = 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < windowBytes_.size(); ++i) {
+        const double rho =
+            std::min(0.99, static_cast<double>(windowBytes_[i]) /
+                               capacity);
+        lastUtilisation_[i] = rho;
+        peak = std::max(peak, rho);
+        sum += rho;
+        windowBytes_[i] = 0;
+    }
+    peakUtilisation_ = std::max(peakUtilisation_, peak);
+    meanUtilisation_ = sum / static_cast<double>(windowBytes_.size());
+    windowStart_ = now;
+}
+
+Cycles
+Mesh::linkDelay(int link) const
+{
+    // M/M/1-flavoured queueing term: rho/(1-rho) extra hop latencies,
+    // capped so a saturated link degrades gracefully instead of
+    // diverging.
+    const double rho = lastUtilisation_[static_cast<std::size_t>(link)];
+    const double q = std::min(8.0, rho / (1.0 - rho));
+    return static_cast<Cycles>(std::llround(
+        q * static_cast<double>(params_.hopLatency)));
+}
+
+Cycles
+Mesh::traverse(int from, int to, std::uint32_t bytes, Cycles now)
+{
+    rollWindow(now);
+    messages_.inc();
+    totalBytes_.inc(bytes);
+
+    Cycles latency = params_.injectionLatency;
+    if (from == to)
+        return latency;
+
+    TileCoord at = coordOf(from);
+    const TileCoord dst = coordOf(to);
+
+    // XY routing: move along X first, then Y, charging each link.
+    while (at.x != dst.x) {
+        const Direction dir = at.x < dst.x ? East : West;
+        const int link = linkId(at, dir);
+        windowBytes_[static_cast<std::size_t>(link)] += bytes;
+        latency += params_.hopLatency + linkDelay(link);
+        at.x += at.x < dst.x ? 1 : -1;
+    }
+    while (at.y != dst.y) {
+        const Direction dir = at.y < dst.y ? South : North;
+        const int link = linkId(at, dir);
+        windowBytes_[static_cast<std::size_t>(link)] += bytes;
+        latency += params_.hopLatency + linkDelay(link);
+        at.y += at.y < dst.y ? 1 : -1;
+    }
+    return latency;
+}
+
+void
+Mesh::resetTraffic()
+{
+    std::fill(windowBytes_.begin(), windowBytes_.end(), 0);
+    std::fill(lastUtilisation_.begin(), lastUtilisation_.end(), 0.0);
+    windowStart_ = 0;
+    peakUtilisation_ = 0.0;
+    meanUtilisation_ = 0.0;
+    totalBytes_.reset();
+    messages_.reset();
+}
+
+} // namespace qei

@@ -1,0 +1,139 @@
+#include "area_model.hh"
+
+#include <cmath>
+
+namespace qei {
+
+double
+AreaReport::totalAreaMm2() const
+{
+    double a = 0.0;
+    for (const auto& item : items)
+        a += item.areaMm2;
+    return a;
+}
+
+double
+AreaReport::totalStaticPowerMw() const
+{
+    double p = 0.0;
+    for (const auto& item : items)
+        p += item.staticPowerMw;
+    return p;
+}
+
+AreaItem
+AreaModel::sram(const std::string& name, double bytes, bool dual_port,
+                double gating) const
+{
+    const double mb = bytes / (1024.0 * 1024.0);
+    double area = mb * tech_.sramMm2PerMb;
+    if (dual_port)
+        area *= tech_.dualPortFactor;
+    return AreaItem{name, area,
+                    area * tech_.sramLeakMwPerMm2 * gating};
+}
+
+AreaItem
+AreaModel::cam(const std::string& name, double bytes) const
+{
+    const double mb = bytes / (1024.0 * 1024.0);
+    const double area = mb * tech_.camMm2PerMb;
+    return AreaItem{name, area, area * tech_.camLeakMwPerMm2};
+}
+
+AreaItem
+AreaModel::logic(const std::string& name, double mm2,
+                 double gating) const
+{
+    return AreaItem{name, mm2,
+                    mm2 * tech_.logicLeakMwPerMm2 * gating};
+}
+
+AreaReport
+AreaModel::report(const std::string& config,
+                  const QeiAreaInputs& in) const
+{
+    AreaReport r;
+    r.config = config;
+    const double gate =
+        in.deviceClass ? tech_.deviceGatingFactor : 1.0;
+
+    // Datapath.
+    r.items.push_back(
+        logic("ALUs x" + std::to_string(in.alus),
+              tech_.aluMm2 * in.alus, gate));
+    r.items.push_back(
+        logic("comparators x" + std::to_string(in.comparators),
+              tech_.comparatorMm2 * in.comparators, gate));
+    r.items.push_back(logic("hash unit",
+                            tech_.hashUnitMm2 * in.hashUnits, gate));
+
+    // CEE control / scheduler: grows sublinearly with entries.
+    const double ctrl =
+        tech_.controlBaseMm2 *
+        std::pow(in.qstEntries / 10.0, tech_.controlScaleExponent);
+    r.items.push_back(logic("CEE control/scheduler", ctrl, gate));
+
+    // Storage.
+    r.items.push_back(sram("microcode store", in.microcodeBytes,
+                           /*dual_port=*/false, gate));
+    r.items.push_back(sram("QST",
+                           static_cast<double>(in.qstEntries) *
+                               in.qstEntryBytes,
+                           /*dual_port=*/true, gate));
+    r.items.push_back(sram("queues",
+                           2048.0 + 16.0 * in.qstEntries,
+                           /*dual_port=*/true, gate));
+
+    if (in.tlbEntries > 0) {
+        // 8 B per entry: ~36 b VPN tag + ~28 b PFN + bits. The CHA TLB
+        // must be fully associative and fast, hence CAM.
+        r.items.push_back(
+            cam("dedicated TLB (" + std::to_string(in.tlbEntries) +
+                    " entries)",
+                static_cast<double>(in.tlbEntries) * 8.0));
+    }
+
+    if (in.deviceClass) {
+        // Standard-interface request/response buffering and the
+        // device-side protocol engine.
+        r.items.push_back(sram("device buffers", in.deviceBufferBytes,
+                               /*dual_port=*/true, gate));
+        r.items.push_back(logic("device interface engine", 0.080,
+                                gate));
+        // Set-associative device TLB (latency is amortised behind the
+        // interface, so no CAM needed).
+        r.items.push_back(sram("device TLB (1024 entries)",
+                               1024.0 * 8.0, /*dual_port=*/false,
+                               gate));
+    }
+    return r;
+}
+
+AreaReport
+AreaModel::qei10() const
+{
+    QeiAreaInputs in;
+    return report("QEI-10", in);
+}
+
+AreaReport
+AreaModel::qei10WithTlb() const
+{
+    QeiAreaInputs in;
+    in.tlbEntries = 1024;
+    return report("QEI-10+TLB", in);
+}
+
+AreaReport
+AreaModel::qei240() const
+{
+    QeiAreaInputs in;
+    in.qstEntries = 240;
+    in.comparators = 10;
+    in.deviceClass = true;
+    return report("QEI-240", in);
+}
+
+} // namespace qei

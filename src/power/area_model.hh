@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Analytic 22 nm area and static-power model, used the way the paper
+ * uses McPAT/CACTI: per-structure SRAM/CAM/logic estimates summed into
+ * the three Tab. III configurations (QEI-10, QEI-10+TLB, QEI-240).
+ *
+ * Calibration: density constants are fit to published 22 nm SRAM cell
+ * sizes (~0.092 um^2, array overhead ~2x) and typical synthesised
+ * 64-bit datapath blocks; the device-class configuration applies a
+ * power-gating factor to its (mostly idle) banked arrays, which is
+ * how a 6x-larger block leaks only ~2x as much — the relationship
+ * Tab. III reports.
+ */
+
+#ifndef QEI_POWER_AREA_MODEL_HH
+#define QEI_POWER_AREA_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qei {
+
+/** One accounted block of an accelerator configuration. */
+struct AreaItem
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double staticPowerMw = 0.0;
+};
+
+/** A summed configuration (one Tab. III row). */
+struct AreaReport
+{
+    std::string config;
+    std::vector<AreaItem> items;
+
+    double totalAreaMm2() const;
+    double totalStaticPowerMw() const;
+};
+
+/** 22 nm technology constants (see file header for calibration). */
+struct TechParams
+{
+    /** mm^2 per MB of single-ported SRAM, with array overhead. */
+    double sramMm2PerMb = 2.2;
+    /** Extra area factor for a second port. */
+    double dualPortFactor = 1.6;
+    /** mm^2 per MB for fully-associative CAM arrays. */
+    double camMm2PerMb = 48.0;
+    /** Leakage densities, mW per mm^2. */
+    double sramLeakMwPerMm2 = 15.0;
+    double camLeakMwPerMm2 = 50.0;
+    double logicLeakMwPerMm2 = 80.0;
+    /** Synthesised 64-bit datapath block areas, mm^2. */
+    double aluMm2 = 0.012;
+    double comparatorMm2 = 0.005;
+    double hashUnitMm2 = 0.015;
+    /** Control/scheduler logic for a 10-entry QST engine. */
+    double controlBaseMm2 = 0.030;
+    /** Scheduler area grows sublinearly with QST entries. */
+    double controlScaleExponent = 0.6;
+    /** Power-gating leakage factor for the banked device arrays. */
+    double deviceGatingFactor = 0.5;
+};
+
+/** QEI accelerator sizing inputs for the model. */
+struct QeiAreaInputs
+{
+    int qstEntries = 10;
+    int alus = 5;
+    int comparators = 2;
+    int hashUnits = 1;
+    /** Microcode store for the shipped CFA programs. */
+    std::uint32_t microcodeBytes = 24 * 1024;
+    /** Per-entry QST state (paper fields + registers + line buffer). */
+    std::uint32_t qstEntryBytes = 152;
+    /** Dedicated TLB entries (0 = none). */
+    int tlbEntries = 0;
+    /** Device-class block: interface buffering + gated arrays. */
+    bool deviceClass = false;
+    std::uint32_t deviceBufferBytes = 128 * 1024;
+};
+
+/** The analytic model. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const TechParams& tech = {}) : tech_(tech) {}
+
+    /** Area/leakage report for one QEI configuration. */
+    AreaReport report(const std::string& config,
+                      const QeiAreaInputs& inputs) const;
+
+    /** The paper's three Tab. III configurations. */
+    AreaReport qei10() const;
+    AreaReport qei10WithTlb() const;
+    AreaReport qei240() const;
+
+    const TechParams& tech() const { return tech_; }
+
+  private:
+    AreaItem sram(const std::string& name, double bytes, bool dual_port,
+                  double gating = 1.0) const;
+    AreaItem cam(const std::string& name, double bytes) const;
+    AreaItem logic(const std::string& name, double mm2,
+                   double gating = 1.0) const;
+
+    TechParams tech_;
+};
+
+} // namespace qei
+
+#endif // QEI_POWER_AREA_MODEL_HH

@@ -1,0 +1,63 @@
+#include "energy_model.hh"
+
+namespace qei {
+
+ChipActivity
+ChipActivity::capture(const MemoryHierarchy& memory)
+{
+    ChipActivity a;
+    auto& mut = const_cast<MemoryHierarchy&>(memory);
+    for (int c = 0; c < memory.cores(); ++c) {
+        a.l1Accesses += mut.l1d(c).hits() + mut.l1d(c).misses();
+        a.l2Accesses += mut.l2(c).hits() + mut.l2(c).misses();
+        a.llcAccesses +=
+            mut.llcSlice(c).hits() + mut.llcSlice(c).misses();
+    }
+    a.dramAccesses = mut.dram().accesses();
+    a.nocBytes = mut.mesh().totalBytes();
+    return a;
+}
+
+ChipActivity
+ChipActivity::operator-(const ChipActivity& other) const
+{
+    ChipActivity d;
+    d.l1Accesses = l1Accesses - other.l1Accesses;
+    d.l2Accesses = l2Accesses - other.l2Accesses;
+    d.llcAccesses = llcAccesses - other.llcAccesses;
+    d.dramAccesses = dramAccesses - other.dramAccesses;
+    d.nocBytes = nocBytes - other.nocBytes;
+    return d;
+}
+
+EnergyBreakdown
+EnergyModel::perQuery(const EnergyInputs& in) const
+{
+    EnergyBreakdown b;
+    if (in.queries == 0)
+        return b;
+    const double q = static_cast<double>(in.queries);
+
+    b.corePj = static_cast<double>(in.coreInstructions) *
+               params_.coreInstrPj / q;
+    b.cachePj = (static_cast<double>(in.activity.l1Accesses) *
+                     params_.l1AccessPj +
+                 static_cast<double>(in.activity.l2Accesses) *
+                     params_.l2AccessPj +
+                 static_cast<double>(in.activity.llcAccesses) *
+                     params_.llcAccessPj) /
+                q;
+    b.dramPj = static_cast<double>(in.activity.dramAccesses) *
+               params_.dramAccessPj / q;
+    b.nocPj = static_cast<double>(in.activity.nocBytes) *
+              params_.nocPerBytePj / q;
+    b.acceleratorPj =
+        (static_cast<double>(in.acceleratorMicroOps) *
+             params_.acceleratorMicroOpPj +
+         static_cast<double>(in.comparatorBytes) *
+             params_.comparatorPerBytePj) /
+        q;
+    return b;
+}
+
+} // namespace qei

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dynamic-energy model for Fig. 12: per-event energies at 22 nm folded
+ * over the activity counters a run produces. The accelerator wins on
+ * dynamic power because it eliminates hundreds of OoO-pipeline
+ * instructions (fetch/decode/rename/ROB — the expensive part) and the
+ * private-cache traffic per query, replacing them with cheap CFA
+ * micro-operations; LLC/DRAM traffic is similar on both sides.
+ */
+
+#ifndef QEI_POWER_ENERGY_MODEL_HH
+#define QEI_POWER_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "mem/hierarchy.hh"
+
+namespace qei {
+
+/** Per-event energies in picojoules (22 nm, 2.5 GHz class core). */
+struct EnergyParams
+{
+    double coreInstrPj = 20.0; ///< full OoO pipeline per instruction
+    double l1AccessPj = 10.0;
+    double l2AccessPj = 25.0;
+    double llcAccessPj = 60.0;
+    double dramAccessPj = 1500.0; ///< per 64 B line
+    double nocPerBytePj = 0.8;
+    double tlbLookupPj = 2.0;
+    double acceleratorMicroOpPj = 6.0; ///< CEE transition + DPU op
+    double comparatorPerBytePj = 0.25;
+};
+
+/** Activity snapshot of the shared machine (delta two to get a run). */
+struct ChipActivity
+{
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t nocBytes = 0;
+
+    static ChipActivity capture(const MemoryHierarchy& memory);
+    ChipActivity operator-(const ChipActivity& other) const;
+};
+
+/** Inputs to one per-query energy evaluation. */
+struct EnergyInputs
+{
+    ChipActivity activity;
+    std::uint64_t coreInstructions = 0;
+    std::uint64_t acceleratorMicroOps = 0;
+    std::uint64_t comparatorBytes = 0;
+    std::uint64_t queries = 0;
+};
+
+/** The resulting breakdown, all in picojoules per query. */
+struct EnergyBreakdown
+{
+    double corePj = 0.0;
+    double cachePj = 0.0;
+    double dramPj = 0.0;
+    double nocPj = 0.0;
+    double acceleratorPj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return corePj + cachePj + dramPj + nocPj + acceleratorPj;
+    }
+};
+
+/** Folds activity counters into pJ/query. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams& params = {})
+        : params_(params)
+    {
+    }
+
+    EnergyBreakdown perQuery(const EnergyInputs& inputs) const;
+
+    const EnergyParams& params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace qei
+
+#endif // QEI_POWER_ENERGY_MODEL_HH

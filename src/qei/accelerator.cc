@@ -1,0 +1,655 @@
+#include "accelerator.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace qei {
+
+namespace {
+
+/** Result-slot status codes written for non-blocking queries. */
+constexpr std::uint64_t kStatusPending = 0;
+constexpr std::uint64_t kStatusFound = 1;
+constexpr std::uint64_t kStatusNotFound = 2;
+constexpr std::uint64_t kStatusErrorBase = 0x100;
+
+std::uint64_t
+statusFor(const QstEntry& entry)
+{
+    if (entry.error != QueryError::None) {
+        return kStatusErrorBase |
+               static_cast<std::uint64_t>(entry.error);
+    }
+    return entry.success ? kStatusFound : kStatusNotFound;
+}
+
+} // namespace
+
+Accelerator::Accelerator(int id, int tile, int home_core, AccelEnv& env,
+                         const DpuParams& dpu_params)
+    : id_(id), tile_(tile), homeCore_(home_core), env_(env),
+      qst_(env.scheme.qstEntries), dpu_(dpu_params),
+      completions_(static_cast<std::size_t>(env.scheme.qstEntries))
+{
+    if (env_.scheme.translate == TranslatePath::DedicatedTlb ||
+        env_.scheme.translate == TranslatePath::DeviceTlb) {
+        dedicatedTlb_ = std::make_unique<Tlb>(
+            static_cast<std::size_t>(env_.scheme.dedicatedTlbEntries),
+            env_.scheme.dedicatedTlbHitLatency);
+    }
+}
+
+int
+Accelerator::enqueue(Addr header_addr, Addr key_addr, Addr result_addr,
+                     QueryMode mode, std::uint64_t query_id,
+                     CompletionFn on_complete)
+{
+    const int slot = qst_.allocate();
+    if (slot < 0)
+        return -1;
+    QstEntry& entry = qst_.at(slot);
+    entry.headerAddr = header_addr;
+    entry.keyAddr = key_addr;
+    entry.resultAddr = result_addr;
+    entry.mode = mode;
+    entry.queryId = query_id;
+    entry.enqueued = env_.events.now();
+    completions_[static_cast<std::size_t>(slot)] =
+        std::move(on_complete);
+    occupancy_.sample(static_cast<double>(qst_.occupied()));
+    // One cycle through the Query Queue before the CEE sees it.
+    makeReady(slot, env_.events.now() + 1);
+    return slot;
+}
+
+void
+Accelerator::makeReady(int id, Cycles when)
+{
+    qst_.at(id).ready = true;
+    env_.events.scheduleAt(std::max(when, env_.events.now()),
+                           [this, id] { executeEntry(id); },
+                           EventPriority::CfaTick);
+}
+
+Accelerator::XlatResult
+Accelerator::translate(Addr vaddr, Cycles now)
+{
+    XlatResult out;
+    const auto paddr = env_.vm.tryTranslate(vaddr);
+    switch (env_.scheme.translate) {
+      case TranslatePath::CoreL2Tlb: {
+        Mmu* mmu = env_.coreMmus[static_cast<std::size_t>(homeCore_)];
+        const Translation t = mmu->translateViaL2(vaddr);
+        out.valid = t.valid;
+        out.paddr = t.paddr;
+        out.latency = t.latency;
+        break;
+      }
+      case TranslatePath::DedicatedTlb:
+      case TranslatePath::DeviceTlb: {
+        const Addr vpn = pageNumber(vaddr);
+        if (dedicatedTlb_->lookup(vpn)) {
+            out.latency = dedicatedTlb_->hitLatency();
+        } else {
+            // Local page walk by the accelerator's walker.
+            out.latency = dedicatedTlb_->hitLatency() + 90;
+            if (paddr)
+                dedicatedTlb_->fill(vpn);
+        }
+        out.valid = paddr.has_value();
+        out.paddr = paddr.value_or(0);
+        break;
+      }
+      case TranslatePath::CoreMmuRemote: {
+        // Every access pays a NoC round trip to the owning core's MMU
+        // (Sec. V: "adds extra round-trip latency to each memory
+        // access").
+        Mmu* mmu = env_.coreMmus[static_cast<std::size_t>(homeCore_)];
+        const Translation t = mmu->translateViaL2(vaddr);
+        const Cycles noc = env_.memory.messageRoundTrip(
+            tile_, homeCore_, now);
+        out.valid = t.valid;
+        out.paddr = t.paddr;
+        out.latency = noc + t.latency;
+        break;
+      }
+    }
+    translationCycles_.inc(out.latency);
+    return out;
+}
+
+Accelerator::XlatResult
+Accelerator::translateCached(QstEntry& entry, Addr vaddr, Cycles now)
+{
+    const Addr vpn = pageNumber(vaddr);
+    if (vpn == entry.xlatVpn) {
+        XlatResult out;
+        out.valid = true;
+        out.paddr = entry.xlatPfnBase + pageOffset(vaddr);
+        out.latency = 1;
+        return out;
+    }
+    XlatResult out = translate(vaddr, now);
+    if (out.valid) {
+        entry.xlatVpn = vpn;
+        entry.xlatPfnBase = pageAlign(out.paddr);
+    }
+    return out;
+}
+
+Cycles
+Accelerator::dataAccess(Addr paddr, bool is_write, Cycles now)
+{
+    memAccesses_.inc();
+    Cycles latency = 0;
+    switch (env_.scheme.data) {
+      case DataPath::L2Path:
+        latency = env_.memory.l2Access(homeCore_, paddr, is_write, now)
+                      .latency;
+        break;
+      case DataPath::ChaPath:
+        latency =
+            env_.memory.chaAccess(tile_, paddr, is_write, now).latency;
+        break;
+      case DataPath::DevicePath:
+        latency = env_.memory.deviceAccess(tile_, paddr, is_write, now)
+                      .latency;
+        // The device's request pipeline (and, for Device-indirect,
+        // the standard interface's protocol translation + coherence
+        // handling) taxes every access.
+        latency += env_.scheme.dataOverhead;
+        break;
+    }
+    return latency;
+}
+
+void
+Accelerator::executeEntry(int id)
+{
+    QstEntry& entry = qst_.at(id);
+    if (entry.phase == QstPhase::Idle)
+        return; // flushed while an event was in flight
+    // The CEE issues one state transition per cycle: a second ready
+    // entry arriving in the same cycle bounces to the next one (event
+    // order preserves the FIFO pick among ready entries).
+    const Cycles issueCycle = env_.events.now();
+    if (ceeNextFree_ > issueCycle) {
+        env_.events.scheduleAt(ceeNextFree_,
+                               [this, id] { executeEntry(id); },
+                               EventPriority::CfaTick);
+        return;
+    }
+    ceeNextFree_ = issueCycle + 1;
+    entry.ready = false;
+    if (entry.phase == QstPhase::FetchHeader) {
+        microOps_.inc();
+        executeHeaderFetch(id);
+        return;
+    }
+    // Fuse up to `alus` register-only operations into this slot.
+    int fuel = dpu_.params().alus;
+    while (entry.phase == QstPhase::Running) {
+        microOps_.inc();
+        const bool fused = executeMicroInst(id);
+        if (!fused)
+            return; // op scheduled its own completion
+        if (--fuel == 0)
+            break;
+    }
+    if (entry.phase == QstPhase::Running)
+        makeReady(id, env_.events.now() + 1);
+}
+
+void
+Accelerator::executeHeaderFetch(int id)
+{
+    QstEntry& entry = qst_.at(id);
+    const Cycles now = env_.events.now();
+
+    const XlatResult xlat = translate(entry.headerAddr, now);
+    if (!xlat.valid) {
+        raiseException(id, QueryError::PageFault);
+        return;
+    }
+    const Cycles latency =
+        xlat.latency + dataAccess(xlat.paddr, false, now + xlat.latency);
+
+    entry.header = StructHeader::readFrom(env_.vm, entry.headerAddr);
+    const CfaProgram* prog = env_.firmware.program(entry.header.type);
+    if (prog == nullptr) {
+        raiseException(id, QueryError::BadHeader);
+        return;
+    }
+
+    // Stage the query key alongside the metadata fetch when it fits
+    // one cacheline: later comparisons read it from the QST instead of
+    // refetching it per node.
+    Cycles keyLatency = 0;
+    if (entry.header.keyLen > 0 &&
+        entry.header.keyLen <= QstEntry::kKeyBufBytes) {
+        const std::uint64_t lines =
+            linesCovering(entry.keyAddr, entry.header.keyLen);
+        bool ok = true;
+        for (std::uint64_t i = 0; i < lines; ++i) {
+            const Addr va =
+                lineAlign(entry.keyAddr) + i * kCacheLineBytes;
+            const XlatResult x = translateCached(entry, va, now);
+            if (!x.valid) {
+                ok = false;
+                break;
+            }
+            keyLatency = std::max(
+                keyLatency,
+                x.latency +
+                    dataAccess(x.paddr, false, now + x.latency));
+        }
+        if (!ok) {
+            raiseException(id, QueryError::PageFault);
+            return;
+        }
+        env_.vm.readBytes(entry.keyAddr, entry.keyBuf.data(),
+                          entry.header.keyLen);
+        entry.keyStaged = true;
+    }
+
+    // Dispatch convention (see firmware.hh).
+    entry.regs[kRegKeyAddr] = entry.keyAddr;
+    entry.regs[kRegNode] = entry.header.root;
+    entry.regs[kRegKeyLen] = entry.header.keyLen;
+    entry.regs[kRegResult] = 0;
+    entry.regs[kRegT4] = entry.header.aux1;
+    entry.regs[kRegT5] = entry.header.aux2;
+    entry.regs[kRegT6] = 0;
+    entry.regs[kRegT7] = entry.header.aux0;
+    entry.phase = QstPhase::Running;
+    entry.state = 0;
+    makeReady(id, now + std::max(latency, keyLatency));
+}
+
+CmpFlag
+Accelerator::compareKeyFunctional(const QstEntry& entry, Addr mem_vaddr,
+                                  std::uint32_t len) const
+{
+    std::vector<std::uint8_t> stored(len);
+    std::vector<std::uint8_t> query(len);
+    env_.vm.readBytes(mem_vaddr, stored.data(), len);
+    env_.vm.readBytes(entry.keyAddr, query.data(), len);
+    const int c = std::memcmp(stored.data(), query.data(), len);
+    if (c == 0)
+        return CmpFlag::Eq;
+    return c < 0 ? CmpFlag::Lt : CmpFlag::Gt;
+}
+
+bool
+Accelerator::executeMicroInst(int id)
+{
+    QstEntry& entry = qst_.at(id);
+    const Cycles now = env_.events.now();
+    const CfaProgram* prog = env_.firmware.program(entry.header.type);
+    simAssert(prog != nullptr, "program vanished for type {}",
+              static_cast<int>(entry.header.type));
+    simAssert(entry.state < prog->states.size(),
+              "CFA '{}' state {} out of range", prog->name,
+              entry.state);
+    const MicroInst& mi = prog->states[entry.state];
+
+    // Fetch the lines covering [vaddr, vaddr+bytes): timed as parallel
+    // independent reads (the CEE issues them back to back); returns
+    // the slowest, or kInvalidCycle on a translation fault.
+    auto fetchSpan = [&](Addr vaddr, std::uint64_t bytes,
+                         Cycles start) -> Cycles {
+        Cycles worst = 0;
+        const std::uint64_t lines = linesCovering(vaddr, bytes);
+        for (std::uint64_t i = 0; i < lines; ++i) {
+            const Addr lineVaddr = lineAlign(vaddr) + i * kCacheLineBytes;
+            const XlatResult x =
+                translateCached(entry, lineVaddr, start);
+            if (!x.valid)
+                return kInvalidCycle;
+            const Cycles lat =
+                x.latency +
+                dataAccess(x.paddr, false, start + x.latency);
+            worst = std::max(worst, lat);
+        }
+        return worst;
+    };
+
+    auto operandB = [&](const MicroInst& inst) {
+        return inst.useImm ? inst.imm : entry.regs[inst.srcB];
+    };
+
+    auto readFieldLE = [&](Addr vaddr, std::uint8_t width) {
+        std::uint64_t v = 0;
+        env_.vm.readBytes(vaddr, &v, width);
+        return v;
+    };
+
+    switch (mi.op) {
+      case MicroOpcode::MemReadLine: {
+        const Addr vaddr = entry.regs[mi.srcA] + mi.imm;
+        if (lineAlign(vaddr) == entry.lineBase &&
+            entry.lineBase != kNullAddr) {
+            // Already staged; refresh functionally and move on.
+            env_.vm.readBytes(entry.lineBase, entry.lineBuf.data(),
+                              kCacheLineBytes);
+            entry.state = mi.next;
+            makeReady(id, now + 1);
+            return false;
+        }
+        const Cycles lat = fetchSpan(vaddr, kCacheLineBytes, now);
+        if (lat == kInvalidCycle) {
+            raiseException(id, QueryError::PageFault);
+            return false;
+        }
+        entry.lineBase = lineAlign(vaddr);
+        env_.vm.readBytes(entry.lineBase, entry.lineBuf.data(),
+                          kCacheLineBytes);
+        entry.state = mi.next;
+        makeReady(id, now + lat);
+        return false;
+      }
+      case MicroOpcode::MemReadField: {
+        const Addr vaddr = entry.regs[mi.srcA] + mi.imm;
+        if (entry.lineBase != kNullAddr && vaddr >= entry.lineBase &&
+            vaddr + mi.width <= entry.lineBase + kCacheLineBytes) {
+            entry.regs[mi.dst] = readFieldLE(vaddr, mi.width);
+            entry.state = mi.next;
+            return true; // served from the staged line
+        }
+        const Cycles lat = fetchSpan(vaddr, mi.width, now);
+        if (lat == kInvalidCycle) {
+            raiseException(id, QueryError::PageFault);
+            return false;
+        }
+        entry.regs[mi.dst] = readFieldLE(vaddr, mi.width);
+        entry.state = mi.next;
+        makeReady(id, now + lat);
+        return false;
+      }
+      case MicroOpcode::LoadField: {
+        simAssert(mi.imm + mi.width <= kCacheLineBytes,
+                  "LoadField overruns the line buffer");
+        std::uint64_t v = 0;
+        std::memcpy(&v, entry.lineBuf.data() + mi.imm, mi.width);
+        entry.regs[mi.dst] = v;
+        entry.state = mi.next;
+        return true; // register-only: fuse into this CEE slot
+      }
+      case MicroOpcode::Alu: {
+        const std::uint64_t a = entry.regs[mi.srcA];
+        const std::uint64_t b = operandB(mi);
+        std::uint64_t r = 0;
+        switch (mi.aluFn) {
+          case AluFn::Add: r = a + b; break;
+          case AluFn::Sub: r = a - b; break;
+          case AluFn::And: r = a & b; break;
+          case AluFn::Or:  r = a | b; break;
+          case AluFn::Xor: r = a ^ b; break;
+          case AluFn::Shl: r = a << (b & 63); break;
+          case AluFn::Shr: r = a >> (b & 63); break;
+          case AluFn::Mul: r = a * b; break;
+          case AluFn::Mov: r = b; break;
+        }
+        entry.regs[mi.dst] = r;
+        entry.state = mi.next;
+        dpu_.alu(now); // occupancy accounting; fused ops share a slot
+        return true;
+      }
+      case MicroOpcode::HashKey: {
+        const auto len =
+            static_cast<std::uint32_t>(entry.regs[kRegKeyLen]);
+        Cycles memLat = 0;
+        if (!entry.keyStaged) {
+            memLat = fetchSpan(entry.keyAddr, len, now);
+            if (memLat == kInvalidCycle) {
+                raiseException(id, QueryError::PageFault);
+                return false;
+            }
+        }
+        std::vector<std::uint8_t> key(len);
+        env_.vm.readBytes(entry.keyAddr, key.data(), len);
+        entry.regs[mi.dst] =
+            computeHash(entry.header.hashFn, key.data(), len);
+        entry.state = mi.next;
+        makeReady(id, dpu_.hashKey(now + memLat, len));
+        return false;
+      }
+      case MicroOpcode::CompareReg: {
+        const std::uint64_t a = entry.regs[mi.srcA];
+        const std::uint64_t b = operandB(mi);
+        entry.flags = a == b   ? CmpFlag::Eq
+                      : a < b ? CmpFlag::Lt
+                              : CmpFlag::Gt;
+        entry.state = entry.flags == CmpFlag::Eq   ? mi.onEq
+                      : entry.flags == CmpFlag::Lt ? mi.onLt
+                                                   : mi.onGt;
+        dpu_.compare(now, 8); // occupancy accounting
+        return true;
+      }
+      case MicroOpcode::CompareKey: {
+        const Addr candidate = entry.regs[mi.srcA] + mi.imm;
+        const auto len =
+            static_cast<std::uint32_t>(entry.regs[kRegKeyLen]);
+        // Functional result first (timing cannot fault after this).
+        if (!env_.vm.tryTranslate(candidate) ||
+            !env_.vm.tryTranslate(candidate + len - 1)) {
+            raiseException(id, QueryError::PageFault);
+            return false;
+        }
+        entry.flags = compareKeyFunctional(entry, candidate, len);
+
+        // Fast path: the candidate sits in the staged line and the
+        // key is staged in the QST — a pure DPU comparison, no memory
+        // traffic at all (Sec. V-A).
+        if (entry.keyStaged && entry.lineBase != kNullAddr &&
+            candidate >= entry.lineBase &&
+            candidate + len <= entry.lineBase + kCacheLineBytes) {
+            entry.state = entry.flags == CmpFlag::Eq   ? mi.onEq
+                          : entry.flags == CmpFlag::Lt ? mi.onLt
+                                                       : mi.onGt;
+            makeReady(id, dpu_.compare(now, len));
+            return false;
+        }
+
+        const bool remote =
+            env_.scheme.remoteComparators &&
+            entry.header.remoteCompareOk() &&
+            len > env_.scheme.localCompareMaxBytes &&
+            env_.remoteComparators != nullptr;
+
+        Cycles done;
+        if (remote) {
+            remoteCompares_.inc();
+            // CEE translates the candidate (L2-TLB, or the QST's
+            // one-entry cache) and ships a remote micro-op to the home
+            // CHA of the candidate line; the key's translation is
+            // cached in the QST after its first use.
+            const XlatResult x = translateCached(entry, candidate, now);
+            const int home = env_.memory.homeSlice(x.paddr);
+            Cycles t = now + x.latency;
+            const std::uint32_t msgBytes =
+                24 + (entry.keyStaged ? len : 0);
+            t += env_.memory.mesh().traverse(
+                tile_, home, msgBytes, t); // remote micro-op + key
+            // The comparator pulls its operands from the LLC without
+            // touching any private cache; a staged key rode along in
+            // the message and needs no LLC read.
+            Cycles dataReady = 0;
+            const std::uint64_t candLines = linesCovering(candidate, len);
+            for (std::uint64_t i = 0; i < candLines; ++i) {
+                const Addr va =
+                    lineAlign(candidate) + i * kCacheLineBytes;
+                const Addr pa = env_.vm.translate(va);
+                dataReady = std::max(
+                    dataReady,
+                    env_.memory.chaAccess(home, pa, false, t).latency);
+            }
+            if (!entry.keyStaged) {
+                const std::uint64_t keyLines =
+                    linesCovering(entry.keyAddr, len);
+                for (std::uint64_t i = 0; i < keyLines; ++i) {
+                    const Addr va =
+                        lineAlign(entry.keyAddr) + i * kCacheLineBytes;
+                    const Addr pa = env_.vm.translate(va);
+                    dataReady = std::max(
+                        dataReady,
+                        env_.memory.chaAccess(home, pa, false, t)
+                            .latency);
+                }
+            }
+            t += dataReady;
+            t = env_.remoteComparators->compare(home, t, len);
+            t += env_.memory.mesh().traverse(home, tile_, 16, t);
+            done = t;
+        } else {
+            // Local compare: stage the candidate (and the key, unless
+            // already staged), then run a DPU comparator.
+            const Cycles candLat = fetchSpan(candidate, len, now);
+            const Cycles keyLat =
+                entry.keyStaged ? 0 : fetchSpan(entry.keyAddr, len, now);
+            simAssert(candLat != kInvalidCycle &&
+                          keyLat != kInvalidCycle,
+                      "fault after successful pre-translation");
+            done = dpu_.compare(now + std::max(candLat, keyLat), len);
+        }
+
+        entry.state = entry.flags == CmpFlag::Eq   ? mi.onEq
+                      : entry.flags == CmpFlag::Lt ? mi.onLt
+                                                   : mi.onGt;
+        makeReady(id, done);
+        return false;
+      }
+      case MicroOpcode::IndexSearch: {
+        const Addr node = entry.regs[mi.srcA];
+        const std::uint8_t byte =
+            static_cast<std::uint8_t>(entry.regs[mi.srcB]);
+        if (!env_.vm.tryTranslate(node)) {
+            raiseException(id, QueryError::PageFault);
+            return false;
+        }
+        const auto count = env_.vm.read<std::uint16_t>(node);
+        bool found = false;
+        std::uint64_t child = 0;
+        std::uint32_t scanned = 0;
+        for (std::uint16_t i = 0; i < count; ++i) {
+            const auto e = env_.vm.read<std::uint64_t>(
+                node + 16 + static_cast<Addr>(i) * 8);
+            ++scanned;
+            if (static_cast<std::uint8_t>(e >> 56) == byte) {
+                found = true;
+                child = e & ((1ULL << 56) - 1);
+                break;
+            }
+        }
+        // Timing: the scan streams the index table line by line and
+        // stops at the match, so only the lines actually covered by
+        // the scanned entries are fetched.
+        const Cycles memLat = fetchSpan(
+            node, 16 + static_cast<std::uint64_t>(scanned) * 8, now);
+        if (memLat == kInvalidCycle) {
+            raiseException(id, QueryError::PageFault);
+            return false;
+        }
+        if (found)
+            entry.regs[mi.dst] = child;
+        entry.flags = found ? CmpFlag::Eq : CmpFlag::Lt;
+        entry.state = found ? mi.onEq : mi.next;
+        const Cycles scanDone =
+            dpu_.compare(now + memLat, std::max<std::uint32_t>(
+                                           8, scanned));
+        makeReady(id, scanDone);
+        return false;
+      }
+      case MicroOpcode::Return: {
+        entry.success = mi.imm != 0;
+        entry.resultValue = entry.regs[kRegResult];
+        entry.phase = QstPhase::Done;
+        entry.completed = now;
+        deliver(id);
+        return false;
+      }
+      case MicroOpcode::Except:
+        raiseException(id,
+                       static_cast<QueryError>(mi.imm & 0xFF));
+        return false;
+    }
+    return false;
+}
+
+void
+Accelerator::raiseException(int id, QueryError error)
+{
+    QstEntry& entry = qst_.at(id);
+    exceptions_.inc();
+    entry.phase = QstPhase::Exception;
+    entry.error = error;
+    entry.success = false;
+    entry.completed = env_.events.now();
+    deliver(id);
+}
+
+void
+Accelerator::deliver(int id)
+{
+    QstEntry& entry = qst_.at(id);
+    const Cycles now = env_.events.now();
+    Cycles latency = 1; // through the Result Queue
+
+    if (entry.mode == QueryMode::NonBlocking &&
+        entry.resultAddr != kNullAddr) {
+        // Write {status, value} to the designated result slot.
+        const auto pa = env_.vm.tryTranslate(entry.resultAddr);
+        if (pa) {
+            latency += dataAccess(*pa, true, now);
+            env_.vm.write<std::uint64_t>(entry.resultAddr,
+                                         statusFor(entry));
+            env_.vm.write<std::uint64_t>(entry.resultAddr + 8,
+                                         entry.resultValue);
+        }
+    }
+
+    const QstEntry snapshot = entry;
+    CompletionFn done =
+        std::move(completions_[static_cast<std::size_t>(id)]);
+    qst_.release(id);
+    completed_.inc();
+    occupancy_.sample(static_cast<double>(qst_.occupied()));
+    env_.events.schedule(latency, [snapshot, done = std::move(done)] {
+        if (done)
+            done(snapshot);
+    });
+}
+
+Cycles
+Accelerator::flush()
+{
+    const Cycles now = env_.events.now();
+    Cycles flushCycles = 0;
+    std::vector<Addr> dirtyLines;
+    for (int id : qst_.activeIds()) {
+        QstEntry& entry = qst_.at(id);
+        if (entry.mode == QueryMode::NonBlocking &&
+            entry.resultAddr != kNullAddr) {
+            // Abort code via coalesced non-temporal stores: only the
+            // address translation is on the critical path (Sec. IV-D).
+            env_.vm.write<std::uint64_t>(
+                entry.resultAddr,
+                kStatusErrorBase |
+                    static_cast<std::uint64_t>(QueryError::Aborted));
+            const Addr line = lineAlign(entry.resultAddr);
+            if (std::find(dirtyLines.begin(), dirtyLines.end(), line) ==
+                dirtyLines.end()) {
+                dirtyLines.push_back(line);
+                const XlatResult x =
+                    translate(entry.resultAddr, now + flushCycles);
+                flushCycles += x.latency;
+            }
+        }
+        completions_[static_cast<std::size_t>(id)] = nullptr;
+        qst_.release(id);
+    }
+    occupancy_.sample(0.0);
+    return flushCycles;
+}
+
+} // namespace qei

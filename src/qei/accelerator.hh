@@ -1,0 +1,184 @@
+/**
+ * @file
+ * One QEI accelerator instance: Query Queue in, Query State Table,
+ * CFA Execution Engine, Data Processing Unit, Result Queue out
+ * (Fig. 5), driven by the discrete-event kernel.
+ *
+ * The CEE is modelled faithfully to Sec. IV-B: every cycle it selects
+ * one ready QST entry (FIFO) and applies one state transition, whose
+ * micro-operation (memory read, arithmetic, comparison, hash) may take
+ * additional cycles on a DPU unit or in the memory system; while the
+ * operation is outstanding the entry is not ready and the CEE works on
+ * other queries — the pipelined-CFA time multiplexing the paper
+ * chooses over naive replication.
+ */
+
+#ifndef QEI_QEI_ACCELERATOR_HH
+#define QEI_QEI_ACCELERATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/hierarchy.hh"
+#include "qei/dpu.hh"
+#include "qei/firmware.hh"
+#include "qei/qst.hh"
+#include "qei/scheme.hh"
+#include "sim/event_queue.hh"
+#include "vm/tlb.hh"
+
+namespace qei {
+
+/** Environment shared by all accelerator instances on the chip. */
+struct AccelEnv
+{
+    EventQueue& events;
+    MemoryHierarchy& memory;
+    VirtualMemory& vm;
+    /** Per-core MMUs (CoreL2Tlb and CoreMmuRemote translation). */
+    std::vector<Mmu*> coreMmus;
+    /** CHA comparator pairs (Core-integrated remote compares). */
+    RemoteComparators* remoteComparators = nullptr;
+    const FirmwareStore& firmware;
+    SchemeConfig scheme;
+};
+
+/** One accelerator (per core, per CHA, or the single device). */
+class Accelerator
+{
+  public:
+    using CompletionFn = std::function<void(const QstEntry&)>;
+
+    /**
+     * @param id accelerator index
+     * @param tile mesh tile the instance lives on
+     * @param home_core core whose L2/MMU it borrows (Core-integrated /
+     *        CHA-noTLB translation target)
+     */
+    Accelerator(int id, int tile, int home_core, AccelEnv& env,
+                const DpuParams& dpu_params);
+
+    int id() const { return id_; }
+    int tile() const { return tile_; }
+    bool hasFreeSlot() const { return !qst_.full(); }
+    std::size_t freeSlots() const
+    {
+        return qst_.capacity() - qst_.occupied();
+    }
+
+    /**
+     * Accept a query into the Query Queue at the current event time.
+     * @return the QST id, or -1 when the table is full (the caller —
+     * software — is responsible for not overflowing, Sec. IV-A).
+     */
+    int enqueue(Addr header_addr, Addr key_addr, Addr result_addr,
+                QueryMode mode, std::uint64_t query_id,
+                CompletionFn on_complete);
+
+    /**
+     * Interrupt flush (Sec. IV-D): blocking entries are dropped;
+     * non-blocking entries get an Aborted code written to their result
+     * address with coalesced non-temporal stores.
+     * @return cycles the flush takes.
+     */
+    Cycles flush();
+
+    // -- statistics --
+    const ScalarStat& qstOccupancy() const { return occupancy_; }
+    std::uint64_t completedQueries() const { return completed_.value(); }
+    std::uint64_t memAccesses() const { return memAccesses_.value(); }
+    std::uint64_t microOps() const { return microOps_.value(); }
+    std::uint64_t remoteCompares() const
+    {
+        return remoteCompares_.value();
+    }
+    std::uint64_t exceptions() const { return exceptions_.value(); }
+    std::uint64_t translationCycles() const
+    {
+        return translationCycles_.value();
+    }
+    DataProcessingUnit& dpu() { return dpu_; }
+    Tlb* dedicatedTlb() { return dedicatedTlb_.get(); }
+
+  private:
+    /** Outcome of a translation attempt on this instance's path. */
+    struct XlatResult
+    {
+        bool valid = false;
+        Addr paddr = 0;
+        Cycles latency = 0;
+    };
+
+    /** Translate per the scheme's TranslatePath. */
+    XlatResult translate(Addr vaddr, Cycles now);
+
+    /**
+     * Translate through @p entry's one-entry translation cache: a
+     * same-page repeat costs one cycle and no TLB port.
+     */
+    XlatResult translateCached(QstEntry& entry, Addr vaddr, Cycles now);
+
+    /** Timed data read/write of one cacheline per the DataPath. */
+    Cycles dataAccess(Addr paddr, bool is_write, Cycles now);
+
+    /** Mark entry ready and hand it to the CEE scheduler. */
+    void makeReady(int id, Cycles when);
+
+    /**
+     * CEE slot: execute one state transition of entry @p id. A state
+     * update can fold trailing register-only operations (field
+     * extracts, ALU ops, register compares) into the same transition —
+     * the DPU's five ALUs work in parallel — so one slot retires up to
+     * `alus` fused micro-operations before yielding the engine.
+     */
+    void executeEntry(int id);
+
+    /** Run the type-independent header-fetch prologue. */
+    void executeHeaderFetch(int id);
+
+    /**
+     * Run one MicroInst of the entry's CFA program.
+     * @return true when the op was register-only and the entry can
+     * continue in the same CEE slot (fusion), false when the op
+     * scheduled its own completion (memory / hash / key compare /
+     * return / exception).
+     */
+    bool executeMicroInst(int id);
+
+    /** Enter the exception state and deliver the error (Sec. IV-D). */
+    void raiseException(int id, QueryError error);
+
+    /** Deliver a completed / faulted query through the Result Queue. */
+    void deliver(int id);
+
+    /** Three-way compare of the query key against memory. */
+    CmpFlag compareKeyFunctional(const QstEntry& entry, Addr mem_vaddr,
+                                 std::uint32_t len) const;
+
+    int id_;
+    int tile_;
+    int homeCore_;
+    AccelEnv& env_;
+    QueryStateTable qst_;
+    DataProcessingUnit dpu_;
+    std::unique_ptr<Tlb> dedicatedTlb_;
+    std::vector<CompletionFn> completions_;
+
+    /** CEE issue port: at most one state transition per cycle. */
+    Cycles ceeNextFree_ = 0;
+
+    ScalarStat occupancy_;
+    Counter completed_;
+    Counter memAccesses_;
+    Counter microOps_;
+    Counter remoteCompares_;
+    Counter exceptions_;
+    Counter translationCycles_;
+};
+
+} // namespace qei
+
+#endif // QEI_QEI_ACCELERATOR_HH

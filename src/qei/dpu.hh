@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Data Processing Unit resource models: ALUs, 64-bit comparators, and
+ * the hash unit inside an accelerator, plus the comparator pairs QEI
+ * distributes into each CHA (Sec. V-A).
+ *
+ * Each pool is a set of identical units with busy-until times; a
+ * request is served by the earliest-free unit, so contention appears
+ * as queueing delay without per-cycle simulation.
+ */
+
+#ifndef QEI_QEI_DPU_HH
+#define QEI_QEI_DPU_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace qei {
+
+/** A pool of identical single-cycle-issue function units. */
+class UnitPool
+{
+  public:
+    UnitPool(std::string name, int units)
+        : name_(std::move(name)),
+          busyUntil_(static_cast<std::size_t>(units), 0)
+    {
+        simAssert(units > 0, "empty unit pool '{}'", name_);
+    }
+
+    /**
+     * Occupy the earliest-available unit for @p duration starting no
+     * earlier than @p now.
+     * @return the completion time (>= now + duration).
+     */
+    Cycles
+    acquire(Cycles now, Cycles duration)
+    {
+        auto it = std::min_element(busyUntil_.begin(), busyUntil_.end());
+        const Cycles start = std::max(now, *it);
+        *it = start + duration;
+        ops_.inc();
+        busyCycles_.inc(duration);
+        queueDelay_.sample(static_cast<double>(start - now));
+        return start + duration;
+    }
+
+    std::uint64_t ops() const { return ops_.value(); }
+    std::uint64_t busyCycles() const { return busyCycles_.value(); }
+    const ScalarStat& queueDelay() const { return queueDelay_; }
+    int units() const { return static_cast<int>(busyUntil_.size()); }
+
+    void
+    reset()
+    {
+        std::fill(busyUntil_.begin(), busyUntil_.end(), 0);
+        ops_.reset();
+        busyCycles_.reset();
+        queueDelay_.reset();
+    }
+
+  private:
+    std::string name_;
+    std::vector<Cycles> busyUntil_;
+    Counter ops_;
+    Counter busyCycles_;
+    ScalarStat queueDelay_;
+};
+
+/** DPU sizing for one accelerator instance. */
+struct DpuParams
+{
+    int alus = 5;
+    int comparators = 2;
+    int hashUnits = 1;
+    /** Comparator throughput: bytes compared per cycle per unit. */
+    std::uint32_t compareBytesPerCycle = 8;
+    /** Hash unit throughput: bytes hashed per cycle. */
+    std::uint32_t hashBytesPerCycle = 8;
+};
+
+/** The function units of one accelerator's DPU. */
+class DataProcessingUnit
+{
+  public:
+    explicit DataProcessingUnit(const DpuParams& params = {})
+        : params_(params),
+          alus_("alu", params.alus),
+          comparators_("cmp", params.comparators),
+          hash_("hash", params.hashUnits)
+    {
+    }
+
+    /** Single-cycle ALU micro-operation. */
+    Cycles
+    alu(Cycles now)
+    {
+        return alus_.acquire(now, 1);
+    }
+
+    /** Bit-wise comparison of @p bytes bytes (64 b per cycle). */
+    Cycles
+    compare(Cycles now, std::uint32_t bytes)
+    {
+        const Cycles dur = std::max<Cycles>(
+            1, divCeil(bytes, params_.compareBytesPerCycle));
+        return comparators_.acquire(now, dur);
+    }
+
+    /** Hash @p bytes bytes through the hash unit. */
+    Cycles
+    hashKey(Cycles now, std::uint32_t bytes)
+    {
+        const Cycles dur = std::max<Cycles>(
+            1, divCeil(bytes, params_.hashBytesPerCycle));
+        return hash_.acquire(now, dur);
+    }
+
+    const DpuParams& params() const { return params_; }
+    UnitPool& alus() { return alus_; }
+    UnitPool& comparators() { return comparators_; }
+    UnitPool& hashUnit() { return hash_; }
+
+    void
+    reset()
+    {
+        alus_.reset();
+        comparators_.reset();
+        hash_.reset();
+    }
+
+  private:
+    DpuParams params_;
+    UnitPool alus_;
+    UnitPool comparators_;
+    UnitPool hash_;
+};
+
+/**
+ * The comparator pair QEI adds to every CHA (Core-integrated scheme).
+ * Shared across all accelerators on the chip; indexed by tile.
+ */
+class RemoteComparators
+{
+  public:
+    RemoteComparators(int tiles, int per_cha,
+                      std::uint32_t bytes_per_cycle = 8)
+        : bytesPerCycle_(bytes_per_cycle)
+    {
+        pools_.reserve(static_cast<std::size_t>(tiles));
+        for (int t = 0; t < tiles; ++t) {
+            pools_.emplace_back("cha-cmp." + std::to_string(t),
+                                per_cha);
+        }
+    }
+
+    /** Compare @p bytes bytes on tile @p tile's comparator pair. */
+    Cycles
+    compare(int tile, Cycles now, std::uint32_t bytes)
+    {
+        simAssert(tile >= 0 &&
+                      static_cast<std::size_t>(tile) < pools_.size(),
+                  "tile {} out of range", tile);
+        const Cycles dur =
+            std::max<Cycles>(1, divCeil(bytes, bytesPerCycle_));
+        return pools_[static_cast<std::size_t>(tile)].acquire(now, dur);
+    }
+
+    std::uint64_t
+    totalOps() const
+    {
+        std::uint64_t n = 0;
+        for (const auto& p : pools_)
+            n += p.ops();
+        return n;
+    }
+
+    void
+    reset()
+    {
+        for (auto& p : pools_)
+            p.reset();
+    }
+
+  private:
+    std::uint32_t bytesPerCycle_;
+    std::vector<UnitPool> pools_;
+};
+
+} // namespace qei
+
+#endif // QEI_QEI_DPU_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shipped CFA firmware: one program per supported data-structure type,
+ * plus the FirmwareStore through which programs are installed (the
+ * microcode-update path of Sec. IV-B).
+ *
+ * Register/dispatch convention (applied by the CEE after parsing the
+ * Fig. 4 header, before entering state 0 of a program):
+ *
+ *   R0 = key virtual address      R4 = header.aux1
+ *   R1 = header.root              R5 = header.aux2
+ *   R2 = header.keyLen            R6 = 0
+ *   R3 = 0 (result)               R7 = header.aux0
+ *
+ * Node layouts (little-endian, inline keys, 8 B-aligned):
+ *
+ *   LinkedList node : [next 8][value 8][key keyLen]
+ *   BST node        : [left 8][right 8][value 8][key keyLen]
+ *   SkipList node   : [height 8][value 8][key pad8(keyLen)]
+ *                     [forward[height] 8 each]     (aux0 = fwd base)
+ *   ChainedHash     : root -> bucket-head array (aux0 = bucket mask);
+ *                     chain nodes use the LinkedList layout
+ *   CuckooHash      : root -> bucket array, bucket = 8 x 16 B entries
+ *                     entry = [sig 8][kv 8]; kv = [value 8][key ...]
+ *                     (aux0 = bucket mask)
+ *   Trie/AC node    : [childCount 2][outFlag 2][pad 4][fail 8]
+ *                     [entries 8 each: child | byte<<56]
+ *                     (aux0 = root, result = match count)
+ */
+
+#ifndef QEI_QEI_FIRMWARE_HH
+#define QEI_QEI_FIRMWARE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "qei/microcode.hh"
+#include "qei/struct_header.hh"
+
+namespace qei {
+
+namespace firmware {
+
+/** Build the linked-list query CFA (Fig. 3). */
+CfaProgram buildLinkedList();
+
+/** Build the binary-search-tree query CFA. */
+CfaProgram buildBinaryTree();
+
+/** Build the skip-list query CFA (RocksDB memtable style). */
+CfaProgram buildSkipList();
+
+/** Build the chained-hash-table query CFA. */
+CfaProgram buildChainedHash();
+
+/** Build the DPDK-style two-choice bucketed cuckoo hash CFA. */
+CfaProgram buildCuckooHash();
+
+/** Build the trie / Aho-Corasick streaming-match CFA. */
+CfaProgram buildTrie();
+
+/**
+ * Build the combined hash-of-linked-lists CFA — demonstrates treating
+ * a combined structure as "a unified and unique data structure" with
+ * its own subtype and program (Sec. III-A).
+ */
+CfaProgram buildHashOfLists();
+
+} // namespace firmware
+
+/**
+ * The engine's installed-program store, indexed by StructType.
+ *
+ * Construction installs the factory firmware; installProgram() models
+ * a firmware update adding support for a new structure type.
+ */
+class FirmwareStore
+{
+  public:
+    /** Create a store pre-loaded with the factory programs. */
+    static FirmwareStore factory();
+
+    /** An empty store (for tests of the update path). */
+    FirmwareStore() = default;
+
+    /** Install or replace the program for @p type. */
+    void installProgram(StructType type, CfaProgram program);
+
+    /** Fetch the program for @p type; nullptr when unsupported. */
+    const CfaProgram* program(StructType type) const;
+
+    /** Number of installed programs. */
+    std::size_t installed() const;
+
+  private:
+    static constexpr std::size_t kSlots = 16;
+    std::array<std::optional<CfaProgram>, kSlots> programs_;
+};
+
+} // namespace qei
+
+#endif // QEI_QEI_FIRMWARE_HH

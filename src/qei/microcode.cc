@@ -1,0 +1,111 @@
+#include "microcode.hh"
+
+#include "common/format.hh"
+
+namespace qei {
+
+namespace {
+
+const char*
+opName(MicroOpcode op)
+{
+    switch (op) {
+      case MicroOpcode::MemReadLine:  return "MEM.LINE";
+      case MicroOpcode::MemReadField: return "MEM.FIELD";
+      case MicroOpcode::LoadField:    return "LD.FIELD";
+      case MicroOpcode::Alu:          return "ALU";
+      case MicroOpcode::HashKey:      return "HASH";
+      case MicroOpcode::CompareKey:   return "CMP.KEY";
+      case MicroOpcode::CompareReg:   return "CMP.REG";
+      case MicroOpcode::IndexSearch:  return "IDX.SRCH";
+      case MicroOpcode::Return:       return "RET";
+      case MicroOpcode::Except:       return "EXCEPT";
+    }
+    return "?";
+}
+
+const char*
+aluName(AluFn fn)
+{
+    switch (fn) {
+      case AluFn::Add: return "add";
+      case AluFn::Sub: return "sub";
+      case AluFn::And: return "and";
+      case AluFn::Or:  return "or";
+      case AluFn::Xor: return "xor";
+      case AluFn::Shl: return "shl";
+      case AluFn::Shr: return "shr";
+      case AluFn::Mul: return "mul";
+      case AluFn::Mov: return "mov";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+CfaProgram::disassemble() const
+{
+    std::string out = fmt("CFA program '{}' ({} states)\n", name,
+                          states.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        const MicroInst& mi = states[i];
+        out += fmt("  [{:3}] {:9} ", i, opName(mi.op));
+        switch (mi.op) {
+          case MicroOpcode::Alu:
+            if (mi.useImm) {
+                out += fmt("r{} <- {}(r{}, {:#x})", mi.dst,
+                           aluName(mi.aluFn), mi.srcA, mi.imm);
+            } else {
+                out += fmt("r{} <- {}(r{}, r{})", mi.dst,
+                           aluName(mi.aluFn), mi.srcA, mi.srcB);
+            }
+            out += fmt(" -> {}", mi.next);
+            break;
+          case MicroOpcode::MemReadLine:
+            out += fmt("linebuf <- [r{}+{:#x}] -> {}", mi.srcA, mi.imm,
+                       mi.next);
+            break;
+          case MicroOpcode::MemReadField:
+            out += fmt("r{} <- [r{}+{:#x}].{}B -> {}", mi.dst, mi.srcA,
+                       mi.imm, mi.width, mi.next);
+            break;
+          case MicroOpcode::LoadField:
+            out += fmt("r{} <- linebuf[{:#x}].{}B -> {}", mi.dst,
+                       mi.imm, mi.width, mi.next);
+            break;
+          case MicroOpcode::HashKey:
+            out += fmt("r{} <- hash(key) -> {}", mi.dst, mi.next);
+            break;
+          case MicroOpcode::CompareKey:
+            out += fmt("key ? [r{}+{:#x}] eq:{} lt:{} gt:{}", mi.srcA,
+                       mi.imm, mi.onEq, mi.onLt, mi.onGt);
+            break;
+          case MicroOpcode::CompareReg:
+            if (mi.useImm) {
+                out += fmt("r{} ? {:#x} eq:{} lt:{} gt:{}", mi.srcA,
+                           mi.imm, mi.onEq, mi.onLt, mi.onGt);
+            } else {
+                out += fmt("r{} ? r{} eq:{} lt:{} gt:{}", mi.srcA,
+                           mi.srcB, mi.onEq, mi.onLt, mi.onGt);
+            }
+            break;
+          case MicroOpcode::IndexSearch:
+            out += fmt("r{} <- idx[r{}] byte r{} eq:{} ne:{}", mi.dst,
+                       mi.srcA, mi.srcB, mi.onEq, mi.next);
+            break;
+          case MicroOpcode::Return:
+            out += fmt("success={}", mi.imm != 0);
+            break;
+          case MicroOpcode::Except:
+            out += fmt("error={}", mi.imm);
+            break;
+        }
+        if (mi.label[0] != '\0')
+            out += fmt("   ; {}", mi.label);
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace qei

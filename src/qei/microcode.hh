@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The CFA microcode ISA executed by the CFA Execution Engine.
+ *
+ * A CFA program is an array of up to 256 MicroInsts, one per CFA state
+ * (the QST `state` field is the program counter). Each instruction
+ * performs at most one DPU / memory micro-operation and then selects
+ * the next state — either unconditionally or on the comparison flags.
+ * Programs are data, not code: they are loaded into the engine through
+ * the firmware-update path (Sec. IV-B), and new data structures are
+ * supported by shipping new programs against the same hardware.
+ */
+
+#ifndef QEI_QEI_MICROCODE_HH
+#define QEI_QEI_MICROCODE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace qei {
+
+/** Register-file conventions shared by all shipped programs. */
+enum Reg : std::uint8_t {
+    kRegKeyAddr = 0,  ///< R0: virtual address of the queried key
+    kRegNode = 1,     ///< R1: current node / bucket address
+    kRegKeyLen = 2,   ///< R2: key length in bytes
+    kRegResult = 3,   ///< R3: query result value
+    kRegT4 = 4,       ///< R4..R7: temporaries
+    kRegT5 = 5,
+    kRegT6 = 6,
+    kRegT7 = 7,
+    kNumRegs = 8,
+};
+
+/** Micro-operation kinds the CEE can issue per state transition. */
+enum class MicroOpcode : std::uint8_t {
+    /** lineBuf <- cacheline at R[srcA] + imm (sets lineBase). */
+    MemReadLine,
+    /** R[dst] <- little-endian field of `width` bytes at R[srcA]+imm. */
+    MemReadField,
+    /** R[dst] <- field of `width` bytes at lineBuf[imm] (no memory). */
+    LoadField,
+    /** R[dst] <- aluFn(R[srcA], srcB-or-imm). */
+    Alu,
+    /** R[dst] <- hash(key bytes at R[kRegKeyAddr], len R[kRegKeyLen]). */
+    HashKey,
+    /** flags <- compare key (R0, len R2) with memory at R[srcA]+imm. */
+    CompareKey,
+    /** flags <- three-way compare of R[srcA] with srcB-or-imm. */
+    CompareReg,
+    /**
+     * Trie index-table search: scan `count = R[srcB]` 8 B entries at
+     * lineBuf[imm] for the byte in R[srcA]; on hit R[dst] <- child
+     * pointer and flags=Eq, else flags=Ne.
+     */
+    IndexSearch,
+    /** Query complete; success iff imm != 0; result is R[kRegResult]. */
+    Return,
+    /** Raise an exception with error code imm. */
+    Except,
+};
+
+/** ALU functions available in the DPU. */
+enum class AluFn : std::uint8_t {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Mul,
+    Mov, ///< dst <- srcB/imm
+};
+
+/** Comparison outcome flags. */
+enum class CmpFlag : std::uint8_t { Eq, Lt, Gt };
+
+/** One CFA state: a micro-operation plus its transition rules. */
+struct MicroInst
+{
+    MicroOpcode op = MicroOpcode::Except;
+    std::uint8_t dst = 0;
+    std::uint8_t srcA = 0;
+    std::uint8_t srcB = 0;
+    /** True: second operand is `imm`, not R[srcB]. */
+    bool useImm = true;
+    std::uint64_t imm = 0;
+    std::uint8_t width = 8; ///< field width for loads (1..8)
+    AluFn aluFn = AluFn::Add;
+
+    /** Next state for non-compare ops (and fall-through). */
+    std::uint8_t next = 0;
+    /** Next state per comparison outcome. */
+    std::uint8_t onEq = 0;
+    std::uint8_t onLt = 0;
+    std::uint8_t onGt = 0;
+
+    /** Human-readable label for traces and firmware dumps. */
+    const char* label = "";
+};
+
+/** A complete CFA program for one data-structure type. */
+struct CfaProgram
+{
+    std::string name;
+    std::vector<MicroInst> states;
+
+    /** The architectural state-count limit (8-bit state field). */
+    static constexpr std::size_t kMaxStates = 256;
+
+    void
+    validate() const
+    {
+        simAssert(!states.empty(), "CFA '{}' has no states", name);
+        simAssert(states.size() <= kMaxStates,
+                  "CFA '{}' exceeds 256 states ({})", name,
+                  states.size());
+        auto inRange = [&](std::uint8_t s) {
+            return static_cast<std::size_t>(s) < states.size();
+        };
+        for (std::size_t i = 0; i < states.size(); ++i) {
+            const MicroInst& mi = states[i];
+            simAssert(inRange(mi.next) && inRange(mi.onEq) &&
+                          inRange(mi.onLt) && inRange(mi.onGt),
+                      "CFA '{}' state {} has out-of-range transition",
+                      name, i);
+            simAssert(mi.dst < kNumRegs && mi.srcA < kNumRegs &&
+                          mi.srcB < kNumRegs,
+                      "CFA '{}' state {} has bad register", name, i);
+            simAssert(mi.width >= 1 && mi.width <= 8,
+                      "CFA '{}' state {} has bad width {}", name, i,
+                      mi.width);
+        }
+    }
+
+    /** Disassemble for debugging / documentation. */
+    std::string disassemble() const;
+};
+
+/** Fluent builder easing hand-written firmware programs. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name) { prog_.name = std::move(name); }
+
+    /** Append a state; returns its index. */
+    std::uint8_t
+    add(MicroInst inst)
+    {
+        simAssert(prog_.states.size() < CfaProgram::kMaxStates,
+                  "program '{}' overflow", prog_.name);
+        prog_.states.push_back(inst);
+        return static_cast<std::uint8_t>(prog_.states.size() - 1);
+    }
+
+    /** Reserve a state to be patched later (forward branches). */
+    std::uint8_t
+    reserve()
+    {
+        return add(MicroInst{});
+    }
+
+    MicroInst& at(std::uint8_t idx) { return prog_.states[idx]; }
+
+    CfaProgram
+    finish()
+    {
+        prog_.validate();
+        return std::move(prog_);
+    }
+
+  private:
+    CfaProgram prog_;
+};
+
+/** QEI exception error codes written to result slots. */
+enum class QueryError : std::uint8_t {
+    None = 0,
+    PageFault = 1,
+    BadHeader = 2,
+    Aborted = 3, ///< interrupt flush of a non-blocking query
+    FirmwareFault = 4,
+};
+
+} // namespace qei
+
+#endif // QEI_QEI_MICROCODE_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The Query State Table (Sec. IV-B): per-accelerator storage for the
+ * architectural state of every in-flight query.
+ */
+
+#ifndef QEI_QEI_QST_HH
+#define QEI_QEI_QST_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "qei/microcode.hh"
+#include "qei/struct_header.hh"
+
+namespace qei {
+
+/** The two QUERY instruction flavours (Sec. IV-A). */
+enum class QueryMode : std::uint8_t { Blocking, NonBlocking };
+
+/** Lifecycle of a QST entry. */
+enum class QstPhase : std::uint8_t {
+    Idle,        ///< slot free
+    FetchHeader, ///< metadata read outstanding
+    Running,     ///< executing the type-specific CFA
+    Done,        ///< result queued for delivery
+    Exception,   ///< fault captured; result carries an error code
+};
+
+/** One in-flight query's architectural state. */
+struct QstEntry
+{
+    // -- paper-defined fields (Sec. IV-B) --
+    Addr keyAddr = kNullAddr;     ///< key_address (8 B)
+    Addr resultAddr = kNullAddr;  ///< result_address, NB queries (8 B)
+    StructType type = StructType::Invalid; ///< type (1 B)
+    std::uint8_t state = 0;       ///< CFA state / microcode PC (1 B)
+    std::array<std::uint8_t, kCacheLineBytes> lineBuf{}; ///< data (64 B)
+    QueryMode mode = QueryMode::Blocking; ///< query_mode (1 b)
+    bool ready = false;           ///< ready bit (1 b)
+
+    // -- working state (register file lives in the data scratch) --
+    std::array<std::uint64_t, kNumRegs> regs{};
+    Addr lineBase = kNullAddr;    ///< address staged in lineBuf
+    /** One-entry translation cache: last VPN touched by this query.
+     *  Consecutive accesses within a page (bucket halves, the key
+     *  field right after the node pointer) skip the TLB port. */
+    Addr xlatVpn = ~Addr{0};
+    Addr xlatPfnBase = 0;         ///< physical base of that page
+    /** Keys up to two cachelines are staged here once at dispatch, so
+     *  per-node comparisons never refetch the query key (Sec. V-A:
+     *  small keys compare locally in the DPU; RocksDB's 100 B keys
+     *  just fit). */
+    static constexpr std::uint32_t kKeyBufBytes = 2 * kCacheLineBytes;
+    std::array<std::uint8_t, kKeyBufBytes> keyBuf{};
+    bool keyStaged = false;
+    QstPhase phase = QstPhase::Idle;
+    Addr headerAddr = kNullAddr;
+    StructHeader header;          ///< parsed metadata
+    CmpFlag flags = CmpFlag::Eq;
+
+    // -- completion --
+    bool success = false;
+    std::uint64_t resultValue = 0;
+    QueryError error = QueryError::None;
+
+    // -- bookkeeping --
+    std::uint64_t queryId = 0;
+    Cycles enqueued = 0;
+    Cycles completed = 0;
+    std::uint32_t memAccesses = 0;
+    std::uint32_t microOps = 0;
+    std::uint32_t remoteCompares = 0;
+};
+
+/**
+ * The table itself: fixed-capacity slot array with FIFO-ordered ready
+ * selection (the paper's scheduler picks one ready entry per cycle in
+ * FIFO order).
+ */
+class QueryStateTable
+{
+  public:
+    explicit QueryStateTable(int entries)
+        : entries_(static_cast<std::size_t>(entries))
+    {
+        simAssert(entries > 0, "QST needs at least one entry");
+    }
+
+    /** Number of slots. */
+    std::size_t capacity() const { return entries_.size(); }
+
+    /** Currently allocated slots. */
+    std::size_t
+    occupied() const
+    {
+        std::size_t n = 0;
+        for (const auto& e : entries_)
+            n += e.phase != QstPhase::Idle ? 1 : 0;
+        return n;
+    }
+
+    bool full() const { return occupied() == capacity(); }
+
+    /**
+     * Allocate the first idle slot (the paper's "first empty entry").
+     * @return the slot index (QST ID), or -1 when full.
+     */
+    int
+    allocate()
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].phase == QstPhase::Idle) {
+                entries_[i] = QstEntry{};
+                entries_[i].phase = QstPhase::FetchHeader;
+                return static_cast<int>(i);
+            }
+        }
+        return -1;
+    }
+
+    /** Release a slot back to Idle. */
+    void
+    release(int id)
+    {
+        at(id) = QstEntry{};
+    }
+
+    QstEntry&
+    at(int id)
+    {
+        simAssert(id >= 0 &&
+                      static_cast<std::size_t>(id) < entries_.size(),
+                  "QST id {} out of range", id);
+        return entries_[static_cast<std::size_t>(id)];
+    }
+
+    const QstEntry&
+    at(int id) const
+    {
+        simAssert(id >= 0 &&
+                      static_cast<std::size_t>(id) < entries_.size(),
+                  "QST id {} out of range", id);
+        return entries_[static_cast<std::size_t>(id)];
+    }
+
+    /** All non-idle entries' ids (for flush handling). */
+    std::vector<int>
+    activeIds() const
+    {
+        std::vector<int> ids;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].phase != QstPhase::Idle)
+                ids.push_back(static_cast<int>(i));
+        }
+        return ids;
+    }
+
+  private:
+    std::vector<QstEntry> entries_;
+};
+
+} // namespace qei
+
+#endif // QEI_QEI_QST_HH

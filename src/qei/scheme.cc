@@ -1,0 +1,96 @@
+#include "scheme.hh"
+
+#include <vector>
+
+namespace qei {
+
+std::string
+SchemeConfig::name() const
+{
+    switch (scheme) {
+      case IntegrationScheme::ChaTlb:         return "CHA-TLB";
+      case IntegrationScheme::ChaNoTlb:       return "CHA-noTLB";
+      case IntegrationScheme::DeviceDirect:   return "Device-direct";
+      case IntegrationScheme::DeviceIndirect: return "Device-indirect";
+      case IntegrationScheme::CoreIntegrated: return "Core-integrated";
+    }
+    return "unknown";
+}
+
+SchemeConfig
+SchemeConfig::chaTlb()
+{
+    SchemeConfig c;
+    c.scheme = IntegrationScheme::ChaTlb;
+    c.translate = TranslatePath::DedicatedTlb;
+    c.data = DataPath::ChaPath;
+    c.qstEntries = 10;
+    c.accelerators = 24;
+    c.perCore = false; // distributed by NUCA hash over the CHAs
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::chaNoTlb()
+{
+    SchemeConfig c = chaTlb();
+    c.scheme = IntegrationScheme::ChaNoTlb;
+    c.translate = TranslatePath::CoreMmuRemote;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::deviceDirect()
+{
+    SchemeConfig c;
+    c.scheme = IntegrationScheme::DeviceDirect;
+    c.translate = TranslatePath::DeviceTlb;
+    c.data = DataPath::DevicePath;
+    c.qstEntries = 240; // 10 x 24 cores (Sec. VI-A)
+    c.accelerators = 1;
+    c.perCore = false;
+    c.deviceTile = 0;
+    // Tab. I: accelerator-core latency 100~500 cycles — doorbell,
+    // device queues and descriptor handling on top of the raw NoC hop.
+    c.submitLatency = 100;
+    // The device's own request pipeline adds a little to every access.
+    c.dataOverhead = 15;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::deviceIndirect(Cycles if_latency)
+{
+    SchemeConfig c = deviceDirect();
+    c.scheme = IntegrationScheme::DeviceIndirect;
+    c.submitLatency = 0; // the interface latency covers it
+    c.deviceIfLatency = if_latency;
+    // Every data access rides through the standard interface:
+    // protocol translation + coherence handling (Sec. V, Fig. 8).
+    c.dataOverhead = if_latency;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::coreIntegrated()
+{
+    SchemeConfig c;
+    c.scheme = IntegrationScheme::CoreIntegrated;
+    c.translate = TranslatePath::CoreL2Tlb;
+    c.data = DataPath::L2Path;
+    c.qstEntries = 10;
+    c.accelerators = 24;
+    c.perCore = true;
+    c.submitLatency = 6; // core pipeline to the L2-adjacent QST
+    c.remoteComparators = true;
+    return c;
+}
+
+std::vector<SchemeConfig>
+SchemeConfig::allSchemes()
+{
+    return {chaTlb(), chaNoTlb(), deviceDirect(), deviceIndirect(),
+            coreIntegrated()};
+}
+
+} // namespace qei

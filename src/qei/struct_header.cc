@@ -1,0 +1,55 @@
+#include "struct_header.hh"
+
+namespace qei {
+
+void
+StructHeader::writeTo(VirtualMemory& vm, Addr vaddr) const
+{
+    simAssert(lineOffset(vaddr) == 0,
+              "header at {:#x} must be cacheline aligned", vaddr);
+    std::uint8_t image[kCacheLineBytes] = {};
+    auto put = [&](std::size_t off, const void* src, std::size_t len) {
+        std::memcpy(image + off, src, len);
+    };
+    put(0, &root, 8);
+    const auto t = static_cast<std::uint8_t>(type);
+    put(8, &t, 1);
+    put(9, &subtype, 1);
+    put(10, &keyLen, 2);
+    put(12, &flags, 4);
+    put(16, &size, 8);
+    put(24, &aux0, 8);
+    put(32, &aux1, 8);
+    put(40, &aux2, 8);
+    const auto h = static_cast<std::uint8_t>(hashFn);
+    put(48, &h, 1);
+    vm.writeBytes(vaddr, image, sizeof(image));
+}
+
+StructHeader
+StructHeader::readFrom(const VirtualMemory& vm, Addr vaddr)
+{
+    std::uint8_t image[kCacheLineBytes];
+    vm.readBytes(vaddr, image, sizeof(image));
+    StructHeader h;
+    auto get = [&](std::size_t off, void* dst, std::size_t len) {
+        std::memcpy(dst, image + off, len);
+    };
+    get(0, &h.root, 8);
+    std::uint8_t t = 0;
+    get(8, &t, 1);
+    h.type = static_cast<StructType>(t);
+    get(9, &h.subtype, 1);
+    get(10, &h.keyLen, 2);
+    get(12, &h.flags, 4);
+    get(16, &h.size, 8);
+    get(24, &h.aux0, 8);
+    get(32, &h.aux1, 8);
+    get(40, &h.aux2, 8);
+    std::uint8_t fn = 0;
+    get(48, &fn, 1);
+    h.hashFn = static_cast<HashFunction>(fn);
+    return h;
+}
+
+} // namespace qei

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The single-cacheline data-structure metadata header of Fig. 4.
+ *
+ * Software populates one 64 B header per queried data structure; QEI
+ * parses it in the common CFA prologue before dispatching to the
+ * type-specific program. The layout is part of the software/hardware
+ * contract, so it is fixed here field by field.
+ */
+
+#ifndef QEI_QEI_STRUCT_HEADER_HH
+#define QEI_QEI_STRUCT_HEADER_HH
+
+#include <cstdint>
+
+#include "common/hash.hh"
+#include "common/types.hh"
+#include "vm/virtual_memory.hh"
+
+namespace qei {
+
+/** Data-structure families QEI ships firmware for. */
+enum class StructType : std::uint8_t {
+    LinkedList = 0,
+    SkipList = 1,
+    BinaryTree = 2,
+    ChainedHash = 3,
+    CuckooHash = 4,
+    Trie = 5,
+    /** Combined structure: hash table of linked lists (Sec. III-A). */
+    HashOfLists = 6,
+    Invalid = 0xFF,
+};
+
+/** Header flag bits. */
+enum StructFlags : std::uint32_t {
+    /** Keys are stored inline in nodes (vs. behind a pointer). */
+    kFlagInlineKey = 1u << 0,
+    /** Comparisons for this structure may use remote CHA comparators. */
+    kFlagRemoteCompareOk = 1u << 1,
+};
+
+/**
+ * In-memory image of the 64 B header (Fig. 4).
+ *
+ * Offsets:
+ *   0  root      (8 B)  pointer to the data structure
+ *   8  type      (1 B)
+ *   9  subtype   (1 B)  e.g. entries per hash bucket, skip-list height
+ *  10  keyLen    (2 B)
+ *  12  flags     (4 B)
+ *  16  size      (8 B)  element count / table size for static structs
+ *  24  aux0      (8 B)  e.g. bucket count mask (hash), node size
+ *  32  aux1      (8 B)  e.g. secondary hash seed
+ *  40  aux2      (8 B)
+ *  48  hashFn    (1 B)
+ *  49  reserved  (15 B)
+ */
+struct StructHeader
+{
+    Addr root = kNullAddr;
+    StructType type = StructType::Invalid;
+    std::uint8_t subtype = 0;
+    std::uint16_t keyLen = 0;
+    std::uint32_t flags = 0;
+    std::uint64_t size = 0;
+    std::uint64_t aux0 = 0;
+    std::uint64_t aux1 = 0;
+    std::uint64_t aux2 = 0;
+    HashFunction hashFn = HashFunction::Crc32c;
+
+    /** Serialise into the 64 B layout at @p vaddr in @p vm. */
+    void writeTo(VirtualMemory& vm, Addr vaddr) const;
+
+    /** Parse a header image from @p vaddr in @p vm. */
+    static StructHeader readFrom(const VirtualMemory& vm, Addr vaddr);
+
+    bool
+    inlineKey() const
+    {
+        return (flags & kFlagInlineKey) != 0;
+    }
+
+    bool
+    remoteCompareOk() const
+    {
+        return (flags & kFlagRemoteCompareOk) != 0;
+    }
+};
+
+} // namespace qei
+
+#endif // QEI_QEI_STRUCT_HEADER_HH

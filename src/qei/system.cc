@@ -1,0 +1,495 @@
+#include "system.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/hash.hh"
+
+namespace qei {
+
+QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
+                     MemoryHierarchy& memory, VirtualMemory& vm,
+                     const FirmwareStore& firmware,
+                     const SchemeConfig& scheme)
+    : chip_(chip), events_(events), memory_(memory), vm_(vm),
+      scheme_(scheme),
+      remoteCmps_(memory.cores(), chip.qei.comparatorsPerCha)
+{
+    for (int c = 0; c < memory.cores(); ++c)
+        mmus_.push_back(std::make_unique<Mmu>(vm, chip.mmu));
+
+    env_ = std::make_unique<AccelEnv>(AccelEnv{
+        events_, memory_, vm_, {}, &remoteCmps_, firmware, scheme_});
+    for (auto& m : mmus_)
+        env_->coreMmus.push_back(m.get());
+
+    DpuParams dpu;
+    dpu.alus = chip.qei.alusPerDpu;
+    dpu.comparators = scheme_.accelerators == 1
+                          ? chip.qei.comparatorsPerDpu
+                          : chip.qei.comparatorsPerCha;
+
+    for (int i = 0; i < scheme_.accelerators; ++i) {
+        const int tile = scheme_.accelerators == 1 ? scheme_.deviceTile
+                                                   : i;
+        // Core-integrated instances use their own core's L2-TLB; CHA /
+        // device instances that must reach a core MMU go to the
+        // issuing thread's core (core 0 in the single-thread
+        // evaluation of Sec. VI-B) — a real NoC round trip.
+        const int homeCore = scheme_.perCore ? tile : 0;
+        accels_.push_back(std::make_unique<Accelerator>(
+            i, tile, homeCore, *env_, dpu));
+    }
+}
+
+QeiSystem::~QeiSystem() = default;
+
+Accelerator&
+QeiSystem::acceleratorFor(Addr key_addr, int issuing_core)
+{
+    if (scheme_.accelerators == 1)
+        return *accels_.front();
+    if (scheme_.perCore) {
+        return *accels_[static_cast<std::size_t>(issuing_core) %
+                        accels_.size()];
+    }
+    // CHA-based: distribute by the NUCA hash of the key's line, so a
+    // single hot table still fans out over every slice.
+    const Addr paddr = vm_.translate(key_addr);
+    const int slice = memory_.homeSlice(paddr);
+    return *accels_[static_cast<std::size_t>(slice)];
+}
+
+Cycles
+QeiSystem::submitLatency(int core, const Accelerator& target, Cycles now)
+{
+    Cycles lat = scheme_.submitLatency;
+    if (scheme_.accelerators == 1) {
+        lat += memory_.messageOneWay(core, target.tile(), now);
+        lat += scheme_.deviceIfLatency;
+    } else if (!scheme_.perCore) {
+        lat += memory_.messageOneWay(core, target.tile(), now);
+    }
+    return std::max<Cycles>(lat, 1);
+}
+
+Cycles
+QeiSystem::responseLatency(int core, const Accelerator& target,
+                           Cycles now)
+{
+    // Symmetric with submission.
+    return submitLatency(core, target, now);
+}
+
+void
+QeiSystem::warmTlbs(const std::vector<Addr>& vpns)
+{
+    for (auto& mmu : mmus_)
+        mmu->prefillL2(vpns);
+    for (auto& accel : accels_) {
+        if (accel->dedicatedTlb() != nullptr)
+            accel->dedicatedTlb()->prefill(vpns);
+    }
+}
+
+std::string
+QeiSystem::renderStats() const
+{
+    std::string out;
+    std::uint64_t mem = 0;
+    std::uint64_t uops = 0;
+    std::uint64_t rcmp = 0;
+    std::uint64_t done = 0;
+    for (const auto& a : accels_) {
+        mem += a->memAccesses();
+        uops += a->microOps();
+        rcmp += a->remoteCompares();
+        done += a->completedQueries();
+        if (a->completedQueries() > 0) {
+            out += fmt("accel.{} queries={} occupancy(mean)={:.2f} "
+                       "uops={} mem={} remote-cmp={} exceptions={}\n",
+                       a->id(), a->completedQueries(),
+                       a->qstOccupancy().mean(), a->microOps(),
+                       a->memAccesses(), a->remoteCompares(),
+                       a->exceptions());
+        }
+    }
+    out += fmt("total queries={} uops={} mem-accesses={} "
+               "remote-compares={}\n",
+               done, uops, mem, rcmp);
+    out += fmt("llc hit-rate={:.3f} dram accesses={} noc bytes={} "
+               "noc peak-link-util={:.3f}\n",
+               memory_.llcHitRate(), memory_.dram().accesses(),
+               memory_.mesh().totalBytes(),
+               memory_.mesh().peakLinkUtilisation());
+    return out;
+}
+
+Cycles
+QeiSystem::flushAll()
+{
+    Cycles worst = 0;
+    for (auto& a : accels_)
+        worst = std::max(worst, a->flush());
+    return worst;
+}
+
+namespace {
+
+/** Gather per-accelerator counters into run stats. */
+void
+collectAccelStats(
+    const std::vector<std::unique_ptr<Accelerator>>& accels,
+    QeiRunStats& stats)
+{
+    double occSum = 0.0;
+    double occCount = 0.0;
+    for (const auto& a : accels) {
+        stats.memAccesses += a->memAccesses();
+        stats.microOps += a->microOps();
+        stats.remoteCompares += a->remoteCompares();
+        stats.exceptions += a->exceptions();
+        occSum += a->qstOccupancy().sum();
+        occCount += static_cast<double>(a->qstOccupancy().count());
+        // The paper reports 50-90% occupancy on the busy instances.
+    }
+    stats.avgQstOccupancy = occCount > 0 ? occSum / occCount : 0.0;
+}
+
+/** Validate a completed entry against the job's expected outcome. */
+bool
+matchesExpectation(const QstEntry& entry, const QueryJob& job)
+{
+    if (entry.error != QueryError::None)
+        return false;
+    if (entry.success != job.expectFound)
+        return false;
+    return !job.expectFound || entry.resultValue == job.expectValue;
+}
+
+} // namespace
+
+QeiRunStats
+QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
+                       int issuing_core, const RoiProfile& profile)
+{
+    QeiRunStats stats;
+    stats.queries = jobs.size();
+    if (jobs.empty())
+        return stats;
+
+    // Instructions the core executes per query: the surrounding
+    // independent work plus the QUERY_B instruction itself.
+    const std::uint32_t windowInstr = profile.nonQueryInstrPerOp + 1;
+    // A blocking query holds a ROB slot until it retires; with
+    // `windowInstr` instructions between queries the OoO window covers
+    // at most this many outstanding queries (Sec. VII-A).
+    const int robLimit = std::max(
+        1, chip_.core.robEntries / static_cast<int>(windowInstr));
+    const int lqLimit = chip_.core.loadQueueEntries;
+    const int maxInflight = std::min(robLimit, lqLimit);
+
+    const double issueGap =
+        static_cast<double>(profile.nonQueryInstrPerOp) /
+            chip_.core.issueWidth +
+        profile.frontendStallPerInstr * windowInstr +
+        static_cast<double>(profile.nonQueryMispredictsPerOp) *
+            static_cast<double>(chip_.core.branchMispredictPenalty);
+
+    std::size_t nextJob = 0;
+    int inflight = 0;
+    double fetchTime = 0.0;
+    Cycles lastRetire = 0;
+    double inflightPeak = 0.0;
+    // Software-side slot tracking (Sec. IV-A): queries issued but not
+    // yet completed, per accelerator instance, including those still
+    // in flight towards the Query Queue.
+    std::map<const Accelerator*, int> reserved;
+
+    // Issue as many queries as the window and the QST allow; resumed
+    // from every completion.
+    std::function<void()> issueLoop = [&]() {
+        while (nextJob < jobs.size() && inflight < maxInflight) {
+            const QueryJob& job = jobs[nextJob];
+            Accelerator& target =
+                acceleratorFor(job.keyAddr, issuing_core);
+            if (reserved[&target] >= scheme_.qstEntries)
+                break; // software waits for a slot (Sec. IV-A)
+
+            fetchTime = std::max(
+                fetchTime, static_cast<double>(events_.now()));
+            fetchTime += issueGap;
+            stats.coreInstructions += windowInstr;
+
+            const Cycles issueAt = static_cast<Cycles>(fetchTime);
+            const Cycles submitAt =
+                issueAt + submitLatency(issuing_core, target, issueAt);
+
+            ++inflight;
+            ++reserved[&target];
+            inflightPeak =
+                std::max(inflightPeak, static_cast<double>(inflight));
+            const std::size_t jobIdx = nextJob;
+            ++nextJob;
+
+            events_.scheduleAt(submitAt, [this, &target, &jobs, jobIdx,
+                                          issuing_core, &stats,
+                                          &inflight, &lastRetire,
+                                          &reserved, &issueLoop]() {
+                const QueryJob& j = jobs[jobIdx];
+                const int slot = target.enqueue(
+                    j.headerAddr, j.keyAddr, kNullAddr,
+                    QueryMode::Blocking, jobIdx,
+                    [this, &target, &jobs, jobIdx, issuing_core, &stats,
+                     &inflight, &lastRetire, &reserved,
+                     &issueLoop](const QstEntry& entry) {
+                        const Cycles now = events_.now();
+                        const Cycles retire =
+                            now + responseLatency(issuing_core, target,
+                                                  now);
+                        lastRetire = std::max(lastRetire, retire);
+                        if (!matchesExpectation(entry, jobs[jobIdx]))
+                            ++stats.mismatches;
+                        --inflight;
+                        --reserved[&target];
+                        issueLoop();
+                    });
+                simAssert(slot >= 0,
+                          "QST overflow despite software tracking");
+            });
+        }
+    };
+
+    issueLoop();
+    events_.run();
+
+    stats.cycles = lastRetire;
+    collectAccelStats(accels_, stats);
+    stats.maxInFlightObserved = inflightPeak;
+    return stats;
+}
+
+QeiRunStats
+QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
+                                int cores, const RoiProfile& profile)
+{
+    QeiRunStats stats;
+    stats.queries = jobs.size();
+    if (jobs.empty())
+        return stats;
+    simAssert(cores > 0 && cores <= memory_.cores(),
+              "{} issuing cores on a {}-core chip", cores,
+              memory_.cores());
+
+    const std::uint32_t windowInstr = profile.nonQueryInstrPerOp + 1;
+    const int robLimit = std::max(
+        1, chip_.core.robEntries / static_cast<int>(windowInstr));
+    const int maxInflight =
+        std::min(robLimit, chip_.core.loadQueueEntries);
+    const double issueGap =
+        static_cast<double>(profile.nonQueryInstrPerOp) /
+            chip_.core.issueWidth +
+        profile.frontendStallPerInstr * windowInstr;
+
+    // Per-issuing-core state: a private job stream, fetch clock, and
+    // in-flight window; all cores share the accelerators and memory
+    // system, which is where the contention shows up.
+    struct CoreState
+    {
+        std::vector<std::size_t> jobIdxs;
+        std::size_t next = 0;
+        int inflight = 0;
+        double fetchTime = 0.0;
+    };
+    std::vector<CoreState> coreState(static_cast<std::size_t>(cores));
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        coreState[j % static_cast<std::size_t>(cores)]
+            .jobIdxs.push_back(j);
+    }
+
+    Cycles lastRetire = 0;
+    std::map<const Accelerator*, int> reserved;
+
+    std::function<void(int)> issueLoop = [&](int core) {
+        CoreState& cs = coreState[static_cast<std::size_t>(core)];
+        while (cs.next < cs.jobIdxs.size() &&
+               cs.inflight < maxInflight) {
+            const std::size_t jobIdx = cs.jobIdxs[cs.next];
+            const QueryJob& job = jobs[jobIdx];
+            Accelerator& target = acceleratorFor(job.keyAddr, core);
+            if (reserved[&target] >= scheme_.qstEntries)
+                break;
+
+            cs.fetchTime = std::max(
+                cs.fetchTime, static_cast<double>(events_.now()));
+            cs.fetchTime += issueGap;
+            stats.coreInstructions += windowInstr;
+
+            const Cycles issueAt = static_cast<Cycles>(cs.fetchTime);
+            const Cycles submitAt =
+                issueAt + submitLatency(core, target, issueAt);
+            ++cs.inflight;
+            ++reserved[&target];
+            ++cs.next;
+
+            events_.scheduleAt(submitAt, [this, &target, &jobs, jobIdx,
+                                          core, &stats, &coreState,
+                                          &lastRetire, &reserved,
+                                          &issueLoop]() {
+                const QueryJob& j = jobs[jobIdx];
+                const int slot = target.enqueue(
+                    j.headerAddr, j.keyAddr, kNullAddr,
+                    QueryMode::Blocking, jobIdx,
+                    [this, &target, &jobs, jobIdx, core, &stats,
+                     &coreState, &lastRetire, &reserved,
+                     &issueLoop](const QstEntry& entry) {
+                        const Cycles now = events_.now();
+                        lastRetire = std::max(
+                            lastRetire,
+                            now + responseLatency(core, target, now));
+                        if (!matchesExpectation(entry, jobs[jobIdx]))
+                            ++stats.mismatches;
+                        --coreState[static_cast<std::size_t>(core)]
+                              .inflight;
+                        --reserved[&target];
+                        // A completion can unblock any core waiting
+                        // on this accelerator's QST.
+                        for (std::size_t c = 0; c < coreState.size();
+                             ++c)
+                            issueLoop(static_cast<int>(c));
+                    });
+                simAssert(slot >= 0,
+                          "QST overflow despite software tracking");
+            });
+        }
+    };
+
+    for (int c = 0; c < cores; ++c)
+        issueLoop(c);
+    events_.run();
+
+    stats.cycles = lastRetire;
+    collectAccelStats(accels_, stats);
+    return stats;
+}
+
+QeiRunStats
+QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
+                          int issuing_core, const RoiProfile& profile,
+                          int poll_batch)
+{
+    QeiRunStats stats;
+    stats.queries = jobs.size();
+    if (jobs.empty())
+        return stats;
+
+    // QUERY_NB retires as soon as the accelerator accepts it: the only
+    // core-side costs are the issue slot and the polling loop.
+    // Issue cost per query: the surrounding work plus ~2 instructions
+    // (address setup + the store-like QUERY_NB).
+    const std::uint32_t issueInstr = profile.nonQueryInstrPerOp + 2;
+    const double issueGap =
+        static_cast<double>(issueInstr) / chip_.core.issueWidth +
+        profile.frontendStallPerInstr * issueInstr;
+    // SNAPSHOT_READ poll: one wide load + mask test (Sec. IV-A).
+    constexpr std::uint32_t kPollInstr = 4;
+    constexpr Cycles kPollInterval = 50;
+
+    std::size_t nextJob = 0;
+    double fetchTime = 0.0;
+    Cycles lastDone = 0;
+    int inflight = 0;
+    double inflightPeak = 0.0;
+    std::size_t completedInBatch = 0;
+    std::size_t batchTarget = 0;
+
+    // Hand job `jobIdx` to its accelerator; if the target QST is full
+    // (software over-filled a hot instance), back off and retry — the
+    // paper notes an overflow "will prevent the accelerator from
+    // accepting further query requests".
+    std::function<void(std::size_t)> tryEnqueue =
+        [&](std::size_t jobIdx) {
+            const QueryJob& j = jobs[jobIdx];
+            Accelerator& target =
+                acceleratorFor(j.keyAddr, issuing_core);
+            if (!target.hasFreeSlot()) {
+                events_.schedule(20,
+                                 [&tryEnqueue, jobIdx] {
+                                     tryEnqueue(jobIdx);
+                                 });
+                return;
+            }
+            const int slot = target.enqueue(
+                j.headerAddr, j.keyAddr, j.resultAddr,
+                QueryMode::NonBlocking, jobIdx,
+                [&, jobIdx](const QstEntry& entry) {
+                    lastDone = std::max(lastDone, events_.now());
+                    if (!matchesExpectation(entry, jobs[jobIdx]))
+                        ++stats.mismatches;
+                    --inflight;
+                    ++completedInBatch;
+                });
+            simAssert(slot >= 0, "enqueue failed with a free slot");
+        };
+
+    std::function<void()> issueBatch = [&]() {
+        batchTarget = std::min<std::size_t>(
+            static_cast<std::size_t>(poll_batch), jobs.size() - nextJob);
+        completedInBatch = 0;
+        if (batchTarget == 0)
+            return;
+        for (std::size_t k = 0; k < batchTarget; ++k) {
+            const QueryJob& job = jobs[nextJob];
+            Accelerator& target =
+                acceleratorFor(job.keyAddr, issuing_core);
+
+            fetchTime = std::max(
+                fetchTime, static_cast<double>(events_.now()));
+            fetchTime += issueGap;
+            stats.coreInstructions += issueInstr;
+
+            const Cycles issueAt = static_cast<Cycles>(fetchTime);
+            const Cycles submitAt =
+                issueAt + submitLatency(issuing_core, target, issueAt);
+            const std::size_t jobIdx = nextJob;
+            ++nextJob;
+            ++inflight;
+            inflightPeak =
+                std::max(inflightPeak, static_cast<double>(inflight));
+
+            events_.scheduleAt(submitAt, [&tryEnqueue, jobIdx] {
+                tryEnqueue(jobIdx);
+            });
+        }
+    };
+
+    // Poll-and-refill loop: issue a batch, poll until it completes,
+    // then issue the next.
+    while (nextJob < jobs.size()) {
+        issueBatch();
+        events_.run();
+        simAssert(completedInBatch == batchTarget,
+                  "non-blocking batch lost queries ({}/{})",
+                  completedInBatch, batchTarget);
+        // Polling cost: the software polled roughly every
+        // kPollInterval cycles while the batch was in flight, and the
+        // result only becomes visible at the first poll after
+        // completion.
+        const double batchSpan = std::max(
+            0.0, static_cast<double>(lastDone) - fetchTime);
+        const auto polls = static_cast<std::uint64_t>(
+            batchSpan / kPollInterval + 1.0);
+        stats.coreInstructions += polls * kPollInstr;
+        fetchTime = std::max(fetchTime, static_cast<double>(lastDone)) +
+                    static_cast<double>(kPollInstr) /
+                        chip_.core.issueWidth;
+    }
+
+    stats.cycles = std::max(
+        lastDone, static_cast<Cycles>(fetchTime));
+    collectAccelStats(accels_, stats);
+    stats.maxInFlightObserved = inflightPeak;
+    return stats;
+}
+
+} // namespace qei

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Chip-level QEI system: instantiates the accelerators for a given
+ * integration scheme, dispatches queries to them, and models the core
+ * side of the QUERY_B / QUERY_NB instructions (Sec. IV-A, IV-C).
+ */
+
+#ifndef QEI_QEI_SYSTEM_HH
+#define QEI_QEI_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/chip_config.hh"
+#include "core/trace.hh"
+#include "qei/accelerator.hh"
+#include "qei/scheme.hh"
+#include "sim/event_queue.hh"
+
+namespace qei {
+
+/** One query to run: inputs plus the expected functional outcome. */
+struct QueryJob
+{
+    Addr headerAddr = kNullAddr;
+    Addr keyAddr = kNullAddr;
+    /** Result slot for non-blocking queries (16 B, zeroed). */
+    Addr resultAddr = kNullAddr;
+    /** Ground truth from the software reference, for validation. */
+    bool expectFound = false;
+    std::uint64_t expectValue = 0;
+};
+
+/** Outcome of one QEI run. */
+struct QeiRunStats
+{
+    Cycles cycles = 0;
+    std::uint64_t queries = 0;
+    /** Dynamic instructions the *core* executed (Fig. 11). */
+    std::uint64_t coreInstructions = 0;
+    /** Functional disagreements with the software reference. */
+    std::uint64_t mismatches = 0;
+    std::uint64_t exceptions = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t microOps = 0;
+    std::uint64_t remoteCompares = 0;
+    double avgQstOccupancy = 0.0;
+    double maxInFlightObserved = 0.0;
+
+    double
+    cyclesPerQuery() const
+    {
+        return queries ? static_cast<double>(cycles) /
+                             static_cast<double>(queries)
+                       : 0.0;
+    }
+};
+
+/** The QEI deployment on one chip for one integration scheme. */
+class QeiSystem
+{
+  public:
+    QeiSystem(const ChipConfig& chip, EventQueue& events,
+              MemoryHierarchy& memory, VirtualMemory& vm,
+              const FirmwareStore& firmware, const SchemeConfig& scheme);
+    ~QeiSystem();
+
+    QeiSystem(const QeiSystem&) = delete;
+    QeiSystem& operator=(const QeiSystem&) = delete;
+
+    /**
+     * Run @p jobs as blocking QUERY_B instructions issued by
+     * @p issuing_core, with @p profile's independent work between
+     * queries. Models the load-like pipeline semantics: each
+     * outstanding query holds an LQ + ROB slot until the result
+     * returns, which caps in-flight parallelism at roughly
+     * ROB / instructions-per-query-window.
+     */
+    QeiRunStats runBlocking(const std::vector<QueryJob>& jobs,
+                            int issuing_core,
+                            const RoiProfile& profile);
+
+    /**
+     * Run @p jobs as non-blocking QUERY_NB instructions: store-like,
+     * retire immediately; software polls the result slots with
+     * SNAPSHOT_READ every @p poll_batch completions (Sec. VII-B).
+     */
+    QeiRunStats runNonBlocking(const std::vector<QueryJob>& jobs,
+                               int issuing_core,
+                               const RoiProfile& profile,
+                               int poll_batch = 32);
+
+    /**
+     * Run @p jobs as blocking queries issued concurrently from
+     * @p cores cores (jobs are dealt round-robin). This is the
+     * scalability scenario of Tab. I: per-core accelerators scale,
+     * CHA instances share, and the single device stop becomes the
+     * bottleneck as issuing cores multiply.
+     */
+    QeiRunStats runBlockingMultiCore(const std::vector<QueryJob>& jobs,
+                                     int cores,
+                                     const RoiProfile& profile);
+
+    /**
+     * The accelerator a query is dispatched to. Core-integrated: the
+     * issuing core's own instance. CHA-based: distributed over the
+     * CHAs by the NUCA hash of the queried key's line (so one hot
+     * table still spreads across all slices, as HALO does). Device:
+     * the single instance.
+     */
+    Accelerator& acceleratorFor(Addr key_addr, int issuing_core);
+
+    Accelerator& accelerator(int idx)
+    {
+        return *accels_[static_cast<std::size_t>(idx)];
+    }
+    int acceleratorCount() const
+    {
+        return static_cast<int>(accels_.size());
+    }
+
+    /** Interrupt: flush every accelerator (Sec. IV-D). */
+    Cycles flushAll();
+
+    /**
+     * Pre-warm every translation structure (dedicated TLBs and core
+     * L2-TLBs) with @p vpns — the paper's steady state, where "there
+     * are few TLB misses in our tests".
+     */
+    void warmTlbs(const std::vector<Addr>& vpns);
+
+    /**
+     * Render a post-run statistics report: per-accelerator counters
+     * and occupancy, memory-system hit rates, NoC traffic.
+     */
+    std::string renderStats() const;
+
+    const SchemeConfig& scheme() const { return scheme_; }
+    RemoteComparators& remoteComparators() { return remoteCmps_; }
+    Mmu& coreMmu(int core) { return *mmus_[static_cast<std::size_t>(core)]; }
+
+  private:
+    /** Core->accelerator submission latency at time @p now. */
+    Cycles submitLatency(int core, const Accelerator& target,
+                         Cycles now);
+    /** Accelerator->core response latency at time @p now. */
+    Cycles responseLatency(int core, const Accelerator& target,
+                           Cycles now);
+
+    ChipConfig chip_;
+    EventQueue& events_;
+    MemoryHierarchy& memory_;
+    VirtualMemory& vm_;
+    SchemeConfig scheme_;
+    RemoteComparators remoteCmps_;
+    std::vector<std::unique_ptr<Mmu>> mmus_;
+    std::unique_ptr<AccelEnv> env_;
+    std::vector<std::unique_ptr<Accelerator>> accels_;
+};
+
+} // namespace qei
+
+#endif // QEI_QEI_SYSTEM_HH

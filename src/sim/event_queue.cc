@@ -1,0 +1,51 @@
+#include "event_queue.hh"
+
+namespace qei {
+
+std::uint64_t
+EventQueue::run(Cycles maxCycles)
+{
+    const Cycles deadline =
+        maxCycles == kInvalidCycle ? kInvalidCycle : now_ + maxCycles;
+    std::uint64_t executed = 0;
+    while (!queue_.empty()) {
+        const Event& top = queue_.top();
+        if (deadline != kInvalidCycle && top.when > deadline) {
+            now_ = deadline;
+            break;
+        }
+        Event ev = top;
+        queue_.pop();
+        now_ = ev.when;
+        ev.action();
+        ++executed;
+    }
+    return executed;
+}
+
+std::uint64_t
+EventQueue::runUntil(Cycles until)
+{
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.top().when <= until) {
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ev.action();
+        ++executed;
+    }
+    if (now_ < until)
+        now_ = until;
+    return executed;
+}
+
+void
+EventQueue::reset()
+{
+    while (!queue_.empty())
+        queue_.pop();
+    now_ = 0;
+    nextSequence_ = 0;
+}
+
+} // namespace qei

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue orders callbacks by (cycle, priority, sequence) — the
+ * sequence number makes same-cycle, same-priority events fire in
+ * scheduling order, which keeps runs deterministic.
+ */
+
+#ifndef QEI_SIM_EVENT_QUEUE_HH
+#define QEI_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace qei {
+
+/** Relative ordering of events scheduled for the same cycle. */
+enum class EventPriority : std::int8_t {
+    MemoryResponse = -2, ///< responses fire before consumers
+    Default = 0,
+    CfaTick = 1,         ///< the CEE ticks after responses land
+    Stats = 2,
+};
+
+/** A single scheduled callback. */
+struct Event
+{
+    Cycles when = 0;
+    EventPriority priority = EventPriority::Default;
+    std::uint64_t sequence = 0;
+    std::function<void()> action;
+};
+
+/** Central time-ordered event queue driving a simulation. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated cycle. */
+    Cycles now() const { return now_; }
+
+    /**
+     * Schedule @p action to run @p delay cycles from now.
+     * A zero delay runs later in the current cycle.
+     */
+    void
+    schedule(Cycles delay, std::function<void()> action,
+             EventPriority prio = EventPriority::Default)
+    {
+        scheduleAt(now_ + delay, std::move(action), prio);
+    }
+
+    /** Schedule @p action at absolute cycle @p when (>= now). */
+    void
+    scheduleAt(Cycles when, std::function<void()> action,
+               EventPriority prio = EventPriority::Default)
+    {
+        simAssert(when >= now_,
+                  "scheduling into the past: {} < {}", when, now_);
+        queue_.push(Event{when, prio, nextSequence_++,
+                          std::move(action)});
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /**
+     * Run until the queue drains or @p maxCycles elapse.
+     * @return number of events executed.
+     */
+    std::uint64_t run(Cycles maxCycles = kInvalidCycle);
+
+    /** Execute events up to and including cycle @p until. */
+    std::uint64_t runUntil(Cycles until);
+
+    /** Drop all pending events (used between independent experiments). */
+    void reset();
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    Cycles now_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace qei
+
+#endif // QEI_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * TLB and MMU timing models.
+ *
+ * The MMU composes an L1 data TLB and an L2 (second-level) TLB in front
+ * of a page-walk latency model. QEI's Core-integrated scheme borrows
+ * the L2-TLB; the CHA-TLB scheme instantiates a dedicated 1024-entry
+ * Tlb per CHA; the CHA-noTLB scheme pays a NoC round trip to the core
+ * MMU instead.
+ */
+
+#ifndef QEI_VM_TLB_HH
+#define QEI_VM_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <vector>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "vm/virtual_memory.hh"
+
+namespace qei {
+
+/** Fully-associative LRU TLB over 4 KB pages. */
+class Tlb
+{
+  public:
+    Tlb(std::size_t entries, Cycles hit_latency)
+        : capacity_(entries), hitLatency_(hit_latency)
+    {
+    }
+
+    /** True and refreshed-to-MRU when @p vpn is cached. */
+    bool
+    lookup(Addr vpn)
+    {
+        auto it = index_.find(vpn);
+        if (it == index_.end()) {
+            misses_.inc();
+            return false;
+        }
+        lru_.splice(lru_.begin(), lru_, it->second);
+        hits_.inc();
+        return true;
+    }
+
+    /** Install @p vpn, evicting the LRU entry when full. */
+    void
+    fill(Addr vpn)
+    {
+        if (index_.contains(vpn))
+            return;
+        if (lru_.size() >= capacity_) {
+            index_.erase(lru_.back());
+            lru_.pop_back();
+        }
+        lru_.push_front(vpn);
+        index_[vpn] = lru_.begin();
+    }
+
+    /** Pre-fill with up to capacity entries (steady-state warm TLB). */
+    void
+    prefill(const std::vector<Addr>& vpns)
+    {
+        for (Addr vpn : vpns) {
+            if (lru_.size() >= capacity_)
+                break;
+            fill(vpn);
+        }
+    }
+
+    /** Drop all entries (context switch / shootdown). */
+    void
+    flush()
+    {
+        lru_.clear();
+        index_.clear();
+        flushes_.inc();
+    }
+
+    Cycles hitLatency() const { return hitLatency_; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return lru_.size(); }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    double
+    hitRate() const
+    {
+        const auto total = hits_.value() + misses_.value();
+        return total ? static_cast<double>(hits_.value()) / total : 0.0;
+    }
+
+  private:
+    std::size_t capacity_;
+    Cycles hitLatency_;
+    std::list<Addr> lru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> index_;
+    Counter hits_;
+    Counter misses_;
+    Counter flushes_;
+};
+
+/** Outcome of one translation through the MMU. */
+struct Translation
+{
+    bool valid = false;   ///< false ⇒ page fault
+    Addr paddr = 0;
+    Cycles latency = 0;   ///< total translation cost
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool walked = false;
+};
+
+/** MMU parameters (Skylake-like defaults; see Tab. II discussion). */
+struct MmuParams
+{
+    std::size_t l1Entries = 64;
+    Cycles l1HitLatency = 1;
+    std::size_t l2Entries = 1536;
+    Cycles l2HitLatency = 9;
+    Cycles pageWalkLatency = 90;
+};
+
+/** Two-level TLB + page-walk front door for one core. */
+class Mmu
+{
+  public:
+    Mmu(const VirtualMemory& vm, const MmuParams& params = {})
+        : vm_(vm), params_(params),
+          l1_(params.l1Entries, params.l1HitLatency),
+          l2_(params.l2Entries, params.l2HitLatency)
+    {
+    }
+
+    /**
+     * Translate @p vaddr and report the latency of the translation
+     * path actually taken (L1 hit / L2 hit / full walk).
+     */
+    Translation
+    translate(Addr vaddr)
+    {
+        Translation t;
+        const Addr vpn = pageNumber(vaddr);
+        auto paddr = vm_.tryTranslate(vaddr);
+        if (!paddr) {
+            t.valid = false;
+            t.latency = params_.pageWalkLatency;
+            return t;
+        }
+        t.valid = true;
+        t.paddr = *paddr;
+        if (l1_.lookup(vpn)) {
+            t.l1Hit = true;
+            t.latency = params_.l1HitLatency;
+            return t;
+        }
+        if (l2_.lookup(vpn)) {
+            t.l2Hit = true;
+            t.latency = params_.l1HitLatency + params_.l2HitLatency;
+            l1_.fill(vpn);
+            return t;
+        }
+        t.walked = true;
+        t.latency = params_.l1HitLatency + params_.l2HitLatency +
+                    params_.pageWalkLatency;
+        l2_.fill(vpn);
+        l1_.fill(vpn);
+        return t;
+    }
+
+    /**
+     * Translate as QEI's Core-integrated scheme does: straight into the
+     * L2-TLB (the accelerator sits next to it and does not touch the
+     * core's L1 dTLB).
+     */
+    Translation
+    translateViaL2(Addr vaddr)
+    {
+        Translation t;
+        const Addr vpn = pageNumber(vaddr);
+        auto paddr = vm_.tryTranslate(vaddr);
+        if (!paddr) {
+            t.valid = false;
+            t.latency = params_.pageWalkLatency;
+            return t;
+        }
+        t.valid = true;
+        t.paddr = *paddr;
+        if (l2_.lookup(vpn)) {
+            t.l2Hit = true;
+            t.latency = params_.l2HitLatency;
+            return t;
+        }
+        t.walked = true;
+        t.latency = params_.l2HitLatency + params_.pageWalkLatency;
+        l2_.fill(vpn);
+        return t;
+    }
+
+    /** Pre-warm the second-level TLB (steady-state experiments). */
+    void
+    prefillL2(const std::vector<Addr>& vpns)
+    {
+        l2_.prefill(vpns);
+    }
+
+    void
+    flush()
+    {
+        l1_.flush();
+        l2_.flush();
+    }
+
+    Tlb& l1() { return l1_; }
+    Tlb& l2() { return l2_; }
+    const MmuParams& params() const { return params_; }
+
+  private:
+    const VirtualMemory& vm_;
+    MmuParams params_;
+    Tlb l1_;
+    Tlb l2_;
+};
+
+} // namespace qei
+
+#endif // QEI_VM_TLB_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Simulated per-process virtual memory: page table, fragmenting frame
+ * allocator, and a bump allocator for laying data structures out in the
+ * simulated address space.
+ *
+ * Fragmentation matters to QEI: the paper argues queried data
+ * structures seldom sit in contiguous physical memory (so huge-page
+ * tricks fail and accelerators need real translation). The frame
+ * allocator therefore hands out physical frames in a pseudo-random
+ * order by default.
+ */
+
+#ifndef QEI_VM_VIRTUAL_MEMORY_HH
+#define QEI_VM_VIRTUAL_MEMORY_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+#include "mem/sim_memory.hh"
+
+namespace qei {
+
+/** Maps virtual page numbers to physical frame numbers. */
+class PageTable
+{
+  public:
+    /** Install a vpn→pfn mapping; remapping an existing vpn panics. */
+    void
+    map(Addr vpn, Addr pfn)
+    {
+        auto [it, inserted] = table_.emplace(vpn, pfn);
+        simAssert(inserted, "vpn {:#x} already mapped", vpn);
+        (void)it;
+    }
+
+    /** Look up the frame for @p vpn; nullopt when unmapped. */
+    std::optional<Addr>
+    lookup(Addr vpn) const
+    {
+        auto it = table_.find(vpn);
+        if (it == table_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    std::size_t size() const { return table_.size(); }
+
+    /** All vpn -> pfn mappings (for whole-footprint cache warming). */
+    const std::unordered_map<Addr, Addr>& entries() const
+    {
+        return table_;
+    }
+
+  private:
+    std::unordered_map<Addr, Addr> table_;
+};
+
+/**
+ * Physical frame allocator.
+ *
+ * In Fragmented mode (the default) frames are served from a shuffled
+ * free list, so consecutive virtual pages land on scattered frames —
+ * the memory layout of a long-running server. Contiguous mode exists
+ * for tests and for modelling the huge-page assumption of prior work.
+ */
+class FrameAllocator
+{
+  public:
+    enum class Mode { Fragmented, Contiguous };
+
+    FrameAllocator(std::uint64_t total_frames, Mode mode,
+                   std::uint64_t seed = 1);
+
+    /** Allocate one frame; fatal() when physical memory is exhausted. */
+    Addr allocate();
+
+    std::uint64_t allocated() const { return allocatedCount_; }
+    std::uint64_t totalFrames() const { return totalFrames_; }
+    Mode mode() const { return mode_; }
+
+  private:
+    std::uint64_t totalFrames_;
+    Mode mode_;
+    std::uint64_t rngSeed_ = 1;
+    std::uint64_t allocatedCount_ = 0;
+    std::uint64_t nextSequential_ = 0;
+    std::vector<Addr> shuffled_;
+    std::size_t shuffledNext_ = 0;
+};
+
+/**
+ * A process address space over a SimMemory.
+ *
+ * Provides a bump allocator (alloc) plus translated typed accessors.
+ * Host-side code (data-structure builders, reference queries) uses
+ * these accessors; the timing models translate separately via the MMU.
+ */
+class VirtualMemory
+{
+  public:
+    VirtualMemory(SimMemory& memory, FrameAllocator::Mode mode =
+                      FrameAllocator::Mode::Fragmented,
+                  std::uint64_t seed = 1);
+
+    /** Allocate @p bytes with @p align alignment; maps pages eagerly. */
+    Addr alloc(std::uint64_t bytes, std::uint64_t align = 8);
+
+    /** Allocate a fresh cacheline-aligned block. */
+    Addr
+    allocLines(std::uint64_t bytes)
+    {
+        return alloc(bytes, kCacheLineBytes);
+    }
+
+    /** Translate a virtual address; panics when unmapped. */
+    Addr translate(Addr vaddr) const;
+
+    /** Translate; nullopt when unmapped (for fault modelling). */
+    std::optional<Addr> tryTranslate(Addr vaddr) const;
+
+    /** Read through translation (may cross page boundaries). */
+    void readBytes(Addr vaddr, void* out, std::size_t len) const;
+
+    /** Write through translation (may cross page boundaries). */
+    void writeBytes(Addr vaddr, const void* src, std::size_t len);
+
+    template <typename T>
+    T
+    read(Addr vaddr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        readBytes(vaddr, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    write(Addr vaddr, const T& value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        writeBytes(vaddr, &value, sizeof(T));
+    }
+
+    const PageTable& pageTable() const { return pageTable_; }
+    SimMemory& memory() { return memory_; }
+    const SimMemory& memory() const { return memory_; }
+    std::uint64_t bytesAllocated() const { return brk_ - kHeapBase; }
+
+    /** Heap base: a non-zero base keeps kNullAddr unmapped. */
+    static constexpr Addr kHeapBase = 0x10000000ULL;
+
+  private:
+    void ensureMapped(Addr vaddr, std::uint64_t bytes);
+
+    SimMemory& memory_;
+    PageTable pageTable_;
+    FrameAllocator frames_;
+    Addr brk_ = kHeapBase;
+};
+
+} // namespace qei
+
+#endif // QEI_VM_VIRTUAL_MEMORY_HH

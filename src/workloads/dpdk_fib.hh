@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DPDK L3 Forwarding Information Base workload (Sec. VI-B): an
+ * rte_hash-style cuckoo table keyed by 16 B TCP/IP header tuples.
+ * 64 K installed flows (~3.5 MB of table + key store: larger than the
+ * 1 MB L2, LLC resident); 90 % of lookups hit.
+ */
+
+#ifndef QEI_WORKLOADS_DPDK_FIB_HH
+#define QEI_WORKLOADS_DPDK_FIB_HH
+
+#include "ds/cuckoo_hash.hh"
+#include "workloads/workload.hh"
+
+namespace qei {
+
+/** The DPDK FIB lookup workload. */
+class DpdkFibWorkload final : public Workload
+{
+  public:
+    explicit DpdkFibWorkload(std::size_t flows = 64 * 1024,
+                             std::size_t buckets = 16 * 1024)
+        : flows_(flows), buckets_(buckets)
+    {
+    }
+
+    std::string name() const override { return "dpdk"; }
+
+    std::string
+    description() const override
+    {
+        return "DPDK L3-FIB: cuckoo hash, 16B keys, 64K flows";
+    }
+
+    void build(World& world) override;
+    Prepared prepare(World& world, std::size_t queries) override;
+    std::size_t defaultQueries() const override { return 2500; }
+
+    SimCuckooHash& table() { return *table_; }
+
+  private:
+    std::size_t flows_;
+    std::size_t buckets_;
+    std::unique_ptr<SimCuckooHash> table_;
+    std::vector<Key> installed_;
+};
+
+} // namespace qei
+
+#endif // QEI_WORKLOADS_DPDK_FIB_HH

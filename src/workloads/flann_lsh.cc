@@ -1,0 +1,59 @@
+#include "flann_lsh.hh"
+
+namespace qei {
+
+void
+FlannLshWorkload::build(World& world)
+{
+    std::vector<std::pair<Key, std::uint64_t>> items;
+    items.reserve(items_);
+    datasetKeys_.reserve(items_);
+    for (std::size_t i = 0; i < items_; ++i) {
+        Key key = randomKey(world.rng, 20);
+        items.emplace_back(key, 0xF000000 + i);
+        datasetKeys_.push_back(std::move(key));
+    }
+    lsh_ = std::make_unique<SimLsh>(world.vm, tables_, items,
+                                    world.rng);
+}
+
+Prepared
+FlannLshWorkload::prepare(World& world, std::size_t queries)
+{
+    simAssert(lsh_ != nullptr, "build() must run before prepare()");
+    Prepared out;
+    // Between table probes FLANN manages the candidate heap and
+    // projection state.
+    out.profile.nonQueryInstrPerOp = 30;
+    out.profile.nonQueryBranchesPerOp = 6;
+    out.profile.frontendStallPerInstr = 0.02;
+    out.profile.roiFraction = 0.30;
+
+    for (std::size_t q = 0; q < queries; ++q) {
+        // 70% re-lookups of dataset keys (exact LSH hits), 30% novel
+        // probes that miss.
+        const Key key =
+            world.rng.chance(0.7)
+                ? datasetKeys_[world.rng.below(datasetKeys_.size())]
+                : randomKey(world.rng, 20);
+        for (int t = 0; t < tables_; ++t) {
+            const Key projected = lsh_->project(key, t);
+            QueryTrace trace = lsh_->table(t).query(projected);
+            for (auto& touch : trace.touches) {
+                if (!touch.dependsOnPrev)
+                    touch.computeLatency = 14; // FNV chain over 20B
+            }
+            QueryJob job;
+            job.headerAddr = lsh_->table(t).headerAddr();
+            job.keyAddr = lsh_->table(t).stageKey(projected);
+            job.resultAddr = world.vm.alloc(16, 16);
+            job.expectFound = trace.found;
+            job.expectValue = trace.resultValue;
+            out.jobs.push_back(job);
+            out.traces.push_back(std::move(trace));
+        }
+    }
+    return out;
+}
+
+} // namespace qei

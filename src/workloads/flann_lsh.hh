@@ -1,0 +1,53 @@
+/**
+ * @file
+ * FLANN similarity-search workload (Sec. VI-B): Locality Sensitive
+ * Hashing over a binary-key dataset — 12 hash tables, 20 B keys (the
+ * paper's default LSH parameters), dataset scaled to 30 K items so the
+ * index exceeds the private caches. One logical similarity query
+ * probes all 12 tables; each probe is an independent QEI job.
+ */
+
+#ifndef QEI_WORKLOADS_FLANN_LSH_HH
+#define QEI_WORKLOADS_FLANN_LSH_HH
+
+#include "ds/lsh.hh"
+#include "workloads/workload.hh"
+
+namespace qei {
+
+/** The FLANN LSH similarity-search workload. */
+class FlannLshWorkload final : public Workload
+{
+  public:
+    explicit FlannLshWorkload(int tables = 12,
+                              std::size_t items = 30 * 1000)
+        : tables_(tables), items_(items)
+    {
+    }
+
+    std::string name() const override { return "flann"; }
+
+    std::string
+    description() const override
+    {
+        return "FLANN LSH: 12 hash tables, 20B keys, 30K items";
+    }
+
+    void build(World& world) override;
+    Prepared prepare(World& world, std::size_t queries) override;
+    /** Default: 180 logical queries = 2160 table probes. */
+    std::size_t defaultQueries() const override { return 180; }
+
+    SimLsh& index() { return *lsh_; }
+    int tableCount() const { return tables_; }
+
+  private:
+    int tables_;
+    std::size_t items_;
+    std::unique_ptr<SimLsh> lsh_;
+    std::vector<Key> datasetKeys_;
+};
+
+} // namespace qei
+
+#endif // QEI_WORKLOADS_FLANN_LSH_HH

@@ -1,0 +1,48 @@
+#include "jvm_gc.hh"
+
+namespace qei {
+
+void
+JvmGcWorkload::build(World& world)
+{
+    std::vector<std::pair<Key, std::uint64_t>> items;
+    items.reserve(objects_);
+    objectIds_.reserve(objects_);
+    for (std::size_t i = 0; i < objects_; ++i) {
+        Key id = randomKey(world.rng, 8);
+        items.emplace_back(id, 0xA000 + i);
+        objectIds_.push_back(std::move(id));
+    }
+    // Random insertion order keeps the unbalanced BST near its
+    // expected O(log n) height, like an address-ordered object tree.
+    tree_ = std::make_unique<SimBst>(world.vm, items);
+}
+
+Prepared
+JvmGcWorkload::prepare(World& world, std::size_t queries)
+{
+    simAssert(tree_ != nullptr, "build() must run before prepare()");
+    Prepared out;
+    // The GC mark loop is query-dense: pop a reference, look it up,
+    // push children. Very little independent work per query.
+    out.profile.nonQueryInstrPerOp = 20;
+    out.profile.nonQueryBranchesPerOp = 2;
+    out.profile.frontendStallPerInstr = 0.015;
+    out.profile.roiFraction = 0.39;
+
+    for (std::size_t q = 0; q < queries; ++q) {
+        const Key& id = objectIds_[world.rng.below(objectIds_.size())];
+        QueryTrace trace = tree_->query(id);
+        QueryJob job;
+        job.headerAddr = tree_->headerAddr();
+        job.keyAddr = tree_->stageKey(id);
+        job.resultAddr = world.vm.alloc(16, 16);
+        job.expectFound = trace.found;
+        job.expectValue = trace.resultValue;
+        out.jobs.push_back(job);
+        out.traces.push_back(std::move(trace));
+    }
+    return out;
+}
+
+} // namespace qei

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * JVM garbage-collection workload (Sec. VI-B): the serial
+ * mark-and-sweep collector's live-object lookups against an object
+ * tree. The paper extracts OpenJDK's GC and feeds it an object tree
+ * dumped from Derby/SPECjvm2008; we synthesise an equivalent tree —
+ * 8 B object-id keys, randomised insertion order, sized so the
+ * average query walks ~25-40 nodes (the paper measures 39.9 memory
+ * accesses per query).
+ */
+
+#ifndef QEI_WORKLOADS_JVM_GC_HH
+#define QEI_WORKLOADS_JVM_GC_HH
+
+#include "ds/bst.hh"
+#include "workloads/workload.hh"
+
+namespace qei {
+
+/** The JVM GC object-tree workload. */
+class JvmGcWorkload final : public Workload
+{
+  public:
+    explicit JvmGcWorkload(std::size_t objects = 150 * 1000)
+        : objects_(objects)
+    {
+    }
+
+    std::string name() const override { return "jvm"; }
+
+    std::string
+    description() const override
+    {
+        return "JVM GC: object tree (BST), 8B object ids, 150K live "
+               "objects";
+    }
+
+    void build(World& world) override;
+    Prepared prepare(World& world, std::size_t queries) override;
+    std::size_t defaultQueries() const override { return 1500; }
+
+    SimBst& tree() { return *tree_; }
+
+  private:
+    std::size_t objects_;
+    std::unique_ptr<SimBst> tree_;
+    std::vector<Key> objectIds_;
+};
+
+} // namespace qei
+
+#endif // QEI_WORKLOADS_JVM_GC_HH

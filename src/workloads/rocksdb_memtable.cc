@@ -1,0 +1,54 @@
+#include "rocksdb_memtable.hh"
+
+namespace qei {
+
+void
+RocksDbMemtableWorkload::build(World& world)
+{
+    std::vector<std::pair<Key, std::uint64_t>> items;
+    items.reserve(items_);
+    keys_.reserve(items_);
+    for (std::size_t i = 0; i < items_; ++i) {
+        Key key = randomKey(world.rng, 100);
+        // 900 B value blob in the arena; the skip list stores the
+        // pointer, which is what a query returns.
+        const Addr blob = world.vm.alloc(900, 8);
+        world.vm.write<std::uint64_t>(blob, 0xB10B0000 + i);
+        items.emplace_back(key, blob);
+        keys_.push_back(std::move(key));
+    }
+    list_ = std::make_unique<SimSkipList>(world.vm, items,
+                                          world.rng.next());
+}
+
+Prepared
+RocksDbMemtableWorkload::prepare(World& world, std::size_t queries)
+{
+    simAssert(list_ != nullptr, "build() must run before prepare()");
+    Prepared out;
+    // RocksDB's Get() seek loop is comparatively fat (Sec. VII-A):
+    // key pre-processing, comparator dispatch, iterator bookkeeping,
+    // and the result memcpy. This is what fills the ROB quickly and
+    // caps QEI's in-flight parallelism on this workload.
+    out.profile.nonQueryInstrPerOp = 40;
+    out.profile.nonQueryBranchesPerOp = 8;
+    out.profile.nonQueryMispredictsPerOp = 1;
+    out.profile.frontendStallPerInstr = 0.05; // 25.9% frontend bound
+    out.profile.roiFraction = 0.32;
+
+    for (std::size_t q = 0; q < queries; ++q) {
+        const Key& key = keys_[world.rng.below(keys_.size())];
+        QueryTrace trace = list_->query(key);
+        QueryJob job;
+        job.headerAddr = list_->headerAddr();
+        job.keyAddr = list_->stageKey(key);
+        job.resultAddr = world.vm.alloc(16, 16);
+        job.expectFound = trace.found;
+        job.expectValue = trace.resultValue;
+        out.jobs.push_back(job);
+        out.traces.push_back(std::move(trace));
+    }
+    return out;
+}
+
+} // namespace qei

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * RocksDB memtable workload (Sec. VI-B): the in-memory skip list
+ * behind RocksDB's write path, db_bench-style — 10 K items, 100 B
+ * keys, 900 B values (values live behind a pointer, as the memtable
+ * stores references into its arena).
+ */
+
+#ifndef QEI_WORKLOADS_ROCKSDB_MEMTABLE_HH
+#define QEI_WORKLOADS_ROCKSDB_MEMTABLE_HH
+
+#include "ds/skip_list.hh"
+#include "workloads/workload.hh"
+
+namespace qei {
+
+/** The RocksDB memtable (skip list) workload. */
+class RocksDbMemtableWorkload final : public Workload
+{
+  public:
+    explicit RocksDbMemtableWorkload(std::size_t items = 10 * 1000)
+        : items_(items)
+    {
+    }
+
+    std::string name() const override { return "rocksdb"; }
+
+    std::string
+    description() const override
+    {
+        return "RocksDB memtable: skip list, 100B keys / 900B values, "
+               "10K items";
+    }
+
+    void build(World& world) override;
+    Prepared prepare(World& world, std::size_t queries) override;
+    std::size_t defaultQueries() const override { return 900; }
+
+    SimSkipList& memtable() { return *list_; }
+
+  private:
+    std::size_t items_;
+    std::unique_ptr<SimSkipList> list_;
+    std::vector<Key> keys_;
+};
+
+} // namespace qei
+
+#endif // QEI_WORKLOADS_ROCKSDB_MEMTABLE_HH

@@ -1,0 +1,65 @@
+#include "snort_ac.hh"
+
+namespace qei {
+
+void
+SnortAcWorkload::build(World& world)
+{
+    dictionary_.reserve(keywords_);
+    for (std::size_t i = 0; i < keywords_; ++i) {
+        const std::size_t len = 4 + world.rng.below(9); // 4..12
+        std::string word;
+        word.reserve(len);
+        for (std::size_t c = 0; c < len; ++c) {
+            word.push_back(
+                static_cast<char>('a' + world.rng.below(26)));
+        }
+        dictionary_.push_back(std::move(word));
+    }
+    trie_ = std::make_unique<SimTrie>(world.vm, dictionary_);
+    headerAddr_ = trie_->makeHeader(
+        static_cast<std::uint32_t>(payloadBytes_));
+}
+
+Prepared
+SnortAcWorkload::prepare(World& world, std::size_t queries)
+{
+    simAssert(trie_ != nullptr, "build() must run before prepare()");
+    Prepared out;
+    // One job scans a whole payload; the surrounding work is packet
+    // reassembly and rule-group selection.
+    out.profile.nonQueryInstrPerOp = 30;
+    out.profile.nonQueryBranchesPerOp = 5;
+    out.profile.frontendStallPerInstr = 0.02;
+    out.profile.roiFraction = 0.40;
+    out.workPerJob = static_cast<double>(payloadBytes_);
+
+    for (std::size_t q = 0; q < queries; ++q) {
+        // Random payload with a handful of dictionary words spliced
+        // in, so scans exercise both the fail paths and real matches.
+        std::vector<std::uint8_t> payload(payloadBytes_);
+        for (auto& b : payload)
+            b = static_cast<std::uint8_t>('a' + world.rng.below(26));
+        for (int splice = 0; splice < 8; ++splice) {
+            const std::string& word =
+                dictionary_[world.rng.below(dictionary_.size())];
+            const std::size_t pos =
+                world.rng.below(payloadBytes_ - word.size());
+            std::copy(word.begin(), word.end(),
+                      payload.begin() + static_cast<long>(pos));
+        }
+
+        QueryTrace trace = trie_->match(payload);
+        QueryJob job;
+        job.headerAddr = headerAddr_;
+        job.keyAddr = trie_->stageInput(payload);
+        job.resultAddr = world.vm.alloc(16, 16);
+        job.expectFound = trace.found;
+        job.expectValue = trace.resultValue;
+        out.jobs.push_back(job);
+        out.traces.push_back(std::move(trace));
+    }
+    return out;
+}
+
+} // namespace qei

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Snort intrusion-prevention workload (Sec. VI-B): Aho-Corasick
+ * literal matching of network payloads against a keyword dictionary.
+ * The paper uses ~40 K keywords and scans 1 KB strings; one "query"
+ * here is one full 1 KB scan (≈1 K automaton transitions), so the
+ * per-job work is three orders of magnitude heavier than a hash probe.
+ */
+
+#ifndef QEI_WORKLOADS_SNORT_AC_HH
+#define QEI_WORKLOADS_SNORT_AC_HH
+
+#include "ds/trie.hh"
+#include "workloads/workload.hh"
+
+namespace qei {
+
+/** The Snort Aho-Corasick literal-matching workload. */
+class SnortAcWorkload final : public Workload
+{
+  public:
+    explicit SnortAcWorkload(std::size_t keywords = 40 * 1000,
+                             std::size_t payload_bytes = 1024)
+        : keywords_(keywords), payloadBytes_(payload_bytes)
+    {
+    }
+
+    std::string name() const override { return "snort"; }
+
+    std::string
+    description() const override
+    {
+        return "Snort IPS: Aho-Corasick trie, 40K keywords, 1KB "
+               "payload scans";
+    }
+
+    void build(World& world) override;
+    Prepared prepare(World& world, std::size_t queries) override;
+    std::size_t defaultQueries() const override { return 24; }
+
+    SimTrie& automaton() { return *trie_; }
+
+  private:
+    std::size_t keywords_;
+    std::size_t payloadBytes_;
+    std::unique_ptr<SimTrie> trie_;
+    std::vector<std::string> dictionary_;
+    Addr headerAddr_ = kNullAddr;
+};
+
+} // namespace qei
+
+#endif // QEI_WORKLOADS_SNORT_AC_HH

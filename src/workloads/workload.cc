@@ -1,0 +1,79 @@
+#include "workload.hh"
+
+#include <algorithm>
+
+#include "workloads/dpdk_fib.hh"
+#include "workloads/flann_lsh.hh"
+#include "workloads/jvm_gc.hh"
+#include "workloads/rocksdb_memtable.hh"
+#include "workloads/snort_ac.hh"
+
+namespace qei {
+
+namespace {
+
+/** Mapped virtual pages, sorted for deterministic TLB pre-warming. */
+std::vector<Addr>
+sortedVpns(const World& world)
+{
+    std::vector<Addr> vpns;
+    vpns.reserve(world.vm.pageTable().entries().size());
+    for (const auto& [vpn, pfn] : world.vm.pageTable().entries()) {
+        (void)pfn;
+        vpns.push_back(vpn);
+    }
+    std::sort(vpns.begin(), vpns.end());
+    return vpns;
+}
+
+} // namespace
+
+CoreRunResult
+runBaseline(World& world, const Prepared& prepared, int core)
+{
+    world.resetTiming();
+    world.warmLlc();
+    Mmu mmu(world.vm, world.chip.mmu);
+    mmu.prefillL2(sortedVpns(world));
+    CoreModel model(core, world.chip.core, world.hierarchy, mmu);
+    return model.runQueries(prepared.traces, prepared.profile);
+}
+
+QeiRunStats
+runQei(World& world, const Prepared& prepared,
+       const SchemeConfig& scheme, QueryMode mode, int core,
+       int poll_batch)
+{
+    world.resetTiming();
+    world.warmLlc();
+    QeiSystem system(world.chip, world.events, world.hierarchy,
+                     world.vm, world.firmware, scheme);
+    system.warmTlbs(sortedVpns(world));
+    if (mode == QueryMode::Blocking)
+        return system.runBlocking(prepared.jobs, core, prepared.profile);
+    return system.runNonBlocking(prepared.jobs, core, prepared.profile,
+                                 poll_batch);
+}
+
+double
+speedupOf(const CoreRunResult& baseline, const QeiRunStats& qei)
+{
+    return qei.cycles
+               ? static_cast<double>(baseline.cycles) /
+                     static_cast<double>(qei.cycles)
+               : 0.0;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> all;
+    all.push_back(std::make_unique<DpdkFibWorkload>());
+    all.push_back(std::make_unique<JvmGcWorkload>());
+    all.push_back(std::make_unique<RocksDbMemtableWorkload>());
+    all.push_back(std::make_unique<SnortAcWorkload>());
+    all.push_back(std::make_unique<FlannLshWorkload>());
+    return all;
+}
+
+} // namespace qei

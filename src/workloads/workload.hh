@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Workload framework: a World bundles the simulated machine state one
+ * experiment runs against; a Workload builds its data structures in
+ * that world and prepares matched query streams for the software
+ * baseline and for QEI (same keys, same order, same ground truth).
+ */
+
+#ifndef QEI_WORKLOADS_WORKLOAD_HH
+#define QEI_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/chip_config.hh"
+#include "core/core_model.hh"
+#include "core/trace.hh"
+#include "mem/sim_memory.hh"
+#include "qei/firmware.hh"
+#include "qei/system.hh"
+#include "sim/event_queue.hh"
+#include "vm/virtual_memory.hh"
+
+namespace qei {
+
+/** Everything one experiment runs against. */
+struct World
+{
+    explicit World(std::uint64_t seed = 1,
+                   const ChipConfig& config = defaultChip())
+        : chip(config), memory(8ULL << 30),
+          vm(memory, FrameAllocator::Mode::Fragmented, seed),
+          hierarchy(config.memory),
+          firmware(FirmwareStore::factory()), rng(seed)
+    {
+    }
+
+    /**
+     * Reset all timing state (caches, NoC traffic, DRAM queues, event
+     * queue) without touching the built data structures, so baseline
+     * and every scheme start from the same machine state.
+     */
+    void
+    resetTiming()
+    {
+        hierarchy.flushAllCaches();
+        hierarchy.resetCacheStats();
+        hierarchy.mesh().resetTraffic();
+        hierarchy.dram().reset();
+        events.reset();
+    }
+
+    /**
+     * Load the entire mapped footprint into the LLC: the steady state
+     * the paper evaluates (structures larger than the private caches
+     * but LLC-resident, queries arriving back to back). Runs after
+     * resetTiming() so baseline and every scheme see the same warm
+     * LLC and cold private caches.
+     */
+    void
+    warmLlc()
+    {
+        for (const auto& [vpn, pfn] : vm.pageTable().entries()) {
+            (void)vpn;
+            const Addr base = pfn * kPageBytes;
+            for (std::uint32_t off = 0; off < kPageBytes;
+                 off += kCacheLineBytes) {
+                hierarchy.preloadLlc(base + off);
+            }
+        }
+    }
+
+    ChipConfig chip;
+    SimMemory memory;
+    VirtualMemory vm;
+    MemoryHierarchy hierarchy;
+    EventQueue events;
+    FirmwareStore firmware;
+    Rng rng;
+};
+
+/** Matched baseline/QEI query streams for one workload. */
+struct Prepared
+{
+    std::vector<QueryTrace> traces; ///< software baseline, in order
+    std::vector<QueryJob> jobs;     ///< the same queries for QEI
+    RoiProfile profile;
+    /** Queries per job (Snort scans a whole buffer per job). */
+    double workPerJob = 1.0;
+};
+
+/** Interface every paper workload implements. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short identifier ("dpdk", "jvm", ...). */
+    virtual std::string name() const = 0;
+
+    /** Human-readable description for reports. */
+    virtual std::string description() const = 0;
+
+    /** Build the data structures in @p world (expensive, run once). */
+    virtual void build(World& world) = 0;
+
+    /** Generate @p queries matched query streams. */
+    virtual Prepared prepare(World& world, std::size_t queries) = 0;
+
+    /** Default number of queries per experiment run. */
+    virtual std::size_t defaultQueries() const { return 2000; }
+};
+
+/** Run the software baseline for @p prepared on core @p core. */
+CoreRunResult runBaseline(World& world, const Prepared& prepared,
+                          int core = 0);
+
+/** Run @p prepared through QEI under @p scheme. */
+QeiRunStats runQei(World& world, const Prepared& prepared,
+                   const SchemeConfig& scheme,
+                   QueryMode mode = QueryMode::Blocking, int core = 0,
+                   int poll_batch = 32);
+
+/** Baseline-cycles / QEI-cycles. */
+double speedupOf(const CoreRunResult& baseline, const QeiRunStats& qei);
+
+/** All five paper workloads, in the paper's presentation order. */
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
+
+} // namespace qei
+
+#endif // QEI_WORKLOADS_WORKLOAD_HH

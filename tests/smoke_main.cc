@@ -1,0 +1,171 @@
+// Quick end-to-end smoke: every data structure queried through QEI
+// must match its software reference, on every integration scheme.
+// (Kept as a plain binary for fast iteration; the gtest suites cover
+// the same ground and more.)
+
+#include <cstdio>
+
+#include "ds/bst.hh"
+#include "ds/chained_hash.hh"
+#include "ds/cuckoo_hash.hh"
+#include "ds/linked_list.hh"
+#include "ds/skip_list.hh"
+#include "ds/trie.hh"
+#include "workloads/workload.hh"
+
+using namespace qei;
+
+namespace {
+
+int g_failures = 0;
+
+void
+check(bool ok, const char* what)
+{
+    if (!ok) {
+        std::printf("FAIL: %s\n", what);
+        ++g_failures;
+    }
+}
+
+std::vector<std::pair<Key, std::uint64_t>>
+makeItems(Rng& rng, std::size_t n, std::size_t key_len)
+{
+    std::vector<std::pair<Key, std::uint64_t>> items;
+    for (std::size_t i = 0; i < n; ++i)
+        items.emplace_back(randomKey(rng, key_len), 1000 + i);
+    return items;
+}
+
+template <typename Ds>
+void
+runQueries(World& world, Ds& ds, const std::vector<Key>& keys,
+           const char* name)
+{
+    Prepared prep;
+    prep.profile.nonQueryInstrPerOp = 20;
+    for (const auto& key : keys) {
+        QueryTrace trace = ds.query(key);
+        QueryJob job;
+        job.headerAddr = ds.headerAddr();
+        job.keyAddr = ds.stageKey(key);
+        job.resultAddr = world.vm.alloc(16, 16);
+        job.expectFound = trace.found;
+        job.expectValue = trace.resultValue;
+        prep.jobs.push_back(job);
+        prep.traces.push_back(std::move(trace));
+    }
+    for (const auto& scheme : SchemeConfig::allSchemes()) {
+        const QeiRunStats stats =
+            runQei(world, prep, scheme, QueryMode::Blocking);
+        std::printf("  %-16s %-16s mismatches=%llu cycles/query=%.1f "
+                    "occ=%.1f\n",
+                    name, scheme.name().c_str(),
+                    static_cast<unsigned long long>(stats.mismatches),
+                    stats.cyclesPerQuery(), stats.avgQstOccupancy);
+        check(stats.mismatches == 0, name);
+        check(stats.exceptions == 0, "exceptions");
+    }
+    const CoreRunResult base = runBaseline(world, prep);
+    std::printf("  %-16s baseline cycles/query=%.1f instr/query=%.0f\n",
+                name, base.cyclesPerQuery(),
+                static_cast<double>(base.instructions) /
+                    static_cast<double>(base.queries));
+}
+
+} // namespace
+
+int
+main()
+{
+    World world(42);
+    Rng rng(7);
+
+    {
+        auto items = makeItems(rng, 64, 16);
+        SimLinkedList ll(world.vm, items);
+        std::vector<Key> keys;
+        for (int i = 0; i < 40; ++i)
+            keys.push_back(i % 4 == 0 ? randomKey(rng, 16)
+                                      : items[rng.below(items.size())]
+                                            .first);
+        runQueries(world, ll, keys, "linked-list");
+    }
+    {
+        auto items = makeItems(rng, 500, 16);
+        SimBst bst(world.vm, items);
+        std::vector<Key> keys;
+        for (int i = 0; i < 40; ++i)
+            keys.push_back(i % 4 == 0 ? randomKey(rng, 16)
+                                      : items[rng.below(items.size())]
+                                            .first);
+        runQueries(world, bst, keys, "bst");
+    }
+    {
+        auto items = makeItems(rng, 500, 24);
+        SimSkipList sl(world.vm, items);
+        std::vector<Key> keys;
+        for (int i = 0; i < 40; ++i)
+            keys.push_back(i % 4 == 0 ? randomKey(rng, 24)
+                                      : items[rng.below(items.size())]
+                                            .first);
+        runQueries(world, sl, keys, "skip-list");
+    }
+    {
+        auto items = makeItems(rng, 600, 16);
+        SimChainedHash ch(world.vm, items, 256);
+        std::vector<Key> keys;
+        for (int i = 0; i < 40; ++i)
+            keys.push_back(i % 4 == 0 ? randomKey(rng, 16)
+                                      : items[rng.below(items.size())]
+                                            .first);
+        runQueries(world, ch, keys, "chained-hash");
+    }
+    {
+        SimCuckooHash cuckoo(world.vm, 256, 16);
+        std::vector<Key> installed;
+        for (int i = 0; i < 800; ++i) {
+            Key k = randomKey(rng, 16);
+            if (cuckoo.insert(k, 5000 + i))
+                installed.push_back(std::move(k));
+        }
+        std::vector<Key> keys;
+        for (int i = 0; i < 40; ++i)
+            keys.push_back(i % 4 == 0
+                               ? randomKey(rng, 16)
+                               : installed[rng.below(installed.size())]);
+        runQueries(world, cuckoo, keys, "cuckoo-hash");
+    }
+    {
+        std::vector<std::string> words = {"he",   "she",  "his",
+                                          "hers", "query", "cloud"};
+        SimTrie trie(world.vm, words);
+        std::vector<std::uint8_t> input;
+        for (char c : std::string("ushersheqqueryclouds"))
+            input.push_back(static_cast<std::uint8_t>(c));
+        QueryTrace gold = trie.match(input);
+        std::printf("  trie matches=%llu\n",
+                    static_cast<unsigned long long>(gold.resultValue));
+
+        Prepared prep;
+        prep.profile.nonQueryInstrPerOp = 20;
+        QueryJob job;
+        job.headerAddr = trie.makeHeader(
+            static_cast<std::uint32_t>(input.size()));
+        job.keyAddr = trie.stageInput(input);
+        job.resultAddr = world.vm.alloc(16, 16);
+        job.expectFound = true;
+        job.expectValue = gold.resultValue;
+        prep.jobs.push_back(job);
+        prep.traces.push_back(gold);
+        for (const auto& scheme : SchemeConfig::allSchemes()) {
+            const QeiRunStats stats =
+                runQei(world, prep, scheme, QueryMode::Blocking);
+            check(stats.mismatches == 0, "trie");
+        }
+    }
+
+    std::printf(g_failures == 0 ? "SMOKE OK\n" : "SMOKE FAILED (%d)\n",
+                g_failures);
+    return g_failures == 0 ? 0 : 1;
+}

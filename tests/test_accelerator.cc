@@ -1,0 +1,299 @@
+// End-to-end accelerator tests: functional parity with the software
+// references on every structure and scheme, exception semantics,
+// non-blocking result delivery, interrupt flush, and the firmware
+// update path.
+
+#include <gtest/gtest.h>
+
+#include "ds/bst.hh"
+#include "ds/chained_hash.hh"
+#include "ds/cuckoo_hash.hh"
+#include "ds/linked_list.hh"
+#include "ds/skip_list.hh"
+#include "ds/trie.hh"
+#include "workloads/workload.hh"
+
+using namespace qei;
+
+namespace {
+
+struct AccelFixture : ::testing::Test
+{
+    AccelFixture() : world(99), rng(5) {}
+
+    std::vector<std::pair<Key, std::uint64_t>>
+    makeItems(std::size_t n, std::size_t key_len)
+    {
+        std::vector<std::pair<Key, std::uint64_t>> items;
+        for (std::size_t i = 0; i < n; ++i)
+            items.emplace_back(randomKey(rng, key_len), 3000 + i);
+        return items;
+    }
+
+    template <typename Ds>
+    Prepared
+    makeJobs(Ds& ds, const std::vector<Key>& keys)
+    {
+        Prepared prep;
+        prep.profile.nonQueryInstrPerOp = 20;
+        for (const auto& key : keys) {
+            QueryTrace trace = ds.query(key);
+            QueryJob job;
+            job.headerAddr = ds.headerAddr();
+            job.keyAddr = ds.stageKey(key);
+            job.resultAddr = world.vm.alloc(16, 16);
+            job.expectFound = trace.found;
+            job.expectValue = trace.resultValue;
+            prep.jobs.push_back(job);
+            prep.traces.push_back(std::move(trace));
+        }
+        return prep;
+    }
+
+    template <typename Ds>
+    std::vector<Key>
+    mixedKeys(Ds&, const std::vector<std::pair<Key, std::uint64_t>>&
+                       items,
+              int n, std::size_t key_len)
+    {
+        std::vector<Key> keys;
+        for (int i = 0; i < n; ++i) {
+            keys.push_back(i % 4 == 0
+                               ? randomKey(rng, key_len)
+                               : items[rng.below(items.size())].first);
+        }
+        return keys;
+    }
+
+    World world;
+    Rng rng;
+};
+
+} // namespace
+
+TEST_F(AccelFixture, LinkedListAllSchemesFunctional)
+{
+    auto items = makeItems(40, 16);
+    SimLinkedList ll(world.vm, items);
+    Prepared prep = makeJobs(ll, mixedKeys(ll, items, 30, 16));
+    for (const auto& scheme : SchemeConfig::allSchemes()) {
+        const QeiRunStats stats = runQei(world, prep, scheme);
+        EXPECT_EQ(stats.mismatches, 0u) << scheme.name();
+        EXPECT_EQ(stats.exceptions, 0u) << scheme.name();
+        EXPECT_EQ(stats.queries, 30u);
+    }
+}
+
+TEST_F(AccelFixture, SkipListBlockingAndNonBlockingAgree)
+{
+    auto items = makeItems(200, 24);
+    SimSkipList sl(world.vm, items);
+    Prepared prep = makeJobs(sl, mixedKeys(sl, items, 40, 24));
+    const QeiRunStats blocking =
+        runQei(world, prep, SchemeConfig::coreIntegrated(),
+               QueryMode::Blocking);
+    const QeiRunStats nonBlocking =
+        runQei(world, prep, SchemeConfig::coreIntegrated(),
+               QueryMode::NonBlocking);
+    EXPECT_EQ(blocking.mismatches, 0u);
+    EXPECT_EQ(nonBlocking.mismatches, 0u);
+}
+
+TEST_F(AccelFixture, NonBlockingWritesResultSlots)
+{
+    auto items = makeItems(30, 16);
+    SimChainedHash ch(world.vm, items, 64);
+    Prepared prep = makeJobs(ch, {items[0].first, randomKey(rng, 16)});
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::coreIntegrated(),
+               QueryMode::NonBlocking);
+    EXPECT_EQ(stats.mismatches, 0u);
+    // Slot 0: found -> status 1 + value; slot 1: likely not found.
+    EXPECT_EQ(world.vm.read<std::uint64_t>(prep.jobs[0].resultAddr),
+              1u);
+    EXPECT_EQ(world.vm.read<std::uint64_t>(prep.jobs[0].resultAddr + 8),
+              prep.jobs[0].expectValue);
+    if (!prep.jobs[1].expectFound) {
+        EXPECT_EQ(world.vm.read<std::uint64_t>(
+                      prep.jobs[1].resultAddr),
+                  2u);
+    }
+}
+
+TEST_F(AccelFixture, UnmappedHeaderRaisesPageFault)
+{
+    auto items = makeItems(10, 16);
+    SimLinkedList ll(world.vm, items);
+    Prepared prep = makeJobs(ll, {items[0].first});
+    prep.jobs[0].headerAddr = 0x40; // never mapped
+    prep.jobs[0].expectFound = false;
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::coreIntegrated());
+    EXPECT_EQ(stats.exceptions, 1u);
+    EXPECT_EQ(stats.mismatches, 1u); // exception != expected result
+}
+
+TEST_F(AccelFixture, BadStructTypeRaisesBadHeader)
+{
+    auto items = makeItems(10, 16);
+    SimLinkedList ll(world.vm, items);
+    Prepared prep = makeJobs(ll, {items[0].first});
+    // Corrupt the type field in the header.
+    StructHeader h = StructHeader::readFrom(world.vm, ll.headerAddr());
+    h.type = static_cast<StructType>(9);
+    const Addr corrupt = world.vm.allocLines(kCacheLineBytes);
+    h.writeTo(world.vm, corrupt);
+    prep.jobs[0].headerAddr = corrupt;
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::coreIntegrated());
+    EXPECT_EQ(stats.exceptions, 1u);
+}
+
+TEST_F(AccelFixture, DanglingNodePointerFaultsNotHangs)
+{
+    auto items = makeItems(8, 16);
+    SimLinkedList ll(world.vm, items);
+    // Generate the reference trace FIRST (on the intact list), then
+    // corrupt the second node's next pointer to unmapped space.
+    Prepared prep = makeJobs(ll, {items[7].first});
+    prep.jobs[0].expectFound = false;
+    const Addr first = ll.rootAddr();
+    const Addr second = world.vm.read<std::uint64_t>(first);
+    world.vm.write<std::uint64_t>(second, 0xDEAD0000ULL);
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::coreIntegrated());
+    EXPECT_EQ(stats.exceptions, 1u);
+}
+
+TEST_F(AccelFixture, NonBlockingFaultWritesErrorCode)
+{
+    auto items = makeItems(10, 16);
+    SimLinkedList ll(world.vm, items);
+    Prepared prep = makeJobs(ll, {items[0].first});
+    prep.jobs[0].headerAddr = 0x40;
+    prep.jobs[0].expectFound = false;
+    runQei(world, prep, SchemeConfig::coreIntegrated(),
+           QueryMode::NonBlocking);
+    const std::uint64_t status =
+        world.vm.read<std::uint64_t>(prep.jobs[0].resultAddr);
+    EXPECT_EQ(status & 0x100u, 0x100u); // error base
+    EXPECT_EQ(status & 0xFFu,
+              static_cast<std::uint64_t>(QueryError::PageFault));
+}
+
+TEST_F(AccelFixture, InterruptFlushAbortsNonBlocking)
+{
+    world.resetTiming();
+    QeiSystem system(world.chip, world.events, world.hierarchy,
+                     world.vm, world.firmware,
+                     SchemeConfig::coreIntegrated());
+
+    auto items = makeItems(64, 16);
+    SimLinkedList ll(world.vm, items);
+    const Addr keyAddr = ll.stageKey(items[50].first);
+    const Addr resultAddr = world.vm.alloc(16, 16);
+
+    bool completed = false;
+    Accelerator& accel = system.acceleratorFor(keyAddr, 0);
+    const int slot = accel.enqueue(
+        ll.headerAddr(), keyAddr, resultAddr, QueryMode::NonBlocking, 0,
+        [&](const QstEntry&) { completed = true; });
+    ASSERT_GE(slot, 0);
+
+    // Let it get going, then take the "interrupt".
+    world.events.run(40);
+    const Cycles flushCycles = system.flushAll();
+    world.events.run();
+
+    EXPECT_FALSE(completed); // callback dropped by the flush
+    EXPECT_GT(flushCycles, 0u);
+    const std::uint64_t status =
+        world.vm.read<std::uint64_t>(resultAddr);
+    EXPECT_EQ(status & 0xFFu,
+              static_cast<std::uint64_t>(QueryError::Aborted));
+}
+
+TEST_F(AccelFixture, FirmwareUpdateEnablesNewSubtype)
+{
+    // Install the hash-of-lists program into a previously empty slot
+    // and run a query against a header that names that slot.
+    const auto kNewType = static_cast<StructType>(8);
+    world.firmware.installProgram(kNewType,
+                                  firmware::buildHashOfLists());
+
+    auto items = makeItems(60, 16);
+    SimChainedHash ch(world.vm, items, 64, HashFunction::Crc32c);
+    StructHeader h = StructHeader::readFrom(world.vm, ch.headerAddr());
+    h.type = kNewType;
+    const Addr header = world.vm.allocLines(kCacheLineBytes);
+    h.writeTo(world.vm, header);
+
+    Prepared prep = makeJobs(ch, {items[3].first});
+    prep.jobs[0].headerAddr = header;
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::coreIntegrated());
+    EXPECT_EQ(stats.mismatches, 0u);
+    EXPECT_EQ(stats.exceptions, 0u);
+}
+
+TEST_F(AccelFixture, HashOfListsCombinedStructure)
+{
+    auto items = makeItems(120, 16);
+    SimChainedHash combined(world.vm, items, 16, HashFunction::Jenkins,
+                            StructType::HashOfLists);
+    Prepared prep =
+        makeJobs(combined, mixedKeys(combined, items, 25, 16));
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::coreIntegrated());
+    EXPECT_EQ(stats.mismatches, 0u);
+}
+
+TEST_F(AccelFixture, TrieStreamMatchThroughAccelerator)
+{
+    SimTrie trie(world.vm, {"he", "she", "his", "hers"});
+    std::vector<std::uint8_t> input;
+    for (char c : std::string("usherswithhishers"))
+        input.push_back(static_cast<std::uint8_t>(c));
+    const QueryTrace gold = trie.match(input);
+
+    Prepared prep;
+    prep.profile.nonQueryInstrPerOp = 10;
+    QueryJob job;
+    job.headerAddr =
+        trie.makeHeader(static_cast<std::uint32_t>(input.size()));
+    job.keyAddr = trie.stageInput(input);
+    job.resultAddr = world.vm.alloc(16, 16);
+    job.expectFound = true;
+    job.expectValue = gold.resultValue;
+    prep.jobs.push_back(job);
+    prep.traces.push_back(gold);
+    for (const auto& scheme : SchemeConfig::allSchemes()) {
+        const QeiRunStats stats = runQei(world, prep, scheme);
+        EXPECT_EQ(stats.mismatches, 0u) << scheme.name();
+    }
+}
+
+TEST_F(AccelFixture, OccupancyNeverExceedsCapacity)
+{
+    auto items = makeItems(300, 16);
+    SimBst bst(world.vm, items);
+    Prepared prep = makeJobs(bst, mixedKeys(bst, items, 60, 16));
+    prep.profile.nonQueryInstrPerOp = 2; // maximum pressure
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::coreIntegrated());
+    EXPECT_LE(stats.avgQstOccupancy, 10.0);
+    EXPECT_EQ(stats.mismatches, 0u);
+}
+
+TEST_F(AccelFixture, BigKeysCompareRemotely)
+{
+    // 200 B keys exceed the QST staging buffer, forcing the remote
+    // CHA comparators on the Core-integrated scheme.
+    auto items = makeItems(40, 200);
+    SimLinkedList ll(world.vm, items);
+    Prepared prep = makeJobs(ll, mixedKeys(ll, items, 15, 200));
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::coreIntegrated());
+    EXPECT_EQ(stats.mismatches, 0u);
+    EXPECT_GT(stats.remoteCompares, 0u);
+}

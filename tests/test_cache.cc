@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace qei;
+
+namespace {
+
+CacheParams
+smallCache()
+{
+    return CacheParams{"t", 1024, 2, 3}; // 8 sets x 2 ways
+}
+
+} // namespace
+
+TEST(Cache, MissOnCold)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x0, false));
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, HitAfterFill)
+{
+    Cache c(smallCache());
+    c.fill(0x40);
+    EXPECT_TRUE(c.access(0x40, false));
+    EXPECT_TRUE(c.access(0x7F, false)); // same line
+}
+
+TEST(Cache, GeometryDerived)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.sets(), 8u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    Cache c(smallCache());
+    // Three lines mapping to the same set (stride = sets*64 = 512B).
+    c.fill(0x000);
+    c.fill(0x200);
+    EXPECT_TRUE(c.access(0x000, false)); // 0x000 MRU
+    c.fill(0x400);                       // evicts 0x200
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x200));
+    EXPECT_TRUE(c.probe(0x400));
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache c(smallCache());
+    c.fill(0x000, /*dirty=*/true);
+    c.fill(0x200);
+    const CacheAccess out = c.fill(0x400);
+    ASSERT_TRUE(out.writeback.has_value());
+    EXPECT_EQ(*out.writeback, 0x000u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, WriteAccessSetsDirty)
+{
+    Cache c(smallCache());
+    c.fill(0x000);
+    EXPECT_TRUE(c.access(0x000, /*is_write=*/true));
+    c.fill(0x200);
+    const CacheAccess out = c.fill(0x400);
+    EXPECT_TRUE(out.writeback.has_value());
+}
+
+TEST(Cache, FillOfPresentLineIsHit)
+{
+    Cache c(smallCache());
+    c.fill(0x40);
+    const CacheAccess out = c.fill(0x40);
+    EXPECT_TRUE(out.hit);
+    EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(smallCache());
+    c.fill(0x40);
+    c.invalidate(0x40);
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Cache, FlushAllEmpties)
+{
+    Cache c(smallCache());
+    for (Addr a = 0; a < 1024; a += 64)
+        c.fill(a);
+    c.flushAll();
+    for (Addr a = 0; a < 1024; a += 64)
+        EXPECT_FALSE(c.probe(a));
+}
+
+TEST(Cache, ProbeDoesNotCount)
+{
+    Cache c(smallCache());
+    c.probe(0x40);
+    EXPECT_EQ(c.hits() + c.misses(), 0u);
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache c(smallCache());
+    c.fill(0x40);
+    c.access(0x40, false);
+    c.resetStats();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_TRUE(c.probe(0x40));
+}
+
+TEST(CacheDeath, NonPowerOfTwoSetsPanics)
+{
+    EXPECT_DEATH(Cache(CacheParams{"bad", 192, 1, 1}),
+                 "power of two");
+}
+
+// Property sweep: for several geometries, a working set equal to the
+// capacity must fully hit on a second pass (true LRU, no thrash).
+class CacheGeometry
+    : public ::testing::TestWithParam<std::pair<std::uint64_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(CacheGeometry, CapacityWorkingSetFullyHits)
+{
+    const auto [size, ways] = GetParam();
+    Cache c(CacheParams{"p", size, ways, 1});
+    const std::uint64_t lines = size / kCacheLineBytes;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        c.fill(i * kCacheLineBytes);
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.access(i * kCacheLineBytes, false));
+    EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST_P(CacheGeometry, OverCapacityEvicts)
+{
+    const auto [size, ways] = GetParam();
+    Cache c(CacheParams{"p", size, ways, 1});
+    const std::uint64_t lines = size / kCacheLineBytes;
+    for (std::uint64_t i = 0; i < lines * 2; ++i)
+        c.fill(i * kCacheLineBytes);
+    EXPECT_EQ(c.evictions(), lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::pair<std::uint64_t, std::uint32_t>{1024, 1},
+                      std::pair<std::uint64_t, std::uint32_t>{1024, 2},
+                      std::pair<std::uint64_t, std::uint32_t>{4096, 4},
+                      std::pair<std::uint64_t, std::uint32_t>{32768, 8},
+                      std::pair<std::uint64_t, std::uint32_t>{65536,
+                                                              16}));

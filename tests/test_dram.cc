@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace qei;
+
+TEST(Dram, BaseLatencyWhenIdle)
+{
+    Dram dram;
+    const Cycles lat = dram.access(0, 0);
+    // Service latency + line transfer time.
+    const Cycles transfer = static_cast<Cycles>(
+        64.0 / dram.params().bytesPerCycle + 0.5);
+    EXPECT_EQ(lat, dram.params().serviceLatency + transfer);
+}
+
+TEST(Dram, SameChannelQueues)
+{
+    Dram dram;
+    const Cycles a = dram.access(0, 0);
+    // Same line address -> same channel, immediately after.
+    const Cycles b = dram.access(0, 0);
+    EXPECT_GT(b, a);
+}
+
+TEST(Dram, DifferentChannelsDoNotQueue)
+{
+    Dram dram;
+    const Cycles a = dram.access(0 * kCacheLineBytes, 0);
+    const Cycles b = dram.access(1 * kCacheLineBytes, 0);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Dram, QueueDrainsOverTime)
+{
+    Dram dram;
+    dram.access(0, 0);
+    const Cycles later = dram.access(0, 100000);
+    const Cycles transfer = static_cast<Cycles>(
+        64.0 / dram.params().bytesPerCycle + 0.5);
+    EXPECT_EQ(later, dram.params().serviceLatency + transfer);
+}
+
+TEST(Dram, CountsAccessesAndBytes)
+{
+    Dram dram;
+    dram.access(0, 0);
+    dram.access(64, 0, 128);
+    EXPECT_EQ(dram.accesses(), 2u);
+    EXPECT_EQ(dram.totalBytes(), 192u);
+}
+
+TEST(Dram, ResetClearsState)
+{
+    Dram dram;
+    dram.access(0, 0);
+    dram.access(0, 0);
+    dram.reset();
+    EXPECT_EQ(dram.accesses(), 0u);
+    const Cycles transfer = static_cast<Cycles>(
+        64.0 / dram.params().bytesPerCycle + 0.5);
+    EXPECT_EQ(dram.access(0, 0),
+              dram.params().serviceLatency + transfer);
+}

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace qei;
+
+TEST(EventQueue, StartsEmptyAtZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(20, [&] { order.push_back(2); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(30, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleFifoBySequence)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PriorityBeatsSequence)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); },
+               EventPriority::CfaTick);
+    q.schedule(5, [&] { order.push_back(0); },
+               EventPriority::MemoryResponse);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue q;
+    std::vector<Cycles> times;
+    q.schedule(1, [&] {
+        times.push_back(q.now());
+        q.schedule(4, [&] { times.push_back(q.now()); });
+    });
+    q.run();
+    EXPECT_EQ(times, (std::vector<Cycles>{1, 5}));
+}
+
+TEST(EventQueue, ZeroDelayRunsSameCycle)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(3, [&] { q.schedule(0, [&] { ran = true; }); });
+    q.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(q.now(), 3u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(5, [&] { ++count; });
+    q.schedule(10, [&] { ++count; });
+    q.schedule(15, [&] { ++count; });
+    q.runUntil(10);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunWithBudgetStops)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(5, [&] { ++count; });
+    q.schedule(500, [&] { ++count; });
+    q.run(100);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, ResetDropsEventsAndClock)
+{
+    EventQueue q;
+    q.schedule(5, [] {});
+    q.run();
+    q.schedule(50, [] {});
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+}
+
+TEST(EventQueue, ReturnsExecutedCount)
+{
+    EventQueue q;
+    for (int i = 0; i < 9; ++i)
+        q.schedule(static_cast<Cycles>(i), [] {});
+    EXPECT_EQ(q.run(), 9u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoPastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [&q] {
+        // now == 10; absolute 5 is in the past.
+        q.scheduleAt(5, [] {});
+    });
+    EXPECT_DEATH(q.run(), "scheduling into the past");
+}

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "qei/firmware.hh"
+
+using namespace qei;
+
+TEST(FirmwareStore, FactoryInstallsAllStructures)
+{
+    const FirmwareStore store = FirmwareStore::factory();
+    EXPECT_EQ(store.installed(), 7u);
+    for (auto type :
+         {StructType::LinkedList, StructType::SkipList,
+          StructType::BinaryTree, StructType::ChainedHash,
+          StructType::CuckooHash, StructType::Trie,
+          StructType::HashOfLists}) {
+        EXPECT_NE(store.program(type), nullptr);
+    }
+}
+
+TEST(FirmwareStore, UnsupportedTypeIsNull)
+{
+    const FirmwareStore store = FirmwareStore::factory();
+    EXPECT_EQ(store.program(StructType::Invalid), nullptr);
+    EXPECT_EQ(store.program(static_cast<StructType>(9)), nullptr);
+}
+
+TEST(FirmwareStore, EmptyStoreHasNothing)
+{
+    const FirmwareStore store;
+    EXPECT_EQ(store.installed(), 0u);
+    EXPECT_EQ(store.program(StructType::LinkedList), nullptr);
+}
+
+TEST(FirmwareStore, InstallReplacesProgram)
+{
+    FirmwareStore store = FirmwareStore::factory();
+    CfaProgram replacement = firmware::buildLinkedList();
+    replacement.name = "patched-linked-list";
+    store.installProgram(StructType::LinkedList,
+                         std::move(replacement));
+    EXPECT_EQ(store.installed(), 7u);
+    EXPECT_EQ(store.program(StructType::LinkedList)->name,
+              "patched-linked-list");
+}
+
+TEST(FirmwareStore, FirmwareUpdateAddsNewType)
+{
+    // The Sec. IV-B extensibility story: ship a new program into an
+    // unused slot via the microcode-update path.
+    FirmwareStore store = FirmwareStore::factory();
+    CfaProgram fresh = firmware::buildBinaryTree();
+    fresh.name = "red-black-tree-v2";
+    store.installProgram(static_cast<StructType>(8), std::move(fresh));
+    EXPECT_EQ(store.installed(), 8u);
+    EXPECT_NE(store.program(static_cast<StructType>(8)), nullptr);
+}
+
+TEST(FirmwarePrograms, AllValidateAndDisassemble)
+{
+    for (const CfaProgram& p :
+         {firmware::buildLinkedList(), firmware::buildSkipList(),
+          firmware::buildBinaryTree(), firmware::buildChainedHash(),
+          firmware::buildCuckooHash(), firmware::buildTrie(),
+          firmware::buildHashOfLists()}) {
+        EXPECT_FALSE(p.states.empty()) << p.name;
+        EXPECT_LE(p.states.size(), CfaProgram::kMaxStates) << p.name;
+        EXPECT_FALSE(p.disassemble().empty()) << p.name;
+    }
+}
+
+TEST(FirmwareProgams, EveryProgramCanTerminate)
+{
+    // Each program must contain at least one Return state.
+    for (const CfaProgram& p :
+         {firmware::buildLinkedList(), firmware::buildSkipList(),
+          firmware::buildBinaryTree(), firmware::buildChainedHash(),
+          firmware::buildCuckooHash(), firmware::buildTrie()}) {
+        bool hasReturn = false;
+        for (const auto& mi : p.states)
+            hasReturn |= mi.op == MicroOpcode::Return;
+        EXPECT_TRUE(hasReturn) << p.name;
+    }
+}
+
+TEST(FirmwareProgams, CuckooUsesSignatureScan)
+{
+    // The cuckoo program must stage bucket lines and scan signatures
+    // with LoadField/CompareReg pairs (the DPDK fast path).
+    const CfaProgram p = firmware::buildCuckooHash();
+    int lines = 0;
+    int sigLoads = 0;
+    for (const auto& mi : p.states) {
+        lines += mi.op == MicroOpcode::MemReadLine ? 1 : 0;
+        sigLoads += mi.op == MicroOpcode::LoadField ? 1 : 0;
+    }
+    EXPECT_EQ(lines, 4);     // 2 lines x 2 buckets
+    EXPECT_GE(sigLoads, 16); // 8 sigs + 8 kv pointers
+}
+
+TEST(FirmwareProgams, TrieUsesIndexSearch)
+{
+    const CfaProgram p = firmware::buildTrie();
+    bool hasSearch = false;
+    for (const auto& mi : p.states)
+        hasSearch |= mi.op == MicroOpcode::IndexSearch;
+    EXPECT_TRUE(hasSearch);
+}
+
+TEST(FirmwareStoreDeath, BadSlotDies)
+{
+    FirmwareStore store;
+    EXPECT_DEATH(store.installProgram(static_cast<StructType>(200),
+                                      firmware::buildLinkedList()),
+                 "bad StructType");
+}

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/format.hh"
+
+using namespace qei;
+
+TEST(Format, PlainString)
+{
+    EXPECT_EQ(fmt("hello"), "hello");
+}
+
+TEST(Format, SingleDefaultField)
+{
+    EXPECT_EQ(fmt("x={}", 42), "x=42");
+}
+
+TEST(Format, MultipleFields)
+{
+    EXPECT_EQ(fmt("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Format, HexLower)
+{
+    EXPECT_EQ(fmt("{:x}", 255), "ff");
+}
+
+TEST(Format, HexWithPrefix)
+{
+    EXPECT_EQ(fmt("{:#x}", 4096), "0x1000");
+}
+
+TEST(Format, FixedPrecision)
+{
+    EXPECT_EQ(fmt("{:.2f}", 3.14159), "3.14");
+}
+
+TEST(Format, FixedPrecisionRounds)
+{
+    EXPECT_EQ(fmt("{:.1f}", 2.55), "2.5"); // ties-to-even or impl
+}
+
+TEST(Format, WidthPadsLeft)
+{
+    EXPECT_EQ(fmt("{:5}", 42), "   42");
+}
+
+TEST(Format, BoolRendersAsWord)
+{
+    EXPECT_EQ(fmt("{} {}", true, false), "true false");
+}
+
+TEST(Format, Uint8RendersNumerically)
+{
+    std::uint8_t v = 65;
+    EXPECT_EQ(fmt("{}", v), "65");
+}
+
+TEST(Format, StringArgument)
+{
+    std::string s = "abc";
+    EXPECT_EQ(fmt("[{}]", s), "[abc]");
+}
+
+TEST(Format, CStringArgument)
+{
+    EXPECT_EQ(fmt("[{}]", "abc"), "[abc]");
+}
+
+TEST(Format, EscapedBraces)
+{
+    EXPECT_EQ(fmt("{{}}"), "{}");
+}
+
+TEST(Format, TooFewArgumentsDoesNotCrash)
+{
+    EXPECT_EQ(fmt("{} {}", 1), "1 {?}");
+}
+
+TEST(Format, NegativeNumbers)
+{
+    EXPECT_EQ(fmt("{}", -17), "-17");
+}
+
+TEST(Format, LargeUnsigned)
+{
+    EXPECT_EQ(fmt("{}", 18446744073709551615ULL),
+              "18446744073709551615");
+}
+
+TEST(Format, PointerFallback)
+{
+    // Unknown types fall back to operator<<.
+    const void* p = nullptr;
+    const std::string out = fmt("{}", p);
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(Format, UnterminatedFieldIsLiteral)
+{
+    EXPECT_EQ(fmt("abc{def", 1), "abc{def");
+}

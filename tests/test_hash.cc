@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/hash.hh"
+
+using namespace qei;
+
+TEST(Crc32c, KnownVector)
+{
+    // The canonical CRC32-C check value for "123456789".
+    const char* s = "123456789";
+    EXPECT_EQ(crc32c(s, std::strlen(s)), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyInput)
+{
+    EXPECT_EQ(crc32c(nullptr, 0), 0x00000000u ^ 0xFFFFFFFFu ^
+                                      0xFFFFFFFFu ^ 0x00000000u);
+    // Equivalent: init ^ final-xor on zero bytes.
+    EXPECT_EQ(crc32c("", 0), 0x00000000u);
+}
+
+TEST(Crc32c, SingleByteDiffers)
+{
+    const char a = 'a';
+    const char b = 'b';
+    EXPECT_NE(crc32c(&a, 1), crc32c(&b, 1));
+}
+
+TEST(Jhash, Deterministic)
+{
+    const char* s = "query acceleration";
+    EXPECT_EQ(jhash(s, std::strlen(s)), jhash(s, std::strlen(s)));
+}
+
+TEST(Jhash, SeedChangesResult)
+{
+    const char* s = "query acceleration";
+    EXPECT_NE(jhash(s, std::strlen(s), 0), jhash(s, std::strlen(s), 1));
+}
+
+TEST(Jhash, AllTailLengths)
+{
+    // Exercise every switch arm (lengths 0..13 cover the 12-byte
+    // block plus all tails).
+    std::set<std::uint32_t> seen;
+    const char buf[16] = "abcdefghijklmno";
+    for (std::size_t len = 0; len <= 13; ++len)
+        seen.insert(jhash(buf, len));
+    EXPECT_GE(seen.size(), 13u); // collisions vanishingly unlikely
+}
+
+TEST(Fnv1a, KnownVector)
+{
+    // FNV-1a 64-bit of "a" is the published 0xAF63DC4C8601EC8C.
+    EXPECT_EQ(fnv1a64("a", 1), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(Fnv1a, OffsetBasisOnEmpty)
+{
+    EXPECT_EQ(fnv1a64("", 0), 0xCBF29CE484222325ULL);
+}
+
+TEST(Mix64, Bijectiveish)
+{
+    std::set<std::uint64_t> out;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        out.insert(mix64(i));
+    EXPECT_EQ(out.size(), 1000u);
+}
+
+TEST(Mix64, AvalancheOnLowBit)
+{
+    const std::uint64_t a = mix64(0);
+    const std::uint64_t b = mix64(1);
+    int diff = __builtin_popcountll(a ^ b);
+    EXPECT_GT(diff, 16); // strong diffusion
+}
+
+TEST(ComputeHash, DispatchesAllFunctions)
+{
+    const char* s = "key-bytes";
+    const std::size_t n = std::strlen(s);
+    const auto a = computeHash(HashFunction::Crc32c, s, n);
+    const auto b = computeHash(HashFunction::Jenkins, s, n);
+    const auto c = computeHash(HashFunction::Fnv1a, s, n);
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_NE(a, c);
+}
+
+TEST(ComputeHash, SeedMatters)
+{
+    const char* s = "key-bytes";
+    const std::size_t n = std::strlen(s);
+    for (auto fn : {HashFunction::Crc32c, HashFunction::Jenkins,
+                    HashFunction::Fnv1a}) {
+        EXPECT_NE(computeHash(fn, s, n, 0), computeHash(fn, s, n, 1));
+    }
+}

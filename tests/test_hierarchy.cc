@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/hierarchy.hh"
+
+using namespace qei;
+
+namespace {
+
+struct HierarchyFixture : ::testing::Test
+{
+    MemoryHierarchy memory;
+    static constexpr Addr kLine = 0x10000;
+};
+
+} // namespace
+
+TEST_F(HierarchyFixture, LatencyOrderingAcrossLevels)
+{
+    // Cold: DRAM.
+    const MemAccess dramHit = memory.coreAccess(0, kLine, false, 0);
+    EXPECT_EQ(dramHit.servedBy, ServedBy::Dram);
+    // Now everything is filled: L1 hit.
+    const MemAccess l1Hit = memory.coreAccess(0, kLine, false, 100);
+    EXPECT_EQ(l1Hit.servedBy, ServedBy::L1);
+    EXPECT_LT(l1Hit.latency, dramHit.latency);
+
+    // Another core: misses privately, hits LLC.
+    const MemAccess llcHit = memory.coreAccess(1, kLine, false, 200);
+    EXPECT_EQ(llcHit.servedBy, ServedBy::Llc);
+    EXPECT_GT(llcHit.latency, l1Hit.latency);
+    EXPECT_LT(llcHit.latency, dramHit.latency);
+}
+
+TEST_F(HierarchyFixture, L2HitBetweenL1AndLlc)
+{
+    memory.coreAccess(0, kLine, false, 0); // fill all levels
+    memory.l1d(0).invalidate(kLine);
+    const MemAccess l2Hit = memory.coreAccess(0, kLine, false, 100);
+    EXPECT_EQ(l2Hit.servedBy, ServedBy::L2);
+    const MemAccess l1Hit = memory.coreAccess(0, kLine, false, 200);
+    EXPECT_LT(l1Hit.latency, l2Hit.latency);
+}
+
+TEST_F(HierarchyFixture, QeiL2PathDoesNotPolluteL1)
+{
+    memory.l2Access(0, kLine, false, 0);
+    EXPECT_FALSE(memory.l1d(0).probe(kLine));
+    EXPECT_FALSE(memory.l2(0).probe(kLine));
+    // But the LLC keeps a copy.
+    const int slice = memory.homeSlice(kLine);
+    EXPECT_TRUE(memory.llcSlice(slice).probe(kLine));
+}
+
+TEST_F(HierarchyFixture, QeiL2PathHitsWarmL2)
+{
+    memory.coreAccess(0, kLine, false, 0); // core warms its L2
+    const MemAccess a = memory.l2Access(0, kLine, false, 100);
+    EXPECT_EQ(a.servedBy, ServedBy::L2);
+    EXPECT_EQ(a.latency, memory.l2(0).latency());
+}
+
+TEST_F(HierarchyFixture, ChaAccessNeverTouchesPrivateCaches)
+{
+    memory.chaAccess(3, kLine, false, 0);
+    for (int c = 0; c < memory.cores(); ++c) {
+        EXPECT_FALSE(memory.l1d(c).probe(kLine));
+        EXPECT_FALSE(memory.l2(c).probe(kLine));
+    }
+}
+
+TEST_F(HierarchyFixture, ChaAccessLocalSliceIsCheapest)
+{
+    const int slice = memory.homeSlice(kLine);
+    memory.preloadLlc(kLine);
+    const Cycles local =
+        memory.chaAccess(slice, kLine, false, 0).latency;
+    const int far = slice == 0 ? 23 : 0;
+    const Cycles remote =
+        memory.chaAccess(far, kLine, false, 0).latency;
+    EXPECT_LT(local, remote);
+}
+
+TEST_F(HierarchyFixture, HomeSliceStableAndInRange)
+{
+    for (Addr a = 0; a < 1 << 16; a += 4096) {
+        const int s = memory.homeSlice(a);
+        EXPECT_GE(s, 0);
+        EXPECT_LT(s, memory.cores());
+        EXPECT_EQ(s, memory.homeSlice(a)); // stable
+        EXPECT_EQ(s, memory.homeSlice(a + 1)); // same line
+    }
+}
+
+TEST_F(HierarchyFixture, HomeSliceRoughlyUniform)
+{
+    std::map<int, int> counts;
+    const int n = 24000;
+    for (int i = 0; i < n; ++i)
+        ++counts[memory.homeSlice(static_cast<Addr>(i) *
+                                  kCacheLineBytes)];
+    for (const auto& [slice, count] : counts) {
+        (void)slice;
+        EXPECT_NEAR(count, n / 24, n / 24 * 0.25);
+    }
+}
+
+TEST_F(HierarchyFixture, PreloadLlcMakesLlcHit)
+{
+    memory.preloadLlc(kLine);
+    const MemAccess a = memory.coreAccess(0, kLine, false, 0);
+    EXPECT_EQ(a.servedBy, ServedBy::Llc);
+}
+
+TEST_F(HierarchyFixture, FlushAllCachesForgets)
+{
+    memory.coreAccess(0, kLine, false, 0);
+    memory.flushAllCaches();
+    const MemAccess a = memory.coreAccess(0, kLine, false, 1000);
+    EXPECT_EQ(a.servedBy, ServedBy::Dram);
+}
+
+TEST_F(HierarchyFixture, LlcHitRateAggregates)
+{
+    memory.preloadLlc(kLine);
+    memory.chaAccess(0, kLine, false, 0);
+    EXPECT_GT(memory.llcHitRate(), 0.0);
+}
+
+TEST_F(HierarchyFixture, MessageLatenciesPositive)
+{
+    EXPECT_GT(memory.messageRoundTrip(0, 23, 0), 0u);
+    EXPECT_GE(memory.messageRoundTrip(0, 23, 0),
+              memory.messageOneWay(0, 23, 0));
+}

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+
+using namespace qei;
+
+TEST(Mesh, CoordTileRoundtrip)
+{
+    Mesh mesh;
+    for (int t = 0; t < mesh.tiles(); ++t)
+        EXPECT_EQ(mesh.tileOf(mesh.coordOf(t)), t);
+}
+
+TEST(Mesh, HopCountManhattan)
+{
+    Mesh mesh; // 6x4
+    EXPECT_EQ(mesh.hops(0, 0), 0);
+    EXPECT_EQ(mesh.hops(0, 5), 5);  // across the top row
+    EXPECT_EQ(mesh.hops(0, 23), 8); // opposite corner: 5 + 3
+    EXPECT_EQ(mesh.hops(7, 7), 0);
+}
+
+TEST(Mesh, HopsSymmetric)
+{
+    Mesh mesh;
+    for (int a = 0; a < mesh.tiles(); a += 5) {
+        for (int b = 0; b < mesh.tiles(); b += 3)
+            EXPECT_EQ(mesh.hops(a, b), mesh.hops(b, a));
+    }
+}
+
+TEST(Mesh, LatencyGrowsWithDistance)
+{
+    Mesh mesh;
+    const Cycles near = mesh.traverse(0, 1, 16, 0);
+    const Cycles far = mesh.traverse(0, 23, 16, 0);
+    EXPECT_GT(far, near);
+}
+
+TEST(Mesh, SelfTraverseIsInjectionOnly)
+{
+    Mesh mesh;
+    EXPECT_EQ(mesh.traverse(3, 3, 64, 0),
+              mesh.params().injectionLatency);
+}
+
+TEST(Mesh, UncongestedLatencyIsDeterministic)
+{
+    Mesh mesh;
+    const Cycles expected = mesh.params().injectionLatency +
+                            static_cast<Cycles>(mesh.hops(0, 23)) *
+                                mesh.params().hopLatency;
+    EXPECT_EQ(mesh.traverse(0, 23, 16, 0), expected);
+}
+
+TEST(Mesh, CongestionAddsQueueingDelay)
+{
+    MeshParams params;
+    params.utilisationWindow = 1000;
+    params.linkBytesPerCycle = 4.0; // easy to saturate
+    Mesh mesh(params);
+    // Hammer one link for a full window, then roll the window.
+    for (int i = 0; i < 2000; ++i)
+        mesh.traverse(0, 1, 64, 500);
+    const Cycles hot = mesh.traverse(0, 1, 16, 2000);
+    Mesh cold(params);
+    const Cycles base = cold.traverse(0, 1, 16, 2000);
+    EXPECT_GT(hot, base);
+    EXPECT_GT(mesh.peakLinkUtilisation(), 0.5);
+}
+
+TEST(Mesh, RoundTripChargesBothDirections)
+{
+    Mesh mesh;
+    const std::uint64_t before = mesh.totalBytes();
+    mesh.roundTrip(0, 5, 16, 72, 0);
+    EXPECT_EQ(mesh.totalBytes() - before, 88u);
+}
+
+TEST(Mesh, ResetTrafficClearsAccounting)
+{
+    Mesh mesh;
+    mesh.traverse(0, 5, 64, 0);
+    mesh.resetTraffic();
+    EXPECT_EQ(mesh.totalBytes(), 0u);
+    EXPECT_DOUBLE_EQ(mesh.peakLinkUtilisation(), 0.0);
+}
+
+TEST(MeshDeath, BadTilePanics)
+{
+    Mesh mesh;
+    EXPECT_DEATH((void)mesh.coordOf(24), "out of range");
+}

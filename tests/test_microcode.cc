@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "qei/microcode.hh"
+
+using namespace qei;
+
+TEST(ProgramBuilder, AddsStatesInOrder)
+{
+    ProgramBuilder b("t");
+    MicroInst ret;
+    ret.op = MicroOpcode::Return;
+    EXPECT_EQ(b.add(ret), 0);
+    EXPECT_EQ(b.add(ret), 1);
+    const CfaProgram p = b.finish();
+    EXPECT_EQ(p.states.size(), 2u);
+    EXPECT_EQ(p.name, "t");
+}
+
+TEST(ProgramBuilder, ReservePatchWorkflow)
+{
+    ProgramBuilder b("t");
+    const std::uint8_t slot = b.reserve();
+    MicroInst ret;
+    ret.op = MicroOpcode::Return;
+    b.at(slot) = ret;
+    const CfaProgram p = b.finish();
+    EXPECT_EQ(p.states[0].op, MicroOpcode::Return);
+}
+
+TEST(CfaProgram, ValidateAcceptsWellFormed)
+{
+    ProgramBuilder b("ok");
+    MicroInst alu;
+    alu.op = MicroOpcode::Alu;
+    alu.dst = kRegT4;
+    alu.next = 1;
+    b.add(alu);
+    MicroInst ret;
+    ret.op = MicroOpcode::Return;
+    b.add(ret);
+    EXPECT_NO_FATAL_FAILURE((void)b.finish());
+}
+
+TEST(CfaProgramDeath, EmptyProgramDies)
+{
+    ProgramBuilder b("empty");
+    EXPECT_DEATH((void)b.finish(), "no states");
+}
+
+TEST(CfaProgramDeath, OutOfRangeTransitionDies)
+{
+    ProgramBuilder b("bad");
+    MicroInst mi;
+    mi.op = MicroOpcode::Return;
+    mi.next = 77; // points past the end
+    b.add(mi);
+    EXPECT_DEATH((void)b.finish(), "out-of-range transition");
+}
+
+TEST(CfaProgramDeath, BadRegisterDies)
+{
+    ProgramBuilder b("bad");
+    MicroInst mi;
+    mi.op = MicroOpcode::Alu;
+    mi.dst = 12; // only 8 registers
+    b.add(mi);
+    EXPECT_DEATH((void)b.finish(), "bad register");
+}
+
+TEST(CfaProgramDeath, BadWidthDies)
+{
+    ProgramBuilder b("bad");
+    MicroInst mi;
+    mi.op = MicroOpcode::MemReadField;
+    mi.width = 9;
+    b.add(mi);
+    EXPECT_DEATH((void)b.finish(), "bad width");
+}
+
+TEST(CfaProgram, DisassembleMentionsOpsAndLabels)
+{
+    ProgramBuilder b("disasm");
+    MicroInst mi;
+    mi.op = MicroOpcode::HashKey;
+    mi.dst = kRegT4;
+    mi.label = "hash the key";
+    mi.next = 1;
+    b.add(mi);
+    MicroInst ret;
+    ret.op = MicroOpcode::Return;
+    ret.imm = 1;
+    b.add(ret);
+    const std::string out = b.finish().disassemble();
+    EXPECT_NE(out.find("HASH"), std::string::npos);
+    EXPECT_NE(out.find("hash the key"), std::string::npos);
+    EXPECT_NE(out.find("RET"), std::string::npos);
+}
+
+TEST(CfaProgram, StateLimitIs256)
+{
+    ProgramBuilder b("big");
+    MicroInst ret;
+    ret.op = MicroOpcode::Return;
+    for (int i = 0; i < 256; ++i)
+        b.add(ret);
+    EXPECT_EQ(b.finish().states.size(), 256u);
+}

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "power/area_model.hh"
+#include "power/energy_model.hh"
+
+using namespace qei;
+
+TEST(AreaModel, Qei10MatchesPaperBand)
+{
+    const AreaModel model;
+    const AreaReport r = model.qei10();
+    // Paper (Tab. III): 0.1752 mm^2, 10.8984 mW.
+    EXPECT_NEAR(r.totalAreaMm2(), 0.1752, 0.1752 * 0.25);
+    EXPECT_NEAR(r.totalStaticPowerMw(), 10.8984, 10.8984 * 0.3);
+}
+
+TEST(AreaModel, Qei10TlbMatchesPaperBand)
+{
+    const AreaModel model;
+    const AreaReport r = model.qei10WithTlb();
+    // Paper: 0.5730 mm^2, 30.9049 mW.
+    EXPECT_NEAR(r.totalAreaMm2(), 0.5730, 0.5730 * 0.25);
+    EXPECT_NEAR(r.totalStaticPowerMw(), 30.9049, 30.9049 * 0.3);
+}
+
+TEST(AreaModel, Qei240MatchesPaperBand)
+{
+    const AreaModel model;
+    const AreaReport r = model.qei240();
+    // Paper: 1.0901 mm^2, 20.8764 mW.
+    EXPECT_NEAR(r.totalAreaMm2(), 1.0901, 1.0901 * 0.25);
+    EXPECT_NEAR(r.totalStaticPowerMw(), 20.8764, 20.8764 * 0.35);
+}
+
+TEST(AreaModel, TlbDominatesItsDelta)
+{
+    const AreaModel model;
+    const double delta = model.qei10WithTlb().totalAreaMm2() -
+                         model.qei10().totalAreaMm2();
+    // The CAM TLB is the whole difference.
+    EXPECT_NEAR(delta, 0.375, 0.05);
+}
+
+TEST(AreaModel, AreaMonotonicInQstEntries)
+{
+    const AreaModel model;
+    double prev = 0.0;
+    for (int entries : {5, 10, 40, 120, 240}) {
+        QeiAreaInputs in;
+        in.qstEntries = entries;
+        const double area =
+            model.report("sweep", in).totalAreaMm2();
+        EXPECT_GT(area, prev);
+        prev = area;
+    }
+}
+
+TEST(AreaModel, DeviceGatingReducesLeakageDensity)
+{
+    const AreaModel model;
+    QeiAreaInputs plain;
+    QeiAreaInputs gated;
+    gated.deviceClass = true;
+    const AreaReport a = model.report("plain", plain);
+    const AreaReport b = model.report("gated", gated);
+    // Same base blocks leak less per mm^2 when gated.
+    const double densA =
+        a.totalStaticPowerMw() / a.totalAreaMm2();
+    const double densB =
+        b.totalStaticPowerMw() / b.totalAreaMm2();
+    EXPECT_LT(densB, densA);
+}
+
+TEST(AreaModel, EveryItemNonNegative)
+{
+    const AreaModel model;
+    for (const AreaReport& r :
+         {model.qei10(), model.qei10WithTlb(), model.qei240()}) {
+        for (const auto& item : r.items) {
+            EXPECT_GE(item.areaMm2, 0.0) << item.name;
+            EXPECT_GE(item.staticPowerMw, 0.0) << item.name;
+        }
+    }
+}
+
+TEST(EnergyModel, PerQueryDividesByQueries)
+{
+    EnergyModel model;
+    EnergyInputs in;
+    in.coreInstructions = 1000;
+    in.queries = 10;
+    const EnergyBreakdown b = model.perQuery(in);
+    EXPECT_DOUBLE_EQ(b.corePj,
+                     100.0 * model.params().coreInstrPj);
+}
+
+TEST(EnergyModel, ZeroQueriesIsZero)
+{
+    EnergyModel model;
+    EnergyInputs in;
+    in.coreInstructions = 1000;
+    in.queries = 0;
+    EXPECT_DOUBLE_EQ(model.perQuery(in).totalPj(), 0.0);
+}
+
+TEST(EnergyModel, TotalsSumComponents)
+{
+    EnergyModel model;
+    EnergyInputs in;
+    in.queries = 1;
+    in.coreInstructions = 10;
+    in.acceleratorMicroOps = 5;
+    in.comparatorBytes = 64;
+    in.activity.l1Accesses = 3;
+    in.activity.dramAccesses = 1;
+    in.activity.nocBytes = 100;
+    const EnergyBreakdown b = model.perQuery(in);
+    EXPECT_DOUBLE_EQ(b.totalPj(), b.corePj + b.cachePj + b.dramPj +
+                                      b.nocPj + b.acceleratorPj);
+    EXPECT_GT(b.acceleratorPj, 0.0);
+    EXPECT_GT(b.dramPj, 0.0);
+}
+
+TEST(ChipActivity, CaptureAndSubtract)
+{
+    MemoryHierarchy memory;
+    const ChipActivity before = ChipActivity::capture(memory);
+    memory.coreAccess(0, 0x1000, false, 0);
+    memory.coreAccess(0, 0x1000, false, 10);
+    const ChipActivity after = ChipActivity::capture(memory);
+    const ChipActivity delta = after - before;
+    EXPECT_EQ(delta.l1Accesses, 2u);
+    EXPECT_EQ(delta.dramAccesses, 1u);
+    EXPECT_GT(delta.nocBytes, 0u);
+}

@@ -1,0 +1,243 @@
+// Cross-cutting property suites: parameterized functional-equivalence
+// sweeps (every structure type x several key lengths x random query
+// mixes, QEI vs software reference) and timing-model invariants.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ds/bst.hh"
+#include "ds/chained_hash.hh"
+#include "ds/cuckoo_hash.hh"
+#include "ds/linked_list.hh"
+#include "ds/skip_list.hh"
+#include "workloads/workload.hh"
+
+using namespace qei;
+
+namespace {
+
+enum class Kind { LinkedList, Bst, SkipList, ChainedHash, CuckooHash };
+
+const char*
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::LinkedList:  return "linked-list";
+      case Kind::Bst:         return "bst";
+      case Kind::SkipList:    return "skip-list";
+      case Kind::ChainedHash: return "chained-hash";
+      case Kind::CuckooHash:  return "cuckoo-hash";
+    }
+    return "?";
+}
+
+/** Build a structure of @p kind and emit matched query streams. */
+Prepared
+buildAndPrepare(World& world, Kind kind, std::size_t key_len,
+                std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<Key, std::uint64_t>> items;
+    const std::size_t count = kind == Kind::LinkedList ? 40 : 250;
+    for (std::size_t i = 0; i < count; ++i)
+        items.emplace_back(randomKey(rng, key_len), 5000 + i);
+
+    Prepared prep;
+    prep.profile.nonQueryInstrPerOp = 15;
+
+    auto addJobs = [&](auto& ds, const auto& universe) {
+        for (int q = 0; q < 60; ++q) {
+            const Key key =
+                q % 4 == 0
+                    ? randomKey(rng, key_len)
+                    : universe[rng.below(universe.size())].first;
+            QueryTrace trace = ds.query(key);
+            QueryJob job;
+            job.headerAddr = ds.headerAddr();
+            job.keyAddr = ds.stageKey(key);
+            job.resultAddr = world.vm.alloc(16, 16);
+            job.expectFound = trace.found;
+            job.expectValue = trace.resultValue;
+            prep.jobs.push_back(job);
+            prep.traces.push_back(std::move(trace));
+        }
+    };
+
+    switch (kind) {
+      case Kind::LinkedList: {
+        auto ds = std::make_shared<SimLinkedList>(world.vm, items);
+        addJobs(*ds, items);
+        break;
+      }
+      case Kind::Bst: {
+        auto ds = std::make_shared<SimBst>(world.vm, items);
+        addJobs(*ds, items);
+        break;
+      }
+      case Kind::SkipList: {
+        auto ds = std::make_shared<SimSkipList>(world.vm, items);
+        addJobs(*ds, items);
+        break;
+      }
+      case Kind::ChainedHash: {
+        auto ds = std::make_shared<SimChainedHash>(world.vm, items,
+                                                   128);
+        addJobs(*ds, items);
+        break;
+      }
+      case Kind::CuckooHash: {
+        auto ds = std::make_shared<SimCuckooHash>(
+            world.vm, 128, static_cast<std::uint32_t>(key_len));
+        std::vector<std::pair<Key, std::uint64_t>> installed;
+        for (const auto& [k, v] : items) {
+            if (ds->insert(k, v))
+                installed.emplace_back(k, v);
+        }
+        addJobs(*ds, installed);
+        break;
+      }
+    }
+    return prep;
+}
+
+} // namespace
+
+class QeiEquivalence
+    : public ::testing::TestWithParam<std::tuple<Kind, std::size_t>>
+{
+};
+
+TEST_P(QeiEquivalence, CoreIntegratedMatchesReference)
+{
+    const auto [kind, keyLen] = GetParam();
+    World world(static_cast<std::uint64_t>(keyLen) * 31 +
+                static_cast<std::uint64_t>(kind));
+    const Prepared prep = buildAndPrepare(world, kind, keyLen, 77);
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::coreIntegrated());
+    EXPECT_EQ(stats.mismatches, 0u) << kindName(kind);
+    EXPECT_EQ(stats.exceptions, 0u) << kindName(kind);
+}
+
+TEST_P(QeiEquivalence, ChaTlbMatchesReference)
+{
+    const auto [kind, keyLen] = GetParam();
+    World world(static_cast<std::uint64_t>(keyLen) * 37 +
+                static_cast<std::uint64_t>(kind));
+    const Prepared prep = buildAndPrepare(world, kind, keyLen, 78);
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::chaTlb());
+    EXPECT_EQ(stats.mismatches, 0u) << kindName(kind);
+}
+
+TEST_P(QeiEquivalence, NonBlockingMatchesReference)
+{
+    const auto [kind, keyLen] = GetParam();
+    World world(static_cast<std::uint64_t>(keyLen) * 41 +
+                static_cast<std::uint64_t>(kind));
+    const Prepared prep = buildAndPrepare(world, kind, keyLen, 79);
+    const QeiRunStats stats =
+        runQei(world, prep, SchemeConfig::deviceDirect(),
+               QueryMode::NonBlocking, 0, 24);
+    EXPECT_EQ(stats.mismatches, 0u) << kindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructuresAndKeys, QeiEquivalence,
+    ::testing::Combine(::testing::Values(Kind::LinkedList, Kind::Bst,
+                                         Kind::SkipList,
+                                         Kind::ChainedHash,
+                                         Kind::CuckooHash),
+                       ::testing::Values(std::size_t{8},
+                                         std::size_t{16},
+                                         std::size_t{40},
+                                         std::size_t{100})));
+
+// -- Timing invariants ---------------------------------------------
+
+TEST(TimingInvariants, MoreItemsMeansMoreBaselineCycles)
+{
+    // A longer linked list costs strictly more to search exhaustively.
+    Cycles prev = 0;
+    for (std::size_t n : {8u, 32u, 128u}) {
+        World world(5);
+        Rng rng(9);
+        std::vector<std::pair<Key, std::uint64_t>> items;
+        for (std::size_t i = 0; i < n; ++i)
+            items.emplace_back(randomKey(rng, 16), i);
+        SimLinkedList ll(world.vm, items);
+        Prepared prep;
+        prep.profile.nonQueryInstrPerOp = 10;
+        for (int q = 0; q < 10; ++q) {
+            QueryTrace t = ll.query(randomKey(rng, 16)); // miss: full walk
+            QueryJob job;
+            job.headerAddr = ll.headerAddr();
+            job.keyAddr = ll.stageKey(randomKey(rng, 16));
+            prep.jobs.push_back(job);
+            prep.traces.push_back(std::move(t));
+        }
+        const CoreRunResult base = runBaseline(world, prep);
+        EXPECT_GT(base.cycles, prev);
+        prev = base.cycles;
+    }
+}
+
+TEST(TimingInvariants, QstOccupancyWithinCapacityAcrossSchemes)
+{
+    World world(6);
+    Rng rng(10);
+    std::vector<std::pair<Key, std::uint64_t>> items;
+    for (int i = 0; i < 300; ++i)
+        items.emplace_back(randomKey(rng, 16), i);
+    SimChainedHash ch(world.vm, items, 128);
+    Prepared prep;
+    prep.profile.nonQueryInstrPerOp = 5;
+    for (int q = 0; q < 60; ++q) {
+        const Key& key = items[rng.below(items.size())].first;
+        QueryTrace t = ch.query(key);
+        QueryJob job;
+        job.headerAddr = ch.headerAddr();
+        job.keyAddr = ch.stageKey(key);
+        job.resultAddr = world.vm.alloc(16, 16);
+        job.expectFound = t.found;
+        job.expectValue = t.resultValue;
+        prep.jobs.push_back(job);
+        prep.traces.push_back(std::move(t));
+    }
+    for (const auto& scheme : SchemeConfig::allSchemes()) {
+        const QeiRunStats stats = runQei(world, prep, scheme);
+        EXPECT_LE(stats.avgQstOccupancy,
+                  static_cast<double>(scheme.qstEntries))
+            << scheme.name();
+    }
+}
+
+TEST(TimingInvariants, DeterministicAcrossIdenticalRuns)
+{
+    auto once = []() {
+        World world(123);
+        Rng rng(11);
+        std::vector<std::pair<Key, std::uint64_t>> items;
+        for (int i = 0; i < 200; ++i)
+            items.emplace_back(randomKey(rng, 16), i);
+        SimChainedHash ch(world.vm, items, 64);
+        Prepared prep;
+        prep.profile.nonQueryInstrPerOp = 12;
+        for (int q = 0; q < 40; ++q) {
+            const Key& key = items[rng.below(items.size())].first;
+            QueryTrace t = ch.query(key);
+            QueryJob job;
+            job.headerAddr = ch.headerAddr();
+            job.keyAddr = ch.stageKey(key);
+            job.resultAddr = world.vm.alloc(16, 16);
+            job.expectFound = t.found;
+            job.expectValue = t.resultValue;
+            prep.jobs.push_back(job);
+            prep.traces.push_back(std::move(t));
+        }
+        return runQei(world, prep, SchemeConfig::coreIntegrated())
+            .cycles;
+    };
+    EXPECT_EQ(once(), once());
+}

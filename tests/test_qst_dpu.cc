@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "qei/dpu.hh"
+#include "qei/qst.hh"
+
+using namespace qei;
+
+TEST(Qst, AllocatesFirstEmptySlot)
+{
+    QueryStateTable qst(3);
+    EXPECT_EQ(qst.allocate(), 0);
+    EXPECT_EQ(qst.allocate(), 1);
+    qst.release(0);
+    EXPECT_EQ(qst.allocate(), 0); // first empty, not next
+}
+
+TEST(Qst, FullReturnsMinusOne)
+{
+    QueryStateTable qst(2);
+    qst.allocate();
+    qst.allocate();
+    EXPECT_TRUE(qst.full());
+    EXPECT_EQ(qst.allocate(), -1);
+}
+
+TEST(Qst, OccupancyTracksAllocations)
+{
+    QueryStateTable qst(4);
+    EXPECT_EQ(qst.occupied(), 0u);
+    qst.allocate();
+    qst.allocate();
+    EXPECT_EQ(qst.occupied(), 2u);
+    qst.release(0);
+    EXPECT_EQ(qst.occupied(), 1u);
+}
+
+TEST(Qst, ReleaseResetsEntryState)
+{
+    QueryStateTable qst(2);
+    const int id = qst.allocate();
+    qst.at(id).regs[3] = 42;
+    qst.at(id).keyStaged = true;
+    qst.release(id);
+    EXPECT_EQ(qst.at(id).phase, QstPhase::Idle);
+    EXPECT_EQ(qst.at(id).regs[3], 0u);
+    EXPECT_FALSE(qst.at(id).keyStaged);
+}
+
+TEST(Qst, ActiveIdsListsNonIdle)
+{
+    QueryStateTable qst(4);
+    qst.allocate(); // 0
+    qst.allocate(); // 1
+    qst.allocate(); // 2
+    qst.release(1);
+    EXPECT_EQ(qst.activeIds(), (std::vector<int>{0, 2}));
+}
+
+TEST(QstDeath, BadIdDies)
+{
+    QueryStateTable qst(2);
+    EXPECT_DEATH((void)qst.at(5), "out of range");
+}
+
+TEST(UnitPool, ServesIdleUnitImmediately)
+{
+    UnitPool pool("p", 2);
+    EXPECT_EQ(pool.acquire(100, 3), 103u);
+}
+
+TEST(UnitPool, ParallelUnitsDoNotQueue)
+{
+    UnitPool pool("p", 2);
+    EXPECT_EQ(pool.acquire(0, 10), 10u);
+    EXPECT_EQ(pool.acquire(0, 10), 10u); // second unit
+    EXPECT_EQ(pool.acquire(0, 10), 20u); // queues behind one
+}
+
+TEST(UnitPool, TracksOpsAndBusy)
+{
+    UnitPool pool("p", 1);
+    pool.acquire(0, 5);
+    pool.acquire(0, 5);
+    EXPECT_EQ(pool.ops(), 2u);
+    EXPECT_EQ(pool.busyCycles(), 10u);
+    EXPECT_GT(pool.queueDelay().max(), 0.0);
+}
+
+TEST(UnitPool, ResetFreesUnits)
+{
+    UnitPool pool("p", 1);
+    pool.acquire(0, 1000);
+    pool.reset();
+    EXPECT_EQ(pool.acquire(0, 1), 1u);
+}
+
+TEST(Dpu, CompareScalesWithBytes)
+{
+    DataProcessingUnit dpu;
+    const Cycles small = dpu.compare(0, 8);
+    dpu.reset();
+    const Cycles big = dpu.compare(0, 64);
+    EXPECT_EQ(small, 1u);
+    EXPECT_EQ(big, 8u); // 64 bits per cycle
+}
+
+TEST(Dpu, HashScalesWithBytes)
+{
+    DataProcessingUnit dpu;
+    EXPECT_EQ(dpu.hashKey(0, 16), 2u);
+}
+
+TEST(Dpu, AluSingleCycle)
+{
+    DataProcessingUnit dpu;
+    EXPECT_EQ(dpu.alu(7), 8u);
+}
+
+TEST(RemoteComparators, PerTilePools)
+{
+    RemoteComparators cmps(4, 2);
+    // Tile 0's pair: two fit, third queues.
+    EXPECT_EQ(cmps.compare(0, 0, 8), 1u);
+    EXPECT_EQ(cmps.compare(0, 0, 8), 1u);
+    EXPECT_EQ(cmps.compare(0, 0, 8), 2u);
+    // A different tile is unaffected.
+    EXPECT_EQ(cmps.compare(3, 0, 8), 1u);
+    EXPECT_EQ(cmps.totalOps(), 4u);
+}
+
+TEST(RemoteComparatorsDeath, BadTileDies)
+{
+    RemoteComparators cmps(2, 2);
+    EXPECT_DEATH((void)cmps.compare(2, 0, 8), "out of range");
+}

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+using namespace qei;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng rng(7);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = rng.inRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        sawLo |= v == 3;
+        sawHi |= v == 5;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(7);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    int counts[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(8)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c), n / 8.0, n * 0.01);
+}

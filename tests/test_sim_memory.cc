@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/sim_memory.hh"
+
+using namespace qei;
+
+TEST(SimMemory, ZeroFilledByDefault)
+{
+    SimMemory mem(1 << 20);
+    std::uint8_t buf[16] = {0xFF};
+    mem.read(0x100, buf, sizeof(buf));
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(SimMemory, WriteReadRoundtrip)
+{
+    SimMemory mem(1 << 20);
+    const char* msg = "query engine interface";
+    mem.write(0x40, msg, std::strlen(msg) + 1);
+    char out[32];
+    mem.read(0x40, out, std::strlen(msg) + 1);
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(SimMemory, CrossPageAccess)
+{
+    SimMemory mem(1 << 20);
+    std::uint8_t pattern[256];
+    for (std::size_t i = 0; i < sizeof(pattern); ++i)
+        pattern[i] = static_cast<std::uint8_t>(i);
+    const Addr addr = kPageBytes - 100; // straddles page 0 and 1
+    mem.write(addr, pattern, sizeof(pattern));
+    std::uint8_t out[256];
+    mem.read(addr, out, sizeof(out));
+    EXPECT_EQ(std::memcmp(pattern, out, sizeof(pattern)), 0);
+}
+
+TEST(SimMemory, TypedAccessors)
+{
+    SimMemory mem(1 << 20);
+    mem.write<std::uint64_t>(0x200, 0xDEADBEEFCAFEF00DULL);
+    EXPECT_EQ(mem.read<std::uint64_t>(0x200), 0xDEADBEEFCAFEF00DULL);
+    mem.write<std::uint16_t>(0x300, 0xBEEF);
+    EXPECT_EQ(mem.read<std::uint16_t>(0x300), 0xBEEF);
+}
+
+TEST(SimMemory, FillSetsBytes)
+{
+    SimMemory mem(1 << 20);
+    mem.fill(0x1000, 0xAB, 100);
+    for (Addr a = 0x1000; a < 0x1064; ++a)
+        EXPECT_EQ(mem.read<std::uint8_t>(a), 0xAB);
+    EXPECT_EQ(mem.read<std::uint8_t>(0x1064), 0);
+}
+
+TEST(SimMemory, LazyPageMaterialisation)
+{
+    SimMemory mem(1ULL << 40); // a TB-scale space costs nothing
+    EXPECT_EQ(mem.touchedPages(), 0u);
+    mem.write<std::uint8_t>(0x12345678, 1);
+    EXPECT_EQ(mem.touchedPages(), 1u);
+    std::uint8_t b;
+    mem.read(0x9999999, &b, 1); // read of untouched page: no alloc
+    EXPECT_EQ(mem.touchedPages(), 1u);
+}
+
+TEST(SimMemoryDeath, OutOfBoundsPanics)
+{
+    SimMemory mem(4096);
+    std::uint8_t b = 0;
+    EXPECT_DEATH(mem.write(4096, &b, 1), "out of");
+}
+
+TEST(SimMemoryDeath, WrapAroundPanics)
+{
+    SimMemory mem(1 << 20);
+    std::uint8_t b = 0;
+    EXPECT_DEATH(mem.write(~Addr{0}, &b, 2), "out of");
+}

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace qei;
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, IncrementsByAmount)
+{
+    Counter c;
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+}
+
+TEST(Counter, Resets)
+{
+    Counter c;
+    c.inc(10);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ScalarStat, TracksMinMaxMean)
+{
+    ScalarStat s;
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(ScalarStat, EmptyMeanIsZero)
+{
+    ScalarStat s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(ScalarStat, NegativeSamples)
+{
+    ScalarStat s;
+    s.sample(-3.0);
+    s.sample(1.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 1.0);
+}
+
+TEST(Histogram, BucketsSamples)
+{
+    Histogram h(10.0, 4); // [0,10) [10,20) [20,30) [30,+)
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(15.0);
+    h.sample(99.0); // clamps to last bucket
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(Histogram, PercentileMonotone)
+{
+    Histogram h(1.0, 128);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_LE(h.percentile(0.50), h.percentile(0.90));
+    EXPECT_LE(h.percentile(0.90), h.percentile(0.99));
+}
+
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(StatGroup, RendersAllKinds)
+{
+    StatGroup g("grp");
+    Counter c;
+    c.inc(3);
+    ScalarStat s;
+    s.sample(1.5);
+    Histogram h;
+    h.sample(2.0);
+    g.addCounter("hits", c);
+    g.addScalar("lat", s);
+    g.addHistogram("dist", h);
+    const std::string out = g.render();
+    EXPECT_NE(out.find("grp.hits 3"), std::string::npos);
+    EXPECT_NE(out.find("grp.lat"), std::string::npos);
+    EXPECT_NE(out.find("grp.dist"), std::string::npos);
+}

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "qei/struct_header.hh"
+
+using namespace qei;
+
+namespace {
+
+struct HeaderFixture : ::testing::Test
+{
+    HeaderFixture() : mem(1 << 24), vm(mem)
+    {
+        addr = vm.allocLines(kCacheLineBytes);
+    }
+
+    SimMemory mem;
+    VirtualMemory vm;
+    Addr addr = 0;
+};
+
+} // namespace
+
+TEST_F(HeaderFixture, RoundtripAllFields)
+{
+    StructHeader h;
+    h.root = 0x123456789AB0ULL;
+    h.type = StructType::SkipList;
+    h.subtype = 12;
+    h.keyLen = 100;
+    h.flags = kFlagInlineKey | kFlagRemoteCompareOk;
+    h.size = 10000;
+    h.aux0 = 0xAAAA;
+    h.aux1 = 0xBBBB;
+    h.aux2 = 0xCCCC;
+    h.hashFn = HashFunction::Jenkins;
+    h.writeTo(vm, addr);
+
+    const StructHeader out = StructHeader::readFrom(vm, addr);
+    EXPECT_EQ(out.root, h.root);
+    EXPECT_EQ(out.type, h.type);
+    EXPECT_EQ(out.subtype, h.subtype);
+    EXPECT_EQ(out.keyLen, h.keyLen);
+    EXPECT_EQ(out.flags, h.flags);
+    EXPECT_EQ(out.size, h.size);
+    EXPECT_EQ(out.aux0, h.aux0);
+    EXPECT_EQ(out.aux1, h.aux1);
+    EXPECT_EQ(out.aux2, h.aux2);
+    EXPECT_EQ(out.hashFn, h.hashFn);
+}
+
+TEST_F(HeaderFixture, FlagHelpers)
+{
+    StructHeader h;
+    EXPECT_FALSE(h.inlineKey());
+    EXPECT_FALSE(h.remoteCompareOk());
+    h.flags = kFlagInlineKey;
+    EXPECT_TRUE(h.inlineKey());
+    h.flags |= kFlagRemoteCompareOk;
+    EXPECT_TRUE(h.remoteCompareOk());
+}
+
+TEST_F(HeaderFixture, FitsInOneCacheline)
+{
+    // The serialised image must never write past 64 bytes: poison the
+    // next line and check it survives.
+    const Addr next = addr + kCacheLineBytes;
+    vm.write<std::uint64_t>(next, 0x5A5A5A5A5A5A5A5AULL);
+    StructHeader h;
+    h.root = ~0ULL;
+    h.size = ~0ULL;
+    h.writeTo(vm, addr);
+    EXPECT_EQ(vm.read<std::uint64_t>(next), 0x5A5A5A5A5A5A5A5AULL);
+}
+
+TEST_F(HeaderFixture, DefaultTypeInvalid)
+{
+    StructHeader h;
+    h.writeTo(vm, addr);
+    EXPECT_EQ(StructHeader::readFrom(vm, addr).type,
+              StructType::Invalid);
+}
+
+TEST_F(HeaderFixture, MisalignedWriteDies)
+{
+    StructHeader h;
+    EXPECT_DEATH(h.writeTo(vm, addr + 8), "aligned");
+}

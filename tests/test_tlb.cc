@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "vm/tlb.hh"
+
+using namespace qei;
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(4, 2);
+    EXPECT_FALSE(tlb.lookup(0x10));
+    tlb.fill(0x10);
+    EXPECT_TRUE(tlb.lookup(0x10));
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb tlb(2, 1);
+    tlb.fill(1);
+    tlb.fill(2);
+    EXPECT_TRUE(tlb.lookup(1)); // 1 becomes MRU
+    tlb.fill(3);                // evicts 2
+    EXPECT_TRUE(tlb.lookup(1));
+    EXPECT_FALSE(tlb.lookup(2));
+    EXPECT_TRUE(tlb.lookup(3));
+}
+
+TEST(Tlb, DuplicateFillIsIdempotent)
+{
+    Tlb tlb(2, 1);
+    tlb.fill(1);
+    tlb.fill(1);
+    tlb.fill(2);
+    EXPECT_TRUE(tlb.lookup(1));
+    EXPECT_TRUE(tlb.lookup(2));
+    EXPECT_EQ(tlb.size(), 2u);
+}
+
+TEST(Tlb, FlushEmptiesEverything)
+{
+    Tlb tlb(8, 1);
+    for (Addr v = 0; v < 8; ++v)
+        tlb.fill(v);
+    tlb.flush();
+    EXPECT_EQ(tlb.size(), 0u);
+    EXPECT_FALSE(tlb.lookup(3));
+}
+
+TEST(Tlb, PrefillStopsAtCapacity)
+{
+    Tlb tlb(4, 1);
+    tlb.prefill({1, 2, 3, 4, 5, 6});
+    EXPECT_EQ(tlb.size(), 4u);
+    EXPECT_TRUE(tlb.lookup(1));
+    EXPECT_FALSE(tlb.lookup(6));
+}
+
+TEST(Tlb, HitRate)
+{
+    Tlb tlb(4, 1);
+    tlb.fill(1);
+    tlb.lookup(1);
+    tlb.lookup(2);
+    EXPECT_DOUBLE_EQ(tlb.hitRate(), 0.5);
+}
+
+namespace {
+
+struct MmuFixture : ::testing::Test
+{
+    MmuFixture() : mem(1 << 26), vm(mem), mmu(vm)
+    {
+        base = vm.alloc(kPageBytes * 8, kPageBytes);
+    }
+
+    SimMemory mem;
+    VirtualMemory vm;
+    Mmu mmu;
+    Addr base = 0;
+};
+
+} // namespace
+
+TEST_F(MmuFixture, ColdTranslationWalks)
+{
+    const Translation t = mmu.translate(base);
+    EXPECT_TRUE(t.valid);
+    EXPECT_TRUE(t.walked);
+    EXPECT_EQ(t.latency, 1u + 9u + 90u);
+    EXPECT_EQ(t.paddr, vm.translate(base));
+}
+
+TEST_F(MmuFixture, SecondTranslationHitsL1)
+{
+    mmu.translate(base);
+    const Translation t = mmu.translate(base + 8);
+    EXPECT_TRUE(t.l1Hit);
+    EXPECT_EQ(t.latency, 1u);
+}
+
+TEST_F(MmuFixture, L2HitAfterL1Eviction)
+{
+    mmu.translate(base);
+    // Push the page out of the 64-entry L1 TLB with 80 other pages.
+    const Addr filler = vm.alloc(kPageBytes * 90, kPageBytes);
+    for (int p = 0; p < 80; ++p)
+        mmu.translate(filler + p * kPageBytes);
+    const Translation t = mmu.translate(base);
+    EXPECT_TRUE(t.l2Hit);
+    EXPECT_EQ(t.latency, 1u + 9u);
+}
+
+TEST_F(MmuFixture, FaultOnUnmapped)
+{
+    const Translation t = mmu.translate(0x40);
+    EXPECT_FALSE(t.valid);
+}
+
+TEST_F(MmuFixture, TranslateViaL2SkipsL1)
+{
+    const Translation cold = mmu.translateViaL2(base);
+    EXPECT_TRUE(cold.walked);
+    EXPECT_EQ(cold.latency, 9u + 90u);
+    const Translation warm = mmu.translateViaL2(base);
+    EXPECT_TRUE(warm.l2Hit);
+    EXPECT_EQ(warm.latency, 9u);
+    // And the L1 was never filled.
+    const Translation l1 = mmu.translate(base);
+    EXPECT_FALSE(l1.l1Hit);
+}
+
+TEST_F(MmuFixture, PrefillL2MakesWarmTranslations)
+{
+    mmu.prefillL2({pageNumber(base)});
+    const Translation t = mmu.translateViaL2(base);
+    EXPECT_TRUE(t.l2Hit);
+}
+
+TEST_F(MmuFixture, FlushForgetsEverything)
+{
+    mmu.translate(base);
+    mmu.flush();
+    const Translation t = mmu.translate(base);
+    EXPECT_TRUE(t.walked);
+}

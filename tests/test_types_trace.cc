@@ -1,0 +1,110 @@
+// Unit tests for the address-math helpers every layer leans on, plus
+// the QueryTrace instruction accounting behind Fig. 11.
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+#include "core/trace.hh"
+
+using namespace qei;
+
+TEST(AddressMath, LineAlignment)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(63), 0u);
+    EXPECT_EQ(lineAlign(64), 64u);
+    EXPECT_EQ(lineAlign(130), 128u);
+    EXPECT_EQ(lineOffset(130), 2u);
+    EXPECT_EQ(lineOffset(64), 0u);
+}
+
+TEST(AddressMath, PageHelpers)
+{
+    EXPECT_EQ(pageAlign(4095), 0u);
+    EXPECT_EQ(pageAlign(4096), 4096u);
+    EXPECT_EQ(pageNumber(4096), 1u);
+    EXPECT_EQ(pageNumber(8191), 1u);
+    EXPECT_EQ(pageOffset(4097), 1u);
+}
+
+TEST(AddressMath, LinesCovering)
+{
+    EXPECT_EQ(linesCovering(0, 0), 0u);
+    EXPECT_EQ(linesCovering(0, 1), 1u);
+    EXPECT_EQ(linesCovering(0, 64), 1u);
+    EXPECT_EQ(linesCovering(0, 65), 2u);
+    EXPECT_EQ(linesCovering(63, 2), 2u);   // straddles a boundary
+    EXPECT_EQ(linesCovering(60, 100), 3u); // 60..159 -> 0,64,128
+    EXPECT_EQ(linesCovering(64, 64), 1u);
+}
+
+TEST(AddressMath, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(65));
+}
+
+TEST(AddressMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2((1ULL << 33) + 5), 33u);
+}
+
+TEST(AddressMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+    EXPECT_EQ(divCeil(100, 7), 15u);
+}
+
+TEST(QueryTrace, DynamicInstructionsCountLoadsAndSlices)
+{
+    QueryTrace t;
+    MemTouch a;
+    a.instrBefore = 10;
+    a.branchesBefore = 2;
+    a.mispredictsBefore = 1;
+    MemTouch b;
+    b.instrBefore = 5;
+    t.touches = {a, b};
+    t.instrAfter = 3;
+    t.branchesAfter = 1;
+    t.mispredictsAfter = 1;
+    // 10 + 1 (load) + 5 + 1 (load) + 3 after.
+    EXPECT_EQ(t.dynamicInstructions(), 20u);
+    EXPECT_EQ(t.branches(), 3u);
+    EXPECT_EQ(t.mispredicts(), 2u);
+}
+
+TEST(QueryTrace, EmptyTraceOnlyCountsTail)
+{
+    QueryTrace t;
+    t.instrAfter = 7;
+    EXPECT_EQ(t.dynamicInstructions(), 7u);
+    EXPECT_EQ(t.branches(), 0u);
+}
+
+TEST(QueryTrace, DefaultsAreSane)
+{
+    MemTouch t;
+    EXPECT_TRUE(t.dependsOnPrev);
+    EXPECT_FALSE(t.isStore);
+    EXPECT_EQ(t.computeLatency, 2u);
+}
+
+TEST(RoiProfile, DefaultsMatchDocs)
+{
+    RoiProfile p;
+    EXPECT_EQ(p.nonQueryInstrPerOp, 40u);
+    EXPECT_GT(p.roiFraction, 0.0);
+    EXPECT_LT(p.roiFraction, 1.0);
+}

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vm/virtual_memory.hh"
+
+using namespace qei;
+
+namespace {
+
+SimMemory&
+sharedMemory()
+{
+    static SimMemory mem(1ULL << 32);
+    return mem;
+}
+
+} // namespace
+
+TEST(VirtualMemory, AllocRespectsAlignment)
+{
+    SimMemory mem(1 << 26);
+    VirtualMemory vm(mem);
+    const Addr a = vm.alloc(10, 8);
+    const Addr b = vm.alloc(10, 64);
+    const Addr c = vm.alloc(10, 4096);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_EQ(c % 4096, 0u);
+}
+
+TEST(VirtualMemory, AllocationsDoNotOverlap)
+{
+    SimMemory mem(1 << 26);
+    VirtualMemory vm(mem);
+    const Addr a = vm.alloc(100);
+    const Addr b = vm.alloc(100);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(VirtualMemory, ReadWriteThroughTranslation)
+{
+    SimMemory mem(1 << 26);
+    VirtualMemory vm(mem);
+    const Addr a = vm.alloc(4096 * 3);
+    // Spans multiple (scattered) physical pages.
+    std::vector<std::uint8_t> pattern(4096 * 3);
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<std::uint8_t>(i * 7);
+    vm.writeBytes(a, pattern.data(), pattern.size());
+    std::vector<std::uint8_t> out(pattern.size());
+    vm.readBytes(a, out.data(), out.size());
+    EXPECT_EQ(pattern, out);
+}
+
+TEST(VirtualMemory, FragmentedModeScattersFrames)
+{
+    SimMemory mem(1 << 28);
+    VirtualMemory vm(mem, FrameAllocator::Mode::Fragmented, 3);
+    const Addr base = vm.alloc(kPageBytes * 16, kPageBytes);
+    bool contiguous = true;
+    Addr prev = vm.translate(base);
+    for (int p = 1; p < 16; ++p) {
+        const Addr cur = vm.translate(base + p * kPageBytes);
+        if (cur != prev + kPageBytes)
+            contiguous = false;
+        prev = cur;
+    }
+    EXPECT_FALSE(contiguous)
+        << "fragmented allocator produced a contiguous mapping";
+}
+
+TEST(VirtualMemory, ContiguousModeIsContiguous)
+{
+    SimMemory mem(1 << 28);
+    VirtualMemory vm(mem, FrameAllocator::Mode::Contiguous);
+    const Addr base = vm.alloc(kPageBytes * 16, kPageBytes);
+    for (int p = 1; p < 16; ++p) {
+        EXPECT_EQ(vm.translate(base + p * kPageBytes),
+                  vm.translate(base) + static_cast<Addr>(p) *
+                                           kPageBytes);
+    }
+}
+
+TEST(VirtualMemory, TranslatePreservesPageOffset)
+{
+    SimMemory mem(1 << 26);
+    VirtualMemory vm(mem);
+    const Addr a = vm.alloc(100, 8);
+    EXPECT_EQ(pageOffset(vm.translate(a)), pageOffset(a));
+}
+
+TEST(VirtualMemory, TryTranslateUnmappedIsNull)
+{
+    SimMemory mem(1 << 26);
+    VirtualMemory vm(mem);
+    EXPECT_FALSE(vm.tryTranslate(0x10).has_value());
+    EXPECT_FALSE(vm.tryTranslate(VirtualMemory::kHeapBase +
+                                 (1ULL << 33))
+                     .has_value());
+}
+
+TEST(VirtualMemory, NullAddressNeverMapped)
+{
+    SimMemory mem(1 << 26);
+    VirtualMemory vm(mem);
+    vm.alloc(1 << 20);
+    EXPECT_FALSE(vm.tryTranslate(kNullAddr).has_value());
+}
+
+TEST(VirtualMemory, FramesNeverReused)
+{
+    SimMemory mem(1 << 26);
+    VirtualMemory vm(mem);
+    std::set<Addr> frames;
+    const Addr base = vm.alloc(kPageBytes * 64, kPageBytes);
+    for (int p = 0; p < 64; ++p)
+        frames.insert(pageNumber(vm.translate(base + p * kPageBytes)));
+    EXPECT_EQ(frames.size(), 64u);
+}
+
+TEST(VirtualMemory, BytesAllocatedTracksBrk)
+{
+    SimMemory mem(1 << 26);
+    VirtualMemory vm(mem);
+    vm.alloc(100, 8);
+    EXPECT_GE(vm.bytesAllocated(), 100u);
+}
+
+TEST(VirtualMemoryDeath, TranslateUnmappedPanics)
+{
+    SimMemory& mem = sharedMemory();
+    VirtualMemory vm(mem);
+    EXPECT_DEATH((void)vm.translate(0x20), "unmapped");
+}
+
+TEST(VirtualMemoryDeath, ZeroAllocPanics)
+{
+    SimMemory& mem = sharedMemory();
+    VirtualMemory vm(mem);
+    EXPECT_DEATH((void)vm.alloc(0), "zero-byte");
+}
+
+TEST(VirtualMemoryDeath, BadAlignmentPanics)
+{
+    SimMemory& mem = sharedMemory();
+    VirtualMemory vm(mem);
+    EXPECT_DEATH((void)vm.alloc(8, 3), "power of two");
+}
