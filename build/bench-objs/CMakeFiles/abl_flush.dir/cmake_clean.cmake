@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_flush"
+  "../bench/abl_flush.pdb"
+  "CMakeFiles/abl_flush.dir/abl_flush.cc.o"
+  "CMakeFiles/abl_flush.dir/abl_flush.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

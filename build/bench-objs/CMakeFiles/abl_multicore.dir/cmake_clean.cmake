@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_multicore"
+  "../bench/abl_multicore.pdb"
+  "CMakeFiles/abl_multicore.dir/abl_multicore.cc.o"
+  "CMakeFiles/abl_multicore.dir/abl_multicore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

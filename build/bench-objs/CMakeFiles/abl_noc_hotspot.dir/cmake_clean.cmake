@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_noc_hotspot"
+  "../bench/abl_noc_hotspot.pdb"
+  "CMakeFiles/abl_noc_hotspot.dir/abl_noc_hotspot.cc.o"
+  "CMakeFiles/abl_noc_hotspot.dir/abl_noc_hotspot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_noc_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_noc_hotspot.
+# This may be replaced when dependencies are built.

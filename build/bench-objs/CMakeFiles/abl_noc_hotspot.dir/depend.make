@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_noc_hotspot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_qst_size"
+  "../bench/abl_qst_size.pdb"
+  "CMakeFiles/abl_qst_size.dir/abl_qst_size.cc.o"
+  "CMakeFiles/abl_qst_size.dir/abl_qst_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_qst_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

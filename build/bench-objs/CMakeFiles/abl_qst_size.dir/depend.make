@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_qst_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_remote_cmp"
+  "../bench/abl_remote_cmp.pdb"
+  "CMakeFiles/abl_remote_cmp.dir/abl_remote_cmp.cc.o"
+  "CMakeFiles/abl_remote_cmp.dir/abl_remote_cmp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_remote_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_remote_cmp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/debug_probe"
+  "../bench/debug_probe.pdb"
+  "CMakeFiles/debug_probe.dir/debug_probe.cc.o"
+  "CMakeFiles/debug_probe.dir/debug_probe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

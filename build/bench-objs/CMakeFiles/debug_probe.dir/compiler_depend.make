@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for debug_probe.
+# This may be replaced when dependencies are built.

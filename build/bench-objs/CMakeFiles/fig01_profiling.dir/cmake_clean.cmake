@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_profiling"
+  "../bench/fig01_profiling.pdb"
+  "CMakeFiles/fig01_profiling.dir/fig01_profiling.cc.o"
+  "CMakeFiles/fig01_profiling.dir/fig01_profiling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

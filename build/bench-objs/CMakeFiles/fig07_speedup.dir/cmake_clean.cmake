@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_speedup"
+  "../bench/fig07_speedup.pdb"
+  "CMakeFiles/fig07_speedup.dir/fig07_speedup.cc.o"
+  "CMakeFiles/fig07_speedup.dir/fig07_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

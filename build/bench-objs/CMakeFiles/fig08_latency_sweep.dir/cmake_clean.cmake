@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_latency_sweep"
+  "../bench/fig08_latency_sweep.pdb"
+  "CMakeFiles/fig08_latency_sweep.dir/fig08_latency_sweep.cc.o"
+  "CMakeFiles/fig08_latency_sweep.dir/fig08_latency_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_latency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_end_to_end"
+  "../bench/fig09_end_to_end.pdb"
+  "CMakeFiles/fig09_end_to_end.dir/fig09_end_to_end.cc.o"
+  "CMakeFiles/fig09_end_to_end.dir/fig09_end_to_end.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_tuple_space"
+  "../bench/fig10_tuple_space.pdb"
+  "CMakeFiles/fig10_tuple_space.dir/fig10_tuple_space.cc.o"
+  "CMakeFiles/fig10_tuple_space.dir/fig10_tuple_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tuple_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

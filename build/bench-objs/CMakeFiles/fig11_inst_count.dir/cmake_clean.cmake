@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_inst_count"
+  "../bench/fig11_inst_count.pdb"
+  "CMakeFiles/fig11_inst_count.dir/fig11_inst_count.cc.o"
+  "CMakeFiles/fig11_inst_count.dir/fig11_inst_count.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_inst_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

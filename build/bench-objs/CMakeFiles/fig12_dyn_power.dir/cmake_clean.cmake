@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_dyn_power"
+  "../bench/fig12_dyn_power.pdb"
+  "CMakeFiles/fig12_dyn_power.dir/fig12_dyn_power.cc.o"
+  "CMakeFiles/fig12_dyn_power.dir/fig12_dyn_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dyn_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_dyn_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/qei_bench_util.dir/bench_util.cc.o.d"
+  "libqei_bench_util.a"
+  "libqei_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqei_bench_util.a"
+)

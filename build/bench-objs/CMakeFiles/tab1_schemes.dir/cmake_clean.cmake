@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab1_schemes"
+  "../bench/tab1_schemes.pdb"
+  "CMakeFiles/tab1_schemes.dir/tab1_schemes.cc.o"
+  "CMakeFiles/tab1_schemes.dir/tab1_schemes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab2_config"
+  "../bench/tab2_config.pdb"
+  "CMakeFiles/tab2_config.dir/tab2_config.cc.o"
+  "CMakeFiles/tab2_config.dir/tab2_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab3_area_power.cc" "bench-objs/CMakeFiles/tab3_area_power.dir/tab3_area_power.cc.o" "gcc" "bench-objs/CMakeFiles/tab3_area_power.dir/tab3_area_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-objs/CMakeFiles/qei_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/qei_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/qei_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/qei/CMakeFiles/qei_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qei_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qei_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/qei_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/qei_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/qei_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/qei_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qei_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

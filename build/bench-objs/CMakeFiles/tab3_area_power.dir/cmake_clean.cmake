@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_area_power"
+  "../bench/tab3_area_power.pdb"
+  "CMakeFiles/tab3_area_power.dir/tab3_area_power.cc.o"
+  "CMakeFiles/tab3_area_power.dir/tab3_area_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_marker.dir/gc_marker.cpp.o"
+  "CMakeFiles/gc_marker.dir/gc_marker.cpp.o.d"
+  "gc_marker"
+  "gc_marker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_marker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gc_marker.
+# This may be replaced when dependencies are built.

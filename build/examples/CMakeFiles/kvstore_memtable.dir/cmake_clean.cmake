@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_memtable.dir/kvstore_memtable.cpp.o"
+  "CMakeFiles/kvstore_memtable.dir/kvstore_memtable.cpp.o.d"
+  "kvstore_memtable"
+  "kvstore_memtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_memtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

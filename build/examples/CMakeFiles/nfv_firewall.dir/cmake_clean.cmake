@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_firewall.dir/nfv_firewall.cpp.o"
+  "CMakeFiles/nfv_firewall.dir/nfv_firewall.cpp.o.d"
+  "nfv_firewall"
+  "nfv_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

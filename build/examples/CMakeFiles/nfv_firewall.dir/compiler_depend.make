@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nfv_firewall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for nfv_firewall.
+# This may be replaced when dependencies are built.

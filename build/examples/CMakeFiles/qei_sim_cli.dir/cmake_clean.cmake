@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_sim_cli.dir/qei_sim.cpp.o"
+  "CMakeFiles/qei_sim_cli.dir/qei_sim.cpp.o.d"
+  "qei_sim"
+  "qei_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_common.dir/format.cc.o"
+  "CMakeFiles/qei_common.dir/format.cc.o.d"
+  "CMakeFiles/qei_common.dir/hash.cc.o"
+  "CMakeFiles/qei_common.dir/hash.cc.o.d"
+  "CMakeFiles/qei_common.dir/logging.cc.o"
+  "CMakeFiles/qei_common.dir/logging.cc.o.d"
+  "CMakeFiles/qei_common.dir/stats.cc.o"
+  "CMakeFiles/qei_common.dir/stats.cc.o.d"
+  "CMakeFiles/qei_common.dir/table_printer.cc.o"
+  "CMakeFiles/qei_common.dir/table_printer.cc.o.d"
+  "libqei_common.a"
+  "libqei_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chip_config.cc" "src/core/CMakeFiles/qei_core.dir/chip_config.cc.o" "gcc" "src/core/CMakeFiles/qei_core.dir/chip_config.cc.o.d"
+  "/root/repo/src/core/core_model.cc" "src/core/CMakeFiles/qei_core.dir/core_model.cc.o" "gcc" "src/core/CMakeFiles/qei_core.dir/core_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/qei_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/qei_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/qei_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_core.dir/chip_config.cc.o"
+  "CMakeFiles/qei_core.dir/chip_config.cc.o.d"
+  "CMakeFiles/qei_core.dir/core_model.cc.o"
+  "CMakeFiles/qei_core.dir/core_model.cc.o.d"
+  "libqei_core.a"
+  "libqei_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

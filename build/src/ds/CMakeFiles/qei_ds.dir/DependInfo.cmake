@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ds/bplus_tree.cc" "src/ds/CMakeFiles/qei_ds.dir/bplus_tree.cc.o" "gcc" "src/ds/CMakeFiles/qei_ds.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/ds/bst.cc" "src/ds/CMakeFiles/qei_ds.dir/bst.cc.o" "gcc" "src/ds/CMakeFiles/qei_ds.dir/bst.cc.o.d"
+  "/root/repo/src/ds/chained_hash.cc" "src/ds/CMakeFiles/qei_ds.dir/chained_hash.cc.o" "gcc" "src/ds/CMakeFiles/qei_ds.dir/chained_hash.cc.o.d"
+  "/root/repo/src/ds/cuckoo_hash.cc" "src/ds/CMakeFiles/qei_ds.dir/cuckoo_hash.cc.o" "gcc" "src/ds/CMakeFiles/qei_ds.dir/cuckoo_hash.cc.o.d"
+  "/root/repo/src/ds/linked_list.cc" "src/ds/CMakeFiles/qei_ds.dir/linked_list.cc.o" "gcc" "src/ds/CMakeFiles/qei_ds.dir/linked_list.cc.o.d"
+  "/root/repo/src/ds/lsh.cc" "src/ds/CMakeFiles/qei_ds.dir/lsh.cc.o" "gcc" "src/ds/CMakeFiles/qei_ds.dir/lsh.cc.o.d"
+  "/root/repo/src/ds/skip_list.cc" "src/ds/CMakeFiles/qei_ds.dir/skip_list.cc.o" "gcc" "src/ds/CMakeFiles/qei_ds.dir/skip_list.cc.o.d"
+  "/root/repo/src/ds/trie.cc" "src/ds/CMakeFiles/qei_ds.dir/trie.cc.o" "gcc" "src/ds/CMakeFiles/qei_ds.dir/trie.cc.o.d"
+  "/root/repo/src/ds/tuple_space.cc" "src/ds/CMakeFiles/qei_ds.dir/tuple_space.cc.o" "gcc" "src/ds/CMakeFiles/qei_ds.dir/tuple_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/qei_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qei_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qei/CMakeFiles/qei_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/qei_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/qei_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qei_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_ds.dir/bplus_tree.cc.o"
+  "CMakeFiles/qei_ds.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/qei_ds.dir/bst.cc.o"
+  "CMakeFiles/qei_ds.dir/bst.cc.o.d"
+  "CMakeFiles/qei_ds.dir/chained_hash.cc.o"
+  "CMakeFiles/qei_ds.dir/chained_hash.cc.o.d"
+  "CMakeFiles/qei_ds.dir/cuckoo_hash.cc.o"
+  "CMakeFiles/qei_ds.dir/cuckoo_hash.cc.o.d"
+  "CMakeFiles/qei_ds.dir/linked_list.cc.o"
+  "CMakeFiles/qei_ds.dir/linked_list.cc.o.d"
+  "CMakeFiles/qei_ds.dir/lsh.cc.o"
+  "CMakeFiles/qei_ds.dir/lsh.cc.o.d"
+  "CMakeFiles/qei_ds.dir/skip_list.cc.o"
+  "CMakeFiles/qei_ds.dir/skip_list.cc.o.d"
+  "CMakeFiles/qei_ds.dir/trie.cc.o"
+  "CMakeFiles/qei_ds.dir/trie.cc.o.d"
+  "CMakeFiles/qei_ds.dir/tuple_space.cc.o"
+  "CMakeFiles/qei_ds.dir/tuple_space.cc.o.d"
+  "libqei_ds.a"
+  "libqei_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

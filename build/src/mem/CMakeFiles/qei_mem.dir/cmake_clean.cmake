@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_mem.dir/cache.cc.o"
+  "CMakeFiles/qei_mem.dir/cache.cc.o.d"
+  "CMakeFiles/qei_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/qei_mem.dir/hierarchy.cc.o.d"
+  "libqei_mem.a"
+  "libqei_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_noc.dir/mesh.cc.o"
+  "CMakeFiles/qei_noc.dir/mesh.cc.o.d"
+  "libqei_noc.a"
+  "libqei_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_power.dir/area_model.cc.o"
+  "CMakeFiles/qei_power.dir/area_model.cc.o.d"
+  "CMakeFiles/qei_power.dir/energy_model.cc.o"
+  "CMakeFiles/qei_power.dir/energy_model.cc.o.d"
+  "libqei_power.a"
+  "libqei_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

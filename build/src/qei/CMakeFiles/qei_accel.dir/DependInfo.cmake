@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qei/accelerator.cc" "src/qei/CMakeFiles/qei_accel.dir/accelerator.cc.o" "gcc" "src/qei/CMakeFiles/qei_accel.dir/accelerator.cc.o.d"
+  "/root/repo/src/qei/firmware.cc" "src/qei/CMakeFiles/qei_accel.dir/firmware.cc.o" "gcc" "src/qei/CMakeFiles/qei_accel.dir/firmware.cc.o.d"
+  "/root/repo/src/qei/microcode.cc" "src/qei/CMakeFiles/qei_accel.dir/microcode.cc.o" "gcc" "src/qei/CMakeFiles/qei_accel.dir/microcode.cc.o.d"
+  "/root/repo/src/qei/scheme.cc" "src/qei/CMakeFiles/qei_accel.dir/scheme.cc.o" "gcc" "src/qei/CMakeFiles/qei_accel.dir/scheme.cc.o.d"
+  "/root/repo/src/qei/struct_header.cc" "src/qei/CMakeFiles/qei_accel.dir/struct_header.cc.o" "gcc" "src/qei/CMakeFiles/qei_accel.dir/struct_header.cc.o.d"
+  "/root/repo/src/qei/system.cc" "src/qei/CMakeFiles/qei_accel.dir/system.cc.o" "gcc" "src/qei/CMakeFiles/qei_accel.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qei_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/qei_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/qei_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qei_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/qei_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_accel.dir/accelerator.cc.o"
+  "CMakeFiles/qei_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/qei_accel.dir/firmware.cc.o"
+  "CMakeFiles/qei_accel.dir/firmware.cc.o.d"
+  "CMakeFiles/qei_accel.dir/microcode.cc.o"
+  "CMakeFiles/qei_accel.dir/microcode.cc.o.d"
+  "CMakeFiles/qei_accel.dir/scheme.cc.o"
+  "CMakeFiles/qei_accel.dir/scheme.cc.o.d"
+  "CMakeFiles/qei_accel.dir/struct_header.cc.o"
+  "CMakeFiles/qei_accel.dir/struct_header.cc.o.d"
+  "CMakeFiles/qei_accel.dir/system.cc.o"
+  "CMakeFiles/qei_accel.dir/system.cc.o.d"
+  "libqei_accel.a"
+  "libqei_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_sim.dir/event_queue.cc.o"
+  "CMakeFiles/qei_sim.dir/event_queue.cc.o.d"
+  "libqei_sim.a"
+  "libqei_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

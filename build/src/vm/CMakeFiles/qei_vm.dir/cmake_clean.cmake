@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_vm.dir/virtual_memory.cc.o"
+  "CMakeFiles/qei_vm.dir/virtual_memory.cc.o.d"
+  "libqei_vm.a"
+  "libqei_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

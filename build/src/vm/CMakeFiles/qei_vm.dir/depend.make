@@ -1,0 +1,2 @@
+# Empty dependencies file for qei_vm.
+# This may be replaced when dependencies are built.

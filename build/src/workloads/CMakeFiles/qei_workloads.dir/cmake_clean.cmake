@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_workloads.dir/dpdk_fib.cc.o"
+  "CMakeFiles/qei_workloads.dir/dpdk_fib.cc.o.d"
+  "CMakeFiles/qei_workloads.dir/flann_lsh.cc.o"
+  "CMakeFiles/qei_workloads.dir/flann_lsh.cc.o.d"
+  "CMakeFiles/qei_workloads.dir/jvm_gc.cc.o"
+  "CMakeFiles/qei_workloads.dir/jvm_gc.cc.o.d"
+  "CMakeFiles/qei_workloads.dir/rocksdb_memtable.cc.o"
+  "CMakeFiles/qei_workloads.dir/rocksdb_memtable.cc.o.d"
+  "CMakeFiles/qei_workloads.dir/snort_ac.cc.o"
+  "CMakeFiles/qei_workloads.dir/snort_ac.cc.o.d"
+  "CMakeFiles/qei_workloads.dir/workload.cc.o"
+  "CMakeFiles/qei_workloads.dir/workload.cc.o.d"
+  "libqei_workloads.a"
+  "libqei_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

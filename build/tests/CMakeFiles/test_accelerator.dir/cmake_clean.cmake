@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accelerator.dir/test_accelerator.cc.o"
+  "CMakeFiles/test_accelerator.dir/test_accelerator.cc.o.d"
+  "test_accelerator"
+  "test_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bplus_tree.dir/test_bplus_tree.cc.o"
+  "CMakeFiles/test_bplus_tree.dir/test_bplus_tree.cc.o.d"
+  "test_bplus_tree"
+  "test_bplus_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bplus_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

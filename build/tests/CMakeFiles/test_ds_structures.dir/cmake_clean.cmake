@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ds_structures.dir/test_ds_structures.cc.o"
+  "CMakeFiles/test_ds_structures.dir/test_ds_structures.cc.o.d"
+  "test_ds_structures"
+  "test_ds_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ds_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

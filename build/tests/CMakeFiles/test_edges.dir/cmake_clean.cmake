@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edges.dir/test_edges.cc.o"
+  "CMakeFiles/test_edges.dir/test_edges.cc.o.d"
+  "test_edges"
+  "test_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

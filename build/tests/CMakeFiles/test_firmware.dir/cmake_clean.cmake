@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_firmware.dir/test_firmware.cc.o"
+  "CMakeFiles/test_firmware.dir/test_firmware.cc.o.d"
+  "test_firmware"
+  "test_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_format.dir/test_format.cc.o"
+  "CMakeFiles/test_format.dir/test_format.cc.o.d"
+  "test_format"
+  "test_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh.dir/test_mesh.cc.o"
+  "CMakeFiles/test_mesh.dir/test_mesh.cc.o.d"
+  "test_mesh"
+  "test_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

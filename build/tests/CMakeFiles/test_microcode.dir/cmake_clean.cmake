@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microcode.dir/test_microcode.cc.o"
+  "CMakeFiles/test_microcode.dir/test_microcode.cc.o.d"
+  "test_microcode"
+  "test_microcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

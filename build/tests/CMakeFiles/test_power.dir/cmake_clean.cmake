@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power.dir/test_power.cc.o"
+  "CMakeFiles/test_power.dir/test_power.cc.o.d"
+  "test_power"
+  "test_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qst_dpu.dir/test_qst_dpu.cc.o"
+  "CMakeFiles/test_qst_dpu.dir/test_qst_dpu.cc.o.d"
+  "test_qst_dpu"
+  "test_qst_dpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qst_dpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

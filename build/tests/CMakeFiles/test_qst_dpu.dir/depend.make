@@ -1,0 +1,2 @@
+# Empty dependencies file for test_qst_dpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_memory.dir/test_sim_memory.cc.o"
+  "CMakeFiles/test_sim_memory.dir/test_sim_memory.cc.o.d"
+  "test_sim_memory"
+  "test_sim_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

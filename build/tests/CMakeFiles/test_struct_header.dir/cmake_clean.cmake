@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_struct_header.dir/test_struct_header.cc.o"
+  "CMakeFiles/test_struct_header.dir/test_struct_header.cc.o.d"
+  "test_struct_header"
+  "test_struct_header.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_struct_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

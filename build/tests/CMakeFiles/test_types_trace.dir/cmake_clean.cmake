@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_types_trace.dir/test_types_trace.cc.o"
+  "CMakeFiles/test_types_trace.dir/test_types_trace.cc.o.d"
+  "test_types_trace"
+  "test_types_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_types_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

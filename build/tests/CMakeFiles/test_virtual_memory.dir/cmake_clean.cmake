@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_memory.dir/test_virtual_memory.cc.o"
+  "CMakeFiles/test_virtual_memory.dir/test_virtual_memory.cc.o.d"
+  "test_virtual_memory"
+  "test_virtual_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
