@@ -51,8 +51,9 @@ flushWith(World& world, SimLinkedList& list,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("abl_flush", parseBenchArgs(argc, argv));
     std::printf("=== Ablation: interrupt flush latency (Sec. IV-D) "
                 "===\n");
 
@@ -70,6 +71,7 @@ main()
     TablePrinter table;
     table.header({"NB queries in QST", "flush cycles (scattered)",
                   "flush cycles (4 slots/line)"});
+    Json points = Json::array();
     for (int nb : {0, 2, 4, 8, 10}) {
         const Cycles scattered =
             flushWith(world, list, keys, nb, /*shared_line=*/false);
@@ -78,10 +80,19 @@ main()
         table.row({std::to_string(nb),
                    std::to_string(scattered),
                    std::to_string(packed)});
+
+        Json p = Json::object();
+        p["nb_queries"] = nb;
+        p["flush_cycles_scattered"] = scattered;
+        p["flush_cycles_packed"] = packed;
+        points.push_back(std::move(p));
     }
     table.print();
     std::printf("expectation: cost grows with non-blocking occupancy; "
                 "stores to the same line coalesce (packed < "
                 "scattered); blocking-only flushes are free\n");
-    return 0;
+
+    report.data()["sweep"] = std::move(points);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

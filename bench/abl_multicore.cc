@@ -15,8 +15,9 @@ using namespace qei;
 using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("abl_multicore", parseBenchArgs(argc, argv));
     std::printf("=== Ablation: multi-core issue scalability ===\n");
 
     auto workloads = makeAllWorkloads();
@@ -30,12 +31,14 @@ main()
     table.header({"scheme", "1 core (cyc/q)", "4 cores", "8 cores",
                   "16 cores", "16-core scaling"});
 
+    Json schemes = Json::array();
     for (const auto& scheme : SchemeConfig::allSchemes()) {
         if (scheme.scheme == IntegrationScheme::DeviceIndirect)
             continue; // dominated by interface latency, not sharing
         std::vector<std::string> row{scheme.name()};
         double oneCore = 0.0;
         double sixteen = 0.0;
+        Json points = Json::array();
         for (int cores : {1, 4, 8, 16}) {
             world.resetTiming();
             world.warmLlc();
@@ -51,13 +54,26 @@ main()
                 oneCore = stats.cyclesPerQuery();
             if (cores == 16)
                 sixteen = stats.cyclesPerQuery();
+            Json p = Json::object();
+            p["cores"] = cores;
+            p["cycles_per_query"] = stats.cyclesPerQuery();
+            points.push_back(std::move(p));
         }
         row.push_back(TablePrinter::speedup(oneCore / sixteen));
         table.row(row);
+
+        Json s = Json::object();
+        s["scheme"] = scheme.name();
+        s["points"] = std::move(points);
+        s["scaling_16_core"] = oneCore / sixteen;
+        schemes.push_back(std::move(s));
     }
     table.print();
     std::printf("expectation: per-core / per-CHA schemes approach "
                 "linear scaling; the single device stop saturates "
                 "(Tab. I scalability column)\n");
-    return 0;
+
+    report.data()["schemes"] = std::move(schemes);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

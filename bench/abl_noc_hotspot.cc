@@ -14,8 +14,9 @@ using namespace qei;
 using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("abl_noc_hotspot", parseBenchArgs(argc, argv));
     std::printf("=== Ablation: NoC hotspot (non-blocking flood) ===\n");
 
     TablePrinter table;
@@ -25,6 +26,7 @@ main()
     auto workloads = makeAllWorkloads();
     Workload* jvm = workloads[1].get();
 
+    Json schemes = Json::array();
     for (const auto& scheme : SchemeConfig::allSchemes()) {
         World world(42);
         jvm->build(world);
@@ -41,10 +43,24 @@ main()
                            world.hierarchy.mesh().totalBytes()) /
                            static_cast<double>(stats.queries),
                        0)});
+
+        Json s = Json::object();
+        s["scheme"] = scheme.name();
+        s["peak_link_utilisation"] =
+            world.hierarchy.mesh().peakLinkUtilisation();
+        s["mean_link_utilisation"] =
+            world.hierarchy.mesh().meanLinkUtilisation();
+        s["noc_bytes_per_query"] =
+            static_cast<double>(world.hierarchy.mesh().totalBytes()) /
+            static_cast<double>(stats.queries);
+        schemes.push_back(std::move(s));
     }
     table.print();
     std::printf("expectation: the single-stop Device schemes "
                 "concentrate traffic (peak >> mean); the distributed "
                 "schemes spread it\n");
-    return 0;
+
+    report.data()["schemes"] = std::move(schemes);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

@@ -12,8 +12,9 @@ using namespace qei;
 using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("abl_qst_size", parseBenchArgs(argc, argv));
     std::printf("=== Ablation: Core-integrated QST size sweep ===\n");
 
     TablePrinter table;
@@ -35,6 +36,7 @@ main()
     const Prepared dpdkPrep = dpdk->prepare(dpdkWorld, 1500);
     const CoreRunResult dpdkBase = runBaseline(dpdkWorld, dpdkPrep);
 
+    Json points = Json::array();
     for (int entries : {2, 5, 10, 20, 40}) {
         SchemeConfig scheme = SchemeConfig::coreIntegrated();
         scheme.qstEntries = entries;
@@ -49,10 +51,21 @@ main()
                        speedupOf(dpdkBase, dpdkStats)),
                    TablePrinter::percent(dpdkStats.avgQstOccupancy /
                                          entries)});
+
+        Json p = Json::object();
+        p["qst_entries"] = entries;
+        p["jvm_speedup"] = speedupOf(jvmBase, jvmStats);
+        p["jvm_occupancy"] = jvmStats.avgQstOccupancy / entries;
+        p["dpdk_speedup"] = speedupOf(dpdkBase, dpdkStats);
+        p["dpdk_occupancy"] = dpdkStats.avgQstOccupancy / entries;
+        points.push_back(std::move(p));
     }
     table.print();
     std::printf("design point: 10 entries — performance saturates "
                 "near the ROB-limited in-flight count while the table "
                 "stays small\n");
-    return 0;
+
+    report.data()["sweep"] = std::move(points);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

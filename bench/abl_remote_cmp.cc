@@ -12,8 +12,9 @@ using namespace qei;
 using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("abl_remote_cmp", parseBenchArgs(argc, argv));
     std::printf("=== Ablation: remote CHA comparators "
                 "(Core-integrated) ===\n");
 
@@ -21,6 +22,7 @@ main()
     table.header({"workload", "key bytes", "with remote cmp",
                   "local only", "remote compares/query"});
 
+    Json workloads = Json::array();
     for (const auto& workload : makeAllWorkloads()) {
         World world(42);
         workload->build(world);
@@ -49,10 +51,23 @@ main()
                        static_cast<double>(withRemote.remoteCompares) /
                            static_cast<double>(withRemote.queries),
                        2)});
+
+        Json w = Json::object();
+        w["workload"] = workload->name();
+        w["key_bytes"] = h.keyLen;
+        w["speedup_remote_cmp"] = speedupOf(baseline, withRemote);
+        w["speedup_local_only"] = speedupOf(baseline, localOnly);
+        w["remote_compares_per_query"] =
+            static_cast<double>(withRemote.remoteCompares) /
+            static_cast<double>(withRemote.queries);
+        workloads.push_back(std::move(w));
     }
     table.print();
     std::printf("expectation: long-key workloads (rocksdb 100B) "
                 "benefit from comparing in place at the CHA; 8B-key "
                 "workloads never ship compares remotely\n");
-    return 0;
+
+    report.data()["workloads"] = std::move(workloads);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

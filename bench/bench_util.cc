@@ -1,11 +1,65 @@
 #include "bench_util.hh"
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
 namespace qei::bench {
+
+BenchOptions
+parseBenchArgs(int argc, char** argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0) {
+            if (i + 1 < argc) {
+                options.jsonPath = argv[++i];
+            } else {
+                std::fprintf(stderr, "--json needs a path argument\n");
+            }
+        } else if (std::strncmp(arg, "--json=", 7) == 0) {
+            options.jsonPath = arg + 7;
+        }
+    }
+    return options;
+}
+
+BenchReport::BenchReport(std::string bench_name, BenchOptions options)
+    : options_(std::move(options)), root_(Json::object())
+{
+    root_["bench"] = std::move(bench_name);
+}
+
+void
+BenchReport::setTable(const TablePrinter& table)
+{
+    root_["table"] = table.toJson();
+}
+
+bool
+BenchReport::finish()
+{
+    if (!enabled())
+        return true;
+    std::ofstream out(options_.jsonPath);
+    if (out) {
+        out << root_.dump(2) << '\n';
+        out.flush();
+    }
+    if (!out) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     options_.jsonPath.c_str());
+        return false;
+    }
+    std::printf("wrote %s\n", options_.jsonPath.c_str());
+    return true;
+}
 
 WorkloadRun
 runWorkload(Workload& workload, std::size_t queries,
             const std::vector<SchemeConfig>& schemes, QueryMode mode,
-            std::uint64_t seed)
+            std::uint64_t seed, bool capture_stats)
 {
     WorkloadRun run;
     run.name = workload.name();
@@ -22,12 +76,72 @@ runWorkload(Workload& workload, std::size_t queries,
     run.activity["baseline"] = ChipActivity::capture(world.hierarchy);
 
     for (const auto& scheme : schemes) {
+        std::string stats_json;
         run.schemes[scheme.name()] =
-            runQei(world, run.prepared, scheme, mode);
+            runQei(world, run.prepared, scheme, mode, 0, 32,
+                   capture_stats ? &stats_json : nullptr);
         run.activity[scheme.name()] =
             ChipActivity::capture(world.hierarchy);
+        if (capture_stats)
+            run.statsJson[scheme.name()] = std::move(stats_json);
     }
     return run;
+}
+
+Json
+toJson(const CoreRunResult& result)
+{
+    Json out = Json::object();
+    out["cycles"] = result.cycles;
+    out["instructions"] = result.instructions;
+    out["loads"] = result.loads;
+    out["stores"] = result.stores;
+    out["queries"] = result.queries;
+    out["backend_stall_cycles"] = result.backendStallCycles;
+    out["frontend_stall_cycles"] = result.frontendStallCycles;
+    out["ipc"] = result.ipc();
+    out["cycles_per_query"] = result.cyclesPerQuery();
+    return out;
+}
+
+Json
+toJson(const QeiRunStats& stats)
+{
+    Json out = Json::object();
+    out["cycles"] = stats.cycles;
+    out["queries"] = stats.queries;
+    out["core_instructions"] = stats.coreInstructions;
+    out["mismatches"] = stats.mismatches;
+    out["exceptions"] = stats.exceptions;
+    out["mem_accesses"] = stats.memAccesses;
+    out["micro_ops"] = stats.microOps;
+    out["remote_compares"] = stats.remoteCompares;
+    out["avg_qst_occupancy"] = stats.avgQstOccupancy;
+    out["max_inflight_observed"] = stats.maxInFlightObserved;
+    out["cycles_per_query"] = stats.cyclesPerQuery();
+    return out;
+}
+
+Json
+toJson(const WorkloadRun& run)
+{
+    Json out = Json::object();
+    out["workload"] = run.name;
+    out["baseline"] = toJson(run.baseline);
+    Json schemes = Json::object();
+    for (const auto& [name, stats] : run.schemes) {
+        Json s = toJson(stats);
+        s["speedup"] = run.speedup(name);
+        schemes[name] = std::move(s);
+    }
+    out["schemes"] = std::move(schemes);
+    if (!run.statsJson.empty()) {
+        Json dumps = Json::object();
+        for (const auto& [name, dump] : run.statsJson)
+            dumps[name] = Json::parse(dump);
+        out["stats"] = std::move(dumps);
+    }
+    return out;
 }
 
 std::vector<std::string>

@@ -13,11 +13,58 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/table_printer.hh"
 #include "power/energy_model.hh"
 #include "workloads/workload.hh"
 
 namespace qei::bench {
+
+/** Command-line options shared by every harness. */
+struct BenchOptions
+{
+    /** Destination of the JSON artifact; empty = text output only. */
+    std::string jsonPath;
+};
+
+/**
+ * Parse the harness command line. Recognises `--json <path>` and
+ * `--json=<path>`; other arguments are left for the harness to
+ * interpret (debug_probe's workload filter).
+ */
+BenchOptions parseBenchArgs(int argc, char** argv);
+
+/**
+ * Collector for one harness's machine-readable results.
+ *
+ * Harnesses fill data() with their figure-specific payload (and
+ * usually mirror the printed table via setTable()); finish() writes
+ * the artifact to the `--json` path, if one was given.
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string bench_name, BenchOptions options);
+
+    /** True when a `--json` destination was given. */
+    bool enabled() const { return !options_.jsonPath.empty(); }
+
+    /** Root object; preloaded with {"bench": <name>}. */
+    Json& data() { return root_; }
+
+    /** Mirror the printed table under "table". */
+    void setTable(const TablePrinter& table);
+
+    /**
+     * Write the artifact when enabled; prints the destination (or the
+     * failure) to stdout. @return false on I/O failure.
+     */
+    bool finish();
+
+  private:
+    BenchOptions options_;
+    Json root_;
+};
 
 /** Results for one workload across the baseline and all schemes. */
 struct WorkloadRun
@@ -30,6 +77,9 @@ struct WorkloadRun
     /** Activity deltas for the energy model, keyed like `schemes`,
      *  plus "baseline". */
     std::map<std::string, ChipActivity> activity;
+    /** Full component-tree stats dumps, keyed like `schemes`; only
+     *  populated when runWorkload() was asked to capture them. */
+    std::map<std::string, std::string> statsJson;
 
     double
     speedup(const std::string& scheme) const
@@ -49,10 +99,23 @@ WorkloadRun runWorkload(Workload& workload, std::size_t queries = 0,
                         const std::vector<SchemeConfig>& schemes =
                             SchemeConfig::allSchemes(),
                         QueryMode mode = QueryMode::Blocking,
-                        std::uint64_t seed = 42);
+                        std::uint64_t seed = 42,
+                        bool capture_stats = false);
 
 /** Scheme names in the paper's presentation order. */
 std::vector<std::string> schemeNames();
+
+// -- JSON views of the result structs, for BenchReport payloads --
+
+Json toJson(const CoreRunResult& result);
+Json toJson(const QeiRunStats& stats);
+
+/**
+ * One workload's full cross-scheme result: baseline, per-scheme run
+ * stats with raw `speedup` doubles, and (when captured) the per-scheme
+ * component-tree stats dumps under "stats".
+ */
+Json toJson(const WorkloadRun& run);
 
 } // namespace qei::bench
 

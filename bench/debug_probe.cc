@@ -11,11 +11,28 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    const std::string only = argc > 1 ? argv[1] : "";
+    BenchReport report("debug_probe", parseBenchArgs(argc, argv));
+    // Workload filter: the first argument that is not a --json option.
+    std::string only;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            ++i; // skip the path operand
+        } else if (arg.rfind("--json=", 0) != 0) {
+            only = arg;
+            break;
+        }
+    }
+    Json workloads = Json::array();
     for (const auto& workload : makeAllWorkloads()) {
         if (!only.empty() && workload->name() != only)
             continue;
-        const WorkloadRun run = runWorkload(*workload);
+        // The probe captures the full per-scheme component-tree stats
+        // dump when a --json artifact was requested.
+        const WorkloadRun run =
+            runWorkload(*workload, 0, SchemeConfig::allSchemes(),
+                        QueryMode::Blocking, 42,
+                        /*capture_stats=*/report.enabled());
         std::printf("== %s: baseline %.1f cyc/q, %.0f instr/q, "
                     "%.2f touches/q, ipc %.2f\n",
                     run.name.c_str(), run.baseline.cyclesPerQuery(),
@@ -37,6 +54,8 @@ main(int argc, char** argv)
                             s.queries,
                         s.avgQstOccupancy, s.maxInFlightObserved);
         }
+        workloads.push_back(toJson(run));
     }
-    return 0;
+    report.data()["workloads"] = std::move(workloads);
+    return report.finish() ? 0 : 1;
 }

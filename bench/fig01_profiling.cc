@@ -16,8 +16,9 @@ using namespace qei;
 using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("fig01_profiling", parseBenchArgs(argc, argv));
     std::printf("=== Fig. 1: query-time share and top-down analysis "
                 "===\n");
 
@@ -26,6 +27,7 @@ main()
                   "frontend-bound", "backend-bound", "retiring",
                   "IPC"});
 
+    Json workloads = Json::array();
     const int width = defaultChip().core.issueWidth;
     for (const auto& workload : makeAllWorkloads()) {
         // Only the baseline run matters for profiling.
@@ -41,10 +43,22 @@ main()
                    TablePrinter::percent(
                        run.baseline.retiringFraction(width)),
                    TablePrinter::num(run.baseline.ipc(), 2)});
+
+        Json w = Json::object();
+        w["workload"] = run.name;
+        w["roi_fraction"] = profile.roiFraction;
+        w["frontend_bound"] = run.baseline.frontendBoundFraction(width);
+        w["backend_bound"] = run.baseline.backendBoundFraction(width);
+        w["retiring"] = run.baseline.retiringFraction(width);
+        w["baseline"] = toJson(run.baseline);
+        workloads.push_back(std::move(w));
     }
     table.print();
     std::printf("paper reference: query ops take 23%%~44%% of CPU "
                 "time; DPDK 7.5%% FE / 63.9%% BE bound, RocksDB "
                 "25.9%% FE / 9.5%% BE bound\n");
-    return 0;
+
+    report.data()["workloads"] = std::move(workloads);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

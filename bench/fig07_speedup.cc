@@ -18,8 +18,9 @@ using namespace qei;
 using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("fig07_speedup", parseBenchArgs(argc, argv));
     std::printf("=== Fig. 7: ROI speedup per workload x scheme "
                 "(blocking queries) ===\n");
 
@@ -30,6 +31,7 @@ main()
     header.push_back("baseline cyc/q");
     table.header(header);
 
+    Json workloads = Json::array();
     double geoProd = 1.0;
     int geoCount = 0;
     for (const auto& workload : makeAllWorkloads()) {
@@ -45,6 +47,7 @@ main()
         row.push_back(
             TablePrinter::num(run.baseline.cyclesPerQuery(), 1));
         table.row(row);
+        workloads.push_back(toJson(run));
 
         std::uint64_t mismatches = 0;
         for (const auto& [name, stats] : run.schemes)
@@ -62,5 +65,9 @@ main()
     std::printf("Core-integrated geomean speedup: %.2fx "
                 "(paper: ~8x average, 6.5x~11.2x range)\n",
                 geomean);
-    return 0;
+
+    report.data()["workloads"] = std::move(workloads);
+    report.data()["geomean_core_integrated"] = geomean;
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

@@ -16,8 +16,10 @@ using namespace qei;
 using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("fig08_latency_sweep",
+                       parseBenchArgs(argc, argv));
     std::printf("=== Fig. 8: Device-indirect interface-latency sweep "
                 "===\n");
 
@@ -29,6 +31,7 @@ main()
         header.push_back(std::to_string(c) + " cyc");
     table.header(header);
 
+    Json workloads = Json::array();
     for (const auto& workload : makeAllWorkloads()) {
         // One world per workload; the sweep reruns the same queries.
         World world(42);
@@ -37,18 +40,32 @@ main()
             workload->prepare(world, workload->defaultQueries());
         const CoreRunResult baseline = runBaseline(world, prepared);
 
+        Json points = Json::array();
         std::vector<std::string> row{workload->name()};
         for (Cycles c : sweep) {
             const QeiRunStats stats = runQei(
                 world, prepared, SchemeConfig::deviceIndirect(c));
-            row.push_back(
-                TablePrinter::speedup(speedupOf(baseline, stats)));
+            const double speedup = speedupOf(baseline, stats);
+            row.push_back(TablePrinter::speedup(speedup));
+            Json p = Json::object();
+            p["interface_latency"] = c;
+            p["speedup"] = speedup;
+            points.push_back(std::move(p));
         }
         table.row(row);
+
+        Json w = Json::object();
+        w["workload"] = workload->name();
+        w["baseline"] = toJson(baseline);
+        w["sweep"] = std::move(points);
+        workloads.push_back(std::move(w));
     }
     table.print();
     std::printf("paper reference: monotonic drop with latency; device "
                 "interfaces quoted at ~300 ns (~750 cycles) round "
                 "trip\n");
-    return 0;
+
+    report.data()["workloads"] = std::move(workloads);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

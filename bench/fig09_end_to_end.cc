@@ -27,8 +27,9 @@ endToEndGain(double roi_fraction, double roi_speedup)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("fig09_end_to_end", parseBenchArgs(argc, argv));
     std::printf("=== Fig. 9: end-to-end throughput improvement ===\n");
 
     TablePrinter table;
@@ -37,6 +38,7 @@ main()
                   "end-to-end gain (CHA-TLB)",
                   "end-to-end gain (CHA-noTLB)"});
 
+    Json workloads = Json::array();
     for (const auto& workload : makeAllWorkloads()) {
         const WorkloadRun run = runWorkload(
             *workload, 0,
@@ -51,9 +53,21 @@ main()
                        endToEndGain(f, run.speedup("CHA-TLB"))),
                    TablePrinter::percent(
                        endToEndGain(f, run.speedup("CHA-noTLB")))});
+
+        Json w = toJson(run);
+        w["roi_fraction"] = f;
+        Json gains = Json::object();
+        for (const char* s :
+             {"Core-integrated", "CHA-TLB", "CHA-noTLB"})
+            gains[s] = endToEndGain(f, run.speedup(s));
+        w["end_to_end_gain"] = std::move(gains);
+        workloads.push_back(std::move(w));
     }
     table.print();
     std::printf("paper reference: 36.2%%~66.7%% end-to-end gain; "
                 "Core-integrated on par with the CHA schemes\n");
-    return 0;
+
+    report.data()["workloads"] = std::move(workloads);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

@@ -68,8 +68,9 @@ makeSetup(World& world, SimTupleSpace& space, int packets)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("fig10_tuple_space", parseBenchArgs(argc, argv));
     std::printf("=== Fig. 10: tuple-space search, QUERY_NB, poll "
                 "every 32 keys ===\n");
 
@@ -79,6 +80,7 @@ main()
         header.push_back(s);
     table.header(header);
 
+    Json points = Json::array();
     for (int tuples : {5, 10, 15}) {
         World world(1000 + static_cast<std::uint64_t>(tuples));
         SimTupleSpace space(world.vm, tuples, 4096, 16, world.rng);
@@ -87,13 +89,17 @@ main()
         const CoreRunResult baseline =
             runBaseline(world, setup.prepared);
 
+        Json schemes = Json::object();
         std::vector<std::string> row{std::to_string(tuples)};
         for (const auto& scheme : SchemeConfig::allSchemes()) {
             const QeiRunStats stats =
                 runQei(world, setup.prepared, scheme,
                        QueryMode::NonBlocking, 0, 32 * tuples);
-            row.push_back(
-                TablePrinter::speedup(speedupOf(baseline, stats)));
+            const double speedup = speedupOf(baseline, stats);
+            row.push_back(TablePrinter::speedup(speedup));
+            Json s = toJson(stats);
+            s["speedup"] = speedup;
+            schemes[scheme.name()] = std::move(s);
             if (stats.mismatches != 0) {
                 std::printf("WARNING: %llu mismatches (%s, %d "
                             "tuples)\n",
@@ -103,11 +109,19 @@ main()
             }
         }
         table.row(row);
+
+        Json p = Json::object();
+        p["tuples"] = tuples;
+        p["baseline"] = toJson(baseline);
+        p["schemes"] = std::move(schemes);
+        points.push_back(std::move(p));
     }
     table.print();
+    report.data()["tuple_counts"] = std::move(points);
+    report.setTable(table);
     std::printf("paper reference: speedup grows with tuple count; "
                 "Device schemes recover versus blocking mode; "
                 "Core-integrated limited by its 10-entry QST at high "
                 "tuple counts but competitive at low ones\n");
-    return 0;
+    return report.finish() ? 0 : 1;
 }

@@ -16,8 +16,9 @@ using namespace qei;
 using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("fig11_inst_count", parseBenchArgs(argc, argv));
     std::printf("=== Fig. 11: dynamic instruction count in the ROI "
                 "===\n");
 
@@ -25,6 +26,7 @@ main()
     table.header({"workload", "baseline instr/query",
                   "QEI instr/query", "reduction"});
 
+    Json workloads = Json::array();
     for (const auto& workload : makeAllWorkloads()) {
         const WorkloadRun run = runWorkload(
             *workload, 0, {SchemeConfig::coreIntegrated()});
@@ -38,10 +40,20 @@ main()
         table.row({run.name, TablePrinter::num(base, 0),
                    TablePrinter::num(ours, 0),
                    TablePrinter::percent(1.0 - ours / base)});
+
+        Json w = Json::object();
+        w["workload"] = run.name;
+        w["baseline_instr_per_query"] = base;
+        w["qei_instr_per_query"] = ours;
+        w["reduction"] = 1.0 - ours / base;
+        workloads.push_back(std::move(w));
     }
     table.print();
     std::printf("paper reference: a significant share of ROI dynamic "
                 "instructions is eliminated (each software query runs "
                 "to hundreds of instructions; QEI issues one)\n");
-    return 0;
+
+    report.data()["workloads"] = std::move(workloads);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

@@ -15,8 +15,9 @@ using namespace qei;
 using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("fig12_dyn_power", parseBenchArgs(argc, argv));
     std::printf("=== Fig. 12: dynamic energy per query vs software "
                 "baseline ===\n");
 
@@ -29,6 +30,7 @@ main()
     header.push_back("baseline pJ/q");
     table.header(header);
 
+    Json workloads = Json::array();
     for (const auto& workload : makeAllWorkloads()) {
         const WorkloadRun run = runWorkload(*workload);
 
@@ -38,6 +40,7 @@ main()
         base.queries = run.baseline.queries;
         const double basePj = model.perQuery(base).totalPj();
 
+        Json schemes = Json::object();
         std::vector<std::string> row{run.name};
         for (const auto& name : schemeNames()) {
             const QeiRunStats& stats = run.schemes.at(name);
@@ -48,12 +51,25 @@ main()
             in.queries = stats.queries;
             const double pj = model.perQuery(in).totalPj();
             row.push_back(TablePrinter::percent(pj / basePj));
+            Json s = Json::object();
+            s["pj_per_query"] = pj;
+            s["relative_to_baseline"] = pj / basePj;
+            schemes[name] = std::move(s);
         }
         row.push_back(TablePrinter::num(basePj, 0));
         table.row(row);
+
+        Json w = Json::object();
+        w["workload"] = run.name;
+        w["baseline_pj_per_query"] = basePj;
+        w["schemes"] = std::move(schemes);
+        workloads.push_back(std::move(w));
     }
     table.print();
     std::printf("paper reference: accelerator dynamic power <= ~40%% "
                 "of the software baseline per query\n");
-    return 0;
+
+    report.data()["workloads"] = std::move(workloads);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

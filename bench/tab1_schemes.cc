@@ -43,8 +43,9 @@ avgChaData(MemoryHierarchy& memory, VirtualMemory& vm, Addr probe)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("tab1_schemes", parseBenchArgs(argc, argv));
     std::printf("=== Tab. I: integration scheme comparison ===\n");
 
     World world(7);
@@ -57,6 +58,7 @@ main()
                   "HW cost", "mem mgmt", "NoC hotspot", "priv $ poll",
                   "scalability"});
 
+    Json schemes = Json::array();
     for (const auto& s : SchemeConfig::allSchemes()) {
         double accCore = static_cast<double>(s.submitLatency) +
                          static_cast<double>(s.deviceIfLatency);
@@ -100,9 +102,22 @@ main()
         table.row({s.name(), TablePrinter::num(accCore, 0),
                    TablePrinter::num(accData, 0), cost, mem, hotspot,
                    "no", scal});
+
+        Json row = Json::object();
+        row["scheme"] = s.name();
+        row["acc_core_latency"] = accCore;
+        row["acc_data_latency"] = accData;
+        row["hw_cost"] = cost;
+        row["mem_mgmt"] = mem;
+        row["noc_hotspot"] = hotspot;
+        row["scalability"] = scal;
+        schemes.push_back(std::move(row));
     }
     table.print();
     std::printf("paper reference: CHA 40~60 / 10~50, Device 100~500 / "
                 "100~500, Core-integrated 10~25 / 20~40 cycles\n");
-    return 0;
+
+    report.data()["schemes"] = std::move(schemes);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

@@ -5,18 +5,31 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "core/chip_config.hh"
 
 using namespace qei;
+using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("tab2_config", parseBenchArgs(argc, argv));
     std::printf("=== Tab. II: simulated CPU model configuration ===\n");
     const ChipConfig chip = defaultChip();
     std::fputs(chip.describe().c_str(), stdout);
     std::printf("QST entries       : %d per accelerator "
                 "(Core/CHA schemes), %d total (Device schemes)\n",
                 chip.qei.qstEntriesPerAccel, chip.qei.qstEntriesDevice);
-    return 0;
+
+    Json config = Json::object();
+    config["description"] = chip.describe();
+    config["cores"] = chip.memory.cores;
+    config["issue_width"] = chip.core.issueWidth;
+    config["rob_entries"] = chip.core.robEntries;
+    config["load_queue_entries"] = chip.core.loadQueueEntries;
+    config["qst_entries_per_accel"] = chip.qei.qstEntriesPerAccel;
+    config["qst_entries_device"] = chip.qei.qstEntriesDevice;
+    report.data()["config"] = std::move(config);
+    return report.finish() ? 0 : 1;
 }

@@ -6,14 +6,17 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "common/table_printer.hh"
 #include "power/area_model.hh"
 
 using namespace qei;
+using namespace qei::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchReport report("tab3_area_power", parseBenchArgs(argc, argv));
     std::printf("=== Tab. III: area and static power ===\n");
 
     const AreaModel model;
@@ -43,15 +46,33 @@ main()
     table.print();
 
     std::printf("\nper-component breakdowns:\n");
+    Json configs = Json::array();
     for (const auto& row : rows) {
         std::printf("%s:\n", row.report.config.c_str());
+        Json items = Json::array();
         for (const auto& item : row.report.items) {
             std::printf("  %-28s %8.4f mm^2  %8.3f mW\n",
                         item.name.c_str(), item.areaMm2,
                         item.staticPowerMw);
+            Json it = Json::object();
+            it["name"] = item.name;
+            it["area_mm2"] = item.areaMm2;
+            it["static_mw"] = item.staticPowerMw;
+            items.push_back(std::move(it));
         }
+        Json c = Json::object();
+        c["configuration"] = row.report.config;
+        c["area_mm2"] = row.report.totalAreaMm2();
+        c["paper_area_mm2"] = row.paperArea;
+        c["static_mw"] = row.report.totalStaticPowerMw();
+        c["paper_static_mw"] = row.paperPower;
+        c["items"] = std::move(items);
+        configs.push_back(std::move(c));
     }
     std::printf("\ncontext: a modern core tile is ~18 mm^2, so even "
                 "QEI-240 is ~6%% of one core\n");
-    return 0;
+
+    report.data()["configurations"] = std::move(configs);
+    report.setTable(table);
+    return report.finish() ? 0 : 1;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Run every benchmark harness and collect BENCH_<name>.json artifacts.
+#
+# Usage: scripts/run_benches.sh [build-dir] [output-dir]
+#   build-dir   cmake build tree (default: build); configured+built
+#               here if the bench binaries are missing
+#   output-dir  where the BENCH_*.json files land (default: .)
+set -eu
+
+build_dir=${1:-build}
+out_dir=${2:-.}
+
+repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_dir"
+
+if [ ! -d "$build_dir/bench" ]; then
+    cmake -B "$build_dir" -S .
+    cmake --build "$build_dir" -j
+fi
+
+mkdir -p "$out_dir"
+
+status=0
+for bench in "$build_dir"/bench/*; do
+    [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    case $name in
+        micro_primitives) continue ;; # google-benchmark, no --json
+    esac
+    echo "== $name"
+    if ! "$bench" --json "$out_dir/BENCH_$name.json"; then
+        echo "** $name failed" >&2
+        status=1
+    fi
+done
+exit $status

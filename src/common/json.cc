@@ -1,0 +1,557 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qei {
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        throw std::runtime_error("Json: not a bool");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    switch (type_) {
+    case Type::Int:
+        return static_cast<double>(int_);
+    case Type::Uint:
+        return static_cast<double>(uint_);
+    case Type::Double:
+        return double_;
+    default:
+        throw std::runtime_error("Json: not a number");
+    }
+}
+
+std::int64_t
+Json::asInt() const
+{
+    switch (type_) {
+    case Type::Int:
+        return int_;
+    case Type::Uint:
+        return static_cast<std::int64_t>(uint_);
+    case Type::Double:
+        return static_cast<std::int64_t>(double_);
+    default:
+        throw std::runtime_error("Json: not a number");
+    }
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    switch (type_) {
+    case Type::Int:
+        return static_cast<std::uint64_t>(int_);
+    case Type::Uint:
+        return uint_;
+    case Type::Double:
+        return static_cast<std::uint64_t>(double_);
+    default:
+        throw std::runtime_error("Json: not a number");
+    }
+}
+
+const std::string&
+Json::asString() const
+{
+    if (type_ != Type::String)
+        throw std::runtime_error("Json: not a string");
+    return str_;
+}
+
+Json&
+Json::operator[](const std::string& key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        throw std::runtime_error("Json: not an object");
+    for (auto& [k, v] : object_) {
+        if (k == key)
+            return v;
+    }
+    object_.emplace_back(key, Json{});
+    return object_.back().second;
+}
+
+const Json*
+Json::find(const std::string& key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto& [k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const Json&
+Json::at(const std::string& key) const
+{
+    const Json* v = find(key);
+    if (v == nullptr)
+        throw std::out_of_range("Json: no member '" + key + "'");
+    return *v;
+}
+
+void
+Json::push_back(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        throw std::runtime_error("Json: not an array");
+    array_.push_back(std::move(v));
+}
+
+const Json&
+Json::at(std::size_t idx) const
+{
+    if (type_ != Type::Array)
+        throw std::runtime_error("Json: not an array");
+    if (idx >= array_.size())
+        throw std::out_of_range("Json: array index out of range");
+    return array_[idx];
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return array_.size();
+    if (type_ == Type::Object)
+        return object_.size();
+    return 0;
+}
+
+std::string
+Json::quote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+/** Shortest decimal rendering that still round-trips a double. */
+std::string
+renderDouble(double v)
+{
+    if (std::isnan(v) || std::isinf(v))
+        return "null"; // JSON has no NaN/Inf; emit null
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    for (int prec = 6; prec < 17; ++prec) {
+        char tight[32];
+        std::snprintf(tight, sizeof(tight), "%.*g", prec, v);
+        std::sscanf(tight, "%lf", &back);
+        if (back == v)
+            return tight;
+    }
+    return buf;
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string& out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    const std::string pad =
+        pretty ? std::string(static_cast<std::size_t>(indent) *
+                                 static_cast<std::size_t>(depth + 1),
+                             ' ')
+               : std::string{};
+    const std::string padEnd =
+        pretty ? std::string(static_cast<std::size_t>(indent) *
+                                 static_cast<std::size_t>(depth),
+                             ' ')
+               : std::string{};
+    const char* nl = pretty ? "\n" : "";
+    const char* colon = pretty ? ": " : ":";
+
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Type::Int:
+        out += std::to_string(int_);
+        break;
+    case Type::Uint:
+        out += std::to_string(uint_);
+        break;
+    case Type::Double:
+        out += renderDouble(double_);
+        break;
+    case Type::String:
+        out += quote(str_);
+        break;
+    case Type::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            out += pad;
+            array_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < array_.size())
+                out += ',';
+            out += nl;
+        }
+        out += padEnd;
+        out += ']';
+        break;
+    case Type::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            out += pad;
+            out += quote(object_[i].first);
+            out += colon;
+            object_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < object_.size())
+                out += ',';
+            out += nl;
+        }
+        out += padEnd;
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json
+    parseDocument()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string& why) const
+    {
+        throw std::runtime_error("Json::parse: " + why +
+                                 " at offset " + std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"':
+            return Json(parseString());
+        case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return Json(true);
+        case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return Json(false);
+        case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return Json(nullptr);
+        default:
+            return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj[key] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // UTF-8 encode (no surrogate-pair handling; the
+                // simulator never emits codepoints above U+FFFF).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        bool isDouble = false;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isDouble = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token(text_.substr(start, pos_ - start));
+        if (!isDouble) {
+            try {
+                if (token[0] == '-')
+                    return Json(
+                        static_cast<long long>(std::stoll(token)));
+                return Json(static_cast<unsigned long long>(
+                    std::stoull(token)));
+            } catch (const std::out_of_range&) {
+                // Falls through to double below.
+            }
+        }
+        try {
+            return Json(std::stod(token));
+        } catch (const std::exception&) {
+            fail("malformed number '" + token + "'");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace qei

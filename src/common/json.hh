@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Minimal JSON document model used by the statistics serialization
+ * layer and the benchmark harnesses' `--json` artifacts.
+ *
+ * Objects preserve insertion order so dumps are stable and diffable
+ * across runs. Numbers keep an integer representation where possible
+ * so 64-bit counters survive a dump/parse round trip exactly.
+ */
+
+#ifndef QEI_COMMON_JSON_HH
+#define QEI_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qei {
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class Json
+{
+  public:
+    enum class Type : std::uint8_t {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool v) : type_(Type::Bool), bool_(v) {}
+    Json(double v) : type_(Type::Double), double_(v) {}
+    Json(int v) : type_(Type::Int), int_(v) {}
+    Json(long v) : type_(Type::Int), int_(v) {}
+    Json(long long v) : type_(Type::Int), int_(v) {}
+    Json(unsigned v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned long v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned long long v) : type_(Type::Uint), uint_(v) {}
+    Json(const char* v) : type_(Type::String), str_(v) {}
+    Json(std::string v) : type_(Type::String), str_(std::move(v)) {}
+    Json(std::string_view v) : type_(Type::String), str_(v) {}
+
+    static Json array() { return Json(Type::Array); }
+    static Json object() { return Json(Type::Object); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool
+    isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const;
+    double asDouble() const;
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    const std::string& asString() const;
+
+    // -- object access (insertion-ordered) --
+
+    /** Member lookup, creating a null member (and objectifying a null
+     *  value) as std::map does. */
+    Json& operator[](const std::string& key);
+
+    /** Member lookup without creation; nullptr when absent. */
+    const Json* find(const std::string& key) const;
+
+    /** Member lookup; throws std::out_of_range when absent. */
+    const Json& at(const std::string& key) const;
+
+    bool contains(const std::string& key) const
+    {
+        return find(key) != nullptr;
+    }
+
+    const std::vector<std::pair<std::string, Json>>& items() const
+    {
+        return object_;
+    }
+
+    // -- array access --
+
+    /** Append to an array (objectifies a null value into an array). */
+    void push_back(Json v);
+
+    const Json& at(std::size_t idx) const;
+
+    const std::vector<Json>& elements() const { return array_; }
+
+    /** Object member count / array length / 0 for scalars. */
+    std::size_t size() const;
+
+    // -- serialization --
+
+    /**
+     * Render to text. @p indent < 0 gives a compact single line;
+     * otherwise nested values indent by @p indent spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parse @p text into a value.
+     * @throws std::runtime_error with a byte offset on malformed input.
+     */
+    static Json parse(std::string_view text);
+
+    /** Escape and quote @p s as a JSON string literal. */
+    static std::string quote(std::string_view s);
+
+  private:
+    explicit Json(Type t) : type_(t) {}
+
+    void dumpTo(std::string& out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string str_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+} // namespace qei
+
+#endif // QEI_COMMON_JSON_HH

@@ -1,0 +1,83 @@
+#include "sim_object.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qei {
+
+SimObject::SimObject(std::string name) : name_(std::move(name))
+{
+    simAssert(!name_.empty(), "SimObject needs a non-empty name");
+}
+
+SimObject::~SimObject()
+{
+    if (parent_ != nullptr)
+        parent_->orphan(*this);
+    for (SimObject* c : children_)
+        c->parent_ = nullptr;
+}
+
+std::string
+SimObject::fullPath() const
+{
+    if (parent_ == nullptr)
+        return name_;
+    return parent_->fullPath() + "." + name_;
+}
+
+SimObject*
+SimObject::child(const std::string& name) const
+{
+    for (SimObject* c : children_) {
+        if (c->name_ == name)
+            return c;
+    }
+    return nullptr;
+}
+
+void
+SimObject::adopt(SimObject& child)
+{
+    simAssert(&child != this, "'{}' cannot adopt itself", name_);
+    if (child.parent_ == this)
+        return;
+    if (child.parent_ != nullptr)
+        child.parent_->orphan(child);
+    child.parent_ = this;
+    children_.push_back(&child);
+}
+
+void
+SimObject::adopt(SimObject& child, std::string new_name)
+{
+    child.setName(std::move(new_name));
+    adopt(child);
+}
+
+void
+SimObject::orphan(SimObject& child)
+{
+    auto it = std::find(children_.begin(), children_.end(), &child);
+    if (it == children_.end())
+        return;
+    children_.erase(it);
+    child.parent_ = nullptr;
+}
+
+void
+SimObject::regStats(StatsRegistry& registry)
+{
+    (void)registry;
+}
+
+void
+SimObject::regStatsTree(StatsRegistry& registry)
+{
+    regStats(registry);
+    for (SimObject* c : children_)
+        c->regStatsTree(registry);
+}
+
+} // namespace qei

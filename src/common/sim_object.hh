@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Common base for every simulated component, in the gem5 tradition.
+ *
+ * A SimObject has a name and an optional parent; composites adopt
+ * their children in their constructors, which gives every component a
+ * dotted hierarchical path ("system.accel3.qst"). Walking the tree
+ * with regStatsTree() collects every component's statistics into one
+ * StatsRegistry under those paths, which is what the reporting layer
+ * (render / JSON / CSV dumps) operates on.
+ *
+ * Ownership is NOT implied: the tree only borrows pointers. A child
+ * destroyed before its parent detaches itself; a parent destroyed
+ * first orphans its children. Objects can be re-adopted (e.g. the
+ * MemoryHierarchy moves under whichever QeiSystem currently runs).
+ */
+
+#ifndef QEI_COMMON_SIM_OBJECT_HH
+#define QEI_COMMON_SIM_OBJECT_HH
+
+#include <string>
+#include <vector>
+
+namespace qei {
+
+class StatsRegistry;
+
+/** Named node in the simulated-component hierarchy. */
+class SimObject
+{
+  public:
+    explicit SimObject(std::string name);
+    virtual ~SimObject();
+
+    SimObject(const SimObject&) = delete;
+    SimObject& operator=(const SimObject&) = delete;
+
+    /** Leaf name of this component ("accel3"). */
+    const std::string& name() const { return name_; }
+
+    /** Dotted path from the root ("system.accel3.qst"). */
+    std::string fullPath() const;
+
+    SimObject* parent() const { return parent_; }
+    const std::vector<SimObject*>& children() const { return children_; }
+
+    /** Find a direct child by leaf name; nullptr when absent. */
+    SimObject* child(const std::string& name) const;
+
+    /**
+     * Attach @p child below this object. A child already attached
+     * elsewhere is detached from its old parent first, so shared
+     * components (the memory hierarchy, the VM) follow whichever
+     * system most recently claimed them.
+     */
+    void adopt(SimObject& child);
+
+    /** Adopt @p child under a new leaf name (unique-per-sibling
+     *  naming for vectors of identical components). */
+    void adopt(SimObject& child, std::string new_name);
+
+    /** Detach @p child; no-op when it is not ours. */
+    void orphan(SimObject& child);
+
+    /**
+     * Register this component's own statistics with @p registry under
+     * fullPath(). The default registers nothing; components override.
+     */
+    virtual void regStats(StatsRegistry& registry);
+
+    /** Depth-first regStats() over this object and all descendants. */
+    void regStatsTree(StatsRegistry& registry);
+
+  protected:
+    /** Rename (components with index-dependent names set at adopt). */
+    void setName(std::string name) { name_ = std::move(name); }
+
+  private:
+    std::string name_;
+    SimObject* parent_ = nullptr;
+    std::vector<SimObject*> children_;
+};
+
+} // namespace qei
+
+#endif // QEI_COMMON_SIM_OBJECT_HH

@@ -3,14 +3,17 @@
  * Lightweight statistics collection.
  *
  * Components own Counter / ScalarStat / Histogram members and register
- * them with a StatGroup; the group can render everything for reports and
- * tests can assert on individual values.
+ * them — under their SimObject's dotted path — with a StatsRegistry;
+ * the registry renders everything for reports, serializes to JSON/CSV
+ * (see stats_json.hh), and resets between regions of interest. The
+ * older flat StatGroup is kept for small self-contained tools.
  */
 
 #ifndef QEI_COMMON_STATS_HH
 #define QEI_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -56,8 +59,10 @@ class ScalarStat
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
-    double min() const { return min_; }
-    double max() const { return max_; }
+    /** Smallest sample; 0.0 while no samples have been recorded. */
+    double min() const { return count_ ? min_ : 0.0; }
+    /** Largest sample; 0.0 while no samples have been recorded. */
+    double max() const { return count_ ? max_ : 0.0; }
 
   private:
     std::uint64_t count_ = 0;
@@ -70,8 +75,11 @@ class ScalarStat
 class Histogram
 {
   public:
+    /** Non-positive widths clamp to 1.0 and a zero bucket count to
+     *  one bucket, so sample() can always divide and index safely. */
     Histogram(double bucket_width = 1.0, std::size_t bucket_count = 64)
-        : bucketWidth_(bucket_width), buckets_(bucket_count, 0)
+        : bucketWidth_(bucket_width > 0.0 ? bucket_width : 1.0),
+          buckets_(bucket_count > 0 ? bucket_count : 1, 0)
     {
     }
 
@@ -109,10 +117,84 @@ class Histogram
 };
 
 /**
- * Named collection of statistics owned by one component.
+ * Registry of every statistic in one simulated system, keyed by dotted
+ * hierarchical path ("system.accel3.qst.occupancy").
+ *
+ * The registry borrows non-owning pointers: build it (via
+ * SimObject::regStatsTree) immediately before rendering or dumping,
+ * while the registered components are alive. Formulas are derived
+ * read-only values (hit rates, utilisations) evaluated at dump time.
+ *
+ * Registration throws std::invalid_argument on a duplicate or empty
+ * path — two components claiming the same path is a wiring bug.
+ */
+class StatsRegistry
+{
+  public:
+    enum class Kind : std::uint8_t { Counter, Scalar, Histogram, Formula };
+
+    struct Entry
+    {
+        Kind kind = Kind::Counter;
+        std::string desc;
+        Counter* counter = nullptr;
+        ScalarStat* scalar = nullptr;
+        Histogram* histogram = nullptr;
+        std::function<double()> formula;
+    };
+
+    void addCounter(const std::string& path, Counter& c,
+                    std::string desc = {});
+    void addScalar(const std::string& path, ScalarStat& s,
+                   std::string desc = {});
+    void addHistogram(const std::string& path, Histogram& h,
+                      std::string desc = {});
+    /** Derived value evaluated lazily at render/dump time. */
+    void addFormula(const std::string& path,
+                    std::function<double()> formula,
+                    std::string desc = {});
+
+    bool contains(const std::string& path) const;
+    /** Entry at @p path; nullptr when absent. */
+    const Entry* find(const std::string& path) const;
+    /** Scalar view of @p path: counter value, scalar mean, histogram
+     *  mean, or formula result. Throws std::out_of_range if absent. */
+    double value(const std::string& path) const;
+
+    std::vector<std::string> paths() const;
+    std::size_t size() const { return entries_.size(); }
+    const std::map<std::string, Entry>& entries() const
+    {
+        return entries_;
+    }
+
+    /** Render "path value" lines; @p skip_zero drops counters at 0 and
+     *  scalars/histograms with no samples. */
+    std::string render(bool skip_zero = false) const;
+
+    /** Pretty-printed JSON document (see stats_json.hh for the value
+     *  model and the flat path -> record layout). */
+    std::string dumpJson() const;
+
+    /** "path,field,value" CSV rows with a header line. */
+    std::string dumpCsv() const;
+
+    /** Region-of-interest reset: zero every registered counter,
+     *  scalar, and histogram (formulas are derived and unaffected). */
+    void resetAll();
+
+  private:
+    void insert(const std::string& path, Entry entry);
+
+    std::map<std::string, Entry> entries_;
+};
+
+/**
+ * Named flat collection of statistics owned by one component.
  *
  * The group stores non-owning pointers; the registered stats must
  * outlive the group (the usual pattern is members of the same object).
+ * New code should prefer SimObject + StatsRegistry.
  */
 class StatGroup
 {

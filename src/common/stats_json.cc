@@ -1,0 +1,152 @@
+#include "stats_json.hh"
+
+#include "common/format.hh"
+
+namespace qei {
+
+Json
+scalarToJson(const ScalarStat& s)
+{
+    Json rec = Json::object();
+    rec["kind"] = "scalar";
+    rec["count"] = s.count();
+    rec["sum"] = s.sum();
+    rec["mean"] = s.mean();
+    rec["min"] = s.min();
+    rec["max"] = s.max();
+    return rec;
+}
+
+Json
+histogramToJson(const Histogram& h)
+{
+    Json rec = Json::object();
+    rec["kind"] = "histogram";
+    rec["count"] = h.scalar().count();
+    rec["mean"] = h.scalar().mean();
+    rec["min"] = h.scalar().min();
+    rec["max"] = h.scalar().max();
+    rec["p50"] = h.percentile(0.50);
+    rec["p95"] = h.percentile(0.95);
+    rec["p99"] = h.percentile(0.99);
+    rec["bucket_width"] = h.bucketWidth();
+    Json buckets = Json::array();
+    for (std::uint64_t b : h.buckets())
+        buckets.push_back(b);
+    rec["buckets"] = std::move(buckets);
+    return rec;
+}
+
+Json
+statsToJson(const StatsRegistry& registry)
+{
+    Json doc = Json::object();
+    for (const auto& [path, e] : registry.entries()) {
+        switch (e.kind) {
+        case StatsRegistry::Kind::Counter:
+            doc[path] = e.counter->value();
+            break;
+        case StatsRegistry::Kind::Scalar:
+            doc[path] = scalarToJson(*e.scalar);
+            break;
+        case StatsRegistry::Kind::Histogram:
+            doc[path] = histogramToJson(*e.histogram);
+            break;
+        case StatsRegistry::Kind::Formula:
+            doc[path] = e.formula();
+            break;
+        }
+    }
+    return doc;
+}
+
+std::string
+StatsRegistry::dumpJson() const
+{
+    return statsToJson(*this).dump(2);
+}
+
+std::string
+StatsRegistry::dumpCsv() const
+{
+    std::string out = "path,field,value\n";
+    auto row = [&out](const std::string& path, const char* field,
+                      const std::string& value) {
+        out += path;
+        out += ',';
+        out += field;
+        out += ',';
+        out += value;
+        out += '\n';
+    };
+    for (const auto& [path, e] : entries_) {
+        switch (e.kind) {
+        case Kind::Counter:
+            row(path, "value", std::to_string(e.counter->value()));
+            break;
+        case Kind::Scalar:
+            row(path, "count", std::to_string(e.scalar->count()));
+            row(path, "sum", fmt("{:.6f}", e.scalar->sum()));
+            row(path, "mean", fmt("{:.6f}", e.scalar->mean()));
+            row(path, "min", fmt("{:.6f}", e.scalar->min()));
+            row(path, "max", fmt("{:.6f}", e.scalar->max()));
+            break;
+        case Kind::Histogram:
+            row(path, "count",
+                std::to_string(e.histogram->scalar().count()));
+            row(path, "mean",
+                fmt("{:.6f}", e.histogram->scalar().mean()));
+            row(path, "p50", fmt("{:.6f}", e.histogram->percentile(0.50)));
+            row(path, "p95", fmt("{:.6f}", e.histogram->percentile(0.95)));
+            row(path, "p99", fmt("{:.6f}", e.histogram->percentile(0.99)));
+            break;
+        case Kind::Formula:
+            row(path, "value", fmt("{:.6f}", e.formula()));
+            break;
+        }
+    }
+    return out;
+}
+
+StatsSnapshot
+statsSnapshot(const StatsRegistry& registry)
+{
+    StatsSnapshot snap;
+    for (const auto& [path, e] : registry.entries()) {
+        switch (e.kind) {
+        case StatsRegistry::Kind::Counter:
+            snap[path] = static_cast<double>(e.counter->value());
+            break;
+        case StatsRegistry::Kind::Scalar:
+            snap[path] = e.scalar->sum();
+            break;
+        case StatsRegistry::Kind::Histogram:
+            snap[path] =
+                static_cast<double>(e.histogram->scalar().count());
+            break;
+        case StatsRegistry::Kind::Formula:
+            snap[path] = e.formula();
+            break;
+        }
+    }
+    return snap;
+}
+
+Json
+statsDiffJson(const StatsRegistry& registry, const StatsSnapshot& before)
+{
+    const StatsSnapshot now = statsSnapshot(registry);
+    Json doc = Json::object();
+    for (const auto& [path, value] : now) {
+        const auto it = before.find(path);
+        const double prev = it == before.end() ? 0.0 : it->second;
+        const StatsRegistry::Entry* e = registry.find(path);
+        if (e != nullptr && e->kind == StatsRegistry::Kind::Formula)
+            doc[path] = value; // rates/utilisations do not subtract
+        else
+            doc[path] = value - prev;
+    }
+    return doc;
+}
+
+} // namespace qei

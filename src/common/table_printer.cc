@@ -25,6 +25,26 @@ TablePrinter::row(std::vector<std::string> cells)
     rows_.push_back(std::move(cells));
 }
 
+Json
+TablePrinter::toJson() const
+{
+    Json out = Json::object();
+    out["title"] = title_;
+    Json header = Json::array();
+    for (const auto& cell : header_)
+        header.push_back(cell);
+    out["header"] = std::move(header);
+    Json rows = Json::array();
+    for (const auto& row : rows_) {
+        Json cells = Json::array();
+        for (const auto& cell : row)
+            cells.push_back(cell);
+        rows.push_back(std::move(cells));
+    }
+    out["rows"] = std::move(rows);
+    return out;
+}
+
 std::string
 TablePrinter::render() const
 {

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+
 namespace qei {
 
 /** Column-aligned table with a header row and an optional title. */
@@ -32,6 +34,9 @@ class TablePrinter
 
     /** Render and write to stdout. */
     void print() const;
+
+    /** The table as {"title", "header", "rows"} for JSON artifacts. */
+    Json toJson() const;
 
     /** Format a double with @p decimals digits after the point. */
     static std::string num(double v, int decimals = 2);

@@ -26,6 +26,9 @@
 #include <deque>
 #include <vector>
 
+#include "common/format.hh"
+#include "common/sim_object.hh"
+#include "common/stats.hh"
 #include "core/chip_config.hh"
 #include "core/trace.hh"
 #include "mem/hierarchy.hh"
@@ -70,13 +73,39 @@ struct CoreRunResult
 };
 
 /** One core executing software query loops. */
-class CoreModel
+class CoreModel : public SimObject
 {
   public:
     CoreModel(int core_id, const CoreParams& params,
               MemoryHierarchy& memory, Mmu& mmu)
-        : coreId_(core_id), params_(params), memory_(memory), mmu_(mmu)
+        : SimObject(fmt("core{}", core_id)), coreId_(core_id),
+          params_(params), memory_(memory), mmu_(mmu)
     {
+    }
+
+    void
+    regStats(StatsRegistry& registry) override
+    {
+        const std::string base = fullPath() + ".";
+        registry.addFormula(
+            base + "cycles",
+            [this] { return static_cast<double>(stats_.cycles); },
+            "cycles of the last run");
+        registry.addFormula(
+            base + "instructions",
+            [this] { return static_cast<double>(stats_.instructions); },
+            "instructions retired");
+        registry.addFormula(
+            base + "queries",
+            [this] { return static_cast<double>(stats_.queries); },
+            "queries executed in software");
+        registry.addFormula(
+            base + "ipc", [this] { return stats_.ipc(); },
+            "instructions per cycle");
+        registry.addFormula(
+            base + "cycles_per_query",
+            [this] { return stats_.cyclesPerQuery(); },
+            "mean cycles per query");
     }
 
     /**

@@ -2,7 +2,8 @@
 
 namespace qei {
 
-Cache::Cache(const CacheParams& params) : params_(params)
+Cache::Cache(const CacheParams& params)
+    : SimObject(params.name), params_(params)
 {
     const std::uint64_t lines = params_.sizeBytes / kCacheLineBytes;
     simAssert(lines >= params_.ways && params_.ways > 0,
@@ -12,6 +13,21 @@ Cache::Cache(const CacheParams& params) : params_(params)
     simAssert(isPowerOfTwo(sets_), "{}: set count {} not a power of two",
               params_.name, sets_);
     lines_.resize(static_cast<std::size_t>(sets_) * params_.ways);
+}
+
+void
+Cache::regStats(StatsRegistry& registry)
+{
+    const std::string base = fullPath() + ".";
+    registry.addCounter(base + "hits", hits_, "demand hits");
+    registry.addCounter(base + "misses", misses_, "demand misses");
+    registry.addCounter(base + "evictions", evictions_,
+                        "lines evicted");
+    registry.addCounter(base + "writebacks", writebacks_,
+                        "dirty victims written back");
+    registry.addFormula(
+        base + "hit_rate", [this] { return hitRate(); },
+        "hits / (hits + misses)");
 }
 
 std::uint32_t

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -39,10 +40,12 @@ struct CacheAccess
 };
 
 /** One set-associative cache level. */
-class Cache
+class Cache : public SimObject
 {
   public:
     explicit Cache(const CacheParams& params);
+
+    void regStats(StatsRegistry& registry) override;
 
     /**
      * Access the line containing @p paddr; on a miss the line is NOT

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -30,13 +31,25 @@ struct DramParams
 };
 
 /** Channel-queued DRAM model. */
-class Dram
+class Dram : public SimObject
 {
   public:
     explicit Dram(const DramParams& params = {})
-        : params_(params),
+        : SimObject("dram"), params_(params),
           busyUntil_(static_cast<std::size_t>(params.channels), 0)
     {
+    }
+
+    void
+    regStats(StatsRegistry& registry) override
+    {
+        const std::string base = fullPath() + ".";
+        registry.addCounter(base + "accesses", accesses_,
+                            "line accesses served");
+        registry.addCounter(base + "bytes", totalBytes_,
+                            "bytes transferred");
+        registry.addScalar(base + "queue_delay", queueDelay_,
+                           "cycles waited for a free channel");
     }
 
     /**

@@ -6,21 +6,37 @@
 namespace qei {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyParams& params)
-    : params_(params), mesh_(params.mesh), dram_(params.dram)
+    : SimObject("memory"), params_(params), mesh_(params.mesh),
+      dram_(params.dram)
 {
     simAssert(params_.cores <= mesh_.tiles(),
               "{} cores on a {}-tile mesh", params_.cores, mesh_.tiles());
+    adopt(mesh_);
+    adopt(dram_);
+    // '.' is the hierarchy path separator, so cache names use
+    // underscores ("l1d_3" -> "system.memory.l1d_3.hits").
     for (int i = 0; i < params_.cores; ++i) {
         CacheParams l1p = params_.l1d;
-        l1p.name = "l1d." + std::to_string(i);
+        l1p.name = "l1d_" + std::to_string(i);
         l1d_.push_back(std::make_unique<Cache>(l1p));
+        adopt(*l1d_.back());
         CacheParams l2p = params_.l2;
-        l2p.name = "l2." + std::to_string(i);
+        l2p.name = "l2_" + std::to_string(i);
         l2_.push_back(std::make_unique<Cache>(l2p));
+        adopt(*l2_.back());
         CacheParams llp = params_.llcSlice;
-        llp.name = "llc." + std::to_string(i);
+        llp.name = "llc_" + std::to_string(i);
         llc_.push_back(std::make_unique<Cache>(llp));
+        adopt(*llc_.back());
     }
+}
+
+void
+MemoryHierarchy::regStats(StatsRegistry& registry)
+{
+    registry.addFormula(
+        fullPath() + ".llc_hit_rate", [this] { return llcHitRate(); },
+        "aggregate hit rate over all LLC slices");
 }
 
 int

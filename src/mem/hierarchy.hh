@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -57,10 +58,12 @@ struct HierarchyParams
  * Tiles are numbered 0..23 on a 6x4 mesh; core i and LLC slice i share
  * tile i (Skylake-SP style).
  */
-class MemoryHierarchy
+class MemoryHierarchy : public SimObject
 {
   public:
     explicit MemoryHierarchy(const HierarchyParams& params = {});
+
+    void regStats(StatsRegistry& registry) override;
 
     const HierarchyParams& params() const { return params_; }
     int cores() const { return params_.cores; }

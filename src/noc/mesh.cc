@@ -5,7 +5,7 @@
 
 namespace qei {
 
-Mesh::Mesh(const MeshParams& params) : params_(params)
+Mesh::Mesh(const MeshParams& params) : SimObject("mesh"), params_(params)
 {
     simAssert(params_.cols > 0 && params_.rows > 0,
               "degenerate mesh {}x{}", params_.cols, params_.rows);
@@ -13,6 +13,24 @@ Mesh::Mesh(const MeshParams& params) : params_(params)
         static_cast<std::size_t>(tiles()) * 4;
     windowBytes_.assign(links, 0);
     lastUtilisation_.assign(links, 0.0);
+}
+
+void
+Mesh::regStats(StatsRegistry& registry)
+{
+    const std::string base = fullPath() + ".";
+    registry.addCounter(base + "bytes", totalBytes_,
+                        "bytes injected into the fabric");
+    registry.addCounter(base + "messages", messages_,
+                        "messages injected");
+    registry.addFormula(
+        base + "peak_link_utilisation",
+        [this] { return peakLinkUtilisation(); },
+        "worst link, last complete window");
+    registry.addFormula(
+        base + "mean_link_utilisation",
+        [this] { return meanLinkUtilisation(); },
+        "all links, last complete window");
 }
 
 TileCoord

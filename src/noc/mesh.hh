@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -51,10 +52,12 @@ struct MeshParams
  * is deliberately coarse but reproduces both the distance sensitivity
  * (NUCA) and the congestion/hotspot behaviour the paper leans on.
  */
-class Mesh
+class Mesh : public SimObject
 {
   public:
     explicit Mesh(const MeshParams& params = {});
+
+    void regStats(StatsRegistry& registry) override;
 
     int tiles() const { return params_.cols * params_.rows; }
     const MeshParams& params() const { return params_; }

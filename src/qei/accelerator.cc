@@ -27,16 +27,38 @@ statusFor(const QstEntry& entry)
 
 Accelerator::Accelerator(int id, int tile, int home_core, AccelEnv& env,
                          const DpuParams& dpu_params)
-    : id_(id), tile_(tile), homeCore_(home_core), env_(env),
-      qst_(env.scheme.qstEntries), dpu_(dpu_params),
+    : SimObject(fmt("accel{}", id)), id_(id), tile_(tile),
+      homeCore_(home_core), env_(env), qst_(env.scheme.qstEntries),
+      dpu_(dpu_params),
       completions_(static_cast<std::size_t>(env.scheme.qstEntries))
 {
+    adopt(qst_);
+    adopt(dpu_);
     if (env_.scheme.translate == TranslatePath::DedicatedTlb ||
         env_.scheme.translate == TranslatePath::DeviceTlb) {
         dedicatedTlb_ = std::make_unique<Tlb>(
             static_cast<std::size_t>(env_.scheme.dedicatedTlbEntries),
-            env_.scheme.dedicatedTlbHitLatency);
+            env_.scheme.dedicatedTlbHitLatency, "tlb");
+        adopt(*dedicatedTlb_);
     }
+}
+
+void
+Accelerator::regStats(StatsRegistry& registry)
+{
+    const std::string base = fullPath() + ".";
+    registry.addCounter(base + "queries", completed_,
+                        "queries completed");
+    registry.addCounter(base + "mem_accesses", memAccesses_,
+                        "timed memory accesses issued");
+    registry.addCounter(base + "micro_ops", microOps_,
+                        "CFA micro-operations retired");
+    registry.addCounter(base + "remote_compares", remoteCompares_,
+                        "comparisons shipped to CHA comparators");
+    registry.addCounter(base + "exceptions", exceptions_,
+                        "queries completed with an error");
+    registry.addCounter(base + "translation_cycles", translationCycles_,
+                        "cycles spent translating addresses");
 }
 
 int
@@ -56,7 +78,7 @@ Accelerator::enqueue(Addr header_addr, Addr key_addr, Addr result_addr,
     entry.enqueued = env_.events.now();
     completions_[static_cast<std::size_t>(slot)] =
         std::move(on_complete);
-    occupancy_.sample(static_cast<double>(qst_.occupied()));
+    qst_.sampleOccupancy();
     // One cycle through the Query Queue before the CEE sees it.
     makeReady(slot, env_.events.now() + 1);
     return slot;
@@ -613,7 +635,7 @@ Accelerator::deliver(int id)
         std::move(completions_[static_cast<std::size_t>(id)]);
     qst_.release(id);
     completed_.inc();
-    occupancy_.sample(static_cast<double>(qst_.occupied()));
+    qst_.sampleOccupancy();
     env_.events.schedule(latency, [snapshot, done = std::move(done)] {
         if (done)
             done(snapshot);
@@ -648,7 +670,7 @@ Accelerator::flush()
         completions_[static_cast<std::size_t>(id)] = nullptr;
         qst_.release(id);
     }
-    occupancy_.sample(0.0);
+    qst_.sampleOccupancy();
     return flushCycles;
 }
 

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "mem/hierarchy.hh"
 #include "qei/dpu.hh"
@@ -47,7 +48,7 @@ struct AccelEnv
 };
 
 /** One accelerator (per core, per CHA, or the single device). */
-class Accelerator
+class Accelerator : public SimObject
 {
   public:
     using CompletionFn = std::function<void(const QstEntry&)>;
@@ -60,6 +61,8 @@ class Accelerator
      */
     Accelerator(int id, int tile, int home_core, AccelEnv& env,
                 const DpuParams& dpu_params);
+
+    void regStats(StatsRegistry& registry) override;
 
     int id() const { return id_; }
     int tile() const { return tile_; }
@@ -87,7 +90,7 @@ class Accelerator
     Cycles flush();
 
     // -- statistics --
-    const ScalarStat& qstOccupancy() const { return occupancy_; }
+    const ScalarStat& qstOccupancy() const { return qst_.occupancy(); }
     std::uint64_t completedQueries() const { return completed_.value(); }
     std::uint64_t memAccesses() const { return memAccesses_.value(); }
     std::uint64_t microOps() const { return microOps_.value(); }
@@ -170,7 +173,6 @@ class Accelerator
     /** CEE issue port: at most one state transition per cycle. */
     Cycles ceeNextFree_ = 0;
 
-    ScalarStat occupancy_;
     Counter completed_;
     Counter memAccesses_;
     Counter microOps_;

@@ -16,13 +16,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/format.hh"
 #include "common/logging.hh"
+#include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace qei {
 
-/** A pool of identical single-cycle-issue function units. */
+/**
+ * A pool of identical single-cycle-issue function units.
+ *
+ * Deliberately not a SimObject: pools live in std::vector (see
+ * RemoteComparators), which requires movability. The owner registers
+ * pool stats under its own path via regStats(registry, base).
+ */
 class UnitPool
 {
   public:
@@ -31,6 +39,17 @@ class UnitPool
           busyUntil_(static_cast<std::size_t>(units), 0)
     {
         simAssert(units > 0, "empty unit pool '{}'", name_);
+    }
+
+    /** Register this pool's stats under @p base (ends with '.'). */
+    void
+    regStats(StatsRegistry& registry, const std::string& base)
+    {
+        registry.addCounter(base + "ops", ops_, "operations issued");
+        registry.addCounter(base + "busy_cycles", busyCycles_,
+                            "unit-cycles occupied");
+        registry.addScalar(base + "queue_delay", queueDelay_,
+                           "cycles waited for a free unit");
     }
 
     /**
@@ -85,15 +104,24 @@ struct DpuParams
 };
 
 /** The function units of one accelerator's DPU. */
-class DataProcessingUnit
+class DataProcessingUnit : public SimObject
 {
   public:
     explicit DataProcessingUnit(const DpuParams& params = {})
-        : params_(params),
+        : SimObject("dpu"), params_(params),
           alus_("alu", params.alus),
           comparators_("cmp", params.comparators),
           hash_("hash", params.hashUnits)
     {
+    }
+
+    void
+    regStats(StatsRegistry& registry) override
+    {
+        const std::string base = fullPath() + ".";
+        alus_.regStats(registry, base + "alu.");
+        comparators_.regStats(registry, base + "cmp.");
+        hash_.regStats(registry, base + "hash.");
     }
 
     /** Single-cycle ALU micro-operation. */
@@ -145,18 +173,29 @@ class DataProcessingUnit
  * The comparator pair QEI adds to every CHA (Core-integrated scheme).
  * Shared across all accelerators on the chip; indexed by tile.
  */
-class RemoteComparators
+class RemoteComparators : public SimObject
 {
   public:
     RemoteComparators(int tiles, int per_cha,
                       std::uint32_t bytes_per_cycle = 8)
-        : bytesPerCycle_(bytes_per_cycle)
+        : SimObject("remote_cmp"), bytesPerCycle_(bytes_per_cycle)
     {
         pools_.reserve(static_cast<std::size_t>(tiles));
         for (int t = 0; t < tiles; ++t) {
-            pools_.emplace_back("cha-cmp." + std::to_string(t),
-                                per_cha);
+            pools_.emplace_back(fmt("cha_cmp{}", t), per_cha);
         }
+    }
+
+    void
+    regStats(StatsRegistry& registry) override
+    {
+        const std::string base = fullPath() + ".";
+        for (std::size_t t = 0; t < pools_.size(); ++t)
+            pools_[t].regStats(registry, fmt("{}tile{}.", base, t));
+        registry.addFormula(
+            base + "total_ops",
+            [this] { return static_cast<double>(totalOps()); },
+            "compares across all tiles");
     }
 
     /** Compare @p bytes bytes on tile @p tile's comparator pair. */

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "qei/microcode.hh"
@@ -82,14 +83,39 @@ struct QstEntry
  * selection (the paper's scheduler picks one ready entry per cycle in
  * FIFO order).
  */
-class QueryStateTable
+class QueryStateTable : public SimObject
 {
   public:
     explicit QueryStateTable(int entries)
-        : entries_(static_cast<std::size_t>(entries))
+        : SimObject("qst"), entries_(static_cast<std::size_t>(entries))
     {
         simAssert(entries > 0, "QST needs at least one entry");
     }
+
+    void
+    regStats(StatsRegistry& registry) override
+    {
+        const std::string base = fullPath() + ".";
+        registry.addScalar(base + "occupancy", occupancy_,
+                           "slots in use, sampled per scheduler pass");
+        registry.addFormula(
+            base + "capacity",
+            [this] { return static_cast<double>(capacity()); },
+            "total slots");
+        registry.addFormula(
+            base + "occupied",
+            [this] { return static_cast<double>(occupied()); },
+            "slots currently allocated");
+    }
+
+    /** Record the current occupancy into the occupancy distribution. */
+    void
+    sampleOccupancy()
+    {
+        occupancy_.sample(static_cast<double>(occupied()));
+    }
+
+    const ScalarStat& occupancy() const { return occupancy_; }
 
     /** Number of slots. */
     std::size_t capacity() const { return entries_.size(); }
@@ -162,6 +188,7 @@ class QueryStateTable
 
   private:
     std::vector<QstEntry> entries_;
+    ScalarStat occupancy_;
 };
 
 } // namespace qei

@@ -11,12 +11,20 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
                      MemoryHierarchy& memory, VirtualMemory& vm,
                      const FirmwareStore& firmware,
                      const SchemeConfig& scheme)
-    : chip_(chip), events_(events), memory_(memory), vm_(vm),
-      scheme_(scheme),
+    : SimObject("system"), chip_(chip), events_(events),
+      memory_(memory), vm_(vm), scheme_(scheme),
       remoteCmps_(memory.cores(), chip.qei.comparatorsPerCha)
 {
-    for (int c = 0; c < memory.cores(); ++c)
+    // The shared memory system and address space join this system's
+    // component tree for the duration of the run (re-adopted by the
+    // next QeiSystem; adopt() re-parents).
+    adopt(memory_);
+    adopt(vm_);
+    adopt(remoteCmps_);
+    for (int c = 0; c < memory.cores(); ++c) {
         mmus_.push_back(std::make_unique<Mmu>(vm, chip.mmu));
+        adopt(*mmus_.back(), fmt("mmu{}", c));
+    }
 
     env_ = std::make_unique<AccelEnv>(AccelEnv{
         events_, memory_, vm_, {}, &remoteCmps_, firmware, scheme_});
@@ -39,6 +47,7 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
         const int homeCore = scheme_.perCore ? tile : 0;
         accels_.push_back(std::make_unique<Accelerator>(
             i, tile, homeCore, *env_, dpu));
+        adopt(*accels_.back());
     }
 }
 
@@ -92,8 +101,16 @@ QeiSystem::warmTlbs(const std::vector<Addr>& vpns)
     }
 }
 
+StatsRegistry
+QeiSystem::statsRegistry()
+{
+    StatsRegistry registry;
+    regStatsTree(registry);
+    return registry;
+}
+
 std::string
-QeiSystem::renderStats() const
+QeiSystem::renderStats()
 {
     std::string out;
     std::uint64_t mem = 0;
@@ -122,7 +139,14 @@ QeiSystem::renderStats() const
                memory_.llcHitRate(), memory_.dram().accesses(),
                memory_.mesh().totalBytes(),
                memory_.mesh().peakLinkUtilisation());
+    out += statsRegistry().render(/*skip_zero=*/true);
     return out;
+}
+
+std::string
+QeiSystem::dumpStatsJson()
+{
+    return statsRegistry().dumpJson();
 }
 
 Cycles

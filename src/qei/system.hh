@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_object.hh"
+#include "common/stats.hh"
 #include "core/chip_config.hh"
 #include "core/trace.hh"
 #include "qei/accelerator.hh"
@@ -59,16 +61,13 @@ struct QeiRunStats
 };
 
 /** The QEI deployment on one chip for one integration scheme. */
-class QeiSystem
+class QeiSystem : public SimObject
 {
   public:
     QeiSystem(const ChipConfig& chip, EventQueue& events,
               MemoryHierarchy& memory, VirtualMemory& vm,
               const FirmwareStore& firmware, const SchemeConfig& scheme);
     ~QeiSystem();
-
-    QeiSystem(const QeiSystem&) = delete;
-    QeiSystem& operator=(const QeiSystem&) = delete;
 
     /**
      * Run @p jobs as blocking QUERY_B instructions issued by
@@ -132,10 +131,21 @@ class QeiSystem
     void warmTlbs(const std::vector<Addr>& vpns);
 
     /**
-     * Render a post-run statistics report: per-accelerator counters
-     * and occupancy, memory-system hit rates, NoC traffic.
+     * Build a registry of every counter in the component tree under
+     * its dotted path ("system.accel3.qst.occupancy"). The registry
+     * borrows pointers into this system: rebuild it after any
+     * structural change and drop it before the system dies.
      */
-    std::string renderStats() const;
+    StatsRegistry statsRegistry();
+
+    /**
+     * Render a post-run statistics report: a per-accelerator summary
+     * followed by every non-zero counter in the component tree.
+     */
+    std::string renderStats();
+
+    /** Full stats dump as pretty-printed JSON (all counters). */
+    std::string dumpStatsJson();
 
     const SchemeConfig& scheme() const { return scheme_; }
     RemoteComparators& remoteComparators() { return remoteCmps_; }

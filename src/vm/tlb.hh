@@ -17,6 +17,7 @@
 #include <vector>
 #include <unordered_map>
 
+#include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "vm/virtual_memory.hh"
@@ -24,12 +25,27 @@
 namespace qei {
 
 /** Fully-associative LRU TLB over 4 KB pages. */
-class Tlb
+class Tlb : public SimObject
 {
   public:
-    Tlb(std::size_t entries, Cycles hit_latency)
-        : capacity_(entries), hitLatency_(hit_latency)
+    Tlb(std::size_t entries, Cycles hit_latency,
+        std::string name = "tlb")
+        : SimObject(std::move(name)), capacity_(entries),
+          hitLatency_(hit_latency)
     {
+    }
+
+    void
+    regStats(StatsRegistry& registry) override
+    {
+        const std::string base = fullPath() + ".";
+        registry.addCounter(base + "hits", hits_, "lookup hits");
+        registry.addCounter(base + "misses", misses_, "lookup misses");
+        registry.addCounter(base + "flushes", flushes_,
+                            "full flushes");
+        registry.addFormula(
+            base + "hit_rate", [this] { return hitRate(); },
+            "hits / (hits + misses)");
     }
 
     /** True and refreshed-to-MRU when @p vpn is cached. */
@@ -126,14 +142,16 @@ struct MmuParams
 };
 
 /** Two-level TLB + page-walk front door for one core. */
-class Mmu
+class Mmu : public SimObject
 {
   public:
     Mmu(const VirtualMemory& vm, const MmuParams& params = {})
-        : vm_(vm), params_(params),
-          l1_(params.l1Entries, params.l1HitLatency),
-          l2_(params.l2Entries, params.l2HitLatency)
+        : SimObject("mmu"), vm_(vm), params_(params),
+          l1_(params.l1Entries, params.l1HitLatency, "l1tlb"),
+          l2_(params.l2Entries, params.l2HitLatency, "l2tlb")
     {
+        adopt(l1_);
+        adopt(l2_);
     }
 
     /**

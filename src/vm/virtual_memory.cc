@@ -46,7 +46,7 @@ FrameAllocator::allocate()
 
 VirtualMemory::VirtualMemory(SimMemory& memory, FrameAllocator::Mode mode,
                              std::uint64_t seed)
-    : memory_(memory),
+    : SimObject("vm"), memory_(memory),
       frames_(memory.sizeBytes() / kPageBytes, mode, seed)
 {
 }

@@ -21,6 +21,8 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/sim_object.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/sim_memory.hh"
 
@@ -101,12 +103,30 @@ class FrameAllocator
  * Host-side code (data-structure builders, reference queries) uses
  * these accessors; the timing models translate separately via the MMU.
  */
-class VirtualMemory
+class VirtualMemory : public SimObject
 {
   public:
     VirtualMemory(SimMemory& memory, FrameAllocator::Mode mode =
                       FrameAllocator::Mode::Fragmented,
                   std::uint64_t seed = 1);
+
+    void
+    regStats(StatsRegistry& registry) override
+    {
+        const std::string base = fullPath() + ".";
+        registry.addFormula(
+            base + "pages_mapped",
+            [this] { return static_cast<double>(pageTable_.size()); },
+            "virtual pages with a frame");
+        registry.addFormula(
+            base + "bytes_allocated",
+            [this] { return static_cast<double>(bytesAllocated()); },
+            "heap bytes handed out");
+        registry.addFormula(
+            base + "frames_allocated",
+            [this] { return static_cast<double>(frames_.allocated()); },
+            "physical frames in use");
+    }
 
     /** Allocate @p bytes with @p align alignment; maps pages eagerly. */
     Addr alloc(std::uint64_t bytes, std::uint64_t align = 8);

@@ -42,17 +42,24 @@ runBaseline(World& world, const Prepared& prepared, int core)
 QeiRunStats
 runQei(World& world, const Prepared& prepared,
        const SchemeConfig& scheme, QueryMode mode, int core,
-       int poll_batch)
+       int poll_batch, std::string* stats_json_out)
 {
     world.resetTiming();
     world.warmLlc();
     QeiSystem system(world.chip, world.events, world.hierarchy,
                      world.vm, world.firmware, scheme);
     system.warmTlbs(sortedVpns(world));
-    if (mode == QueryMode::Blocking)
-        return system.runBlocking(prepared.jobs, core, prepared.profile);
-    return system.runNonBlocking(prepared.jobs, core, prepared.profile,
-                                 poll_batch);
+    QeiRunStats stats;
+    if (mode == QueryMode::Blocking) {
+        stats = system.runBlocking(prepared.jobs, core,
+                                   prepared.profile);
+    } else {
+        stats = system.runNonBlocking(prepared.jobs, core,
+                                      prepared.profile, poll_batch);
+    }
+    if (stats_json_out != nullptr)
+        *stats_json_out = system.dumpStatsJson();
+    return stats;
 }
 
 double

@@ -116,11 +116,17 @@ class Workload
 CoreRunResult runBaseline(World& world, const Prepared& prepared,
                           int core = 0);
 
-/** Run @p prepared through QEI under @p scheme. */
+/**
+ * Run @p prepared through QEI under @p scheme. When @p stats_json_out
+ * is non-null it receives the full component-tree stats dump
+ * (QeiSystem::dumpStatsJson()) captured before the system is torn
+ * down.
+ */
 QeiRunStats runQei(World& world, const Prepared& prepared,
                    const SchemeConfig& scheme,
                    QueryMode mode = QueryMode::Blocking, int core = 0,
-                   int poll_batch = 32);
+                   int poll_batch = 32,
+                   std::string* stats_json_out = nullptr);
 
 /** Baseline-cycles / QEI-cycles. */
 double speedupOf(const CoreRunResult& baseline, const QeiRunStats& qei);

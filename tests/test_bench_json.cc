@@ -1,0 +1,152 @@
+/**
+ * Golden test for the benchmark `--json` path: run a small workload
+ * through the same runWorkload -> toJson pipeline fig07_speedup uses
+ * and validate the artifact schema against the in-memory results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_util.hh"
+
+using namespace qei;
+using namespace qei::bench;
+
+namespace {
+
+/** One small run shared by every test in this file. */
+const WorkloadRun&
+goldenRun()
+{
+    static const WorkloadRun run = [] {
+        auto workloads = makeAllWorkloads();
+        return runWorkload(*workloads.front(), 400,
+                           SchemeConfig::allSchemes(),
+                           QueryMode::Blocking, 42,
+                           /*capture_stats=*/true);
+    }();
+    return run;
+}
+
+} // namespace
+
+TEST(BenchJson, ParseBenchArgsRecognisesJsonFlag)
+{
+    char prog[] = "bench";
+    char flag[] = "--json";
+    char path[] = "out.json";
+    char* argv1[] = {prog, flag, path};
+    EXPECT_EQ(parseBenchArgs(3, argv1).jsonPath, "out.json");
+
+    char combined[] = "--json=other.json";
+    char* argv2[] = {prog, combined};
+    EXPECT_EQ(parseBenchArgs(2, argv2).jsonPath, "other.json");
+
+    char* argv3[] = {prog};
+    EXPECT_TRUE(parseBenchArgs(1, argv3).jsonPath.empty());
+}
+
+TEST(BenchJson, RunIsSane)
+{
+    const WorkloadRun& run = goldenRun();
+    EXPECT_GT(run.baseline.cycles, 0u);
+    EXPECT_EQ(run.baseline.queries, 400u);
+    for (const auto& name : schemeNames()) {
+        ASSERT_TRUE(run.schemes.count(name)) << name;
+        const QeiRunStats& s = run.schemes.at(name);
+        EXPECT_EQ(s.mismatches, 0u) << name;
+        EXPECT_EQ(s.queries, 400u) << name;
+        EXPECT_GT(run.speedup(name), 0.0) << name;
+    }
+}
+
+TEST(BenchJson, WorkloadRunSchema)
+{
+    const Json doc = toJson(goldenRun());
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("workload").asString(), goldenRun().name);
+
+    const Json& baseline = doc.at("baseline");
+    for (const char* key :
+         {"cycles", "instructions", "loads", "stores", "queries",
+          "backend_stall_cycles", "frontend_stall_cycles", "ipc",
+          "cycles_per_query"})
+        EXPECT_TRUE(baseline.contains(key)) << key;
+
+    const Json& schemes = doc.at("schemes");
+    for (const auto& name : schemeNames()) {
+        const Json& s = schemes.at(name);
+        for (const char* key :
+             {"cycles", "queries", "core_instructions", "mismatches",
+              "exceptions", "mem_accesses", "micro_ops",
+              "remote_compares", "avg_qst_occupancy",
+              "max_inflight_observed", "cycles_per_query", "speedup"})
+            EXPECT_TRUE(s.contains(key)) << name << "." << key;
+        EXPECT_EQ(s.at("mismatches").asUint(), 0u) << name;
+        EXPECT_GT(s.at("speedup").asDouble(), 0.0) << name;
+    }
+}
+
+TEST(BenchJson, SpeedupsMatchTableToThreeDecimals)
+{
+    // The printed table rounds speedups to two or three decimals; the
+    // JSON carries the raw double, so it must agree with speedupOf()
+    // well past that precision.
+    const WorkloadRun& run = goldenRun();
+    const Json doc = toJson(run);
+    for (const auto& name : schemeNames()) {
+        const double json =
+            doc.at("schemes").at(name).at("speedup").asDouble();
+        const double expected =
+            speedupOf(run.baseline, run.schemes.at(name));
+        EXPECT_NEAR(json, expected, 0.0005) << name;
+        EXPECT_DOUBLE_EQ(json, expected) << name;
+    }
+}
+
+TEST(BenchJson, CapturedStatsAreValidDottedDumps)
+{
+    const WorkloadRun& run = goldenRun();
+    ASSERT_EQ(run.statsJson.size(), schemeNames().size());
+    for (const auto& name : schemeNames()) {
+        ASSERT_TRUE(run.statsJson.count(name)) << name;
+        const Json dump = Json::parse(run.statsJson.at(name));
+        ASSERT_TRUE(dump.isObject()) << name;
+        // The component tree always roots at "system" and always
+        // exposes the first accelerator and the memory hierarchy.
+        EXPECT_TRUE(dump.contains("system.accel0.queries")) << name;
+        EXPECT_TRUE(dump.contains("system.accel0.qst.occupancy"))
+            << name;
+        EXPECT_TRUE(dump.contains("system.memory.llc_hit_rate"))
+            << name;
+
+        // Completed queries summed over every accelerator must equal
+        // the run's query count.
+        std::uint64_t completed = 0;
+        for (const auto& [path, value] : dump.items()) {
+            if (path.rfind("system.accel", 0) == 0 &&
+                path.size() > 8 &&
+                path.compare(path.size() - 8, 8, ".queries") == 0)
+                completed += value.asUint();
+        }
+        EXPECT_EQ(completed, run.schemes.at(name).queries) << name;
+    }
+}
+
+TEST(BenchJson, TableMirrorsIntoReport)
+{
+    TablePrinter table;
+    table.header({"workload", "speedup"});
+    table.row({"jvm", "3.1x"});
+
+    BenchReport report("unit", BenchOptions{});
+    report.setTable(table);
+    const Json& root = report.data();
+    EXPECT_EQ(root.at("bench").asString(), "unit");
+    const Json& t = root.at("table");
+    EXPECT_EQ(t.at("header").at(1).asString(), "speedup");
+    EXPECT_EQ(t.at("rows").at(0).at(0).asString(), "jvm");
+    // No --json path: finish() is a successful no-op.
+    EXPECT_TRUE(report.finish());
+}

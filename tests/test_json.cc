@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/json.hh"
+
+using namespace qei;
+
+TEST(Json, ScalarsDumpCompactly)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json o = Json::object();
+    o["zebra"] = 1;
+    o["alpha"] = 2;
+    EXPECT_EQ(o.dump(), "{\"zebra\":1,\"alpha\":2}");
+    EXPECT_EQ(o.items()[0].first, "zebra");
+}
+
+TEST(Json, OperatorBracketObjectifiesNull)
+{
+    Json v;
+    v["key"] = "value";
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("key").asString(), "value");
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_THROW(v.at("missing"), std::out_of_range);
+}
+
+TEST(Json, Uint64RoundTripsExactly)
+{
+    // A value above 2^53 would lose precision through a double.
+    const std::uint64_t big = 9007199254740993ull; // 2^53 + 1
+    Json o = Json::object();
+    o["big"] = big;
+    const Json back = Json::parse(o.dump());
+    EXPECT_EQ(back.at("big").asUint(), big);
+}
+
+TEST(Json, ParseHandlesNestingAndEscapes)
+{
+    const Json v = Json::parse(
+        "{\"a\": [1, 2.5, true, null], \"s\": \"line\\nbreak \\\"q\\\"\"}");
+    EXPECT_EQ(v.at("a").size(), 4u);
+    EXPECT_EQ(v.at("a").at(0).asInt(), 1);
+    EXPECT_DOUBLE_EQ(v.at("a").at(1).asDouble(), 2.5);
+    EXPECT_TRUE(v.at("a").at(2).asBool());
+    EXPECT_TRUE(v.at("a").at(3).isNull());
+    EXPECT_EQ(v.at("s").asString(), "line\nbreak \"q\"");
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(Json::parse("{"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(Json::parse("nope"), std::runtime_error);
+    EXPECT_THROW(Json::parse("{\"a\" 1}"), std::runtime_error);
+    EXPECT_THROW(Json::parse("1 trailing"), std::runtime_error);
+}
+
+TEST(Json, DumpParseRoundTripWithIndent)
+{
+    Json o = Json::object();
+    o["name"] = "fig07";
+    Json arr = Json::array();
+    arr.push_back(1.25);
+    arr.push_back(Json::object());
+    o["data"] = std::move(arr);
+
+    const std::string pretty = o.dump(2);
+    EXPECT_NE(pretty.find('\n'), std::string::npos);
+    const Json back = Json::parse(pretty);
+    EXPECT_EQ(back.at("name").asString(), "fig07");
+    EXPECT_DOUBLE_EQ(back.at("data").at(0).asDouble(), 1.25);
+    EXPECT_TRUE(back.at("data").at(1).isObject());
+}
+
+TEST(Json, QuoteEscapesControlCharacters)
+{
+    EXPECT_EQ(Json::quote("a\tb"), "\"a\\tb\"");
+    EXPECT_EQ(Json::quote("\"\\"), "\"\\\"\\\\\"");
+}

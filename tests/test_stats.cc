@@ -54,6 +54,32 @@ TEST(ScalarStat, NegativeSamples)
     EXPECT_DOUBLE_EQ(s.max(), 1.0);
 }
 
+TEST(ScalarStat, ResetLeavesMinMaxDefined)
+{
+    ScalarStat s;
+    s.sample(-7.0);
+    s.sample(42.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    // The first sample after a reset must re-arm min/max rather than
+    // compare against stale extrema from before the reset.
+    s.sample(5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    s.sample(3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(ScalarStat, EmptyMinMaxAreZero)
+{
+    ScalarStat s;
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
 TEST(Histogram, BucketsSamples)
 {
     Histogram h(10.0, 4); // [0,10) [10,20) [20,30) [30,+)
@@ -73,6 +99,28 @@ TEST(Histogram, PercentileMonotone)
         h.sample(static_cast<double>(i));
     EXPECT_LE(h.percentile(0.50), h.percentile(0.90));
     EXPECT_LE(h.percentile(0.90), h.percentile(0.99));
+}
+
+TEST(Histogram, NonPositiveWidthClampsToOne)
+{
+    Histogram h(0.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketWidth(), 1.0);
+    h.sample(2.5); // must not divide by zero
+    EXPECT_EQ(h.buckets()[2], 1u);
+
+    Histogram neg(-3.0, 4);
+    EXPECT_DOUBLE_EQ(neg.bucketWidth(), 1.0);
+    neg.sample(1.0);
+    EXPECT_EQ(neg.buckets()[1], 1u);
+}
+
+TEST(Histogram, ZeroBucketCountClampsToOne)
+{
+    Histogram h(10.0, 0);
+    EXPECT_EQ(h.buckets().size(), 1u);
+    h.sample(123.0); // must not index into an empty vector
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.scalar().count(), 1u);
 }
 
 TEST(Histogram, PercentileEmptyIsZero)

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/sim_object.hh"
+#include "common/stats.hh"
+#include "common/stats_json.hh"
+
+using namespace qei;
+
+namespace {
+
+/** Leaf component with one of each stat kind. */
+class Leaf : public SimObject
+{
+  public:
+    explicit Leaf(std::string name) : SimObject(std::move(name)) {}
+
+    void
+    regStats(StatsRegistry& registry) override
+    {
+        const std::string base = fullPath() + ".";
+        registry.addCounter(base + "hits", hits, "hit count");
+        registry.addScalar(base + "latency", latency, "access latency");
+        registry.addHistogram(base + "dist", dist, "latency histogram");
+        registry.addFormula(
+            base + "hit_rate",
+            [this] {
+                return latency.count()
+                           ? static_cast<double>(hits.value()) /
+                                 static_cast<double>(latency.count())
+                           : 0.0;
+            },
+            "hits / accesses");
+    }
+
+    Counter hits;
+    ScalarStat latency;
+    Histogram dist{1.0, 8};
+};
+
+/** Composite that adopts two leaves. */
+class Node : public SimObject
+{
+  public:
+    explicit Node(std::string name)
+        : SimObject(std::move(name)), a("a"), b("b")
+    {
+        adopt(a);
+        adopt(b);
+    }
+
+    Leaf a;
+    Leaf b;
+};
+
+} // namespace
+
+TEST(SimObject, FullPathFollowsAdoption)
+{
+    Node root("root");
+    EXPECT_EQ(root.fullPath(), "root");
+    EXPECT_EQ(root.a.fullPath(), "root.a");
+    EXPECT_EQ(root.b.fullPath(), "root.b");
+    EXPECT_EQ(root.child("a"), &root.a);
+    EXPECT_EQ(root.child("missing"), nullptr);
+}
+
+TEST(SimObject, AdoptReparentsSharedChild)
+{
+    Leaf shared("mem");
+    Node first("sys0");
+    first.adopt(shared);
+    EXPECT_EQ(shared.fullPath(), "sys0.mem");
+
+    Node second("sys1");
+    second.adopt(shared);
+    // The most recent adopter wins; the old parent no longer lists it.
+    EXPECT_EQ(shared.fullPath(), "sys1.mem");
+    EXPECT_EQ(first.child("mem"), nullptr);
+    EXPECT_EQ(second.child("mem"), &shared);
+}
+
+TEST(SimObject, AdoptWithNewNameRenames)
+{
+    Leaf leaf("mmu");
+    Node root("root");
+    root.adopt(leaf, "mmu3");
+    EXPECT_EQ(leaf.name(), "mmu3");
+    EXPECT_EQ(leaf.fullPath(), "root.mmu3");
+}
+
+TEST(StatsRegistry, TreeWalkRegistersDottedPaths)
+{
+    Node root("root");
+    StatsRegistry registry;
+    root.regStatsTree(registry);
+
+    EXPECT_TRUE(registry.contains("root.a.hits"));
+    EXPECT_TRUE(registry.contains("root.a.latency"));
+    EXPECT_TRUE(registry.contains("root.a.dist"));
+    EXPECT_TRUE(registry.contains("root.a.hit_rate"));
+    EXPECT_TRUE(registry.contains("root.b.hits"));
+    EXPECT_EQ(registry.size(), 8u);
+
+    root.a.hits.inc(3);
+    root.a.latency.sample(2.0);
+    EXPECT_DOUBLE_EQ(registry.value("root.a.hits"), 3.0);
+    EXPECT_DOUBLE_EQ(registry.value("root.a.hit_rate"), 3.0);
+    EXPECT_THROW(registry.value("root.nope"), std::out_of_range);
+}
+
+TEST(StatsRegistry, DuplicatePathThrows)
+{
+    StatsRegistry registry;
+    Counter c;
+    registry.addCounter("x.hits", c);
+    EXPECT_THROW(registry.addCounter("x.hits", c),
+                 std::invalid_argument);
+    ScalarStat s;
+    EXPECT_THROW(registry.addScalar("x.hits", s),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.addCounter("", c), std::invalid_argument);
+}
+
+TEST(StatsRegistry, JsonRoundTrip)
+{
+    Node root("root");
+    root.a.hits.inc(1234567890123ull);
+    root.a.latency.sample(1.5);
+    root.a.latency.sample(4.5);
+    root.a.dist.sample(3.0);
+
+    StatsRegistry registry;
+    root.regStatsTree(registry);
+
+    const Json doc = Json::parse(registry.dumpJson());
+    ASSERT_TRUE(doc.isObject());
+
+    // Counters are bare integers and survive the round trip exactly.
+    ASSERT_TRUE(doc.contains("root.a.hits"));
+    EXPECT_EQ(doc.at("root.a.hits").asUint(), 1234567890123ull);
+
+    // Scalars are records.
+    const Json& lat = doc.at("root.a.latency");
+    EXPECT_EQ(lat.at("kind").asString(), "scalar");
+    EXPECT_EQ(lat.at("count").asUint(), 2u);
+    EXPECT_DOUBLE_EQ(lat.at("mean").asDouble(), 3.0);
+    EXPECT_DOUBLE_EQ(lat.at("min").asDouble(), 1.5);
+    EXPECT_DOUBLE_EQ(lat.at("max").asDouble(), 4.5);
+
+    // Histograms carry their buckets.
+    const Json& dist = doc.at("root.a.dist");
+    EXPECT_EQ(dist.at("kind").asString(), "histogram");
+    EXPECT_EQ(dist.at("buckets").size(), 8u);
+    EXPECT_EQ(dist.at("buckets").at(3).asUint(), 1u);
+
+    // Formulas are bare numbers.
+    EXPECT_TRUE(doc.at("root.a.hit_rate").isNumber());
+}
+
+TEST(StatsRegistry, CsvHasHeaderAndRows)
+{
+    Node root("root");
+    root.a.hits.inc(7);
+    StatsRegistry registry;
+    root.regStatsTree(registry);
+    const std::string csv = registry.dumpCsv();
+    EXPECT_EQ(csv.rfind("path,field,value\n", 0), 0u);
+    EXPECT_NE(csv.find("root.a.hits,value,7\n"), std::string::npos);
+}
+
+TEST(StatsRegistry, ResetAllZeroesBetweenRois)
+{
+    Node root("root");
+    StatsRegistry registry;
+    root.regStatsTree(registry);
+
+    // ROI 1.
+    root.a.hits.inc(10);
+    root.a.latency.sample(2.0);
+    root.a.dist.sample(2.0);
+    const StatsSnapshot before = statsSnapshot(registry);
+    EXPECT_DOUBLE_EQ(before.at("root.a.hits"), 10.0);
+
+    registry.resetAll();
+    EXPECT_EQ(root.a.hits.value(), 0u);
+    EXPECT_EQ(root.a.latency.count(), 0u);
+    EXPECT_EQ(root.a.dist.scalar().count(), 0u);
+
+    // ROI 2 accumulates fresh.
+    root.a.hits.inc(3);
+    EXPECT_DOUBLE_EQ(registry.value("root.a.hits"), 3.0);
+}
+
+TEST(StatsRegistry, DiffAgainstSnapshot)
+{
+    Node root("root");
+    StatsRegistry registry;
+    root.regStatsTree(registry);
+
+    root.a.hits.inc(5);
+    const StatsSnapshot before = statsSnapshot(registry);
+    root.a.hits.inc(7);
+
+    const Json diff = statsDiffJson(registry, before);
+    EXPECT_DOUBLE_EQ(diff.at("root.a.hits").asDouble(), 7.0);
+}
+
+TEST(StatsRegistry, RenderSkipsZeros)
+{
+    Node root("root");
+    root.a.hits.inc(2);
+    StatsRegistry registry;
+    root.regStatsTree(registry);
+
+    const std::string all = registry.render(/*skip_zero=*/false);
+    EXPECT_NE(all.find("root.b.hits"), std::string::npos);
+
+    const std::string trimmed = registry.render(/*skip_zero=*/true);
+    EXPECT_NE(trimmed.find("root.a.hits"), std::string::npos);
+    EXPECT_EQ(trimmed.find("root.b.hits"), std::string::npos);
+}
