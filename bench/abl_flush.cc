@@ -53,7 +53,11 @@ flushWith(World& world, SimLinkedList& list,
 int
 main(int argc, char** argv)
 {
-    BenchReport report("abl_flush", parseBenchArgs(argc, argv));
+    // The flush sweep reuses one world serially (each flushWith call
+    // resets timing in place), so it stays single-threaded; --threads
+    // is still accepted for a uniform harness CLI.
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("abl_flush", options);
     std::printf("=== Ablation: interrupt flush latency (Sec. IV-D) "
                 "===\n");
 

@@ -17,56 +17,76 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    BenchReport report("abl_multicore", parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("abl_multicore", options);
     std::printf("=== Ablation: multi-core issue scalability ===\n");
-
-    auto workloads = makeAllWorkloads();
-    Workload* jvm = workloads[1].get();
-
-    World world(42);
-    jvm->build(world);
-    const Prepared prepared = jvm->prepare(world, 2400);
 
     TablePrinter table;
     table.header({"scheme", "1 core (cyc/q)", "4 cores", "8 cores",
                   "16 cores", "16-core scaling"});
 
-    Json schemes = Json::array();
+    std::vector<SchemeConfig> schemesToRun;
     for (const auto& scheme : SchemeConfig::allSchemes()) {
         if (scheme.scheme == IntegrationScheme::DeviceIndirect)
             continue; // dominated by interface latency, not sharing
-        std::vector<std::string> row{scheme.name()};
-        double oneCore = 0.0;
-        double sixteen = 0.0;
-        Json points = Json::array();
-        for (int cores : {1, 4, 8, 16}) {
-            world.resetTiming();
-            world.warmLlc();
-            QeiSystem system(world.chip, world.events, world.hierarchy,
-                             world.vm, world.firmware, scheme);
-            const QeiRunStats stats = system.runBlockingMultiCore(
-                prepared.jobs, cores, prepared.profile);
-            simAssert(stats.mismatches == 0, "mismatches on {}",
-                      scheme.name());
-            row.push_back(
-                TablePrinter::num(stats.cyclesPerQuery(), 1));
-            if (cores == 1)
-                oneCore = stats.cyclesPerQuery();
-            if (cores == 16)
-                sixteen = stats.cyclesPerQuery();
-            Json p = Json::object();
-            p["cores"] = cores;
-            p["cycles_per_query"] = stats.cyclesPerQuery();
-            points.push_back(std::move(p));
-        }
-        row.push_back(TablePrinter::speedup(oneCore / sixteen));
-        table.row(row);
+        schemesToRun.push_back(scheme);
+    }
 
-        Json s = Json::object();
-        s["scheme"] = scheme.name();
-        s["points"] = std::move(points);
-        s["scaling_16_core"] = oneCore / sixteen;
-        schemes.push_back(std::move(s));
+    struct ScalingResult
+    {
+        std::vector<std::string> row;
+        Json s;
+    };
+
+    // One task per scheme; each builds its own world + prepared query
+    // stream from seed 42, matching the serial sweep exactly.
+    auto results = parallelMap(
+        options.threads, schemesToRun.size(),
+        [&](std::size_t i) -> ScalingResult {
+            const SchemeConfig& scheme = schemesToRun[i];
+            const auto jvm = makeWorkloadFactories()[1]();
+            World world(42);
+            jvm->build(world);
+            const Prepared prepared = jvm->prepare(world, 2400);
+
+            std::vector<std::string> row{scheme.name()};
+            double oneCore = 0.0;
+            double sixteen = 0.0;
+            Json points = Json::array();
+            for (int cores : {1, 4, 8, 16}) {
+                world.resetTiming();
+                world.warmLlc();
+                QeiSystem system(world.chip, world.events,
+                                 world.hierarchy, world.vm,
+                                 world.firmware, scheme);
+                const QeiRunStats stats = system.runBlockingMultiCore(
+                    prepared.jobs, cores, prepared.profile);
+                simAssert(stats.mismatches == 0, "mismatches on {}",
+                          scheme.name());
+                row.push_back(
+                    TablePrinter::num(stats.cyclesPerQuery(), 1));
+                if (cores == 1)
+                    oneCore = stats.cyclesPerQuery();
+                if (cores == 16)
+                    sixteen = stats.cyclesPerQuery();
+                Json p = Json::object();
+                p["cores"] = cores;
+                p["cycles_per_query"] = stats.cyclesPerQuery();
+                points.push_back(std::move(p));
+            }
+            row.push_back(TablePrinter::speedup(oneCore / sixteen));
+
+            Json s = Json::object();
+            s["scheme"] = scheme.name();
+            s["points"] = std::move(points);
+            s["scaling_16_core"] = oneCore / sixteen;
+            return {std::move(row), std::move(s)};
+        });
+
+    Json schemes = Json::array();
+    for (auto& result : results) {
+        table.row(result.row);
+        schemes.push_back(std::move(result.s));
     }
     table.print();
     std::printf("expectation: per-core / per-CHA schemes approach "

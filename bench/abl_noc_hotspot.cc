@@ -16,44 +16,64 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    BenchReport report("abl_noc_hotspot", parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("abl_noc_hotspot", options);
     std::printf("=== Ablation: NoC hotspot (non-blocking flood) ===\n");
 
     TablePrinter table;
     table.header({"scheme", "peak link util", "mean link util",
                   "NoC bytes/query"});
 
-    auto workloads = makeAllWorkloads();
-    Workload* jvm = workloads[1].get();
+    struct HotspotResult
+    {
+        std::vector<std::string> row;
+        Json s;
+    };
+
+    // One task per scheme; each already built a fresh world, so the
+    // parallel fan-out changes nothing about the measurement.
+    const auto allSchemes = SchemeConfig::allSchemes();
+    auto results = parallelMap(
+        options.threads, allSchemes.size(),
+        [&](std::size_t i) -> HotspotResult {
+            const SchemeConfig& scheme = allSchemes[i];
+            const auto jvm = makeWorkloadFactories()[1]();
+            World world(42);
+            jvm->build(world);
+            const Prepared prepared = jvm->prepare(world, 1200);
+            const QeiRunStats stats = runQei(
+                world, prepared, scheme, QueryMode::NonBlocking, 0, 120);
+
+            HotspotResult out;
+            out.row = {scheme.name(),
+                       TablePrinter::percent(
+                           world.hierarchy.mesh().peakLinkUtilisation()),
+                       TablePrinter::percent(
+                           world.hierarchy.mesh().meanLinkUtilisation()),
+                       TablePrinter::num(
+                           static_cast<double>(
+                               world.hierarchy.mesh().totalBytes()) /
+                               static_cast<double>(stats.queries),
+                           0)};
+
+            Json s = Json::object();
+            s["scheme"] = scheme.name();
+            s["peak_link_utilisation"] =
+                world.hierarchy.mesh().peakLinkUtilisation();
+            s["mean_link_utilisation"] =
+                world.hierarchy.mesh().meanLinkUtilisation();
+            s["noc_bytes_per_query"] =
+                static_cast<double>(
+                    world.hierarchy.mesh().totalBytes()) /
+                static_cast<double>(stats.queries);
+            out.s = std::move(s);
+            return out;
+        });
 
     Json schemes = Json::array();
-    for (const auto& scheme : SchemeConfig::allSchemes()) {
-        World world(42);
-        jvm->build(world);
-        const Prepared prepared = jvm->prepare(world, 1200);
-        const QeiRunStats stats = runQei(
-            world, prepared, scheme, QueryMode::NonBlocking, 0, 120);
-        table.row({scheme.name(),
-                   TablePrinter::percent(
-                       world.hierarchy.mesh().peakLinkUtilisation()),
-                   TablePrinter::percent(
-                       world.hierarchy.mesh().meanLinkUtilisation()),
-                   TablePrinter::num(
-                       static_cast<double>(
-                           world.hierarchy.mesh().totalBytes()) /
-                           static_cast<double>(stats.queries),
-                       0)});
-
-        Json s = Json::object();
-        s["scheme"] = scheme.name();
-        s["peak_link_utilisation"] =
-            world.hierarchy.mesh().peakLinkUtilisation();
-        s["mean_link_utilisation"] =
-            world.hierarchy.mesh().meanLinkUtilisation();
-        s["noc_bytes_per_query"] =
-            static_cast<double>(world.hierarchy.mesh().totalBytes()) /
-            static_cast<double>(stats.queries);
-        schemes.push_back(std::move(s));
+    for (auto& result : results) {
+        table.row(result.row);
+        schemes.push_back(std::move(result.s));
     }
     table.print();
     std::printf("expectation: the single-stop Device schemes "

@@ -14,50 +14,70 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    BenchReport report("abl_qst_size", parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("abl_qst_size", options);
     std::printf("=== Ablation: Core-integrated QST size sweep ===\n");
 
     TablePrinter table;
     table.header({"QST entries", "jvm speedup", "jvm occupancy",
                   "dpdk speedup", "dpdk occupancy"});
 
-    auto workloads = makeAllWorkloads();
-    Workload* jvm = workloads[1].get();
-    Workload* dpdk = workloads[0].get();
+    const std::vector<int> sizes{2, 5, 10, 20, 40};
 
-    // Build both once; rerun per size.
-    World jvmWorld(42);
-    jvm->build(jvmWorld);
-    const Prepared jvmPrep = jvm->prepare(jvmWorld, 800);
-    const CoreRunResult jvmBase = runBaseline(jvmWorld, jvmPrep);
+    struct SweepPoint
+    {
+        double jvmSpeedup, jvmOccupancy;
+        double dpdkSpeedup, dpdkOccupancy;
+    };
 
-    World dpdkWorld(43);
-    dpdk->build(dpdkWorld);
-    const Prepared dpdkPrep = dpdk->prepare(dpdkWorld, 1500);
-    const CoreRunResult dpdkBase = runBaseline(dpdkWorld, dpdkPrep);
+    // One task per QST size; each builds private jvm/dpdk worlds from
+    // the same seeds the serial sweep used, so points are identical.
+    auto sweep = parallelMap(
+        options.threads, sizes.size(),
+        [&](std::size_t i) -> SweepPoint {
+            const int entries = sizes[i];
+            SchemeConfig scheme = SchemeConfig::coreIntegrated();
+            scheme.qstEntries = entries;
+            auto workloads = makeAllWorkloads();
+
+            World jvmWorld(42);
+            workloads[1]->build(jvmWorld);
+            const Prepared jvmPrep = workloads[1]->prepare(jvmWorld, 800);
+            const CoreRunResult jvmBase =
+                runBaseline(jvmWorld, jvmPrep);
+            const QeiRunStats jvmStats =
+                runQei(jvmWorld, jvmPrep, scheme);
+
+            World dpdkWorld(43);
+            workloads[0]->build(dpdkWorld);
+            const Prepared dpdkPrep =
+                workloads[0]->prepare(dpdkWorld, 1500);
+            const CoreRunResult dpdkBase =
+                runBaseline(dpdkWorld, dpdkPrep);
+            const QeiRunStats dpdkStats =
+                runQei(dpdkWorld, dpdkPrep, scheme);
+
+            return {speedupOf(jvmBase, jvmStats),
+                    jvmStats.avgQstOccupancy / entries,
+                    speedupOf(dpdkBase, dpdkStats),
+                    dpdkStats.avgQstOccupancy / entries};
+        });
 
     Json points = Json::array();
-    for (int entries : {2, 5, 10, 20, 40}) {
-        SchemeConfig scheme = SchemeConfig::coreIntegrated();
-        scheme.qstEntries = entries;
-        const QeiRunStats jvmStats = runQei(jvmWorld, jvmPrep, scheme);
-        const QeiRunStats dpdkStats =
-            runQei(dpdkWorld, dpdkPrep, scheme);
-        table.row({std::to_string(entries),
-                   TablePrinter::speedup(speedupOf(jvmBase, jvmStats)),
-                   TablePrinter::percent(jvmStats.avgQstOccupancy /
-                                         entries),
-                   TablePrinter::speedup(
-                       speedupOf(dpdkBase, dpdkStats)),
-                   TablePrinter::percent(dpdkStats.avgQstOccupancy /
-                                         entries)});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const SweepPoint& point = sweep[i];
+        table.row({std::to_string(sizes[i]),
+                   TablePrinter::speedup(point.jvmSpeedup),
+                   TablePrinter::percent(point.jvmOccupancy),
+                   TablePrinter::speedup(point.dpdkSpeedup),
+                   TablePrinter::percent(point.dpdkOccupancy)});
 
         Json p = Json::object();
-        p["qst_entries"] = entries;
-        p["jvm_speedup"] = speedupOf(jvmBase, jvmStats);
-        p["jvm_occupancy"] = jvmStats.avgQstOccupancy / entries;
-        p["dpdk_speedup"] = speedupOf(dpdkBase, dpdkStats);
-        p["dpdk_occupancy"] = dpdkStats.avgQstOccupancy / entries;
+        p["qst_entries"] = sizes[i];
+        p["jvm_speedup"] = point.jvmSpeedup;
+        p["jvm_occupancy"] = point.jvmOccupancy;
+        p["dpdk_speedup"] = point.dpdkSpeedup;
+        p["dpdk_occupancy"] = point.dpdkOccupancy;
         points.push_back(std::move(p));
     }
     table.print();

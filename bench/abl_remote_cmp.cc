@@ -14,7 +14,8 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    BenchReport report("abl_remote_cmp", parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("abl_remote_cmp", options);
     std::printf("=== Ablation: remote CHA comparators "
                 "(Core-integrated) ===\n");
 
@@ -22,45 +23,64 @@ main(int argc, char** argv)
     table.header({"workload", "key bytes", "with remote cmp",
                   "local only", "remote compares/query"});
 
+    struct AblResult
+    {
+        std::vector<std::string> row;
+        Json w;
+    };
+
+    // One task per workload, each with a private world.
+    const auto factories = makeWorkloadFactories();
+    auto results = parallelMap(
+        options.threads, factories.size(),
+        [&](std::size_t i) -> AblResult {
+            const auto workload = factories[i]();
+            World world(42);
+            workload->build(world);
+            const Prepared prepared =
+                workload->prepare(world, workload->defaultQueries());
+            const CoreRunResult baseline = runBaseline(world, prepared);
+
+            SchemeConfig remote = SchemeConfig::coreIntegrated();
+            SchemeConfig local = SchemeConfig::coreIntegrated();
+            local.remoteComparators = false;
+
+            const QeiRunStats withRemote =
+                runQei(world, prepared, remote);
+            const QeiRunStats localOnly = runQei(world, prepared, local);
+
+            // Key length from the first job's header.
+            const StructHeader h = StructHeader::readFrom(
+                world.vm, prepared.jobs.front().headerAddr);
+
+            AblResult out;
+            out.row = {workload->name(), std::to_string(h.keyLen),
+                       TablePrinter::speedup(
+                           speedupOf(baseline, withRemote)),
+                       TablePrinter::speedup(
+                           speedupOf(baseline, localOnly)),
+                       TablePrinter::num(
+                           static_cast<double>(
+                               withRemote.remoteCompares) /
+                               static_cast<double>(withRemote.queries),
+                           2)};
+
+            Json w = Json::object();
+            w["workload"] = workload->name();
+            w["key_bytes"] = h.keyLen;
+            w["speedup_remote_cmp"] = speedupOf(baseline, withRemote);
+            w["speedup_local_only"] = speedupOf(baseline, localOnly);
+            w["remote_compares_per_query"] =
+                static_cast<double>(withRemote.remoteCompares) /
+                static_cast<double>(withRemote.queries);
+            out.w = std::move(w);
+            return out;
+        });
+
     Json workloads = Json::array();
-    for (const auto& workload : makeAllWorkloads()) {
-        World world(42);
-        workload->build(world);
-        const Prepared prepared =
-            workload->prepare(world, workload->defaultQueries());
-        const CoreRunResult baseline = runBaseline(world, prepared);
-
-        SchemeConfig remote = SchemeConfig::coreIntegrated();
-        SchemeConfig local = SchemeConfig::coreIntegrated();
-        local.remoteComparators = false;
-
-        const QeiRunStats withRemote =
-            runQei(world, prepared, remote);
-        const QeiRunStats localOnly = runQei(world, prepared, local);
-
-        // Key length from the first job's header.
-        const StructHeader h = StructHeader::readFrom(
-            world.vm, prepared.jobs.front().headerAddr);
-
-        table.row({workload->name(), std::to_string(h.keyLen),
-                   TablePrinter::speedup(
-                       speedupOf(baseline, withRemote)),
-                   TablePrinter::speedup(
-                       speedupOf(baseline, localOnly)),
-                   TablePrinter::num(
-                       static_cast<double>(withRemote.remoteCompares) /
-                           static_cast<double>(withRemote.queries),
-                       2)});
-
-        Json w = Json::object();
-        w["workload"] = workload->name();
-        w["key_bytes"] = h.keyLen;
-        w["speedup_remote_cmp"] = speedupOf(baseline, withRemote);
-        w["speedup_local_only"] = speedupOf(baseline, localOnly);
-        w["remote_compares_per_query"] =
-            static_cast<double>(withRemote.remoteCompares) /
-            static_cast<double>(withRemote.queries);
-        workloads.push_back(std::move(w));
+    for (auto& result : results) {
+        table.row(result.row);
+        workloads.push_back(std::move(result.w));
     }
     table.print();
     std::printf("expectation: long-key workloads (rocksdb 100B) "

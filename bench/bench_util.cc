@@ -1,15 +1,47 @@
 #include "bench_util.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 namespace qei::bench {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/** "0" / "auto" = all host cores; anything else must be >= 1. */
+int
+parseThreadCount(const char* text)
+{
+    if (std::strcmp(text, "auto") == 0 || std::strcmp(text, "0") == 0)
+        return ThreadPool::hardwareThreads();
+    const int n = std::atoi(text);
+    if (n < 1) {
+        fatal("--threads / QEI_BENCH_THREADS wants a positive count "
+              "or 'auto', got '{}'",
+              text);
+    }
+    return n;
+}
+
+} // namespace
+
 BenchOptions
 parseBenchArgs(int argc, char** argv)
 {
     BenchOptions options;
+    if (const char* env = std::getenv("QEI_BENCH_THREADS"))
+        options.threads = parseThreadCount(env);
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--json") == 0) {
@@ -20,13 +52,23 @@ parseBenchArgs(int argc, char** argv)
             }
         } else if (std::strncmp(arg, "--json=", 7) == 0) {
             options.jsonPath = arg + 7;
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            if (i + 1 < argc) {
+                options.threads = parseThreadCount(argv[++i]);
+            } else {
+                std::fprintf(stderr,
+                             "--threads needs a count argument\n");
+            }
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            options.threads = parseThreadCount(arg + 10);
         }
     }
     return options;
 }
 
 BenchReport::BenchReport(std::string bench_name, BenchOptions options)
-    : options_(std::move(options)), root_(Json::object())
+    : options_(std::move(options)), root_(Json::object()),
+      start_(Clock::now())
 {
     root_["bench"] = std::move(bench_name);
 }
@@ -40,6 +82,11 @@ BenchReport::setTable(const TablePrinter& table)
 bool
 BenchReport::finish()
 {
+    const double wallMs = msSince(start_);
+    root_["host_wall_ms"] = wallMs;
+    root_["threads"] = static_cast<std::int64_t>(options_.threads);
+    std::printf("host wall time: %.1f ms (threads=%d)\n", wallMs,
+                options_.threads);
     if (!enabled())
         return true;
     std::ofstream out(options_.jsonPath);
@@ -66,6 +113,7 @@ runWorkload(Workload& workload, std::size_t queries,
     const std::size_t n =
         queries == 0 ? workload.defaultQueries() : queries;
 
+    const auto start = Clock::now();
     World world(seed);
     workload.build(world);
     run.prepared = workload.prepare(world, n);
@@ -74,8 +122,10 @@ runWorkload(Workload& workload, std::size_t queries,
     // post-run capture is exactly this run's activity.
     run.baseline = runBaseline(world, run.prepared);
     run.activity["baseline"] = ChipActivity::capture(world.hierarchy);
+    run.cellWallMs["baseline"] = msSince(start);
 
     for (const auto& scheme : schemes) {
+        const auto cellStart = Clock::now();
         std::string stats_json;
         run.schemes[scheme.name()] =
             runQei(world, run.prepared, scheme, mode, 0, 32,
@@ -84,8 +134,96 @@ runWorkload(Workload& workload, std::size_t queries,
             ChipActivity::capture(world.hierarchy);
         if (capture_stats)
             run.statsJson[scheme.name()] = std::move(stats_json);
+        run.cellWallMs[scheme.name()] = msSince(cellStart);
     }
+    run.hostWallMs = msSince(start);
     return run;
+}
+
+namespace {
+
+/** One (workload, scheme-or-baseline) experiment's raw outcome. */
+struct CellResult
+{
+    std::string workloadName;
+    CoreRunResult baseline;
+    Prepared prepared;
+    QeiRunStats stats;
+    ChipActivity activity;
+    std::string statsJson;
+    double wallMs = 0.0;
+};
+
+} // namespace
+
+std::vector<WorkloadRun>
+runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
+                  const MatrixOptions& options)
+{
+    // Cell layout: for each workload, one baseline cell followed by
+    // one cell per scheme — index math keeps reassembly deterministic.
+    const std::size_t stride = 1 + options.schemes.size();
+    const std::size_t cellCount = workloads.size() * stride;
+
+    auto runCell = [&](std::size_t index) -> CellResult {
+        const auto start = Clock::now();
+        const std::size_t w = index / stride;
+        const std::size_t s = index % stride; // 0 = baseline
+        CellResult out;
+
+        // Private Workload + World per cell: bit-identical to the
+        // serial path because build/prepare are deterministic in the
+        // seed, and safe because cells share no mutable state.
+        std::unique_ptr<Workload> workload = workloads[w]();
+        out.workloadName = workload->name();
+        World world(options.seed);
+        workload->build(world);
+        const std::size_t n = options.queries == 0
+                                  ? workload->defaultQueries()
+                                  : options.queries;
+        out.prepared = workload->prepare(world, n);
+
+        if (s == 0) {
+            out.baseline = runBaseline(world, out.prepared);
+        } else {
+            const SchemeConfig& scheme = options.schemes[s - 1];
+            out.stats = runQei(
+                world, out.prepared, scheme, options.mode, 0,
+                options.pollBatch,
+                options.captureStats ? &out.statsJson : nullptr);
+        }
+        out.activity = ChipActivity::capture(world.hierarchy);
+        out.wallMs = msSince(start);
+        return out;
+    };
+
+    std::vector<CellResult> cells =
+        parallelMap(options.threads, cellCount, runCell);
+
+    std::vector<WorkloadRun> runs;
+    runs.reserve(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        CellResult& base = cells[w * stride];
+        WorkloadRun run;
+        run.name = std::move(base.workloadName);
+        run.baseline = base.baseline;
+        run.prepared = std::move(base.prepared);
+        run.activity["baseline"] = base.activity;
+        run.cellWallMs["baseline"] = base.wallMs;
+        run.hostWallMs = base.wallMs;
+        for (std::size_t s = 0; s < options.schemes.size(); ++s) {
+            CellResult& cell = cells[w * stride + 1 + s];
+            const std::string name = options.schemes[s].name();
+            run.schemes[name] = cell.stats;
+            run.activity[name] = cell.activity;
+            if (options.captureStats)
+                run.statsJson[name] = std::move(cell.statsJson);
+            run.cellWallMs[name] = cell.wallMs;
+            run.hostWallMs += cell.wallMs;
+        }
+        runs.push_back(std::move(run));
+    }
+    return runs;
 }
 
 Json
@@ -128,10 +266,19 @@ toJson(const WorkloadRun& run)
     Json out = Json::object();
     out["workload"] = run.name;
     out["baseline"] = toJson(run.baseline);
+    out["host_wall_ms"] = run.hostWallMs;
+    {
+        auto it = run.cellWallMs.find("baseline");
+        if (it != run.cellWallMs.end())
+            out["baseline"]["host_wall_ms"] = it->second;
+    }
     Json schemes = Json::object();
     for (const auto& [name, stats] : run.schemes) {
         Json s = toJson(stats);
-        s["speedup"] = run.speedup(name);
+        s["speedup"] = run.speedup(stats);
+        auto wall = run.cellWallMs.find(name);
+        if (wall != run.cellWallMs.end())
+            s["host_wall_ms"] = wall->second;
         schemes[name] = std::move(s);
     }
     out["schemes"] = std::move(schemes);

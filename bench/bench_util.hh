@@ -3,11 +3,18 @@
  * Shared plumbing for the per-figure/table benchmark harnesses: build
  * a workload once, run the software baseline and every integration
  * scheme on identical query streams, and report.
+ *
+ * The (workload x scheme) matrix most harnesses run is embarrassingly
+ * parallel — every cell builds its own World — so runWorkloadMatrix()
+ * fans the cells across a qei::ThreadPool. Results are assembled in
+ * workload/scheme order regardless of completion order, making the
+ * numbers bit-identical at any `--threads` setting.
  */
 
 #ifndef QEI_BENCH_BENCH_UTIL_HH
 #define QEI_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,6 +22,7 @@
 
 #include "common/json.hh"
 #include "common/table_printer.hh"
+#include "common/thread_pool.hh"
 #include "power/energy_model.hh"
 #include "workloads/workload.hh"
 
@@ -25,12 +33,19 @@ struct BenchOptions
 {
     /** Destination of the JSON artifact; empty = text output only. */
     std::string jsonPath;
+    /**
+     * Host threads for experiment fan-out (runWorkloadMatrix /
+     * parallelMap). 1 = serial; defaults from QEI_BENCH_THREADS.
+     */
+    int threads = 1;
 };
 
 /**
- * Parse the harness command line. Recognises `--json <path>` and
- * `--json=<path>`; other arguments are left for the harness to
- * interpret (debug_probe's workload filter).
+ * Parse the harness command line. Recognises `--json <path>`,
+ * `--json=<path>`, `--threads <n>`, and `--threads=<n>` (n = 0 or
+ * "auto" uses every host core); QEI_BENCH_THREADS seeds the default.
+ * Other arguments are left for the harness to interpret
+ * (debug_probe's workload filter).
  */
 BenchOptions parseBenchArgs(int argc, char** argv);
 
@@ -38,7 +53,8 @@ BenchOptions parseBenchArgs(int argc, char** argv);
  * Collector for one harness's machine-readable results.
  *
  * Harnesses fill data() with their figure-specific payload (and
- * usually mirror the printed table via setTable()); finish() writes
+ * usually mirror the printed table via setTable()); finish() stamps
+ * the host-performance fields (`host_wall_ms`, `threads`) and writes
  * the artifact to the `--json` path, if one was given.
  */
 class BenchReport
@@ -49,6 +65,9 @@ class BenchReport
     /** True when a `--json` destination was given. */
     bool enabled() const { return !options_.jsonPath.empty(); }
 
+    /** Parsed harness options (threads for matrix fan-out). */
+    const BenchOptions& options() const { return options_; }
+
     /** Root object; preloaded with {"bench": <name>}. */
     Json& data() { return root_; }
 
@@ -56,7 +75,8 @@ class BenchReport
     void setTable(const TablePrinter& table);
 
     /**
-     * Write the artifact when enabled; prints the destination (or the
+     * Stamp host-perf fields, print the total host wall time, and
+     * write the artifact when enabled; prints the destination (or the
      * failure) to stdout. @return false on I/O failure.
      */
     bool finish();
@@ -64,6 +84,7 @@ class BenchReport
   private:
     BenchOptions options_;
     Json root_;
+    std::chrono::steady_clock::time_point start_;
 };
 
 /** Results for one workload across the baseline and all schemes. */
@@ -80,6 +101,10 @@ struct WorkloadRun
     /** Full component-tree stats dumps, keyed like `schemes`; only
      *  populated when runWorkload() was asked to capture them. */
     std::map<std::string, std::string> statsJson;
+    /** Host wall time of each cell, keyed like `activity`. */
+    std::map<std::string, double> cellWallMs;
+    /** Summed host wall time of this workload's cells. */
+    double hostWallMs = 0.0;
 
     double
     speedup(const std::string& scheme) const
@@ -88,6 +113,13 @@ struct WorkloadRun
         return it == schemes.end()
                    ? 0.0
                    : speedupOf(baseline, it->second);
+    }
+
+    /** Speedup for stats already looked up — avoids a second find. */
+    double
+    speedup(const QeiRunStats& stats) const
+    {
+        return speedupOf(baseline, stats);
     }
 };
 
@@ -102,6 +134,33 @@ WorkloadRun runWorkload(Workload& workload, std::size_t queries = 0,
                         std::uint64_t seed = 42,
                         bool capture_stats = false);
 
+/** Knobs for a full (workload x scheme) matrix run. */
+struct MatrixOptions
+{
+    /** Queries per workload; 0 = each workload's default. */
+    std::size_t queries = 0;
+    std::vector<SchemeConfig> schemes = SchemeConfig::allSchemes();
+    QueryMode mode = QueryMode::Blocking;
+    std::uint64_t seed = 42;
+    /** Poll batch for QueryMode::NonBlocking. */
+    int pollBatch = 32;
+    bool captureStats = false;
+    /** Host threads; 1 runs every cell inline on this thread. */
+    int threads = 1;
+};
+
+/**
+ * Run the full (workload x scheme) matrix, one baseline cell plus one
+ * cell per scheme for every workload, fanned across
+ * min(threads, cells) host threads. Every cell constructs its own
+ * World/Workload/QeiSystem from the same seed, so the returned runs
+ * are bit-identical to the serial path at any thread count; results
+ * come back in (workload, scheme) order.
+ */
+std::vector<WorkloadRun> runWorkloadMatrix(
+    const std::vector<WorkloadFactory>& workloads,
+    const MatrixOptions& options);
+
 /** Scheme names in the paper's presentation order. */
 std::vector<std::string> schemeNames();
 
@@ -112,8 +171,9 @@ Json toJson(const QeiRunStats& stats);
 
 /**
  * One workload's full cross-scheme result: baseline, per-scheme run
- * stats with raw `speedup` doubles, and (when captured) the per-scheme
- * component-tree stats dumps under "stats".
+ * stats with raw `speedup` doubles and per-cell `host_wall_ms`, and
+ * (when captured) the per-scheme component-tree stats dumps under
+ * "stats".
  */
 Json toJson(const WorkloadRun& run);
 

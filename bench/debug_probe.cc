@@ -11,28 +11,37 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    BenchReport report("debug_probe", parseBenchArgs(argc, argv));
-    // Workload filter: the first argument that is not a --json option.
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("debug_probe", options);
+    // Workload filter: the first argument that is not an option.
     std::string only;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--json") {
-            ++i; // skip the path operand
-        } else if (arg.rfind("--json=", 0) != 0) {
+        if (arg == "--json" || arg == "--threads") {
+            ++i; // skip the operand
+        } else if (arg.rfind("--json=", 0) != 0 &&
+                   arg.rfind("--threads=", 0) != 0) {
             only = arg;
             break;
         }
     }
+
+    // Keep only the matching workloads' factories (probe instances
+    // are cheap to make just for name()).
+    std::vector<WorkloadFactory> factories;
+    for (auto& factory : makeWorkloadFactories()) {
+        if (only.empty() || factory()->name() == only)
+            factories.push_back(std::move(factory));
+    }
+
+    // The probe captures the full per-scheme component-tree stats
+    // dump when a --json artifact was requested.
+    MatrixOptions matrix;
+    matrix.captureStats = report.enabled();
+    matrix.threads = options.threads;
+
     Json workloads = Json::array();
-    for (const auto& workload : makeAllWorkloads()) {
-        if (!only.empty() && workload->name() != only)
-            continue;
-        // The probe captures the full per-scheme component-tree stats
-        // dump when a --json artifact was requested.
-        const WorkloadRun run =
-            runWorkload(*workload, 0, SchemeConfig::allSchemes(),
-                        QueryMode::Blocking, 42,
-                        /*capture_stats=*/report.enabled());
+    for (const WorkloadRun& run : runWorkloadMatrix(factories, matrix)) {
         std::printf("== %s: baseline %.1f cyc/q, %.0f instr/q, "
                     "%.2f touches/q, ipc %.2f\n",
                     run.name.c_str(), run.baseline.cyclesPerQuery(),
@@ -47,7 +56,7 @@ main(int argc, char** argv)
                         "uops/q=%.1f rcmp/q=%.2f occ=%.1f "
                         "maxinfl=%.0f\n",
                         name.c_str(), s.cyclesPerQuery(),
-                        run.speedup(name),
+                        run.speedup(s),
                         static_cast<double>(s.memAccesses) / s.queries,
                         static_cast<double>(s.microOps) / s.queries,
                         static_cast<double>(s.remoteCompares) /

@@ -18,7 +18,8 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    BenchReport report("fig01_profiling", parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("fig01_profiling", options);
     std::printf("=== Fig. 1: query-time share and top-down analysis "
                 "===\n");
 
@@ -29,10 +30,12 @@ main(int argc, char** argv)
 
     Json workloads = Json::array();
     const int width = defaultChip().core.issueWidth;
-    for (const auto& workload : makeAllWorkloads()) {
-        // Only the baseline run matters for profiling.
-        const WorkloadRun run =
-            runWorkload(*workload, 0, {SchemeConfig::coreIntegrated()});
+    // Only the baseline run matters for profiling.
+    MatrixOptions matrix;
+    matrix.schemes = {SchemeConfig::coreIntegrated()};
+    matrix.threads = options.threads;
+    for (const WorkloadRun& run :
+         runWorkloadMatrix(makeWorkloadFactories(), matrix)) {
         const RoiProfile& profile = run.prepared.profile;
         table.row({run.name,
                    TablePrinter::percent(profile.roiFraction),

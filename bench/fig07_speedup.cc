@@ -20,7 +20,8 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    BenchReport report("fig07_speedup", parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("fig07_speedup", options);
     std::printf("=== Fig. 7: ROI speedup per workload x scheme "
                 "(blocking queries) ===\n");
 
@@ -31,16 +32,20 @@ main(int argc, char** argv)
     header.push_back("baseline cyc/q");
     table.header(header);
 
+    MatrixOptions matrix;
+    matrix.threads = options.threads;
+
     Json workloads = Json::array();
     double geoProd = 1.0;
     int geoCount = 0;
-    for (const auto& workload : makeAllWorkloads()) {
-        const WorkloadRun run = runWorkload(*workload);
+    for (const WorkloadRun& run :
+         runWorkloadMatrix(makeWorkloadFactories(), matrix)) {
         std::vector<std::string> row{run.name};
         for (const auto& s : schemeNames()) {
-            row.push_back(TablePrinter::speedup(run.speedup(s)));
+            const double speedup = run.speedup(run.schemes.at(s));
+            row.push_back(TablePrinter::speedup(speedup));
             if (s == "Core-integrated") {
-                geoProd *= run.speedup(s);
+                geoProd *= speedup;
                 ++geoCount;
             }
         }

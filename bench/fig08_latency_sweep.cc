@@ -18,8 +18,8 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    BenchReport report("fig08_latency_sweep",
-                       parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("fig08_latency_sweep", options);
     std::printf("=== Fig. 8: Device-indirect interface-latency sweep "
                 "===\n");
 
@@ -31,34 +31,49 @@ main(int argc, char** argv)
         header.push_back(std::to_string(c) + " cyc");
     table.header(header);
 
+    struct SweepResult
+    {
+        std::vector<std::string> row;
+        Json w;
+    };
+
+    // One task per workload: each owns a private world; the sweep
+    // reruns the same queries on it.
+    const auto factories = makeWorkloadFactories();
+    auto results = parallelMap(
+        options.threads, factories.size(),
+        [&](std::size_t i) -> SweepResult {
+            const auto workload = factories[i]();
+            World world(42);
+            workload->build(world);
+            const Prepared prepared =
+                workload->prepare(world, workload->defaultQueries());
+            const CoreRunResult baseline = runBaseline(world, prepared);
+
+            Json points = Json::array();
+            std::vector<std::string> row{workload->name()};
+            for (Cycles c : sweep) {
+                const QeiRunStats stats = runQei(
+                    world, prepared, SchemeConfig::deviceIndirect(c));
+                const double speedup = speedupOf(baseline, stats);
+                row.push_back(TablePrinter::speedup(speedup));
+                Json p = Json::object();
+                p["interface_latency"] = c;
+                p["speedup"] = speedup;
+                points.push_back(std::move(p));
+            }
+
+            Json w = Json::object();
+            w["workload"] = workload->name();
+            w["baseline"] = toJson(baseline);
+            w["sweep"] = std::move(points);
+            return {std::move(row), std::move(w)};
+        });
+
     Json workloads = Json::array();
-    for (const auto& workload : makeAllWorkloads()) {
-        // One world per workload; the sweep reruns the same queries.
-        World world(42);
-        workload->build(world);
-        const Prepared prepared =
-            workload->prepare(world, workload->defaultQueries());
-        const CoreRunResult baseline = runBaseline(world, prepared);
-
-        Json points = Json::array();
-        std::vector<std::string> row{workload->name()};
-        for (Cycles c : sweep) {
-            const QeiRunStats stats = runQei(
-                world, prepared, SchemeConfig::deviceIndirect(c));
-            const double speedup = speedupOf(baseline, stats);
-            row.push_back(TablePrinter::speedup(speedup));
-            Json p = Json::object();
-            p["interface_latency"] = c;
-            p["speedup"] = speedup;
-            points.push_back(std::move(p));
-        }
-        table.row(row);
-
-        Json w = Json::object();
-        w["workload"] = workload->name();
-        w["baseline"] = toJson(baseline);
-        w["sweep"] = std::move(points);
-        workloads.push_back(std::move(w));
+    for (auto& result : results) {
+        table.row(result.row);
+        workloads.push_back(std::move(result.w));
     }
     table.print();
     std::printf("paper reference: monotonic drop with latency; device "

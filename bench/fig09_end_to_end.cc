@@ -29,7 +29,8 @@ endToEndGain(double roi_fraction, double roi_speedup)
 int
 main(int argc, char** argv)
 {
-    BenchReport report("fig09_end_to_end", parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("fig09_end_to_end", options);
     std::printf("=== Fig. 9: end-to-end throughput improvement ===\n");
 
     TablePrinter table;
@@ -38,28 +39,33 @@ main(int argc, char** argv)
                   "end-to-end gain (CHA-TLB)",
                   "end-to-end gain (CHA-noTLB)"});
 
+    MatrixOptions matrix;
+    matrix.schemes = {SchemeConfig::chaTlb(), SchemeConfig::chaNoTlb(),
+                      SchemeConfig::coreIntegrated()};
+    matrix.threads = options.threads;
+
     Json workloads = Json::array();
-    for (const auto& workload : makeAllWorkloads()) {
-        const WorkloadRun run = runWorkload(
-            *workload, 0,
-            {SchemeConfig::chaTlb(), SchemeConfig::chaNoTlb(),
-             SchemeConfig::coreIntegrated()});
+    for (const WorkloadRun& run :
+         runWorkloadMatrix(makeWorkloadFactories(), matrix)) {
         const double f = run.prepared.profile.roiFraction;
+        // One lookup per scheme; speedups reuse the found stats.
+        const double core =
+            run.speedup(run.schemes.at("Core-integrated"));
+        const double chaTlb = run.speedup(run.schemes.at("CHA-TLB"));
+        const double chaNoTlb =
+            run.speedup(run.schemes.at("CHA-noTLB"));
         table.row({run.name, TablePrinter::percent(f),
-                   TablePrinter::speedup(run.speedup("Core-integrated")),
-                   TablePrinter::percent(endToEndGain(
-                       f, run.speedup("Core-integrated"))),
-                   TablePrinter::percent(
-                       endToEndGain(f, run.speedup("CHA-TLB"))),
-                   TablePrinter::percent(
-                       endToEndGain(f, run.speedup("CHA-noTLB")))});
+                   TablePrinter::speedup(core),
+                   TablePrinter::percent(endToEndGain(f, core)),
+                   TablePrinter::percent(endToEndGain(f, chaTlb)),
+                   TablePrinter::percent(endToEndGain(f, chaNoTlb))});
 
         Json w = toJson(run);
         w["roi_fraction"] = f;
         Json gains = Json::object();
-        for (const char* s :
-             {"Core-integrated", "CHA-TLB", "CHA-noTLB"})
-            gains[s] = endToEndGain(f, run.speedup(s));
+        gains["Core-integrated"] = endToEndGain(f, core);
+        gains["CHA-TLB"] = endToEndGain(f, chaTlb);
+        gains["CHA-noTLB"] = endToEndGain(f, chaNoTlb);
         w["end_to_end_gain"] = std::move(gains);
         workloads.push_back(std::move(w));
     }

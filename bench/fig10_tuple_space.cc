@@ -70,7 +70,8 @@ makeSetup(World& world, SimTupleSpace& space, int packets)
 int
 main(int argc, char** argv)
 {
-    BenchReport report("fig10_tuple_space", parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("fig10_tuple_space", options);
     std::printf("=== Fig. 10: tuple-space search, QUERY_NB, poll "
                 "every 32 keys ===\n");
 
@@ -80,32 +81,59 @@ main(int argc, char** argv)
         header.push_back(s);
     table.header(header);
 
+    // Fan the (tuple count x {baseline, schemes}) cells across the
+    // pool; every cell rebuilds its own world + tuple space from the
+    // same seed, so the numbers match the serial path exactly.
+    const std::vector<int> tupleCounts{5, 10, 15};
+    const auto schemes = SchemeConfig::allSchemes();
+    const std::size_t stride = 1 + schemes.size();
+
+    struct CellOut
+    {
+        CoreRunResult baseline;
+        QeiRunStats stats;
+    };
+    auto cells = parallelMap(
+        options.threads, tupleCounts.size() * stride,
+        [&](std::size_t index) -> CellOut {
+            const int tuples =
+                tupleCounts[index / stride];
+            const std::size_t s = index % stride; // 0 = baseline
+            World world(1000 + static_cast<std::uint64_t>(tuples));
+            SimTupleSpace space(world.vm, tuples, 4096, 16, world.rng);
+            TupleSetup setup = makeSetup(world, space, 120);
+
+            CellOut out;
+            if (s == 0) {
+                out.baseline = runBaseline(world, setup.prepared);
+            } else {
+                out.stats =
+                    runQei(world, setup.prepared, schemes[s - 1],
+                           QueryMode::NonBlocking, 0, 32 * tuples);
+            }
+            return out;
+        });
+
     Json points = Json::array();
-    for (int tuples : {5, 10, 15}) {
-        World world(1000 + static_cast<std::uint64_t>(tuples));
-        SimTupleSpace space(world.vm, tuples, 4096, 16, world.rng);
-        TupleSetup setup = makeSetup(world, space, 120);
+    for (std::size_t t = 0; t < tupleCounts.size(); ++t) {
+        const int tuples = tupleCounts[t];
+        const CoreRunResult& baseline = cells[t * stride].baseline;
 
-        const CoreRunResult baseline =
-            runBaseline(world, setup.prepared);
-
-        Json schemes = Json::object();
+        Json schemesJson = Json::object();
         std::vector<std::string> row{std::to_string(tuples)};
-        for (const auto& scheme : SchemeConfig::allSchemes()) {
-            const QeiRunStats stats =
-                runQei(world, setup.prepared, scheme,
-                       QueryMode::NonBlocking, 0, 32 * tuples);
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            const QeiRunStats& stats = cells[t * stride + 1 + i].stats;
             const double speedup = speedupOf(baseline, stats);
             row.push_back(TablePrinter::speedup(speedup));
             Json s = toJson(stats);
             s["speedup"] = speedup;
-            schemes[scheme.name()] = std::move(s);
+            schemesJson[schemes[i].name()] = std::move(s);
             if (stats.mismatches != 0) {
                 std::printf("WARNING: %llu mismatches (%s, %d "
                             "tuples)\n",
                             static_cast<unsigned long long>(
                                 stats.mismatches),
-                            scheme.name().c_str(), tuples);
+                            schemes[i].name().c_str(), tuples);
             }
         }
         table.row(row);
@@ -113,7 +141,7 @@ main(int argc, char** argv)
         Json p = Json::object();
         p["tuples"] = tuples;
         p["baseline"] = toJson(baseline);
-        p["schemes"] = std::move(schemes);
+        p["schemes"] = std::move(schemesJson);
         points.push_back(std::move(p));
     }
     table.print();

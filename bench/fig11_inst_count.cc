@@ -18,7 +18,8 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    BenchReport report("fig11_inst_count", parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("fig11_inst_count", options);
     std::printf("=== Fig. 11: dynamic instruction count in the ROI "
                 "===\n");
 
@@ -26,10 +27,13 @@ main(int argc, char** argv)
     table.header({"workload", "baseline instr/query",
                   "QEI instr/query", "reduction"});
 
+    MatrixOptions matrix;
+    matrix.schemes = {SchemeConfig::coreIntegrated()};
+    matrix.threads = options.threads;
+
     Json workloads = Json::array();
-    for (const auto& workload : makeAllWorkloads()) {
-        const WorkloadRun run = runWorkload(
-            *workload, 0, {SchemeConfig::coreIntegrated()});
+    for (const WorkloadRun& run :
+         runWorkloadMatrix(makeWorkloadFactories(), matrix)) {
         const double base =
             static_cast<double>(run.baseline.instructions) /
             static_cast<double>(run.baseline.queries);

@@ -17,7 +17,8 @@ using namespace qei::bench;
 int
 main(int argc, char** argv)
 {
-    BenchReport report("fig12_dyn_power", parseBenchArgs(argc, argv));
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    BenchReport report("fig12_dyn_power", options);
     std::printf("=== Fig. 12: dynamic energy per query vs software "
                 "baseline ===\n");
 
@@ -30,9 +31,12 @@ main(int argc, char** argv)
     header.push_back("baseline pJ/q");
     table.header(header);
 
+    MatrixOptions matrix;
+    matrix.threads = options.threads;
+
     Json workloads = Json::array();
-    for (const auto& workload : makeAllWorkloads()) {
-        const WorkloadRun run = runWorkload(*workload);
+    for (const WorkloadRun& run :
+         runWorkloadMatrix(makeWorkloadFactories(), matrix)) {
 
         EnergyInputs base;
         base.activity = run.activity.at("baseline");

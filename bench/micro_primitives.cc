@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.hh"
 #include "ds/chained_hash.hh"
 #include "workloads/workload.hh"
 
@@ -112,6 +113,75 @@ BM_EventQueueChurn(benchmark::State& state)
         static_cast<std::int64_t>(state.iterations()) * 1000);
 }
 BENCHMARK(BM_EventQueueChurn);
+
+void
+BM_EventQueueSchedule(benchmark::State& state)
+{
+    // Pure scheduling cost: push events without draining. Measures
+    // the move-only EventFn path (no per-event std::function heap
+    // allocation for small captures).
+    EventQueue q;
+    q.reserve(static_cast<std::size_t>(state.range(0)));
+    int sink = 0;
+    for (auto _ : state) {
+        q.reset();
+        for (std::int64_t i = 0; i < state.range(0); ++i) {
+            q.schedule(static_cast<Cycles>(i % 97),
+                       [&sink] { ++sink; });
+        }
+        benchmark::DoNotOptimize(q.pending());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_EventQueueSchedule)->Arg(1000)->Arg(10000);
+
+void
+BM_EventQueueRunDrain(benchmark::State& state)
+{
+    // Schedule + drain, including events that reschedule themselves
+    // once (the simulator's dominant pattern in the issue loops).
+    EventQueue q;
+    q.reserve(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        q.reset();
+        int sink = 0;
+        for (std::int64_t i = 0; i < state.range(0); ++i) {
+            q.schedule(static_cast<Cycles>(i % 97), [&q, &sink] {
+                q.schedule(5, [&sink] { ++sink; });
+            });
+        }
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0) * 2);
+}
+BENCHMARK(BM_EventQueueRunDrain)->Arg(1000)->Arg(10000);
+
+void
+BM_ThreadPoolDispatch(benchmark::State& state)
+{
+    // Submit/complete round-trip cost for trivial tasks: the fixed
+    // overhead a (workload x scheme) cell pays to ride the pool.
+    ThreadPool pool(static_cast<int>(state.range(0)));
+    std::vector<std::future<int>> futures;
+    futures.reserve(256);
+    for (auto _ : state) {
+        futures.clear();
+        for (int i = 0; i < 256; ++i)
+            futures.push_back(pool.submit([i] { return i; }));
+        int sink = 0;
+        for (auto& f : futures)
+            sink += f.get();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4)->Arg(8);
 
 void
 BM_AcceleratedQuery(benchmark::State& state)

@@ -1,14 +1,19 @@
 #!/usr/bin/env sh
 # Run every benchmark harness and collect BENCH_<name>.json artifacts.
 #
-# Usage: scripts/run_benches.sh [build-dir] [output-dir]
+# Usage: scripts/run_benches.sh [build-dir] [output-dir] [threads]
 #   build-dir   cmake build tree (default: build); configured+built
 #               here if the bench binaries are missing
 #   output-dir  where the BENCH_*.json files land (default: .)
+#   threads     host threads per harness (default: $QEI_BENCH_THREADS,
+#               else "auto" = all hardware threads); every cell still
+#               simulates a private world, so results are identical at
+#               any thread count
 set -eu
 
 build_dir=${1:-build}
 out_dir=${2:-.}
+threads=${3:-${QEI_BENCH_THREADS:-auto}}
 
 repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_dir"
@@ -20,6 +25,7 @@ fi
 
 mkdir -p "$out_dir"
 
+suite_start=$(date +%s)
 status=0
 for bench in "$build_dir"/bench/*; do
     [ -x "$bench" ] || continue
@@ -27,10 +33,14 @@ for bench in "$build_dir"/bench/*; do
     case $name in
         micro_primitives) continue ;; # google-benchmark, no --json
     esac
-    echo "== $name"
-    if ! "$bench" --json "$out_dir/BENCH_$name.json"; then
+    echo "== $name (threads=$threads)"
+    if ! "$bench" --threads "$threads" \
+            --json "$out_dir/BENCH_$name.json"; then
         echo "** $name failed" >&2
         status=1
     fi
 done
+suite_end=$(date +%s)
+echo "== suite wall time: $((suite_end - suite_start)) s" \
+     "(threads=$threads)"
 exit $status

@@ -1,12 +1,21 @@
 #include "logging.hh"
 
 #include <atomic>
+#include <mutex>
 
 namespace qei {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/**
+ * Serialises sink writes: the log streams are the one process-wide
+ * mutable resource that parallel experiment cells (ThreadPool tasks,
+ * each with its own World) legitimately share, so a message from one
+ * cell must not interleave mid-line with another's.
+ */
+std::mutex g_sinkMutex;
 
 } // namespace
 
@@ -27,35 +36,44 @@ namespace detail {
 void
 panicImpl(std::string_view msg, std::source_location loc)
 {
-    std::cerr << "panic: " << msg << "\n    at " << loc.file_name() << ":"
-              << loc.line() << " (" << loc.function_name() << ")"
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(g_sinkMutex);
+        std::cerr << "panic: " << msg << "\n    at " << loc.file_name()
+                  << ":" << loc.line() << " (" << loc.function_name()
+                  << ")" << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(std::string_view msg, std::source_location loc)
 {
-    std::cerr << "fatal: " << msg << "\n    at " << loc.file_name() << ":"
-              << loc.line() << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(g_sinkMutex);
+        std::cerr << "fatal: " << msg << "\n    at " << loc.file_name()
+                  << ":" << loc.line() << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(std::string_view msg)
 {
+    std::lock_guard<std::mutex> lock(g_sinkMutex);
     std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(std::string_view msg)
 {
+    std::lock_guard<std::mutex> lock(g_sinkMutex);
     std::cout << "info: " << msg << std::endl;
 }
 
 void
 debugImpl(std::string_view msg)
 {
+    std::lock_guard<std::mutex> lock(g_sinkMutex);
     std::cout << "debug: " << msg << std::endl;
 }
 

@@ -8,6 +8,10 @@
  *            configuration, invalid arguments). Exits with code 1.
  * warn()   — something is modelled approximately; the run continues.
  * inform() — plain status output.
+ *
+ * Thread-safety: the sinks are mutex-guarded and the level is atomic,
+ * so concurrent experiment cells (see common/thread_pool.hh) may log
+ * freely without interleaving mid-line.
  */
 
 #ifndef QEI_COMMON_LOGGING_HH

@@ -64,6 +64,12 @@ class Accelerator : public SimObject
 
     void regStats(StatsRegistry& registry) override;
 
+    /**
+     * Stable instance id, dense in [0, scheme.accelerators). QeiSystem
+     * indexes its software-side reservation counters with it, so it
+     * must match the instance's position in the system's accelerator
+     * array for the accelerator's whole lifetime.
+     */
     int id() const { return id_; }
     int tile() const { return tile_; }
     bool hasFreeSlot() const { return !qst_.full(); }

@@ -1,7 +1,6 @@
 #include "system.hh"
 
 #include <algorithm>
-#include <map>
 
 #include "common/hash.hh"
 
@@ -227,8 +226,10 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
     double inflightPeak = 0.0;
     // Software-side slot tracking (Sec. IV-A): queries issued but not
     // yet completed, per accelerator instance, including those still
-    // in flight towards the Query Queue.
-    std::map<const Accelerator*, int> reserved;
+    // in flight towards the Query Queue. Accelerator ids are dense
+    // [0, accelerators), so a flat array replaces the former
+    // std::map<const Accelerator*, int> — no tree walk per issue.
+    std::vector<int> reserved(accels_.size(), 0);
 
     // Issue as many queries as the window and the QST allow; resumed
     // from every completion.
@@ -237,7 +238,8 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
             const QueryJob& job = jobs[nextJob];
             Accelerator& target =
                 acceleratorFor(job.keyAddr, issuing_core);
-            if (reserved[&target] >= scheme_.qstEntries)
+            if (reserved[static_cast<std::size_t>(target.id())] >=
+                scheme_.qstEntries)
                 break; // software waits for a slot (Sec. IV-A)
 
             fetchTime = std::max(
@@ -250,7 +252,7 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
                 issueAt + submitLatency(issuing_core, target, issueAt);
 
             ++inflight;
-            ++reserved[&target];
+            ++reserved[static_cast<std::size_t>(target.id())];
             inflightPeak =
                 std::max(inflightPeak, static_cast<double>(inflight));
             const std::size_t jobIdx = nextJob;
@@ -275,7 +277,8 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
                         if (!matchesExpectation(entry, jobs[jobIdx]))
                             ++stats.mismatches;
                         --inflight;
-                        --reserved[&target];
+                        --reserved[static_cast<std::size_t>(
+                            target.id())];
                         issueLoop();
                     });
                 simAssert(slot >= 0,
@@ -332,7 +335,8 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
     }
 
     Cycles lastRetire = 0;
-    std::map<const Accelerator*, int> reserved;
+    // Dense per-accelerator reservation counters, as in runBlocking.
+    std::vector<int> reserved(accels_.size(), 0);
 
     std::function<void(int)> issueLoop = [&](int core) {
         CoreState& cs = coreState[static_cast<std::size_t>(core)];
@@ -341,7 +345,8 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
             const std::size_t jobIdx = cs.jobIdxs[cs.next];
             const QueryJob& job = jobs[jobIdx];
             Accelerator& target = acceleratorFor(job.keyAddr, core);
-            if (reserved[&target] >= scheme_.qstEntries)
+            if (reserved[static_cast<std::size_t>(target.id())] >=
+                scheme_.qstEntries)
                 break;
 
             cs.fetchTime = std::max(
@@ -353,7 +358,7 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
             const Cycles submitAt =
                 issueAt + submitLatency(core, target, issueAt);
             ++cs.inflight;
-            ++reserved[&target];
+            ++reserved[static_cast<std::size_t>(target.id())];
             ++cs.next;
 
             events_.scheduleAt(submitAt, [this, &target, &jobs, jobIdx,
@@ -375,7 +380,8 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
                             ++stats.mismatches;
                         --coreState[static_cast<std::size_t>(core)]
                               .inflight;
-                        --reserved[&target];
+                        --reserved[static_cast<std::size_t>(
+                            target.id())];
                         // A completion can unblock any core waiting
                         // on this accelerator's QST.
                         for (std::size_t c = 0; c < coreState.size();

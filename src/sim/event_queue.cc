@@ -8,14 +8,12 @@ EventQueue::run(Cycles maxCycles)
     const Cycles deadline =
         maxCycles == kInvalidCycle ? kInvalidCycle : now_ + maxCycles;
     std::uint64_t executed = 0;
-    while (!queue_.empty()) {
-        const Event& top = queue_.top();
-        if (deadline != kInvalidCycle && top.when > deadline) {
+    while (!heap_.empty()) {
+        if (deadline != kInvalidCycle && heap_.front().when > deadline) {
             now_ = deadline;
             break;
         }
-        Event ev = top;
-        queue_.pop();
+        Event ev = popEarliest();
         now_ = ev.when;
         ev.action();
         ++executed;
@@ -27,9 +25,8 @@ std::uint64_t
 EventQueue::runUntil(Cycles until)
 {
     std::uint64_t executed = 0;
-    while (!queue_.empty() && queue_.top().when <= until) {
-        Event ev = queue_.top();
-        queue_.pop();
+    while (!heap_.empty() && heap_.front().when <= until) {
+        Event ev = popEarliest();
         now_ = ev.when;
         ev.action();
         ++executed;
@@ -42,8 +39,7 @@ EventQueue::runUntil(Cycles until)
 void
 EventQueue::reset()
 {
-    while (!queue_.empty())
-        queue_.pop();
+    heap_.clear();
     now_ = 0;
     nextSequence_ = 0;
 }

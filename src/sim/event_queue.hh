@@ -5,14 +5,28 @@
  * The EventQueue orders callbacks by (cycle, priority, sequence) — the
  * sequence number makes same-cycle, same-priority events fire in
  * scheduling order, which keeps runs deterministic.
+ *
+ * Host performance: scheduling is the hottest operation in a run (one
+ * or more events per micro-operation), so the kernel avoids the two
+ * allocation sources a naive std::priority_queue<std::function> has:
+ * EventFn stores capture state inline (std::function's small-buffer
+ * is too small for the simulator's callbacks, so every schedule()
+ * would heap-allocate), and the heap is an explicit std::vector that
+ * events are *moved* through (std::priority_queue::top() only exposes
+ * a const ref, forcing a deep copy of the callback on every pop).
+ * The vector's capacity survives reset(), so back-to-back experiment
+ * runs on one World reuse the same storage.
  */
 
 #ifndef QEI_SIM_EVENT_QUEUE_HH
 #define QEI_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -28,20 +42,126 @@ enum class EventPriority : std::int8_t {
     Stats = 2,
 };
 
+/**
+ * Move-only callable for scheduled actions, with inline storage for
+ * the capture state. The issue/completion lambdas in QeiSystem capture
+ * ~10 words; kInlineBytes covers all of them, so steady-state
+ * scheduling performs no heap allocation. Oversized captures (the
+ * per-query delivery snapshot) transparently fall back to the heap.
+ */
+class EventFn
+{
+  public:
+    static constexpr std::size_t kInlineBytes = 96;
+
+    EventFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn>>>
+    EventFn(F&& fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void*>(storage_))
+                Fn(std::forward<F>(fn));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn**>(storage_) =
+                new Fn(std::forward<F>(fn));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    EventFn(EventFn&& other) noexcept { moveFrom(other); }
+
+    EventFn&
+    operator=(EventFn&& other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn&) = delete;
+    EventFn& operator=(const EventFn&) = delete;
+
+    ~EventFn() { destroy(); }
+
+    void operator()() { ops_->invoke(storage_); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void*);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void* dst, void* src);
+        void (*destroy)(void*);
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) {
+            Fn* s = static_cast<Fn*>(src);
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* dst, void* src) {
+            *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+        },
+        [](void* p) { delete *static_cast<Fn**>(p); },
+    };
+
+    void
+    moveFrom(EventFn& other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const Ops* ops_ = nullptr;
+};
+
 /** A single scheduled callback. */
 struct Event
 {
     Cycles when = 0;
-    EventPriority priority = EventPriority::Default;
     std::uint64_t sequence = 0;
-    std::function<void()> action;
+    EventFn action;
+    EventPriority priority = EventPriority::Default;
 };
 
 /** Central time-ordered event queue driving a simulation. */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue() { heap_.reserve(kInitialCapacity); }
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
 
@@ -53,7 +173,7 @@ class EventQueue
      * A zero delay runs later in the current cycle.
      */
     void
-    schedule(Cycles delay, std::function<void()> action,
+    schedule(Cycles delay, EventFn action,
              EventPriority prio = EventPriority::Default)
     {
         scheduleAt(now_ + delay, std::move(action), prio);
@@ -61,20 +181,24 @@ class EventQueue
 
     /** Schedule @p action at absolute cycle @p when (>= now). */
     void
-    scheduleAt(Cycles when, std::function<void()> action,
+    scheduleAt(Cycles when, EventFn action,
                EventPriority prio = EventPriority::Default)
     {
         simAssert(when >= now_,
                   "scheduling into the past: {} < {}", when, now_);
-        queue_.push(Event{when, prio, nextSequence_++,
-                          std::move(action)});
+        heap_.push_back(Event{when, nextSequence_++,
+                              std::move(action), prio});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
     }
 
     /** True when no events remain. */
-    bool empty() const { return queue_.empty(); }
+    bool empty() const { return heap_.empty(); }
 
     /** Number of pending events. */
-    std::size_t pending() const { return queue_.size(); }
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Pre-size the event storage for an expected @p events load. */
+    void reserve(std::size_t events) { heap_.reserve(events); }
 
     /**
      * Run until the queue drains or @p maxCycles elapse.
@@ -85,10 +209,16 @@ class EventQueue
     /** Execute events up to and including cycle @p until. */
     std::uint64_t runUntil(Cycles until);
 
-    /** Drop all pending events (used between independent experiments). */
+    /**
+     * Drop all pending events (used between independent experiments).
+     * Keeps the allocated storage for the next run.
+     */
     void reset();
 
   private:
+    static constexpr std::size_t kInitialCapacity = 256;
+
+    /** Max-heap comparator: "later" events sink below earlier ones. */
     struct Later
     {
         bool
@@ -102,9 +232,19 @@ class EventQueue
         }
     };
 
+    /** Move the earliest event out of the heap. */
+    Event
+    popEarliest()
+    {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Event ev = std::move(heap_.back());
+        heap_.pop_back();
+        return ev;
+    }
+
     Cycles now_ = 0;
     std::uint64_t nextSequence_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::vector<Event> heap_;
 };
 
 } // namespace qei

@@ -75,12 +75,31 @@ std::vector<std::unique_ptr<Workload>>
 makeAllWorkloads()
 {
     std::vector<std::unique_ptr<Workload>> all;
-    all.push_back(std::make_unique<DpdkFibWorkload>());
-    all.push_back(std::make_unique<JvmGcWorkload>());
-    all.push_back(std::make_unique<RocksDbMemtableWorkload>());
-    all.push_back(std::make_unique<SnortAcWorkload>());
-    all.push_back(std::make_unique<FlannLshWorkload>());
+    for (const auto& factory : makeWorkloadFactories())
+        all.push_back(factory());
     return all;
+}
+
+std::vector<WorkloadFactory>
+makeWorkloadFactories()
+{
+    return {
+        []() -> std::unique_ptr<Workload> {
+            return std::make_unique<DpdkFibWorkload>();
+        },
+        []() -> std::unique_ptr<Workload> {
+            return std::make_unique<JvmGcWorkload>();
+        },
+        []() -> std::unique_ptr<Workload> {
+            return std::make_unique<RocksDbMemtableWorkload>();
+        },
+        []() -> std::unique_ptr<Workload> {
+            return std::make_unique<SnortAcWorkload>();
+        },
+        []() -> std::unique_ptr<Workload> {
+            return std::make_unique<FlannLshWorkload>();
+        },
+    };
 }
 
 } // namespace qei

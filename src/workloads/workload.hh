@@ -9,6 +9,7 @@
 #ifndef QEI_WORKLOADS_WORKLOAD_HH
 #define QEI_WORKLOADS_WORKLOAD_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,7 +25,20 @@
 
 namespace qei {
 
-/** Everything one experiment runs against. */
+/**
+ * Everything one experiment runs against.
+ *
+ * Thread-safety rule — *no shared mutable state per cell*: a World
+ * owns every piece of mutable simulation state an experiment touches
+ * (SimMemory, VirtualMemory, MemoryHierarchy, EventQueue, its own
+ * FirmwareStore copy from FirmwareStore::factory(), and the Rng), and
+ * StatsRegistry instances are built per QeiSystem, so two experiment
+ * cells running on different Worlds never race. Parallel runners
+ * (bench_util::runWorkloadMatrix, qei::parallelMap) rely on this:
+ * give each task its own World + Workload instance and touch nothing
+ * static. The only process-wide state simulation code may share is
+ * the logging layer, which is thread-safe (common/logging.hh).
+ */
 struct World
 {
     explicit World(std::uint64_t seed = 1,
@@ -133,6 +147,18 @@ double speedupOf(const CoreRunResult& baseline, const QeiRunStats& qei);
 
 /** All five paper workloads, in the paper's presentation order. */
 std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
+
+/** Produces a fresh, independent instance of one workload. */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/**
+ * One factory per paper workload, in the paper's presentation order.
+ * Parallel experiment runners use these so every (workload, scheme)
+ * cell owns a private Workload instance — Workload subclasses keep
+ * per-World build state, so instances must not be shared across
+ * concurrent cells.
+ */
+std::vector<WorkloadFactory> makeWorkloadFactories();
 
 } // namespace qei
 

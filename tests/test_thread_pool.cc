@@ -1,0 +1,151 @@
+/**
+ * Unit tests for qei::ThreadPool and parallelMap: result ordering,
+ * exception propagation through futures, the serial threads<=1 path,
+ * and a 10k-task stress run.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+
+using namespace qei;
+
+TEST(ThreadPool, SubmitReturnsValue)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitVoidTaskRuns)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        auto future = pool.submit([&] { ++ran; });
+        future.get();
+    }
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, FuturesPreserveSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 256; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    auto good = pool.submit([] { return 7; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A throwing task must not poison the pool.
+    EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&] { ++done; });
+        // Futures discarded on purpose: destruction must still run
+        // everything that was queued.
+    }
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, StressTenThousandTasks)
+{
+    constexpr int kTasks = 10000;
+    std::atomic<std::uint64_t> sum{0};
+    ThreadPool pool(8);
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.submit(
+            [&sum, i] { sum += static_cast<std::uint64_t>(i); }));
+    }
+    for (auto& f : futures)
+        f.get();
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(kTasks) * (kTasks - 1) / 2;
+    EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+    // threads <= 0 means "auto": the pool must still come up.
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ParallelMap, ResultsInIndexOrder)
+{
+    auto results = parallelMap(8, 500, [](std::size_t i) {
+        return static_cast<int>(i) * 3;
+    });
+    ASSERT_EQ(results.size(), 500u);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], static_cast<int>(i) * 3);
+}
+
+TEST(ParallelMap, SerialAndParallelAgree)
+{
+    auto body = [](std::size_t i) {
+        // A little deterministic work per item.
+        std::uint64_t h = i + 1;
+        for (int r = 0; r < 16; ++r)
+            h = h * 6364136223846793005ull + 1442695040888963407ull;
+        return h;
+    };
+    const auto serial = parallelMap(1, 64, body);
+    const auto parallel = parallelMap(8, 64, body);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelMap, EmptyAndSingle)
+{
+    const auto none =
+        parallelMap(4, 0, [](std::size_t) { return 1; });
+    EXPECT_TRUE(none.empty());
+    const auto one = parallelMap(
+        4, 1, [](std::size_t i) { return static_cast<int>(i) + 9; });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 9);
+}
+
+TEST(ParallelMap, ExceptionSurfacesToCaller)
+{
+    EXPECT_THROW(parallelMap(4, 8,
+                             [](std::size_t i) -> int {
+                                 if (i == 5)
+                                     throw std::runtime_error("item 5");
+                                 return 0;
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelMap, MoveOnlyResults)
+{
+    auto results = parallelMap(4, 16, [](std::size_t i) {
+        auto p = std::make_unique<int>(static_cast<int>(i));
+        return p;
+    });
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(*results[i], static_cast<int>(i));
+}
