@@ -25,7 +25,8 @@ flushWith(World& world, SimLinkedList& list,
     world.warmLlc();
     QeiSystem system(world.chip, world.events, world.hierarchy,
                      world.vm, world.firmware,
-                     SchemeConfig::coreIntegrated());
+                     SchemeConfig::coreIntegrated(),
+                     &world.traceSink);
 
     // Result slots: either one per line (scattered) or packed 4/line.
     const Addr slab = world.vm.alloc(
@@ -75,12 +76,19 @@ main(int argc, char** argv)
     TablePrinter table;
     table.header({"NB queries in QST", "flush cycles (scattered)",
                   "flush cycles (4 slots/line)"});
+    TraceCollector tracer(options.tracePath);
     Json points = Json::array();
     for (int nb : {0, 2, 4, 8, 10}) {
+        tracer.arm(world);
         const Cycles scattered =
             flushWith(world, list, keys, nb, /*shared_line=*/false);
+        tracer.collect("flush/" + std::to_string(nb) + "-scattered",
+                       world);
+        tracer.arm(world);
         const Cycles packed =
             flushWith(world, list, keys, nb, /*shared_line=*/true);
+        tracer.collect("flush/" + std::to_string(nb) + "-packed",
+                       world);
         table.row({std::to_string(nb),
                    std::to_string(scattered),
                    std::to_string(packed)});
@@ -98,5 +106,6 @@ main(int argc, char** argv)
 
     report.data()["sweep"] = std::move(points);
     report.setTable(table);
-    return report.finish() ? 0 : 1;
+    const bool traceOk = tracer.write();
+    return report.finish() && traceOk ? 0 : 1;
 }

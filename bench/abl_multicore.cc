@@ -32,10 +32,13 @@ main(int argc, char** argv)
         schemesToRun.push_back(scheme);
     }
 
+    TraceCollector tracer(options.tracePath);
+
     struct ScalingResult
     {
         std::vector<std::string> row;
         Json s;
+        std::vector<std::pair<std::string, trace::TraceBuffer>> traces;
     };
 
     // One task per scheme; each builds its own world + prepared query
@@ -49,6 +52,7 @@ main(int argc, char** argv)
             jvm->build(world);
             const Prepared prepared = jvm->prepare(world, 2400);
 
+            ScalingResult result;
             std::vector<std::string> row{scheme.name()};
             double oneCore = 0.0;
             double sixteen = 0.0;
@@ -56,13 +60,21 @@ main(int argc, char** argv)
             for (int cores : {1, 4, 8, 16}) {
                 world.resetTiming();
                 world.warmLlc();
+                tracer.arm(world);
                 QeiSystem system(world.chip, world.events,
                                  world.hierarchy, world.vm,
-                                 world.firmware, scheme);
+                                 world.firmware, scheme,
+                                 &world.traceSink);
                 const QeiRunStats stats = system.runBlockingMultiCore(
                     prepared.jobs, cores, prepared.profile);
                 simAssert(stats.mismatches == 0, "mismatches on {}",
                           scheme.name());
+                if (tracer.enabled()) {
+                    result.traces.emplace_back(
+                        scheme.name() + "/" + std::to_string(cores) +
+                            "-cores",
+                        world.traceSink.drain());
+                }
                 row.push_back(
                     TablePrinter::num(stats.cyclesPerQuery(), 1));
                 if (cores == 1)
@@ -72,6 +84,7 @@ main(int argc, char** argv)
                 Json p = Json::object();
                 p["cores"] = cores;
                 p["cycles_per_query"] = stats.cyclesPerQuery();
+                p["qei"] = toJson(stats);
                 points.push_back(std::move(p));
             }
             row.push_back(TablePrinter::speedup(oneCore / sixteen));
@@ -80,13 +93,17 @@ main(int argc, char** argv)
             s["scheme"] = scheme.name();
             s["points"] = std::move(points);
             s["scaling_16_core"] = oneCore / sixteen;
-            return {std::move(row), std::move(s)};
+            result.row = std::move(row);
+            result.s = std::move(s);
+            return result;
         });
 
     Json schemes = Json::array();
     for (auto& result : results) {
         table.row(result.row);
         schemes.push_back(std::move(result.s));
+        for (const auto& [label, buf] : result.traces)
+            tracer.add(label, buf);
     }
     table.print();
     std::printf("expectation: per-core / per-CHA schemes approach "
@@ -95,5 +112,6 @@ main(int argc, char** argv)
 
     report.data()["schemes"] = std::move(schemes);
     report.setTable(table);
-    return report.finish() ? 0 : 1;
+    const bool traceOk = tracer.write();
+    return report.finish() && traceOk ? 0 : 1;
 }

@@ -24,10 +24,14 @@ main(int argc, char** argv)
     table.header({"scheme", "peak link util", "mean link util",
                   "NoC bytes/query"});
 
+    TraceCollector tracer(options.tracePath);
+
     struct HotspotResult
     {
         std::vector<std::string> row;
         Json s;
+        std::string name;
+        trace::TraceBuffer traceBuf;
     };
 
     // One task per scheme; each already built a fresh world, so the
@@ -41,10 +45,14 @@ main(int argc, char** argv)
             World world(42);
             jvm->build(world);
             const Prepared prepared = jvm->prepare(world, 1200);
+            tracer.arm(world);
             const QeiRunStats stats = runQei(
                 world, prepared, scheme, QueryMode::NonBlocking, 0, 120);
 
             HotspotResult out;
+            out.name = scheme.name();
+            if (tracer.enabled())
+                out.traceBuf = world.traceSink.drain();
             out.row = {scheme.name(),
                        TablePrinter::percent(
                            world.hierarchy.mesh().peakLinkUtilisation()),
@@ -74,6 +82,7 @@ main(int argc, char** argv)
     for (auto& result : results) {
         table.row(result.row);
         schemes.push_back(std::move(result.s));
+        tracer.add("jvm/" + result.name, result.traceBuf);
     }
     table.print();
     std::printf("expectation: the single-stop Device schemes "
@@ -82,5 +91,6 @@ main(int argc, char** argv)
 
     report.data()["schemes"] = std::move(schemes);
     report.setTable(table);
-    return report.finish() ? 0 : 1;
+    const bool traceOk = tracer.write();
+    return report.finish() && traceOk ? 0 : 1;
 }

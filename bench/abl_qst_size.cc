@@ -24,10 +24,13 @@ main(int argc, char** argv)
 
     const std::vector<int> sizes{2, 5, 10, 20, 40};
 
+    TraceCollector tracer(options.tracePath);
+
     struct SweepPoint
     {
         double jvmSpeedup, jvmOccupancy;
         double dpdkSpeedup, dpdkOccupancy;
+        trace::TraceBuffer jvmTrace, dpdkTrace;
     };
 
     // One task per QST size; each builds private jvm/dpdk worlds from
@@ -45,6 +48,7 @@ main(int argc, char** argv)
             const Prepared jvmPrep = workloads[1]->prepare(jvmWorld, 800);
             const CoreRunResult jvmBase =
                 runBaseline(jvmWorld, jvmPrep);
+            tracer.arm(jvmWorld);
             const QeiRunStats jvmStats =
                 runQei(jvmWorld, jvmPrep, scheme);
 
@@ -54,14 +58,27 @@ main(int argc, char** argv)
                 workloads[0]->prepare(dpdkWorld, 1500);
             const CoreRunResult dpdkBase =
                 runBaseline(dpdkWorld, dpdkPrep);
+            tracer.arm(dpdkWorld);
             const QeiRunStats dpdkStats =
                 runQei(dpdkWorld, dpdkPrep, scheme);
 
-            return {speedupOf(jvmBase, jvmStats),
-                    jvmStats.avgQstOccupancy / entries,
-                    speedupOf(dpdkBase, dpdkStats),
-                    dpdkStats.avgQstOccupancy / entries};
+            SweepPoint point{speedupOf(jvmBase, jvmStats),
+                             jvmStats.avgQstOccupancy / entries,
+                             speedupOf(dpdkBase, dpdkStats),
+                             dpdkStats.avgQstOccupancy / entries,
+                             {},
+                             {}};
+            if (tracer.enabled()) {
+                point.jvmTrace = jvmWorld.traceSink.drain();
+                point.dpdkTrace = dpdkWorld.traceSink.drain();
+            }
+            return point;
         });
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const std::string entries = std::to_string(sizes[i]);
+        tracer.add("jvm/qst-" + entries, sweep[i].jvmTrace);
+        tracer.add("dpdk/qst-" + entries, sweep[i].dpdkTrace);
+    }
 
     Json points = Json::array();
     for (std::size_t i = 0; i < sizes.size(); ++i) {
@@ -87,5 +104,6 @@ main(int argc, char** argv)
 
     report.data()["sweep"] = std::move(points);
     report.setTable(table);
-    return report.finish() ? 0 : 1;
+    const bool traceOk = tracer.write();
+    return report.finish() && traceOk ? 0 : 1;
 }

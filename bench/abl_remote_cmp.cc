@@ -23,10 +23,14 @@ main(int argc, char** argv)
     table.header({"workload", "key bytes", "with remote cmp",
                   "local only", "remote compares/query"});
 
+    TraceCollector tracer(options.tracePath);
+
     struct AblResult
     {
         std::vector<std::string> row;
         Json w;
+        std::string name;
+        trace::TraceBuffer remoteTrace, localTrace;
     };
 
     // One task per workload, each with a private world.
@@ -45,15 +49,22 @@ main(int argc, char** argv)
             SchemeConfig local = SchemeConfig::coreIntegrated();
             local.remoteComparators = false;
 
+            AblResult out;
+            out.name = workload->name();
+            tracer.arm(world);
             const QeiRunStats withRemote =
                 runQei(world, prepared, remote);
+            if (tracer.enabled())
+                out.remoteTrace = world.traceSink.drain();
+            tracer.arm(world);
             const QeiRunStats localOnly = runQei(world, prepared, local);
+            if (tracer.enabled())
+                out.localTrace = world.traceSink.drain();
 
             // Key length from the first job's header.
             const StructHeader h = StructHeader::readFrom(
                 world.vm, prepared.jobs.front().headerAddr);
 
-            AblResult out;
             out.row = {workload->name(), std::to_string(h.keyLen),
                        TablePrinter::speedup(
                            speedupOf(baseline, withRemote)),
@@ -81,6 +92,8 @@ main(int argc, char** argv)
     for (auto& result : results) {
         table.row(result.row);
         workloads.push_back(std::move(result.w));
+        tracer.add(result.name + "/remote-cmp", result.remoteTrace);
+        tracer.add(result.name + "/local-only", result.localTrace);
     }
     table.print();
     std::printf("expectation: long-key workloads (rocksdb 100B) "
@@ -89,5 +102,6 @@ main(int argc, char** argv)
 
     report.data()["workloads"] = std::move(workloads);
     report.setTable(table);
-    return report.finish() ? 0 : 1;
+    const bool traceOk = tracer.write();
+    return report.finish() && traceOk ? 0 : 1;
 }

@@ -5,6 +5,18 @@
 #include <cstring>
 #include <fstream>
 
+// Build provenance, injected by bench/CMakeLists.txt; the fallbacks
+// keep out-of-tree builds (no git, unknown toolchain) compiling.
+#ifndef QEI_GIT_SHA
+#define QEI_GIT_SHA "unknown"
+#endif
+#ifndef QEI_COMPILER
+#define QEI_COMPILER "unknown"
+#endif
+#ifndef QEI_BUILD_FLAGS
+#define QEI_BUILD_FLAGS "unknown"
+#endif
+
 namespace qei::bench {
 
 namespace {
@@ -17,6 +29,41 @@ msSince(Clock::time_point start)
     return std::chrono::duration<double, std::milli>(Clock::now() -
                                                      start)
         .count();
+}
+
+/**
+ * Recursively sum every per-run `breakdown` object in @p node (any
+ * object carrying both "components" and "end_to_end_cycles") so the
+ * artifact's top level gets one whole-harness decomposition.
+ */
+void
+accumulateBreakdowns(const Json& node,
+                     std::map<std::string, std::uint64_t>& components,
+                     std::uint64_t& end_to_end, std::uint64_t& queries)
+{
+    if (node.isObject()) {
+        if (node.contains("components") &&
+            node.contains("end_to_end_cycles")) {
+            end_to_end += node.at("end_to_end_cycles").asUint();
+            if (const Json* q = node.find("queries"))
+                queries += q->asUint();
+            for (const auto& [name, comp] :
+                 node.at("components").items()) {
+                if (const Json* cycles = comp.find("cycles"))
+                    components[name] += cycles->asUint();
+            }
+            return; // breakdowns don't nest
+        }
+        for (const auto& [key, child] : node.items()) {
+            (void)key;
+            accumulateBreakdowns(child, components, end_to_end,
+                                 queries);
+        }
+    } else if (node.isArray()) {
+        for (const auto& child : node.elements())
+            accumulateBreakdowns(child, components, end_to_end,
+                                 queries);
+    }
 }
 
 /** "0" / "auto" = all host cores; anything else must be >= 1. */
@@ -52,6 +99,15 @@ parseBenchArgs(int argc, char** argv)
             }
         } else if (std::strncmp(arg, "--json=", 7) == 0) {
             options.jsonPath = arg + 7;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            if (i + 1 < argc) {
+                options.tracePath = argv[++i];
+            } else {
+                std::fprintf(stderr,
+                             "--trace needs a path argument\n");
+            }
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            options.tracePath = arg + 8;
         } else if (std::strcmp(arg, "--threads") == 0) {
             if (i + 1 < argc) {
                 options.threads = parseThreadCount(argv[++i]);
@@ -71,6 +127,10 @@ BenchReport::BenchReport(std::string bench_name, BenchOptions options)
       start_(Clock::now())
 {
     root_["bench"] = std::move(bench_name);
+    root_["schema_version"] = 3;
+    root_["git_sha"] = QEI_GIT_SHA;
+    root_["compiler"] = QEI_COMPILER;
+    root_["build_flags"] = QEI_BUILD_FLAGS;
 }
 
 void
@@ -85,6 +145,38 @@ BenchReport::finish()
     const double wallMs = msSince(start_);
     root_["host_wall_ms"] = wallMs;
     root_["threads"] = static_cast<std::int64_t>(options_.threads);
+
+    // Fold every per-run breakdown in the payload into one
+    // whole-harness decomposition (the Fig. 8 view of this artifact).
+    {
+        std::map<std::string, std::uint64_t> components;
+        std::uint64_t endToEnd = 0;
+        std::uint64_t queries = 0;
+        accumulateBreakdowns(root_, components, endToEnd, queries);
+        if (queries > 0) {
+            Json breakdown = Json::object();
+            breakdown["queries"] = queries;
+            breakdown["end_to_end_cycles"] = endToEnd;
+            breakdown["mean_cycles_per_query"] =
+                static_cast<double>(endToEnd) /
+                static_cast<double>(queries);
+            Json comps = Json::object();
+            for (const auto& [name, cycles] : components) {
+                Json one = Json::object();
+                one["cycles"] = cycles;
+                one["cycles_per_query"] =
+                    static_cast<double>(cycles) /
+                    static_cast<double>(queries);
+                one["share"] = endToEnd
+                                   ? static_cast<double>(cycles) /
+                                         static_cast<double>(endToEnd)
+                                   : 0.0;
+                comps[name] = std::move(one);
+            }
+            breakdown["components"] = std::move(comps);
+            root_["breakdown"] = std::move(breakdown);
+        }
+    }
     std::printf("host wall time: %.1f ms (threads=%d)\n", wallMs,
                 options_.threads);
     if (!enabled())
@@ -151,6 +243,7 @@ struct CellResult
     QeiRunStats stats;
     ChipActivity activity;
     std::string statsJson;
+    trace::TraceBuffer traceBuf;
     double wallMs = 0.0;
 };
 
@@ -164,6 +257,8 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
     // one cell per scheme — index math keeps reassembly deterministic.
     const std::size_t stride = 1 + options.schemes.size();
     const std::size_t cellCount = workloads.size() * stride;
+    const bool armTrace =
+        options.captureTrace || !options.tracePath.empty();
 
     auto runCell = [&](std::size_t index) -> CellResult {
         const auto start = Clock::now();
@@ -183,6 +278,16 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
                                   : options.queries;
         out.prepared = workload->prepare(world, n);
 
+        // Arm after build/prepare so the timeline covers only the
+        // measured region. The sink is this cell's private World
+        // member, so capture stays race-free under any --threads.
+        if (armTrace) {
+            world.traceSink.enable(
+                options.traceCapacity
+                    ? options.traceCapacity
+                    : trace::TraceSink::kDefaultCapacity);
+        }
+
         if (s == 0) {
             out.baseline = runBaseline(world, out.prepared);
         } else {
@@ -193,6 +298,8 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
                 options.captureStats ? &out.statsJson : nullptr);
         }
         out.activity = ChipActivity::capture(world.hierarchy);
+        if (armTrace)
+            out.traceBuf = world.traceSink.drain();
         out.wallMs = msSince(start);
         return out;
     };
@@ -211,6 +318,8 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
         run.activity["baseline"] = base.activity;
         run.cellWallMs["baseline"] = base.wallMs;
         run.hostWallMs = base.wallMs;
+        if (armTrace)
+            run.traces["baseline"] = std::move(base.traceBuf);
         for (std::size_t s = 0; s < options.schemes.size(); ++s) {
             CellResult& cell = cells[w * stride + 1 + s];
             const std::string name = options.schemes[s].name();
@@ -218,12 +327,128 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
             run.activity[name] = cell.activity;
             if (options.captureStats)
                 run.statsJson[name] = std::move(cell.statsJson);
+            if (armTrace)
+                run.traces[name] = std::move(cell.traceBuf);
             run.cellWallMs[name] = cell.wallMs;
             run.hostWallMs += cell.wallMs;
         }
         runs.push_back(std::move(run));
     }
+
+    if (!options.tracePath.empty())
+        writeMatrixTraces(runs, options.tracePath);
     return runs;
+}
+
+namespace {
+
+/** `out.json` -> `out`; other paths pass through unchanged. */
+std::string
+traceStem(const std::string& path)
+{
+    constexpr const char* kExt = ".json";
+    constexpr std::size_t kExtLen = 5;
+    if (path.size() > kExtLen &&
+        path.compare(path.size() - kExtLen, kExtLen, kExt) == 0)
+        return path.substr(0, path.size() - kExtLen);
+    return path;
+}
+
+bool
+writeJsonFile(const std::string& path, const Json& doc)
+{
+    std::ofstream out(path);
+    if (out) {
+        out << doc.dump() << '\n';
+        out.flush();
+    }
+    if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeMatrixTraces(const std::vector<WorkloadRun>& runs,
+                  const std::string& path)
+{
+    const std::string stem = traceStem(path);
+    Json merged = Json::array();
+    int pid = 1;
+    bool ok = true;
+    std::size_t files = 0;
+    for (const auto& run : runs) {
+        for (const auto& [label, buf] : run.traces) {
+            const std::string process = run.name + "/" + label;
+            trace::appendPerfettoEvents(merged, buf, pid, process);
+            ++pid;
+            ok = writeJsonFile(stem + "." + run.name + "." + label +
+                                   ".json",
+                               trace::perfettoJson(buf, process)) &&
+                 ok;
+            ++files;
+        }
+    }
+    Json doc = Json::object();
+    doc["traceEvents"] = std::move(merged);
+    doc["displayTimeUnit"] = "ms";
+    ok = writeJsonFile(path, doc) && ok;
+    if (ok) {
+        std::printf("wrote %s (+%zu per-cell traces)\n", path.c_str(),
+                    files);
+    }
+    return ok;
+}
+
+TraceCollector::TraceCollector(std::string trace_path,
+                               std::size_t capacity)
+    : path_(std::move(trace_path)), capacity_(capacity)
+{
+}
+
+void
+TraceCollector::arm(World& world)
+{
+    if (!enabled())
+        return;
+    world.traceSink.enable(capacity_ ? capacity_
+                                     : trace::TraceSink::kDefaultCapacity);
+}
+
+void
+TraceCollector::collect(const std::string& label, World& world)
+{
+    if (!enabled())
+        return;
+    add(label, world.traceSink.drain());
+}
+
+void
+TraceCollector::add(const std::string& label,
+                    const trace::TraceBuffer& buf)
+{
+    if (!enabled())
+        return;
+    trace::appendPerfettoEvents(events_, buf, nextPid_, label);
+    ++nextPid_;
+}
+
+bool
+TraceCollector::write()
+{
+    if (!enabled())
+        return true;
+    Json doc = Json::object();
+    doc["traceEvents"] = std::move(events_);
+    doc["displayTimeUnit"] = "ms";
+    events_ = Json::array();
+    if (!writeJsonFile(path_, doc))
+        return false;
+    std::printf("wrote %s\n", path_.c_str());
+    return true;
 }
 
 Json
@@ -257,6 +482,36 @@ toJson(const QeiRunStats& stats)
     out["avg_qst_occupancy"] = stats.avgQstOccupancy;
     out["max_inflight_observed"] = stats.maxInFlightObserved;
     out["cycles_per_query"] = stats.cyclesPerQuery();
+
+    // Per-component latency decomposition (Fig. 8 view). Always
+    // emitted, even all-zero, so artifacts have a stable shape and
+    // BenchReport::finish() can aggregate without special cases.
+    Json breakdown = Json::object();
+    breakdown["queries"] = stats.breakdownQueries;
+    breakdown["end_to_end_cycles"] = stats.breakdownEndToEnd;
+    breakdown["mean_cycles_per_query"] =
+        stats.breakdownQueries
+            ? static_cast<double>(stats.breakdownEndToEnd) /
+                  static_cast<double>(stats.breakdownQueries)
+            : 0.0;
+    Json comps = Json::object();
+    for (const auto& [name, cycles] : stats.breakdownCycles) {
+        Json one = Json::object();
+        one["cycles"] = cycles;
+        one["cycles_per_query"] =
+            stats.breakdownQueries
+                ? static_cast<double>(cycles) /
+                      static_cast<double>(stats.breakdownQueries)
+                : 0.0;
+        one["share"] = stats.breakdownEndToEnd
+                           ? static_cast<double>(cycles) /
+                                 static_cast<double>(
+                                     stats.breakdownEndToEnd)
+                           : 0.0;
+        comps[name] = std::move(one);
+    }
+    breakdown["components"] = std::move(comps);
+    out["breakdown"] = std::move(breakdown);
     return out;
 }
 

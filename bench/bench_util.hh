@@ -24,6 +24,7 @@
 #include "common/table_printer.hh"
 #include "common/thread_pool.hh"
 #include "power/energy_model.hh"
+#include "trace/trace.hh"
 #include "workloads/workload.hh"
 
 namespace qei::bench {
@@ -34,6 +35,12 @@ struct BenchOptions
     /** Destination of the JSON artifact; empty = text output only. */
     std::string jsonPath;
     /**
+     * Destination of the Perfetto timeline (`--trace <path>`); empty
+     * disables trace capture. Matrix harnesses additionally write one
+     * file per cell next to it.
+     */
+    std::string tracePath;
+    /**
      * Host threads for experiment fan-out (runWorkloadMatrix /
      * parallelMap). 1 = serial; defaults from QEI_BENCH_THREADS.
      */
@@ -42,10 +49,11 @@ struct BenchOptions
 
 /**
  * Parse the harness command line. Recognises `--json <path>`,
- * `--json=<path>`, `--threads <n>`, and `--threads=<n>` (n = 0 or
- * "auto" uses every host core); QEI_BENCH_THREADS seeds the default.
- * Other arguments are left for the harness to interpret
- * (debug_probe's workload filter).
+ * `--json=<path>`, `--trace <path>`, `--trace=<path>`,
+ * `--threads <n>`, and `--threads=<n>` (n = 0 or "auto" uses every
+ * host core); QEI_BENCH_THREADS seeds the default. Other arguments
+ * are left for the harness to interpret (debug_probe's workload
+ * filter).
  */
 BenchOptions parseBenchArgs(int argc, char** argv);
 
@@ -53,9 +61,12 @@ BenchOptions parseBenchArgs(int argc, char** argv);
  * Collector for one harness's machine-readable results.
  *
  * Harnesses fill data() with their figure-specific payload (and
- * usually mirror the printed table via setTable()); finish() stamps
- * the host-performance fields (`host_wall_ms`, `threads`) and writes
- * the artifact to the `--json` path, if one was given.
+ * usually mirror the printed table via setTable()); the constructor
+ * stamps build provenance (`schema_version`, `git_sha`, `compiler`,
+ * `build_flags`); finish() stamps the host-performance fields
+ * (`host_wall_ms`, `threads`), aggregates every per-run `breakdown`
+ * found in the payload into a top-level `breakdown`, and writes the
+ * artifact to the `--json` path, if one was given.
  */
 class BenchReport
 {
@@ -101,6 +112,9 @@ struct WorkloadRun
     /** Full component-tree stats dumps, keyed like `schemes`; only
      *  populated when runWorkload() was asked to capture them. */
     std::map<std::string, std::string> statsJson;
+    /** Drained timeline events, keyed like `activity`; only populated
+     *  when the matrix armed trace capture. */
+    std::map<std::string, trace::TraceBuffer> traces;
     /** Host wall time of each cell, keyed like `activity`. */
     std::map<std::string, double> cellWallMs;
     /** Summed host wall time of this workload's cells. */
@@ -147,6 +161,17 @@ struct MatrixOptions
     bool captureStats = false;
     /** Host threads; 1 runs every cell inline on this thread. */
     int threads = 1;
+    /**
+     * Merged Perfetto timeline destination; per-cell files are written
+     * next to it as `<stem>.<workload>.<scheme>.json`. Non-empty
+     * implies trace capture.
+     */
+    std::string tracePath;
+    /** Capture per-cell TraceBuffers into WorkloadRun::traces even
+     *  without a tracePath (tests compare event counts). */
+    bool captureTrace = false;
+    /** Ring capacity when armed; 0 = TraceSink::kDefaultCapacity. */
+    std::size_t traceCapacity = 0;
 };
 
 /**
@@ -163,6 +188,59 @@ std::vector<WorkloadRun> runWorkloadMatrix(
 
 /** Scheme names in the paper's presentation order. */
 std::vector<std::string> schemeNames();
+
+/**
+ * Trace capture for harnesses that drive Worlds by hand (the latency
+ * sweeps and ablations, which don't go through runWorkloadMatrix):
+ *
+ *   TraceCollector tracer(options.tracePath);
+ *   tracer.arm(world);                 // before the timed region
+ *   ... run the experiment ...
+ *   tracer.collect("dpdk/qei-l2", world);  // drains the sink
+ *   ...
+ *   tracer.write();                    // one merged Perfetto file
+ *
+ * All methods are no-ops when no trace path was given, so harness
+ * code stays unconditional.
+ */
+class TraceCollector
+{
+  public:
+    explicit TraceCollector(std::string trace_path,
+                            std::size_t capacity = 0);
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Enable (or re-arm) @p world's sink for the next run. */
+    void arm(World& world);
+
+    /** Drain @p world's sink as the Perfetto process @p label. */
+    void collect(const std::string& label, World& world);
+
+    /**
+     * Merge an already-drained buffer as the process @p label. For
+     * harnesses that fan tasks over parallelMap: drain inside the
+     * task (the sink is task-private), add serially afterwards.
+     */
+    void add(const std::string& label, const trace::TraceBuffer& buf);
+
+    /** Write the merged timeline. @return false on I/O failure. */
+    bool write();
+
+  private:
+    std::string path_;
+    std::size_t capacity_;
+    Json events_ = Json::array();
+    int nextPid_ = 1;
+};
+
+/**
+ * Write one Perfetto file merging every captured cell of @p runs (one
+ * Perfetto process per cell) to @p path, plus one file per cell at
+ * `<stem>.<workload>.<scheme>.json`. @return false on I/O failure.
+ */
+bool writeMatrixTraces(const std::vector<WorkloadRun>& runs,
+                       const std::string& path);
 
 // -- JSON views of the result structs, for BenchReport payloads --
 

@@ -39,6 +39,7 @@ main(int argc, char** argv)
     MatrixOptions matrix;
     matrix.captureStats = report.enabled();
     matrix.threads = options.threads;
+    matrix.tracePath = options.tracePath;
 
     Json workloads = Json::array();
     for (const WorkloadRun& run : runWorkloadMatrix(factories, matrix)) {

@@ -34,6 +34,7 @@ main(int argc, char** argv)
     MatrixOptions matrix;
     matrix.schemes = {SchemeConfig::coreIntegrated()};
     matrix.threads = options.threads;
+    matrix.tracePath = options.tracePath;
     for (const WorkloadRun& run :
          runWorkloadMatrix(makeWorkloadFactories(), matrix)) {
         const RoiProfile& profile = run.prepared.profile;

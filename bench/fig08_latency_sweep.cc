@@ -35,7 +35,10 @@ main(int argc, char** argv)
     {
         std::vector<std::string> row;
         Json w;
+        std::vector<std::pair<std::string, trace::TraceBuffer>> traces;
     };
+
+    TraceCollector tracer(options.tracePath);
 
     // One task per workload: each owns a private world; the sweep
     // reruns the same queries on it.
@@ -50,16 +53,24 @@ main(int argc, char** argv)
                 workload->prepare(world, workload->defaultQueries());
             const CoreRunResult baseline = runBaseline(world, prepared);
 
+            SweepResult result;
             Json points = Json::array();
             std::vector<std::string> row{workload->name()};
             for (Cycles c : sweep) {
+                tracer.arm(world);
                 const QeiRunStats stats = runQei(
                     world, prepared, SchemeConfig::deviceIndirect(c));
+                if (tracer.enabled()) {
+                    result.traces.emplace_back(
+                        workload->name() + "/dev-" + std::to_string(c),
+                        world.traceSink.drain());
+                }
                 const double speedup = speedupOf(baseline, stats);
                 row.push_back(TablePrinter::speedup(speedup));
                 Json p = Json::object();
                 p["interface_latency"] = c;
                 p["speedup"] = speedup;
+                p["qei"] = toJson(stats);
                 points.push_back(std::move(p));
             }
 
@@ -67,13 +78,17 @@ main(int argc, char** argv)
             w["workload"] = workload->name();
             w["baseline"] = toJson(baseline);
             w["sweep"] = std::move(points);
-            return {std::move(row), std::move(w)};
+            result.row = std::move(row);
+            result.w = std::move(w);
+            return result;
         });
 
     Json workloads = Json::array();
     for (auto& result : results) {
         table.row(result.row);
         workloads.push_back(std::move(result.w));
+        for (const auto& [label, buf] : result.traces)
+            tracer.add(label, buf);
     }
     table.print();
     std::printf("paper reference: monotonic drop with latency; device "
@@ -82,5 +97,6 @@ main(int argc, char** argv)
 
     report.data()["workloads"] = std::move(workloads);
     report.setTable(table);
-    return report.finish() ? 0 : 1;
+    const bool traceOk = tracer.write();
+    return report.finish() && traceOk ? 0 : 1;
 }

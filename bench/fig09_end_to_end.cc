@@ -43,6 +43,7 @@ main(int argc, char** argv)
     matrix.schemes = {SchemeConfig::chaTlb(), SchemeConfig::chaNoTlb(),
                       SchemeConfig::coreIntegrated()};
     matrix.threads = options.threads;
+    matrix.tracePath = options.tracePath;
 
     Json workloads = Json::array();
     for (const WorkloadRun& run :

@@ -88,10 +88,14 @@ main(int argc, char** argv)
     const auto schemes = SchemeConfig::allSchemes();
     const std::size_t stride = 1 + schemes.size();
 
+    TraceCollector tracer(options.tracePath);
+
     struct CellOut
     {
         CoreRunResult baseline;
         QeiRunStats stats;
+        std::string traceLabel;
+        trace::TraceBuffer traceBuf;
     };
     auto cells = parallelMap(
         options.threads, tupleCounts.size() * stride,
@@ -104,15 +108,24 @@ main(int argc, char** argv)
             TupleSetup setup = makeSetup(world, space, 120);
 
             CellOut out;
+            tracer.arm(world);
             if (s == 0) {
                 out.baseline = runBaseline(world, setup.prepared);
+                out.traceLabel = "baseline";
             } else {
                 out.stats =
                     runQei(world, setup.prepared, schemes[s - 1],
                            QueryMode::NonBlocking, 0, 32 * tuples);
+                out.traceLabel = schemes[s - 1].name();
             }
+            out.traceLabel =
+                std::to_string(tuples) + "-tuples/" + out.traceLabel;
+            if (tracer.enabled())
+                out.traceBuf = world.traceSink.drain();
             return out;
         });
+    for (const CellOut& cell : cells)
+        tracer.add(cell.traceLabel, cell.traceBuf);
 
     Json points = Json::array();
     for (std::size_t t = 0; t < tupleCounts.size(); ++t) {
@@ -151,5 +164,6 @@ main(int argc, char** argv)
                 "Device schemes recover versus blocking mode; "
                 "Core-integrated limited by its 10-entry QST at high "
                 "tuple counts but competitive at low ones\n");
-    return report.finish() ? 0 : 1;
+    const bool traceOk = tracer.write();
+    return report.finish() && traceOk ? 0 : 1;
 }

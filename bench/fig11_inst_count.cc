@@ -30,6 +30,7 @@ main(int argc, char** argv)
     MatrixOptions matrix;
     matrix.schemes = {SchemeConfig::coreIntegrated()};
     matrix.threads = options.threads;
+    matrix.tracePath = options.tracePath;
 
     Json workloads = Json::array();
     for (const WorkloadRun& run :

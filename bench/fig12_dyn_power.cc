@@ -33,6 +33,7 @@ main(int argc, char** argv)
 
     MatrixOptions matrix;
     matrix.threads = options.threads;
+    matrix.tracePath = options.tracePath;
 
     Json workloads = Json::array();
     for (const WorkloadRun& run :

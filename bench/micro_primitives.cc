@@ -10,6 +10,7 @@
 
 #include "common/thread_pool.hh"
 #include "ds/chained_hash.hh"
+#include "trace/trace.hh"
 #include "workloads/workload.hh"
 
 using namespace qei;
@@ -219,6 +220,54 @@ BM_AcceleratedQuery(benchmark::State& state)
         static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_AcceleratedQuery);
+
+void
+BM_TraceEmit(benchmark::State& state)
+{
+    // Hot-path cost of one guarded emit into an enabled sink — the
+    // per-event budget is < 20 ns. With QEI_TRACING=OFF,
+    // trace::active() folds to constant false, the loop body
+    // dead-codes away, and this reports ~0 ns/event.
+    trace::TraceSink sink;
+    sink.enable(1 << 12);
+    const std::uint16_t comp = sink.internComponent("bm.accel0");
+    const std::uint32_t name = sink.internName("uop");
+    Cycles tick = 0;
+    for (auto _ : state) {
+        if (trace::active(&sink))
+            sink.record(trace::Category::Microcode, comp, name,
+                        /*query_id=*/7, tick, /*duration=*/3);
+        ++tick;
+        benchmark::DoNotOptimize(tick);
+    }
+    state.SetLabel(trace::kCompiledIn ? "tracing=on" : "tracing=off");
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceEmit);
+
+void
+BM_TraceEmitDisabled(benchmark::State& state)
+{
+    // Same guarded emit against a disabled sink: the cost every
+    // always-instrumented component pays on un-traced runs (one
+    // predictable branch).
+    trace::TraceSink sink;
+    const std::uint16_t comp = sink.internComponent("bm.accel0");
+    const std::uint32_t name = sink.internName("uop");
+    Cycles tick = 0;
+    for (auto _ : state) {
+        if (trace::active(&sink))
+            sink.record(trace::Category::Microcode, comp, name,
+                        /*query_id=*/7, tick, /*duration=*/3);
+        ++tick;
+        benchmark::DoNotOptimize(tick);
+    }
+    state.SetLabel(trace::kCompiledIn ? "tracing=on" : "tracing=off");
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceEmitDisabled);
 
 } // namespace
 

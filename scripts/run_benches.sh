@@ -1,7 +1,12 @@
 #!/usr/bin/env sh
 # Run every benchmark harness and collect BENCH_<name>.json artifacts.
 #
-# Usage: scripts/run_benches.sh [build-dir] [output-dir] [threads]
+# Usage: scripts/run_benches.sh [--trace-dir DIR] [build-dir] \
+#            [output-dir] [threads]
+#   --trace-dir DIR  also capture Perfetto timelines: each harness gets
+#                    --trace DIR/TRACE_<name>.json (merged file, plus
+#                    per-cell files next to it); load them at
+#                    https://ui.perfetto.dev
 #   build-dir   cmake build tree (default: build); configured+built
 #               here if the bench binaries are missing
 #   output-dir  where the BENCH_*.json files land (default: .)
@@ -10,6 +15,24 @@
 #               simulates a private world, so results are identical at
 #               any thread count
 set -eu
+
+trace_dir=
+while [ $# -gt 0 ]; do
+    case $1 in
+        --trace-dir)
+            [ $# -ge 2 ] || { echo "--trace-dir needs a value" >&2; exit 2; }
+            trace_dir=$2
+            shift 2
+            ;;
+        --trace-dir=*)
+            trace_dir=${1#--trace-dir=}
+            shift
+            ;;
+        *)
+            break
+            ;;
+    esac
+done
 
 build_dir=${1:-build}
 out_dir=${2:-.}
@@ -24,7 +47,9 @@ if [ ! -d "$build_dir/bench" ]; then
 fi
 
 mkdir -p "$out_dir"
+[ -n "$trace_dir" ] && mkdir -p "$trace_dir"
 
+summary=
 suite_start=$(date +%s)
 status=0
 for bench in "$build_dir"/bench/*; do
@@ -34,13 +59,35 @@ for bench in "$build_dir"/bench/*; do
         micro_primitives) continue ;; # google-benchmark, no --json
     esac
     echo "== $name (threads=$threads)"
-    if ! "$bench" --threads "$threads" \
-            --json "$out_dir/BENCH_$name.json"; then
+    start=$(date +%s)
+    if [ -n "$trace_dir" ]; then
+        set -- --trace "$trace_dir/TRACE_$name.json"
+    else
+        set --
+    fi
+    if "$bench" --threads "$threads" \
+            --json "$out_dir/BENCH_$name.json" "$@"; then
+        result=pass
+    else
         echo "** $name failed" >&2
+        result=FAIL
         status=1
     fi
+    end=$(date +%s)
+    summary="$summary$name|$result|$((end - start))
+"
 done
 suite_end=$(date +%s)
+
+echo
+echo "== summary (threads=$threads)"
+printf '%-24s %-6s %s\n' harness result seconds
+printf '%-24s %-6s %s\n' ------- ------ -------
+printf '%s' "$summary" | while IFS='|' read -r name result secs; do
+    [ -n "$name" ] || continue
+    printf '%-24s %-6s %s\n' "$name" "$result" "$secs"
+done
 echo "== suite wall time: $((suite_end - suite_start)) s" \
      "(threads=$threads)"
+[ -n "$trace_dir" ] && echo "== traces in $trace_dir (ui.perfetto.dev)"
 exit $status

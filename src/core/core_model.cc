@@ -140,7 +140,7 @@ CoreModel::runQueries(const std::vector<QueryTrace>& traces,
             first = false;
 
             const Cycles now = static_cast<Cycles>(issue);
-            const Translation tr = mmu_.translate(touch.vaddr);
+            const Translation tr = mmu_.translate(touch.vaddr, now);
             simAssert(tr.valid, "baseline touched unmapped addr {:#x}",
                       touch.vaddr);
             double latency = static_cast<double>(tr.latency);
@@ -170,6 +170,16 @@ CoreModel::runQueries(const std::vector<QueryTrace>& traces,
                           trace.mispredictsAfter,
                           profile.frontendStallPerInstr,
                           lastLoadCompletion_);
+
+        if (trace::active(trace_)) {
+            const double queryEnd =
+                std::max(fetchTime_, maxCompletion_);
+            const Cycles start = static_cast<Cycles>(queryStart);
+            const Cycles end = static_cast<Cycles>(queryEnd);
+            trace_->record(trace::Category::Core, traceComp_,
+                           traceQuery_, stats_.queries - 1, start,
+                           end > start ? end - start : 1);
+        }
     }
 
     // Drain: the run ends when the last instruction retires.

@@ -32,6 +32,7 @@
 #include "core/chip_config.hh"
 #include "core/trace.hh"
 #include "mem/hierarchy.hh"
+#include "trace/trace.hh"
 #include "vm/tlb.hh"
 
 namespace qei {
@@ -119,6 +120,21 @@ class CoreModel : public SimObject
     /** Reset pipeline state between runs (caches/TLBs stay warm). */
     void reset();
 
+    /**
+     * Attach a trace sink: each software query records a Core span
+     * from its first fetched instruction to its last retirement.
+     * Call after the core is adopted so the component path is final.
+     */
+    void
+    setTraceSink(trace::TraceSink* sink)
+    {
+        trace_ = sink;
+        if (sink != nullptr) {
+            traceComp_ = sink->internComponent(fullPath());
+            traceQuery_ = sink->internName("sw_query");
+        }
+    }
+
   private:
     struct InflightLoad
     {
@@ -145,6 +161,10 @@ class CoreModel : public SimObject
     CoreParams params_;
     MemoryHierarchy& memory_;
     Mmu& mmu_;
+
+    trace::TraceSink* trace_ = nullptr;
+    std::uint16_t traceComp_ = 0;
+    std::uint32_t traceQuery_ = 0;
 
     double fetchTime_ = 0.0;
     std::uint64_t instrIndex_ = 0;

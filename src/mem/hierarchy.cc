@@ -39,6 +39,24 @@ MemoryHierarchy::regStats(StatsRegistry& registry)
         "aggregate hit rate over all LLC slices");
 }
 
+void
+MemoryHierarchy::setTraceSink(trace::TraceSink* sink)
+{
+    trace_ = sink;
+    mesh_.setTraceSink(sink);
+    if (sink != nullptr) {
+        traceComp_ = sink->internComponent("memory");
+        traceLevel_[static_cast<std::size_t>(ServedBy::L1)] =
+            sink->internName("l1");
+        traceLevel_[static_cast<std::size_t>(ServedBy::L2)] =
+            sink->internName("l2");
+        traceLevel_[static_cast<std::size_t>(ServedBy::Llc)] =
+            sink->internName("llc");
+        traceLevel_[static_cast<std::size_t>(ServedBy::Dram)] =
+            sink->internName("dram");
+    }
+}
+
 int
 MemoryHierarchy::homeSlice(Addr paddr) const
 {
@@ -92,18 +110,24 @@ MemoryHierarchy::coreAccess(int core, Addr paddr, bool is_write,
     Cache& l2 = *l2_[static_cast<std::size_t>(core)];
 
     Cycles latency = l1.latency();
-    if (l1.access(paddr, is_write))
-        return MemAccess{latency, ServedBy::L1, core};
+    if (l1.access(paddr, is_write)) {
+        const MemAccess out{latency, ServedBy::L1, core};
+        traceAccess(out, now);
+        return out;
+    }
 
     latency += l2.latency();
     if (l2.access(paddr, is_write)) {
         l1.fill(paddr, is_write);
-        return MemAccess{latency, ServedBy::L2, core};
+        const MemAccess out{latency, ServedBy::L2, core};
+        traceAccess(out, now);
+        return out;
     }
 
     MemAccess out = llcPath(core, paddr, is_write, now, latency);
     l2.fill(paddr, is_write);
     l1.fill(paddr, is_write);
+    traceAccess(out, now);
     return out;
 }
 
@@ -114,8 +138,11 @@ MemoryHierarchy::l2Access(int core, Addr paddr, bool is_write, Cycles now)
               core);
     Cache& l2 = *l2_[static_cast<std::size_t>(core)];
 
-    if (l2.access(paddr, is_write))
-        return MemAccess{l2.latency(), ServedBy::L2, core};
+    if (l2.access(paddr, is_write)) {
+        const MemAccess out{l2.latency(), ServedBy::L2, core};
+        traceAccess(out, now);
+        return out;
+    }
 
     // On a miss QEI only pays the tag probe before the request goes
     // out on the L2's miss path — it shares the L2's access hardware
@@ -125,6 +152,7 @@ MemoryHierarchy::l2Access(int core, Addr paddr, bool is_write, Cycles now)
     // QEI deliberately avoids polluting the private caches with queried
     // data: lines fetched on its behalf are NOT filled into L2/L1.
     // Only the LLC keeps a copy.
+    traceAccess(out, now);
     return out;
 }
 
@@ -134,7 +162,9 @@ MemoryHierarchy::chaAccess(int tile, Addr paddr, bool is_write,
 {
     simAssert(tile >= 0 && tile < params_.cores, "tile {} out of range",
               tile);
-    return llcPath(tile, paddr, is_write, now, 0);
+    const MemAccess out = llcPath(tile, paddr, is_write, now, 0);
+    traceAccess(out, now);
+    return out;
 }
 
 MemAccess
@@ -144,7 +174,9 @@ MemoryHierarchy::deviceAccess(int tile, Addr paddr, bool is_write,
     // Identical path to a CHA access: the device stop issues a request
     // to the home slice over the mesh. Kept separate for readability
     // and stats at the call sites.
-    return llcPath(tile, paddr, is_write, now, 0);
+    const MemAccess out = llcPath(tile, paddr, is_write, now, 0);
+    traceAccess(out, now);
+    return out;
 }
 
 Cycles

@@ -13,6 +13,7 @@
 #ifndef QEI_MEM_HIERARCHY_HH
 #define QEI_MEM_HIERARCHY_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -124,10 +125,32 @@ class MemoryHierarchy : public SimObject
     /** Zero all cache hit/miss counters (fresh measurement window). */
     void resetCacheStats();
 
+    /**
+     * Attach a trace sink: every timed access records a Mem span (or a
+     * Dram span when the access missed all caches). Also wires the
+     * embedded mesh.
+     */
+    void setTraceSink(trace::TraceSink* sink);
+
   private:
     /** LLC slice lookup + DRAM fallback, shared by all entry points. */
     MemAccess llcPath(int requester_tile, Addr paddr, bool is_write,
                       Cycles now, Cycles accumulated);
+
+    /** Record one access outcome into the trace sink. */
+    void
+    traceAccess(const MemAccess& access, Cycles now)
+    {
+        if (!trace::active(trace_))
+            return;
+        const bool dram = access.servedBy == ServedBy::Dram;
+        trace_->record(dram ? trace::Category::Dram
+                            : trace::Category::Mem,
+                       traceComp_,
+                       traceLevel_[static_cast<std::size_t>(
+                           access.servedBy)],
+                       trace::kNoQuery, now, access.latency);
+    }
 
     HierarchyParams params_;
     Mesh mesh_;
@@ -135,6 +158,10 @@ class MemoryHierarchy : public SimObject
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::vector<std::unique_ptr<Cache>> l2_;
     std::vector<std::unique_ptr<Cache>> llc_;
+    trace::TraceSink* trace_ = nullptr;
+    std::uint16_t traceComp_ = 0;
+    /** Interned name ids indexed by ServedBy. */
+    std::array<std::uint32_t, 4> traceLevel_{};
 };
 
 } // namespace qei

@@ -128,6 +128,10 @@ Mesh::traverse(int from, int to, std::uint32_t bytes, Cycles now)
         latency += params_.hopLatency + linkDelay(link);
         at.y += at.y < dst.y ? 1 : -1;
     }
+    if (trace::active(trace_)) {
+        trace_->record(trace::Category::Noc, traceComp_, traceMsg_,
+                       trace::kNoQuery, now, latency);
+    }
     return latency;
 }
 

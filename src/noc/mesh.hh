@@ -19,6 +19,7 @@
 #include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace qei {
 
@@ -99,6 +100,17 @@ class Mesh : public SimObject
     /** Reset traffic accounting (not topology). */
     void resetTraffic();
 
+    /** Attach a trace sink: every traverse() records a Noc span. */
+    void
+    setTraceSink(trace::TraceSink* sink)
+    {
+        trace_ = sink;
+        if (sink != nullptr) {
+            traceComp_ = sink->internComponent("noc");
+            traceMsg_ = sink->internName("msg");
+        }
+    }
+
   private:
     /** Directed link ids: 4 per tile (E, W, N, S). */
     enum Direction { East = 0, West = 1, North = 2, South = 3 };
@@ -117,6 +129,9 @@ class Mesh : public SimObject
     double meanUtilisation_ = 0.0;
     Counter totalBytes_;
     Counter messages_;
+    trace::TraceSink* trace_ = nullptr;
+    std::uint16_t traceComp_ = 0;
+    std::uint32_t traceMsg_ = 0;
 };
 
 } // namespace qei

@@ -23,6 +23,18 @@ statusFor(const QstEntry& entry)
     return entry.success ? kStatusFound : kStatusNotFound;
 }
 
+/**
+ * Charge @p cycles of an entry's lifetime to one latency component.
+ * Every scheduled delay between enqueue and completion goes through
+ * here exactly once, so the per-entry attribution sums to the entry's
+ * end-to-end residency in the accelerator.
+ */
+void
+charge(QstEntry& entry, trace::LatencyComponent c, Cycles cycles)
+{
+    entry.attr[static_cast<std::size_t>(c)] += cycles;
+}
+
 } // namespace
 
 Accelerator::Accelerator(int id, int tile, int home_core, AccelEnv& env,
@@ -41,6 +53,27 @@ Accelerator::Accelerator(int id, int tile, int home_core, AccelEnv& env,
             env_.scheme.dedicatedTlbHitLatency, "tlb");
         adopt(*dedicatedTlb_);
     }
+}
+
+void
+Accelerator::setTraceSink(trace::TraceSink* sink)
+{
+    trace_ = sink;
+    if (sink == nullptr)
+        return;
+    traceComp_ = sink->internComponent(fullPath());
+    for (std::size_t i = 0; i < traceOp_.size(); ++i) {
+        traceOp_[i] =
+            sink->internName(toString(static_cast<MicroOpcode>(i)));
+    }
+    traceHeaderFetch_ = sink->internName("header_fetch");
+    traceEnqueue_ = sink->internName("enqueue");
+    traceCeeWait_ = sink->internName("cee_wait");
+    traceDeliver_ = sink->internName("deliver");
+    traceCompare_ = sink->internName("compare");
+    traceHash_ = sink->internName("hash");
+    traceTlbHit_ = sink->internName("tlb_hit");
+    traceTlbWalk_ = sink->internName("tlb_walk");
 }
 
 void
@@ -79,6 +112,11 @@ Accelerator::enqueue(Addr header_addr, Addr key_addr, Addr result_addr,
     completions_[static_cast<std::size_t>(slot)] =
         std::move(on_complete);
     qst_.sampleOccupancy();
+    charge(entry, trace::LatencyComponent::QueueWait, 1);
+    if (trace::active(trace_)) {
+        trace_->record(trace::Category::Qst, traceComp_, traceEnqueue_,
+                       query_id, env_.events.now(), 0);
+    }
     // One cycle through the Query Queue before the CEE sees it.
     makeReady(slot, env_.events.now() + 1);
     return slot;
@@ -101,7 +139,7 @@ Accelerator::translate(Addr vaddr, Cycles now)
     switch (env_.scheme.translate) {
       case TranslatePath::CoreL2Tlb: {
         Mmu* mmu = env_.coreMmus[static_cast<std::size_t>(homeCore_)];
-        const Translation t = mmu->translateViaL2(vaddr);
+        const Translation t = mmu->translateViaL2(vaddr, now);
         out.valid = t.valid;
         out.paddr = t.paddr;
         out.latency = t.latency;
@@ -112,11 +150,23 @@ Accelerator::translate(Addr vaddr, Cycles now)
         const Addr vpn = pageNumber(vaddr);
         if (dedicatedTlb_->lookup(vpn)) {
             out.latency = dedicatedTlb_->hitLatency();
+            if (trace::active(trace_)) {
+                trace_->record(trace::Category::Tlb, traceComp_,
+                               traceTlbHit_, trace::kNoQuery, now,
+                               out.latency);
+            }
         } else {
             // Local page walk by the accelerator's walker.
-            out.latency = dedicatedTlb_->hitLatency() + 90;
+            constexpr Cycles kWalkLatency = 90;
+            out.latency = dedicatedTlb_->hitLatency() + kWalkLatency;
             if (paddr)
                 dedicatedTlb_->fill(vpn);
+            env_.vm.notePageWalk(now, kWalkLatency);
+            if (trace::active(trace_)) {
+                trace_->record(trace::Category::Tlb, traceComp_,
+                               traceTlbWalk_, trace::kNoQuery, now,
+                               out.latency);
+            }
         }
         out.valid = paddr.has_value();
         out.paddr = paddr.value_or(0);
@@ -127,7 +177,7 @@ Accelerator::translate(Addr vaddr, Cycles now)
         // (Sec. V: "adds extra round-trip latency to each memory
         // access").
         Mmu* mmu = env_.coreMmus[static_cast<std::size_t>(homeCore_)];
-        const Translation t = mmu->translateViaL2(vaddr);
+        const Translation t = mmu->translateViaL2(vaddr, now);
         const Cycles noc = env_.memory.messageRoundTrip(
             tile_, homeCore_, now);
         out.valid = t.valid;
@@ -196,6 +246,13 @@ Accelerator::executeEntry(int id)
     // order preserves the FIFO pick among ready entries).
     const Cycles issueCycle = env_.events.now();
     if (ceeNextFree_ > issueCycle) {
+        charge(entry, trace::LatencyComponent::CeeWait,
+               ceeNextFree_ - issueCycle);
+        if (trace::active(trace_)) {
+            trace_->record(trace::Category::Qst, traceComp_,
+                           traceCeeWait_, entry.queryId, issueCycle,
+                           ceeNextFree_ - issueCycle);
+        }
         env_.events.scheduleAt(ceeNextFree_,
                                [this, id] { executeEntry(id); },
                                EventPriority::CfaTick);
@@ -218,8 +275,10 @@ Accelerator::executeEntry(int id)
         if (--fuel == 0)
             break;
     }
-    if (entry.phase == QstPhase::Running)
+    if (entry.phase == QstPhase::Running) {
+        charge(entry, trace::LatencyComponent::CeeExec, 1);
         makeReady(id, env_.events.now() + 1);
+    }
 }
 
 void
@@ -285,7 +344,15 @@ Accelerator::executeHeaderFetch(int id)
     entry.regs[kRegT7] = entry.header.aux0;
     entry.phase = QstPhase::Running;
     entry.state = 0;
-    makeReady(id, now + std::max(latency, keyLatency));
+    const Cycles delay = std::max(latency, keyLatency);
+    charge(entry, trace::LatencyComponent::Translation, xlat.latency);
+    charge(entry, trace::LatencyComponent::Memory,
+           delay - xlat.latency);
+    if (trace::active(trace_)) {
+        trace_->record(trace::Category::Microcode, traceComp_,
+                       traceHeaderFetch_, entry.queryId, now, delay);
+    }
+    makeReady(id, now + delay);
 }
 
 CmpFlag
@@ -315,25 +382,54 @@ Accelerator::executeMicroInst(int id)
               entry.state);
     const MicroInst& mi = prog->states[entry.state];
 
+    // Cost of a multi-line fetch, split so the translation share can
+    // be attributed separately from the data-array share.
+    struct SpanCost
+    {
+        Cycles total = 0;
+        Cycles xlat = 0;
+        bool faulted() const { return total == kInvalidCycle; }
+    };
+
     // Fetch the lines covering [vaddr, vaddr+bytes): timed as parallel
     // independent reads (the CEE issues them back to back); returns
-    // the slowest, or kInvalidCycle on a translation fault.
+    // the slowest line's cost, or a faulted cost on a translation
+    // fault.
     auto fetchSpan = [&](Addr vaddr, std::uint64_t bytes,
-                         Cycles start) -> Cycles {
-        Cycles worst = 0;
+                         Cycles start) -> SpanCost {
+        SpanCost worst;
         const std::uint64_t lines = linesCovering(vaddr, bytes);
         for (std::uint64_t i = 0; i < lines; ++i) {
             const Addr lineVaddr = lineAlign(vaddr) + i * kCacheLineBytes;
             const XlatResult x =
                 translateCached(entry, lineVaddr, start);
             if (!x.valid)
-                return kInvalidCycle;
+                return SpanCost{kInvalidCycle, 0};
             const Cycles lat =
                 x.latency +
                 dataAccess(x.paddr, false, start + x.latency);
-            worst = std::max(worst, lat);
+            if (lat > worst.total) {
+                worst.total = lat;
+                worst.xlat = x.latency;
+            }
         }
         return worst;
+    };
+
+    // Attribute a fetch's cost: translation vs. memory cycles.
+    auto chargeSpan = [&](const SpanCost& cost) {
+        charge(entry, trace::LatencyComponent::Translation, cost.xlat);
+        charge(entry, trace::LatencyComponent::Memory,
+               cost.total - cost.xlat);
+    };
+
+    // Record the whole micro-op as one Microcode timeline span.
+    auto traceOp = [&](Cycles start, Cycles duration) {
+        if (trace::active(trace_)) {
+            trace_->record(trace::Category::Microcode, traceComp_,
+                           traceOp_[static_cast<std::size_t>(mi.op)],
+                           entry.queryId, start, duration);
+        }
     };
 
     auto operandB = [&](const MicroInst& inst) {
@@ -355,11 +451,13 @@ Accelerator::executeMicroInst(int id)
             env_.vm.readBytes(entry.lineBase, entry.lineBuf.data(),
                               kCacheLineBytes);
             entry.state = mi.next;
+            charge(entry, trace::LatencyComponent::CeeExec, 1);
+            traceOp(now, 1);
             makeReady(id, now + 1);
             return false;
         }
-        const Cycles lat = fetchSpan(vaddr, kCacheLineBytes, now);
-        if (lat == kInvalidCycle) {
+        const SpanCost cost = fetchSpan(vaddr, kCacheLineBytes, now);
+        if (cost.faulted()) {
             raiseException(id, QueryError::PageFault);
             return false;
         }
@@ -367,7 +465,9 @@ Accelerator::executeMicroInst(int id)
         env_.vm.readBytes(entry.lineBase, entry.lineBuf.data(),
                           kCacheLineBytes);
         entry.state = mi.next;
-        makeReady(id, now + lat);
+        chargeSpan(cost);
+        traceOp(now, cost.total);
+        makeReady(id, now + cost.total);
         return false;
       }
       case MicroOpcode::MemReadField: {
@@ -378,14 +478,16 @@ Accelerator::executeMicroInst(int id)
             entry.state = mi.next;
             return true; // served from the staged line
         }
-        const Cycles lat = fetchSpan(vaddr, mi.width, now);
-        if (lat == kInvalidCycle) {
+        const SpanCost cost = fetchSpan(vaddr, mi.width, now);
+        if (cost.faulted()) {
             raiseException(id, QueryError::PageFault);
             return false;
         }
         entry.regs[mi.dst] = readFieldLE(vaddr, mi.width);
         entry.state = mi.next;
-        makeReady(id, now + lat);
+        chargeSpan(cost);
+        traceOp(now, cost.total);
+        makeReady(id, now + cost.total);
         return false;
       }
       case MicroOpcode::LoadField: {
@@ -420,10 +522,10 @@ Accelerator::executeMicroInst(int id)
       case MicroOpcode::HashKey: {
         const auto len =
             static_cast<std::uint32_t>(entry.regs[kRegKeyLen]);
-        Cycles memLat = 0;
+        SpanCost mem;
         if (!entry.keyStaged) {
-            memLat = fetchSpan(entry.keyAddr, len, now);
-            if (memLat == kInvalidCycle) {
+            mem = fetchSpan(entry.keyAddr, len, now);
+            if (mem.faulted()) {
                 raiseException(id, QueryError::PageFault);
                 return false;
             }
@@ -433,7 +535,17 @@ Accelerator::executeMicroInst(int id)
         entry.regs[mi.dst] =
             computeHash(entry.header.hashFn, key.data(), len);
         entry.state = mi.next;
-        makeReady(id, dpu_.hashKey(now + memLat, len));
+        const Cycles hashDone = dpu_.hashKey(now + mem.total, len);
+        chargeSpan(mem);
+        charge(entry, trace::LatencyComponent::Dpu,
+               hashDone - (now + mem.total));
+        traceOp(now, hashDone - now);
+        if (trace::active(trace_)) {
+            trace_->record(trace::Category::Dpu, traceComp_, traceHash_,
+                           entry.queryId, now + mem.total,
+                           hashDone - (now + mem.total));
+        }
+        makeReady(id, hashDone);
         return false;
       }
       case MicroOpcode::CompareReg: {
@@ -469,7 +581,10 @@ Accelerator::executeMicroInst(int id)
             entry.state = entry.flags == CmpFlag::Eq   ? mi.onEq
                           : entry.flags == CmpFlag::Lt ? mi.onLt
                                                        : mi.onGt;
-            makeReady(id, dpu_.compare(now, len));
+            const Cycles cmpDone = dpu_.compare(now, len);
+            charge(entry, trace::LatencyComponent::Dpu, cmpDone - now);
+            traceOp(now, cmpDone - now);
+            makeReady(id, cmpDone);
             return false;
         }
 
@@ -491,8 +606,9 @@ Accelerator::executeMicroInst(int id)
             Cycles t = now + x.latency;
             const std::uint32_t msgBytes =
                 24 + (entry.keyStaged ? len : 0);
-            t += env_.memory.mesh().traverse(
+            const Cycles reqNoc = env_.memory.mesh().traverse(
                 tile_, home, msgBytes, t); // remote micro-op + key
+            t += reqNoc;
             // The comparator pulls its operands from the LLC without
             // touching any private cache; a staged key rode along in
             // the message and needs no LLC read.
@@ -520,24 +636,51 @@ Accelerator::executeMicroInst(int id)
                 }
             }
             t += dataReady;
+            const Cycles preCompare = t;
             t = env_.remoteComparators->compare(home, t, len);
-            t += env_.memory.mesh().traverse(home, tile_, 16, t);
+            const Cycles compareLat = t - preCompare;
+            const Cycles respNoc =
+                env_.memory.mesh().traverse(home, tile_, 16, t);
+            t += respNoc;
             done = t;
+            charge(entry, trace::LatencyComponent::Translation,
+                   x.latency);
+            charge(entry, trace::LatencyComponent::Noc,
+                   reqNoc + respNoc);
+            charge(entry, trace::LatencyComponent::Memory, dataReady);
+            charge(entry, trace::LatencyComponent::Dpu, compareLat);
+            if (trace::active(trace_)) {
+                trace_->record(trace::Category::Dpu, traceComp_,
+                               traceCompare_, entry.queryId, preCompare,
+                               compareLat);
+            }
         } else {
             // Local compare: stage the candidate (and the key, unless
             // already staged), then run a DPU comparator.
-            const Cycles candLat = fetchSpan(candidate, len, now);
-            const Cycles keyLat =
-                entry.keyStaged ? 0 : fetchSpan(entry.keyAddr, len, now);
-            simAssert(candLat != kInvalidCycle &&
-                          keyLat != kInvalidCycle,
+            const SpanCost candCost = fetchSpan(candidate, len, now);
+            const SpanCost keyCost =
+                entry.keyStaged ? SpanCost{}
+                                : fetchSpan(entry.keyAddr, len, now);
+            simAssert(!candCost.faulted() && !keyCost.faulted(),
                       "fault after successful pre-translation");
-            done = dpu_.compare(now + std::max(candLat, keyLat), len);
+            const SpanCost& slower =
+                candCost.total >= keyCost.total ? candCost : keyCost;
+            done = dpu_.compare(now + slower.total, len);
+            chargeSpan(slower);
+            charge(entry, trace::LatencyComponent::Dpu,
+                   done - (now + slower.total));
+            if (trace::active(trace_)) {
+                trace_->record(trace::Category::Dpu, traceComp_,
+                               traceCompare_, entry.queryId,
+                               now + slower.total,
+                               done - (now + slower.total));
+            }
         }
 
         entry.state = entry.flags == CmpFlag::Eq   ? mi.onEq
                       : entry.flags == CmpFlag::Lt ? mi.onLt
                                                    : mi.onGt;
+        traceOp(now, done - now);
         makeReady(id, done);
         return false;
       }
@@ -566,9 +709,9 @@ Accelerator::executeMicroInst(int id)
         // Timing: the scan streams the index table line by line and
         // stops at the match, so only the lines actually covered by
         // the scanned entries are fetched.
-        const Cycles memLat = fetchSpan(
+        const SpanCost mem = fetchSpan(
             node, 16 + static_cast<std::uint64_t>(scanned) * 8, now);
-        if (memLat == kInvalidCycle) {
+        if (mem.faulted()) {
             raiseException(id, QueryError::PageFault);
             return false;
         }
@@ -577,8 +720,12 @@ Accelerator::executeMicroInst(int id)
         entry.flags = found ? CmpFlag::Eq : CmpFlag::Lt;
         entry.state = found ? mi.onEq : mi.next;
         const Cycles scanDone =
-            dpu_.compare(now + memLat, std::max<std::uint32_t>(
-                                           8, scanned));
+            dpu_.compare(now + mem.total, std::max<std::uint32_t>(
+                                              8, scanned));
+        chargeSpan(mem);
+        charge(entry, trace::LatencyComponent::Dpu,
+               scanDone - (now + mem.total));
+        traceOp(now, scanDone - now);
         makeReady(id, scanDone);
         return false;
       }
@@ -587,6 +734,7 @@ Accelerator::executeMicroInst(int id)
         entry.resultValue = entry.regs[kRegResult];
         entry.phase = QstPhase::Done;
         entry.completed = now;
+        traceOp(now, 0);
         deliver(id);
         return false;
       }
@@ -630,6 +778,11 @@ Accelerator::deliver(int id)
         }
     }
 
+    charge(entry, trace::LatencyComponent::Delivery, latency);
+    if (trace::active(trace_)) {
+        trace_->record(trace::Category::Qst, traceComp_, traceDeliver_,
+                       entry.queryId, now, latency);
+    }
     const QstEntry snapshot = entry;
     CompletionFn done =
         std::move(completions_[static_cast<std::size_t>(id)]);

@@ -16,6 +16,7 @@
 #ifndef QEI_QEI_ACCELERATOR_HH
 #define QEI_QEI_ACCELERATOR_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -29,6 +30,7 @@
 #include "qei/qst.hh"
 #include "qei/scheme.hh"
 #include "sim/event_queue.hh"
+#include "trace/trace.hh"
 #include "vm/tlb.hh"
 
 namespace qei {
@@ -112,6 +114,14 @@ class Accelerator : public SimObject
     DataProcessingUnit& dpu() { return dpu_; }
     Tlb* dedicatedTlb() { return dedicatedTlb_.get(); }
 
+    /**
+     * Attach a trace sink: queue, CEE, micro-op, DPU, and delivery
+     * activity is recorded as timeline events. Call after the
+     * accelerator is adopted into the system tree so the interned
+     * component path is fully qualified.
+     */
+    void setTraceSink(trace::TraceSink* sink);
+
   private:
     /** Outcome of a translation attempt on this instance's path. */
     struct XlatResult
@@ -185,6 +195,19 @@ class Accelerator : public SimObject
     Counter remoteCompares_;
     Counter exceptions_;
     Counter translationCycles_;
+
+    trace::TraceSink* trace_ = nullptr;
+    std::uint16_t traceComp_ = 0;
+    /** Interned micro-op mnemonics, indexed by MicroOpcode. */
+    std::array<std::uint32_t, 10> traceOp_{};
+    std::uint32_t traceHeaderFetch_ = 0;
+    std::uint32_t traceEnqueue_ = 0;
+    std::uint32_t traceCeeWait_ = 0;
+    std::uint32_t traceDeliver_ = 0;
+    std::uint32_t traceCompare_ = 0;
+    std::uint32_t traceHash_ = 0;
+    std::uint32_t traceTlbHit_ = 0;
+    std::uint32_t traceTlbWalk_ = 0;
 };
 
 } // namespace qei

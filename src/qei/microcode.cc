@@ -43,6 +43,12 @@ aluName(AluFn fn)
 
 } // namespace
 
+const char*
+toString(MicroOpcode op)
+{
+    return opName(op);
+}
+
 std::string
 CfaProgram::disassemble() const
 {

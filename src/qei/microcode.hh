@@ -65,6 +65,9 @@ enum class MicroOpcode : std::uint8_t {
     Except,
 };
 
+/** Mnemonic of @p op, for disassembly and trace-event names. */
+const char* toString(MicroOpcode op);
+
 /** ALU functions available in the DPU. */
 enum class AluFn : std::uint8_t {
     Add,

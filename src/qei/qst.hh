@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "qei/microcode.hh"
 #include "qei/struct_header.hh"
+#include "trace/trace.hh"
 
 namespace qei {
 
@@ -76,6 +77,13 @@ struct QstEntry
     std::uint32_t memAccesses = 0;
     std::uint32_t microOps = 0;
     std::uint32_t remoteCompares = 0;
+    /**
+     * Per-component latency attribution: every cycle between enqueue
+     * and completion is charged to exactly one LatencyComponent as the
+     * CEE schedules it, so sum(attr) - attr[Delivery] == completed -
+     * enqueued holds exactly. Feeds the LatencyBreakdown aggregation.
+     */
+    std::array<Cycles, trace::kLatencyComponentCount> attr{};
 };
 
 /**

@@ -9,7 +9,8 @@ namespace qei {
 QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
                      MemoryHierarchy& memory, VirtualMemory& vm,
                      const FirmwareStore& firmware,
-                     const SchemeConfig& scheme)
+                     const SchemeConfig& scheme,
+                     trace::TraceSink* trace_sink)
     : SimObject("system"), chip_(chip), events_(events),
       memory_(memory), vm_(vm), scheme_(scheme),
       remoteCmps_(memory.cores(), chip.qei.comparatorsPerCha)
@@ -47,6 +48,23 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
         accels_.push_back(std::make_unique<Accelerator>(
             i, tile, homeCore, *env_, dpu));
         adopt(*accels_.back());
+    }
+
+    adopt(breakdown_);
+    trace_ = trace_sink;
+    if (trace_ != nullptr) {
+        // Attach after adoption so interned component paths are the
+        // fully qualified tree paths.
+        for (auto& m : mmus_)
+            m->setTraceSink(trace_);
+        for (auto& a : accels_)
+            a->setTraceSink(trace_);
+        traceComp_ = trace_->internComponent(fullPath() + ".breakdown");
+        traceQueryName_ = trace_->internName("query");
+        for (std::size_t i = 0; i < trace::kLatencyComponentCount; ++i) {
+            traceBreakdownName_[i] = trace_->internName(
+                trace::toString(static_cast<trace::LatencyComponent>(i)));
+        }
     }
 }
 
@@ -87,6 +105,63 @@ QeiSystem::responseLatency(int core, const Accelerator& target,
 {
     // Symmetric with submission.
     return submitLatency(core, target, now);
+}
+
+void
+QeiSystem::recordCompletion(const QstEntry& entry, Cycles issue_at,
+                            Cycles response_latency)
+{
+    trace::QueryAttribution a;
+    for (std::size_t i = 0; i < trace::kLatencyComponentCount; ++i)
+        a.cycles[i] = entry.attr[i];
+    // Everything between the core issuing QUERY and the accelerator
+    // accepting it: the submission message, plus (non-blocking only)
+    // any back-off while the target QST was full.
+    a.add(trace::LatencyComponent::Submit, entry.enqueued - issue_at);
+    a.add(trace::LatencyComponent::Response, response_latency);
+
+    // The callback fires once delivery lands, so now() already covers
+    // the accelerator-side latency; only the core-side return is left.
+    const Cycles endToEnd =
+        (events_.now() + response_latency) - issue_at;
+    a.endToEnd = endToEnd;
+    // Zero by construction (every scheduled delay is charged to one
+    // component); anything unaccounted would land in Other.
+    const Cycles accounted = a.sum();
+    if (endToEnd > accounted)
+        a.add(trace::LatencyComponent::Other, endToEnd - accounted);
+    breakdown_.record(a);
+
+    if (trace::active(trace_)) {
+        trace_->record(trace::Category::Query, traceComp_,
+                       traceQueryName_, entry.queryId, issue_at,
+                       endToEnd);
+        // Tile the query span with one sub-span per non-zero
+        // component, in charge order, so Perfetto shows the
+        // decomposition stacked under the query track.
+        Cycles cursor = issue_at;
+        for (std::size_t i = 0; i < trace::kLatencyComponentCount;
+             ++i) {
+            if (a.cycles[i] == 0)
+                continue;
+            trace_->record(trace::Category::Breakdown, traceComp_,
+                           traceBreakdownName_[i], entry.queryId,
+                           cursor, a.cycles[i]);
+            cursor += a.cycles[i];
+        }
+    }
+}
+
+void
+QeiSystem::fillBreakdownStats(QeiRunStats& stats) const
+{
+    for (std::size_t i = 0; i < trace::kLatencyComponentCount; ++i) {
+        const auto c = static_cast<trace::LatencyComponent>(i);
+        stats.breakdownCycles[trace::toString(c)] =
+            breakdown_.componentTotal(c);
+    }
+    stats.breakdownEndToEnd = breakdown_.endToEndTotal();
+    stats.breakdownQueries = breakdown_.queries();
 }
 
 void
@@ -198,8 +273,11 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
 {
     QeiRunStats stats;
     stats.queries = jobs.size();
-    if (jobs.empty())
+    breakdown_.reset();
+    if (jobs.empty()) {
+        fillBreakdownStats(stats);
         return stats;
+    }
 
     // Instructions the core executes per query: the surrounding
     // independent work plus the QUERY_B instruction itself.
@@ -261,19 +339,21 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
             events_.scheduleAt(submitAt, [this, &target, &jobs, jobIdx,
                                           issuing_core, &stats,
                                           &inflight, &lastRetire,
-                                          &reserved, &issueLoop]() {
+                                          &reserved, &issueLoop,
+                                          issueAt]() {
                 const QueryJob& j = jobs[jobIdx];
                 const int slot = target.enqueue(
                     j.headerAddr, j.keyAddr, kNullAddr,
                     QueryMode::Blocking, jobIdx,
                     [this, &target, &jobs, jobIdx, issuing_core, &stats,
-                     &inflight, &lastRetire, &reserved,
-                     &issueLoop](const QstEntry& entry) {
+                     &inflight, &lastRetire, &reserved, &issueLoop,
+                     issueAt](const QstEntry& entry) {
                         const Cycles now = events_.now();
-                        const Cycles retire =
-                            now + responseLatency(issuing_core, target,
-                                                  now);
-                        lastRetire = std::max(lastRetire, retire);
+                        const Cycles respLat = responseLatency(
+                            issuing_core, target, now);
+                        lastRetire =
+                            std::max(lastRetire, now + respLat);
+                        recordCompletion(entry, issueAt, respLat);
                         if (!matchesExpectation(entry, jobs[jobIdx]))
                             ++stats.mismatches;
                         --inflight;
@@ -293,6 +373,7 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
     stats.cycles = lastRetire;
     collectAccelStats(accels_, stats);
     stats.maxInFlightObserved = inflightPeak;
+    fillBreakdownStats(stats);
     return stats;
 }
 
@@ -302,8 +383,11 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
 {
     QeiRunStats stats;
     stats.queries = jobs.size();
-    if (jobs.empty())
+    breakdown_.reset();
+    if (jobs.empty()) {
+        fillBreakdownStats(stats);
         return stats;
+    }
     simAssert(cores > 0 && cores <= memory_.cores(),
               "{} issuing cores on a {}-core chip", cores,
               memory_.cores());
@@ -364,18 +448,20 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
             events_.scheduleAt(submitAt, [this, &target, &jobs, jobIdx,
                                           core, &stats, &coreState,
                                           &lastRetire, &reserved,
-                                          &issueLoop]() {
+                                          &issueLoop, issueAt]() {
                 const QueryJob& j = jobs[jobIdx];
                 const int slot = target.enqueue(
                     j.headerAddr, j.keyAddr, kNullAddr,
                     QueryMode::Blocking, jobIdx,
                     [this, &target, &jobs, jobIdx, core, &stats,
-                     &coreState, &lastRetire, &reserved,
-                     &issueLoop](const QstEntry& entry) {
+                     &coreState, &lastRetire, &reserved, &issueLoop,
+                     issueAt](const QstEntry& entry) {
                         const Cycles now = events_.now();
-                        lastRetire = std::max(
-                            lastRetire,
-                            now + responseLatency(core, target, now));
+                        const Cycles respLat =
+                            responseLatency(core, target, now);
+                        lastRetire =
+                            std::max(lastRetire, now + respLat);
+                        recordCompletion(entry, issueAt, respLat);
                         if (!matchesExpectation(entry, jobs[jobIdx]))
                             ++stats.mismatches;
                         --coreState[static_cast<std::size_t>(core)]
@@ -400,6 +486,7 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
 
     stats.cycles = lastRetire;
     collectAccelStats(accels_, stats);
+    fillBreakdownStats(stats);
     return stats;
 }
 
@@ -410,8 +497,11 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
 {
     QeiRunStats stats;
     stats.queries = jobs.size();
-    if (jobs.empty())
+    breakdown_.reset();
+    if (jobs.empty()) {
+        fillBreakdownStats(stats);
         return stats;
+    }
 
     // QUERY_NB retires as soon as the accelerator accepts it: the only
     // core-side costs are the issue slot and the polling loop.
@@ -437,23 +527,27 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
     // (software over-filled a hot instance), back off and retry — the
     // paper notes an overflow "will prevent the accelerator from
     // accepting further query requests".
-    std::function<void(std::size_t)> tryEnqueue =
-        [&](std::size_t jobIdx) {
+    std::function<void(std::size_t, Cycles)> tryEnqueue =
+        [&](std::size_t jobIdx, Cycles issueAt) {
             const QueryJob& j = jobs[jobIdx];
             Accelerator& target =
                 acceleratorFor(j.keyAddr, issuing_core);
             if (!target.hasFreeSlot()) {
                 events_.schedule(20,
-                                 [&tryEnqueue, jobIdx] {
-                                     tryEnqueue(jobIdx);
+                                 [&tryEnqueue, jobIdx, issueAt] {
+                                     tryEnqueue(jobIdx, issueAt);
                                  });
                 return;
             }
             const int slot = target.enqueue(
                 j.headerAddr, j.keyAddr, j.resultAddr,
                 QueryMode::NonBlocking, jobIdx,
-                [&, jobIdx](const QstEntry& entry) {
+                [&, jobIdx, issueAt](const QstEntry& entry) {
                     lastDone = std::max(lastDone, events_.now());
+                    // The query retired at issue; the result is read
+                    // by the polling loop, whose cost is charged in
+                    // aggregate below — so no Response component here.
+                    recordCompletion(entry, issueAt, 0);
                     if (!matchesExpectation(entry, jobs[jobIdx]))
                         ++stats.mismatches;
                     --inflight;
@@ -487,8 +581,9 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
             inflightPeak =
                 std::max(inflightPeak, static_cast<double>(inflight));
 
-            events_.scheduleAt(submitAt, [&tryEnqueue, jobIdx] {
-                tryEnqueue(jobIdx);
+            events_.scheduleAt(submitAt, [&tryEnqueue, jobIdx,
+                                          issueAt] {
+                tryEnqueue(jobIdx, issueAt);
             });
         }
     };
@@ -519,6 +614,7 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
         lastDone, static_cast<Cycles>(fetchTime));
     collectAccelStats(accels_, stats);
     stats.maxInFlightObserved = inflightPeak;
+    fillBreakdownStats(stats);
     return stats;
 }
 

@@ -8,7 +8,9 @@
 #ifndef QEI_QEI_SYSTEM_HH
 #define QEI_QEI_SYSTEM_HH
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "qei/accelerator.hh"
 #include "qei/scheme.hh"
 #include "sim/event_queue.hh"
+#include "trace/trace.hh"
 
 namespace qei {
 
@@ -51,6 +54,18 @@ struct QeiRunStats
     double avgQstOccupancy = 0.0;
     double maxInFlightObserved = 0.0;
 
+    /**
+     * Per-component latency totals (cycles) from the run's
+     * LatencyBreakdown, keyed by trace::LatencyComponent name. Always
+     * carries every component (zeros included) so artifacts have a
+     * stable shape.
+     */
+    std::map<std::string, Cycles> breakdownCycles;
+    /** Sum of every completed query's end-to-end latency. */
+    Cycles breakdownEndToEnd = 0;
+    /** Queries folded into the breakdown (== completions). */
+    std::uint64_t breakdownQueries = 0;
+
     double
     cyclesPerQuery() const
     {
@@ -66,7 +81,8 @@ class QeiSystem : public SimObject
   public:
     QeiSystem(const ChipConfig& chip, EventQueue& events,
               MemoryHierarchy& memory, VirtualMemory& vm,
-              const FirmwareStore& firmware, const SchemeConfig& scheme);
+              const FirmwareStore& firmware, const SchemeConfig& scheme,
+              trace::TraceSink* trace_sink = nullptr);
     ~QeiSystem();
 
     /**
@@ -151,6 +167,12 @@ class QeiSystem : public SimObject
     RemoteComparators& remoteComparators() { return remoteCmps_; }
     Mmu& coreMmu(int core) { return *mmus_[static_cast<std::size_t>(core)]; }
 
+    /** Latency decomposition of the most recent run. */
+    const trace::LatencyBreakdown& breakdown() const
+    {
+        return breakdown_;
+    }
+
   private:
     /** Core->accelerator submission latency at time @p now. */
     Cycles submitLatency(int core, const Accelerator& target,
@@ -158,6 +180,19 @@ class QeiSystem : public SimObject
     /** Accelerator->core response latency at time @p now. */
     Cycles responseLatency(int core, const Accelerator& target,
                            Cycles now);
+
+    /**
+     * Fold one completed query into the breakdown (and, when tracing,
+     * emit its Query span plus the Breakdown spans tiling it).
+     * @p issue_at is when the core issued the QUERY instruction;
+     * @p response_latency the accelerator->core return cost (0 for
+     * non-blocking queries, whose polling is charged in aggregate).
+     */
+    void recordCompletion(const QstEntry& entry, Cycles issue_at,
+                          Cycles response_latency);
+
+    /** Copy the breakdown's totals into @p stats. */
+    void fillBreakdownStats(QeiRunStats& stats) const;
 
     ChipConfig chip_;
     EventQueue& events_;
@@ -168,6 +203,12 @@ class QeiSystem : public SimObject
     std::vector<std::unique_ptr<Mmu>> mmus_;
     std::unique_ptr<AccelEnv> env_;
     std::vector<std::unique_ptr<Accelerator>> accels_;
+    trace::LatencyBreakdown breakdown_;
+    trace::TraceSink* trace_ = nullptr;
+    std::uint16_t traceComp_ = 0;
+    std::uint32_t traceQueryName_ = 0;
+    std::array<std::uint32_t, trace::kLatencyComponentCount>
+        traceBreakdownName_{};
 };
 
 } // namespace qei

@@ -7,6 +7,7 @@ EventQueue::run(Cycles maxCycles)
 {
     const Cycles deadline =
         maxCycles == kInvalidCycle ? kInvalidCycle : now_ + maxCycles;
+    const Cycles start = now_;
     std::uint64_t executed = 0;
     while (!heap_.empty()) {
         if (deadline != kInvalidCycle && heap_.front().when > deadline) {
@@ -18,12 +19,17 @@ EventQueue::run(Cycles maxCycles)
         ev.action();
         ++executed;
     }
+    if (executed > 0 && trace::active(trace_)) {
+        trace_->record(trace::Category::Sim, traceComp_, traceRun_,
+                       trace::kNoQuery, start, now_ - start);
+    }
     return executed;
 }
 
 std::uint64_t
 EventQueue::runUntil(Cycles until)
 {
+    const Cycles start = now_;
     std::uint64_t executed = 0;
     while (!heap_.empty() && heap_.front().when <= until) {
         Event ev = popEarliest();
@@ -33,6 +39,10 @@ EventQueue::runUntil(Cycles until)
     }
     if (now_ < until)
         now_ = until;
+    if (executed > 0 && trace::active(trace_)) {
+        trace_->record(trace::Category::Sim, traceComp_, traceRun_,
+                       trace::kNoQuery, start, now_ - start);
+    }
     return executed;
 }
 

@@ -31,6 +31,7 @@
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace qei {
 
@@ -215,6 +216,21 @@ class EventQueue
      */
     void reset();
 
+    /**
+     * Attach a trace sink: every run()/runUntil() that executes at
+     * least one event records a Category::Sim span covering the cycles
+     * it advanced.
+     */
+    void
+    setTraceSink(trace::TraceSink* sink)
+    {
+        trace_ = sink;
+        if (sink != nullptr) {
+            traceComp_ = sink->internComponent("events");
+            traceRun_ = sink->internName("run");
+        }
+    }
+
   private:
     static constexpr std::size_t kInitialCapacity = 256;
 
@@ -245,6 +261,9 @@ class EventQueue
     Cycles now_ = 0;
     std::uint64_t nextSequence_ = 0;
     std::vector<Event> heap_;
+    trace::TraceSink* trace_ = nullptr;
+    std::uint16_t traceComp_ = 0;
+    std::uint32_t traceRun_ = 0;
 };
 
 } // namespace qei

@@ -20,6 +20,7 @@
 #include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 #include "vm/virtual_memory.hh"
 
 namespace qei {
@@ -156,10 +157,11 @@ class Mmu : public SimObject
 
     /**
      * Translate @p vaddr and report the latency of the translation
-     * path actually taken (L1 hit / L2 hit / full walk).
+     * path actually taken (L1 hit / L2 hit / full walk). @p now is
+     * only used to timestamp trace events.
      */
     Translation
-    translate(Addr vaddr)
+    translate(Addr vaddr, Cycles now = 0)
     {
         Translation t;
         const Addr vpn = pageNumber(vaddr);
@@ -167,6 +169,7 @@ class Mmu : public SimObject
         if (!paddr) {
             t.valid = false;
             t.latency = params_.pageWalkLatency;
+            traceLookup(t, now);
             return t;
         }
         t.valid = true;
@@ -174,12 +177,14 @@ class Mmu : public SimObject
         if (l1_.lookup(vpn)) {
             t.l1Hit = true;
             t.latency = params_.l1HitLatency;
+            traceLookup(t, now);
             return t;
         }
         if (l2_.lookup(vpn)) {
             t.l2Hit = true;
             t.latency = params_.l1HitLatency + params_.l2HitLatency;
             l1_.fill(vpn);
+            traceLookup(t, now);
             return t;
         }
         t.walked = true;
@@ -187,6 +192,8 @@ class Mmu : public SimObject
                     params_.pageWalkLatency;
         l2_.fill(vpn);
         l1_.fill(vpn);
+        vm_.notePageWalk(now, params_.pageWalkLatency);
+        traceLookup(t, now);
         return t;
     }
 
@@ -196,7 +203,7 @@ class Mmu : public SimObject
      * core's L1 dTLB).
      */
     Translation
-    translateViaL2(Addr vaddr)
+    translateViaL2(Addr vaddr, Cycles now = 0)
     {
         Translation t;
         const Addr vpn = pageNumber(vaddr);
@@ -204,6 +211,7 @@ class Mmu : public SimObject
         if (!paddr) {
             t.valid = false;
             t.latency = params_.pageWalkLatency;
+            traceLookup(t, now);
             return t;
         }
         t.valid = true;
@@ -211,11 +219,14 @@ class Mmu : public SimObject
         if (l2_.lookup(vpn)) {
             t.l2Hit = true;
             t.latency = params_.l2HitLatency;
+            traceLookup(t, now);
             return t;
         }
         t.walked = true;
         t.latency = params_.l2HitLatency + params_.pageWalkLatency;
         l2_.fill(vpn);
+        vm_.notePageWalk(now, params_.pageWalkLatency);
+        traceLookup(t, now);
         return t;
     }
 
@@ -237,11 +248,49 @@ class Mmu : public SimObject
     Tlb& l2() { return l2_; }
     const MmuParams& params() const { return params_; }
 
+    /**
+     * Attach a trace sink: every translation records a Tlb event naming
+     * the path taken (l1_hit / l2_hit / walk / fault). Call after the
+     * MMU is adopted into the object tree so the component path is
+     * fully qualified.
+     */
+    void
+    setTraceSink(trace::TraceSink* sink)
+    {
+        trace_ = sink;
+        if (sink != nullptr) {
+            traceComp_ = sink->internComponent(fullPath());
+            traceL1Hit_ = sink->internName("l1_hit");
+            traceL2Hit_ = sink->internName("l2_hit");
+            traceWalk_ = sink->internName("walk");
+            traceFault_ = sink->internName("fault");
+        }
+    }
+
   private:
+    void
+    traceLookup(const Translation& t, Cycles now)
+    {
+        if (!trace::active(trace_))
+            return;
+        const std::uint32_t name = !t.valid ? traceFault_
+                                   : t.l1Hit ? traceL1Hit_
+                                   : t.l2Hit ? traceL2Hit_
+                                             : traceWalk_;
+        trace_->record(trace::Category::Tlb, traceComp_, name,
+                       trace::kNoQuery, now, t.latency);
+    }
+
     const VirtualMemory& vm_;
     MmuParams params_;
     Tlb l1_;
     Tlb l2_;
+    trace::TraceSink* trace_ = nullptr;
+    std::uint16_t traceComp_ = 0;
+    std::uint32_t traceL1Hit_ = 0;
+    std::uint32_t traceL2Hit_ = 0;
+    std::uint32_t traceWalk_ = 0;
+    std::uint32_t traceFault_ = 0;
 };
 
 } // namespace qei

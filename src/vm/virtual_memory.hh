@@ -25,6 +25,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/sim_memory.hh"
+#include "trace/trace.hh"
 
 namespace qei {
 
@@ -126,6 +127,38 @@ class VirtualMemory : public SimObject
             base + "frames_allocated",
             [this] { return static_cast<double>(frames_.allocated()); },
             "physical frames in use");
+        registry.addCounter(base + "page_walks", pageWalks_,
+                            "page-table walks charged by any MMU");
+    }
+
+    /**
+     * Attach a trace sink: every notePageWalk() records a Vm span for
+     * the walk of this address space's page table.
+     */
+    void
+    setTraceSink(trace::TraceSink* sink)
+    {
+        trace_ = sink;
+        if (sink != nullptr) {
+            traceComp_ = sink->internComponent("vm");
+            traceWalk_ = sink->internName("page_walk");
+        }
+    }
+
+    /**
+     * Account a page-table walk of this address space. Called from the
+     * MMUs and from QEI's dedicated TLBs — the walker hardware differs,
+     * the walked structure is this one. const because translation
+     * consumers hold a const reference; only instrumentation mutates.
+     */
+    void
+    notePageWalk(Cycles now, Cycles latency) const
+    {
+        pageWalks_.inc();
+        if (trace::active(trace_)) {
+            trace_->record(trace::Category::Vm, traceComp_, traceWalk_,
+                           trace::kNoQuery, now, latency);
+        }
     }
 
     /** Allocate @p bytes with @p align alignment; maps pages eagerly. */
@@ -183,6 +216,10 @@ class VirtualMemory : public SimObject
     PageTable pageTable_;
     FrameAllocator frames_;
     Addr brk_ = kHeapBase;
+    mutable Counter pageWalks_;
+    trace::TraceSink* trace_ = nullptr;
+    std::uint16_t traceComp_ = 0;
+    std::uint32_t traceWalk_ = 0;
 };
 
 } // namespace qei

@@ -36,6 +36,8 @@ runBaseline(World& world, const Prepared& prepared, int core)
     Mmu mmu(world.vm, world.chip.mmu);
     mmu.prefillL2(sortedVpns(world));
     CoreModel model(core, world.chip.core, world.hierarchy, mmu);
+    mmu.setTraceSink(&world.traceSink);
+    model.setTraceSink(&world.traceSink);
     return model.runQueries(prepared.traces, prepared.profile);
 }
 
@@ -47,7 +49,8 @@ runQei(World& world, const Prepared& prepared,
     world.resetTiming();
     world.warmLlc();
     QeiSystem system(world.chip, world.events, world.hierarchy,
-                     world.vm, world.firmware, scheme);
+                     world.vm, world.firmware, scheme,
+                     &world.traceSink);
     system.warmTlbs(sortedVpns(world));
     QeiRunStats stats;
     if (mode == QueryMode::Blocking) {

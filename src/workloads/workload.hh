@@ -21,6 +21,7 @@
 #include "qei/firmware.hh"
 #include "qei/system.hh"
 #include "sim/event_queue.hh"
+#include "trace/trace.hh"
 #include "vm/virtual_memory.hh"
 
 namespace qei {
@@ -48,6 +49,13 @@ struct World
           hierarchy(config.memory),
           firmware(FirmwareStore::factory()), rng(seed)
     {
+        // Wire the shared components to this world's sink once; the
+        // sink stays disabled (and the instrumentation free) until an
+        // experiment calls traceSink.enable(). Worlds never move, so
+        // the pointers stay valid for the world's lifetime.
+        events.setTraceSink(&traceSink);
+        hierarchy.setTraceSink(&traceSink);
+        vm.setTraceSink(&traceSink);
     }
 
     /**
@@ -92,6 +100,13 @@ struct World
     EventQueue events;
     FirmwareStore firmware;
     Rng rng;
+    /**
+     * Per-world timeline event sink (tentpole of the observability
+     * work): private to this world, so parallel matrix cells never
+     * share trace state. Declared last so every component it observes
+     * outlives it during destruction.
+     */
+    trace::TraceSink traceSink;
 };
 
 /** Matched baseline/QEI query streams for one workload. */

@@ -39,6 +39,16 @@ expectSameStats(const QeiRunStats& a, const QeiRunStats& b)
     EXPECT_EQ(a.remoteCompares, b.remoteCompares);
     EXPECT_DOUBLE_EQ(a.avgQstOccupancy, b.avgQstOccupancy);
     EXPECT_DOUBLE_EQ(a.maxInFlightObserved, b.maxInFlightObserved);
+    // The latency breakdown is integer-total based, so it must also be
+    // bit-identical across thread counts.
+    EXPECT_EQ(a.breakdownQueries, b.breakdownQueries);
+    EXPECT_EQ(a.breakdownEndToEnd, b.breakdownEndToEnd);
+    ASSERT_EQ(a.breakdownCycles.size(), b.breakdownCycles.size());
+    for (const auto& [component, cycles] : a.breakdownCycles) {
+        ASSERT_TRUE(b.breakdownCycles.count(component)) << component;
+        EXPECT_EQ(cycles, b.breakdownCycles.at(component))
+            << component;
+    }
 }
 
 /** Two workloads keep the test fast while still crossing workloads. */
@@ -94,6 +104,41 @@ TEST(ParallelRuns, MatrixCoversAllSchemes)
             EXPECT_EQ(stats.mismatches, 0u)
                 << run.name << " / " << scheme;
             EXPECT_GT(run.speedup(stats), 0.0);
+        }
+    }
+}
+
+TEST(ParallelRuns, TraceEventCountsMatchAcrossThreadCounts)
+{
+    // Timeline capture must not perturb determinism: every per-cell
+    // trace at --threads 8 carries exactly the events of --threads 1.
+    MatrixOptions serial = testMatrix(1);
+    serial.captureTrace = true;
+    MatrixOptions parallel = testMatrix(8);
+    parallel.captureTrace = true;
+
+    const auto a = runWorkloadMatrix(testFactories(), serial);
+    const auto b = runWorkloadMatrix(testFactories(), parallel);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t w = 0; w < a.size(); ++w) {
+        ASSERT_EQ(a[w].traces.size(), b[w].traces.size());
+        // Baseline + one per scheme, all armed.
+        EXPECT_EQ(a[w].traces.size(),
+                  1 + SchemeConfig::allSchemes().size());
+        for (const auto& [cell, buf] : a[w].traces) {
+            ASSERT_TRUE(b[w].traces.count(cell))
+                << a[w].name << " / " << cell;
+            const trace::TraceBuffer& other = b[w].traces.at(cell);
+            EXPECT_EQ(buf.emitted, other.emitted)
+                << a[w].name << " / " << cell;
+            EXPECT_EQ(buf.events.size(), other.events.size())
+                << a[w].name << " / " << cell;
+            // With QEI_TRACING=OFF the sinks legitimately stay empty;
+            // the equality checks above still hold (0 == 0).
+            if (trace::kCompiledIn)
+                EXPECT_GT(buf.emitted, 0u)
+                    << a[w].name << " / " << cell;
         }
     }
 }
