@@ -49,6 +49,49 @@ flushWith(World& world, SimLinkedList& list,
     return system.flushAll();
 }
 
+using validate::Expectation;
+using validate::Relation;
+
+/** Paper expectations for the flush-cost ablation. */
+validate::Suite
+paperExpectations()
+{
+    validate::Suite suite;
+    suite.title = "Ablation — interrupt flush latency";
+    suite.preamble =
+        "Reproduces the Sec. IV-D flush-cost claims: an empty QST "
+        "flushes for free, cost grows with the number of in-flight "
+        "non-blocking queries, and abort-code stores that share a "
+        "cacheline coalesce into far fewer writebacks.";
+    suite.expectations.push_back(Expectation::exact(
+        "empty-flush-free", "Sec. IV-D",
+        "flushing with no non-blocking queries costs nothing",
+        "sweep.[nb_queries=0].flush_cycles_scattered", "cyc", 0.0));
+    suite.expectations.push_back(Expectation::ordering(
+        "cost-grows-with-occupancy", "Sec. IV-D",
+        "a full QST flushes slower than a nearly empty one",
+        "sweep.[nb_queries=10].flush_cycles_scattered", Relation::Gt,
+        "sweep.[nb_queries=2].flush_cycles_scattered"));
+    suite.expectations.push_back(Expectation::ordering(
+        "line-sharing-coalesces", "Sec. IV-D",
+        "packed result slots coalesce abort stores",
+        "sweep.[nb_queries=10].flush_cycles_packed", Relation::Lt,
+        "sweep.[nb_queries=10].flush_cycles_scattered"));
+    suite.expectations.push_back(Expectation::near(
+        "full-flush-scattered", "Sec. IV-D",
+        "full-QST flush cost with scattered result slots",
+        "sweep.[nb_queries=10].flush_cycles_scattered", "cyc", 90.0,
+        0.15, 0.25,
+        "'a few cycles per query' — 10 queries x 9-cycle abort "
+        "stores in this model"));
+    suite.expectations.push_back(Expectation::near(
+        "full-flush-packed", "Sec. IV-D",
+        "full-QST flush cost with 4 slots per line",
+        "sweep.[nb_queries=10].flush_cycles_packed", "cyc", 27.0,
+        0.15, 0.25));
+    return suite;
+}
+
 } // namespace
 
 int
@@ -106,6 +149,7 @@ main(int argc, char** argv)
 
     report.data()["sweep"] = std::move(points);
     report.setTable(table);
+    report.setValidation(paperExpectations());
     const bool traceOk = tracer.write();
     return report.finish() && traceOk ? 0 : 1;
 }

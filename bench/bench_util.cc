@@ -117,6 +117,8 @@ parseBenchArgs(int argc, char** argv)
             }
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
             options.threads = parseThreadCount(arg + 10);
+        } else if (std::strcmp(arg, "--validate") == 0) {
+            options.validate = true;
         }
     }
     return options;
@@ -139,10 +141,38 @@ BenchReport::setTable(const TablePrinter& table)
     root_["table"] = table.toJson();
 }
 
+void
+BenchReport::setValidation(validate::Suite suite)
+{
+    suite_ = std::move(suite);
+    haveSuite_ = true;
+}
+
 bool
 BenchReport::finish()
 {
     const double wallMs = msSince(start_);
+
+    // Evaluate the paper expectations against the payload as filled
+    // so far; the block is embedded in every artifact so that
+    // qei-validate (and the generated EXPERIMENTS.md) work from the
+    // same metadata whether or not --validate was passed.
+    bool validationOk = true;
+    if (haveSuite_) {
+        const std::vector<validate::Outcome> outcomes =
+            validate::evaluate(suite_, root_);
+        root_["validation"] = validate::toJson(suite_, outcomes);
+        if (options_.validate) {
+            validate::printOutcomes(root_.at("bench").asString(),
+                                    outcomes);
+            validationOk =
+                validate::overall(outcomes) != validate::Verdict::Fail;
+        }
+    } else if (options_.validate) {
+        std::fprintf(stderr,
+                     "--validate: no expectation suite declared\n");
+        validationOk = false;
+    }
     root_["host_wall_ms"] = wallMs;
     root_["threads"] = static_cast<std::int64_t>(options_.threads);
 
@@ -180,7 +210,7 @@ BenchReport::finish()
     std::printf("host wall time: %.1f ms (threads=%d)\n", wallMs,
                 options_.threads);
     if (!enabled())
-        return true;
+        return validationOk;
     std::ofstream out(options_.jsonPath);
     if (out) {
         out << root_.dump(2) << '\n';
@@ -192,7 +222,7 @@ BenchReport::finish()
         return false;
     }
     std::printf("wrote %s\n", options_.jsonPath.c_str());
-    return true;
+    return validationOk;
 }
 
 WorkloadRun

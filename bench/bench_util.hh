@@ -25,6 +25,7 @@
 #include "common/thread_pool.hh"
 #include "power/energy_model.hh"
 #include "trace/trace.hh"
+#include "validate/expectation.hh"
 #include "workloads/workload.hh"
 
 namespace qei::bench {
@@ -45,15 +46,23 @@ struct BenchOptions
      * parallelMap). 1 = serial; defaults from QEI_BENCH_THREADS.
      */
     int threads = 1;
+    /**
+     * `--validate`: print the per-expectation PASS/WARN/FAIL table
+     * and make any FAIL set a non-zero exit code. The expectation
+     * table itself is always evaluated and embedded in the `--json`
+     * artifact; this flag only controls the printed report and the
+     * exit-code gate.
+     */
+    bool validate = false;
 };
 
 /**
  * Parse the harness command line. Recognises `--json <path>`,
  * `--json=<path>`, `--trace <path>`, `--trace=<path>`,
- * `--threads <n>`, and `--threads=<n>` (n = 0 or "auto" uses every
- * host core); QEI_BENCH_THREADS seeds the default. Other arguments
- * are left for the harness to interpret (debug_probe's workload
- * filter).
+ * `--threads <n>`, `--threads=<n>` (n = 0 or "auto" uses every host
+ * core), and `--validate`; QEI_BENCH_THREADS seeds the thread
+ * default. Other arguments are left for the harness to interpret
+ * (debug_probe's workload filter).
  */
 BenchOptions parseBenchArgs(int argc, char** argv);
 
@@ -86,15 +95,27 @@ class BenchReport
     void setTable(const TablePrinter& table);
 
     /**
-     * Stamp host-perf fields, print the total host wall time, and
-     * write the artifact when enabled; prints the destination (or the
-     * failure) to stdout. @return false on I/O failure.
+     * Declare the harness's paper expectations. They are evaluated
+     * against the payload inside finish() — call this after the
+     * figure data has been added to data().
+     */
+    void setValidation(validate::Suite suite);
+
+    /**
+     * Evaluate the expectation suite (when one was set) against the
+     * payload and embed the `validation` block; print the
+     * PASS/WARN/FAIL table under `--validate`; stamp host-perf
+     * fields, print the total host wall time, and write the artifact
+     * when enabled. @return false on I/O failure, or — under
+     * `--validate` only — when any expectation FAILs.
      */
     bool finish();
 
   private:
     BenchOptions options_;
     Json root_;
+    validate::Suite suite_;
+    bool haveSuite_ = false;
     std::chrono::steady_clock::time_point start_;
 };
 

@@ -8,6 +8,43 @@
 using namespace qei;
 using namespace qei::bench;
 
+namespace {
+
+using validate::Expectation;
+
+/** Sanity expectations for the calibration probe. @p filtered is
+ *  true when a workload filter hid part of the matrix. */
+validate::Suite
+paperExpectations(std::uint64_t total_mismatches, bool filtered)
+{
+    validate::Suite suite;
+    suite.title = "Calibration probe — model sanity";
+    suite.preamble =
+        "Not a paper figure: the probe dumps the raw per-scheme "
+        "breakdowns used to calibrate the timing model, so its "
+        "checks are sanity gates rather than paper claims — every "
+        "scheme must return bit-identical results to the scalar "
+        "baseline, and the probe's headline workload must still "
+        "show a QEI win.";
+    suite.expectations.push_back(Expectation::shape(
+        "functional-correctness", "Sec. V",
+        "all schemes agree with the scalar baseline on every "
+        "workload",
+        total_mismatches == 0,
+        std::to_string(total_mismatches) + " mismatches"));
+    if (!filtered) {
+        suite.expectations.push_back(Expectation::range(
+            "dpdk-core-int-sane", "Fig. 7",
+            "dpdk Core-integrated speedup stays in a sane band",
+            "workloads.[workload=dpdk].schemes.Core-integrated"
+            ".speedup",
+            "x", 1.0, 10.0, 0.10));
+    }
+    return suite;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
@@ -17,10 +54,12 @@ main(int argc, char** argv)
     std::string only;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--json" || arg == "--threads") {
+        if (arg == "--json" || arg == "--threads" || arg == "--trace") {
             ++i; // skip the operand
         } else if (arg.rfind("--json=", 0) != 0 &&
-                   arg.rfind("--threads=", 0) != 0) {
+                   arg.rfind("--threads=", 0) != 0 &&
+                   arg.rfind("--trace=", 0) != 0 &&
+                   arg != "--validate") {
             only = arg;
             break;
         }
@@ -42,6 +81,7 @@ main(int argc, char** argv)
     matrix.tracePath = options.tracePath;
 
     Json workloads = Json::array();
+    std::uint64_t totalMismatches = 0;
     for (const WorkloadRun& run : runWorkloadMatrix(factories, matrix)) {
         std::printf("== %s: baseline %.1f cyc/q, %.0f instr/q, "
                     "%.2f touches/q, ipc %.2f\n",
@@ -53,6 +93,7 @@ main(int argc, char** argv)
                     run.baseline.ipc());
         for (const auto& name : schemeNames()) {
             const QeiRunStats& s = run.schemes.at(name);
+            totalMismatches += s.mismatches;
             std::printf("   %-16s %8.1f cyc/q  %5.2fx  mem/q=%.1f "
                         "uops/q=%.1f rcmp/q=%.2f occ=%.1f "
                         "maxinfl=%.0f\n",
@@ -67,5 +108,7 @@ main(int argc, char** argv)
         workloads.push_back(toJson(run));
     }
     report.data()["workloads"] = std::move(workloads);
+    report.setValidation(
+        paperExpectations(totalMismatches, !only.empty()));
     return report.finish() ? 0 : 1;
 }

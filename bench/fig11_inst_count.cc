@@ -15,6 +15,48 @@
 using namespace qei;
 using namespace qei::bench;
 
+namespace {
+
+using validate::Expectation;
+using validate::Relation;
+
+/** Paper expectations for the Fig. 11 instruction-count reduction. */
+validate::Suite
+paperExpectations()
+{
+    validate::Suite suite;
+    suite.title = "Fig. 11 — dynamic instructions in the ROI";
+    suite.preamble =
+        "QEI collapses each software query routine to one QUERY "
+        "instruction plus the surrounding independent work, so the "
+        "reduction tracks the baseline query length: the deep trie "
+        "walk (snort) loses essentially all of its instructions, "
+        "the short hash probes (dpdk) and the small-tree search "
+        "(flann) keep the most residual work.";
+    struct Band { const char* w; double lo; double hi; };
+    for (const Band& b : {Band{"dpdk", 0.70, 0.90},
+                          Band{"jvm", 0.90, 0.99},
+                          Band{"rocksdb", 0.95, 1.00},
+                          Band{"snort", 0.98, 1.00},
+                          Band{"flann", 0.70, 0.90}}) {
+        const std::string name = b.w;
+        suite.expectations.push_back(Expectation::range(
+            "reduction-" + name, "Fig. 11",
+            "dynamic-instruction reduction on " + name,
+            "workloads.[workload=" + name + "].reduction", "%", b.lo,
+            b.hi, 0.05));
+    }
+    suite.expectations.push_back(Expectation::ordering(
+        "deep-queries-collapse-hardest", "Fig. 11",
+        "the deep trie workload sheds a larger share than the hash "
+        "workload",
+        "workloads.[workload=snort].reduction", Relation::Gt,
+        "workloads.[workload=dpdk].reduction"));
+    return suite;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
@@ -60,5 +102,6 @@ main(int argc, char** argv)
 
     report.data()["workloads"] = std::move(workloads);
     report.setTable(table);
+    report.setValidation(paperExpectations());
     return report.finish() ? 0 : 1;
 }

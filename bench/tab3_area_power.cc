@@ -13,6 +13,53 @@
 using namespace qei;
 using namespace qei::bench;
 
+namespace {
+
+using validate::Expectation;
+using validate::Relation;
+
+/** Paper expectations for the Tab. III area/power model. */
+validate::Suite
+paperExpectations()
+{
+    validate::Suite suite;
+    suite.title = "Tab. III — area and static power";
+    suite.preamble =
+        "The analytic 22 nm model tracks the paper's McPAT/CACTI "
+        "numbers within a few percent for all three configurations "
+        "— close enough that the paper's headline (even QEI-240 is "
+        "a few percent of one core tile) carries over unchanged.";
+    struct Ref
+    {
+        const char* config;
+        double area;
+        double power;
+    };
+    for (const Ref& r : {Ref{"QEI-10", 0.1752, 10.8984},
+                         Ref{"QEI-10+TLB", 0.5730, 30.9049},
+                         Ref{"QEI-240", 1.0901, 20.8764}}) {
+        const std::string name = r.config;
+        const std::string base =
+            "configurations.[configuration=" + name + "]";
+        suite.expectations.push_back(Expectation::near(
+            "area-" + name, "Tab. III", name + " total area",
+            base + ".area_mm2", "mm^2", r.area, 0.08, 0.12));
+        suite.expectations.push_back(Expectation::near(
+            "static-" + name, "Tab. III", name + " static power",
+            base + ".static_mw", "mW", r.power, 0.08, 0.12));
+    }
+    suite.expectations.push_back(Expectation::ordering(
+        "shared-qst-saves-leakage", "Tab. III",
+        "the shared-QST device build leaks less than 24 per-core "
+        "TLB-equipped accelerators",
+        "configurations.[configuration=QEI-240].static_mw",
+        Relation::Lt,
+        "configurations.[configuration=QEI-10+TLB].static_mw"));
+    return suite;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
@@ -74,5 +121,6 @@ main(int argc, char** argv)
 
     report.data()["configurations"] = std::move(configs);
     report.setTable(table);
+    report.setValidation(paperExpectations());
     return report.finish() ? 0 : 1;
 }

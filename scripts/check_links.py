@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Scans the repo's markdown documentation for ``[text](target)`` links
+and fails when a relative target does not exist, or when a same-file
+``#anchor`` does not match any heading. External (http/https/mailto)
+links are not fetched — CI must not depend on network reachability.
+
+Usage: scripts/check_links.py [FILE.md ...]
+With no arguments, checks the repo's documentation set: *.md at the
+top level plus docs/*.md.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — target up to the first unescaped ')'; images too.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def display(path: Path) -> str:
+    """Repo-relative when possible; explicit files may live elsewhere."""
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not references.
+    stripped = CODE_FENCE.sub("", text)
+    slugs = {github_slug(h) for h in HEADING.findall(stripped)}
+    for match in LINK.finditer(stripped):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        where = f"{display(path)}: {target}"
+        if target.startswith("#"):
+            if target[1:] not in slugs:
+                errors.append(f"{where}: no such heading")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{where}: file not found")
+            continue
+        if anchor and resolved.suffix == ".md":
+            other = CODE_FENCE.sub(
+                "", resolved.read_text(encoding="utf-8"))
+            other_slugs = {
+                github_slug(h) for h in HEADING.findall(other)}
+            if anchor not in other_slugs:
+                errors.append(f"{where}: no such heading in "
+                              f"{resolved.name}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = sorted(REPO.glob("*.md")) + sorted(
+            (REPO / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    for f in missing:
+        print(f"error: {f} does not exist", file=sys.stderr)
+    errors = []
+    for f in files:
+        if f.exists():
+            errors.extend(check_file(f))
+    for e in errors:
+        print(f"broken link: {e}", file=sys.stderr)
+    total = len(errors) + len(missing)
+    print(f"checked {len(files)} files: "
+          f"{'OK' if total == 0 else f'{total} problems'}")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

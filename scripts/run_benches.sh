@@ -1,12 +1,17 @@
 #!/usr/bin/env sh
 # Run every benchmark harness and collect BENCH_<name>.json artifacts.
 #
-# Usage: scripts/run_benches.sh [--trace-dir DIR] [build-dir] \
-#            [output-dir] [threads]
+# Usage: scripts/run_benches.sh [--trace-dir DIR] [--validate] \
+#            [build-dir] [output-dir] [threads]
 #   --trace-dir DIR  also capture Perfetto timelines: each harness gets
 #                    --trace DIR/TRACE_<name>.json (merged file, plus
 #                    per-cell files next to it); load them at
 #                    https://ui.perfetto.dev
+#   --validate  evaluate each harness's paper expectations (the harness
+#               prints its PASS/WARN/FAIL table and exits non-zero on
+#               FAIL), then fold all artifacts through tools/qei-validate
+#               and regenerate output-dir/EXPERIMENTS.md from them. The
+#               script's exit code covers both.
 #   build-dir   cmake build tree (default: build); configured+built
 #               here if the bench binaries are missing
 #   output-dir  where the BENCH_*.json files land (default: .)
@@ -17,6 +22,7 @@
 set -eu
 
 trace_dir=
+validate=
 while [ $# -gt 0 ]; do
     case $1 in
         --trace-dir)
@@ -26,6 +32,10 @@ while [ $# -gt 0 ]; do
             ;;
         --trace-dir=*)
             trace_dir=${1#--trace-dir=}
+            shift
+            ;;
+        --validate)
+            validate=1
             shift
             ;;
         *)
@@ -45,11 +55,17 @@ if [ ! -d "$build_dir/bench" ]; then
     cmake -B "$build_dir" -S .
     cmake --build "$build_dir" -j
 fi
+if [ -n "$validate" ] && [ ! -x "$build_dir/tools/qei-validate" ]; then
+    cmake --build "$build_dir" -j --target qei-validate
+fi
 
 mkdir -p "$out_dir"
-[ -n "$trace_dir" ] && mkdir -p "$trace_dir"
+if [ -n "$trace_dir" ]; then
+    mkdir -p "$trace_dir"
+fi
 
 summary=
+artifacts=
 suite_start=$(date +%s)
 status=0
 for bench in "$build_dir"/bench/*; do
@@ -60,19 +76,27 @@ for bench in "$build_dir"/bench/*; do
     esac
     echo "== $name (threads=$threads)"
     start=$(date +%s)
+    set --
     if [ -n "$trace_dir" ]; then
-        set -- --trace "$trace_dir/TRACE_$name.json"
-    else
-        set --
+        set -- "$@" --trace "$trace_dir/TRACE_$name.json"
     fi
-    if "$bench" --threads "$threads" \
-            --json "$out_dir/BENCH_$name.json" "$@"; then
+    if [ -n "$validate" ]; then
+        set -- "$@" --validate
+    fi
+    # Capture the harness's real exit code: a non-zero exit (crash,
+    # artifact-write failure, or a FAIL verdict under --validate) must
+    # reach the summary and the script's own exit status.
+    rc=0
+    "$bench" --threads "$threads" \
+        --json "$out_dir/BENCH_$name.json" "$@" || rc=$?
+    if [ "$rc" -eq 0 ]; then
         result=pass
     else
-        echo "** $name failed" >&2
-        result=FAIL
+        echo "** $name failed (exit $rc)" >&2
+        result="FAIL($rc)"
         status=1
     fi
+    artifacts="$artifacts $out_dir/BENCH_$name.json"
     end=$(date +%s)
     summary="$summary$name|$result|$((end - start))
 "
@@ -81,13 +105,26 @@ suite_end=$(date +%s)
 
 echo
 echo "== summary (threads=$threads)"
-printf '%-24s %-6s %s\n' harness result seconds
-printf '%-24s %-6s %s\n' ------- ------ -------
+printf '%-24s %-9s %s\n' harness result seconds
+printf '%-24s %-9s %s\n' ------- ------ -------
 printf '%s' "$summary" | while IFS='|' read -r name result secs; do
     [ -n "$name" ] || continue
-    printf '%-24s %-6s %s\n' "$name" "$result" "$secs"
+    printf '%-24s %-9s %s\n' "$name" "$result" "$secs"
 done
 echo "== suite wall time: $((suite_end - suite_start)) s" \
      "(threads=$threads)"
-[ -n "$trace_dir" ] && echo "== traces in $trace_dir (ui.perfetto.dev)"
+if [ -n "$trace_dir" ]; then
+    echo "== traces in $trace_dir (ui.perfetto.dev)"
+fi
+
+if [ -n "$validate" ]; then
+    echo
+    # shellcheck disable=SC2086 # word-splitting the path list is intended
+    if ! "$build_dir/tools/qei-validate" \
+            --emit-experiments "$out_dir/EXPERIMENTS.md" $artifacts; then
+        status=1
+    fi
+    echo "== regenerated $out_dir/EXPERIMENTS.md" \
+         "(commit it over the repo copy if bands changed)"
+fi
 exit $status

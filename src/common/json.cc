@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace qei {
@@ -102,6 +103,106 @@ Json::at(const std::string& key) const
     if (v == nullptr)
         throw std::out_of_range("Json: no member '" + key + "'");
     return *v;
+}
+
+namespace {
+
+/** True when @p value matches @p text numerically or verbatim. */
+bool
+selectorMatches(const Json& value, const std::string& text)
+{
+    if (value.isString())
+        return value.asString() == text;
+    if (value.isNumber()) {
+        char* end = nullptr;
+        const double want = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() || *end != '\0')
+            return false;
+        return value.asDouble() == want;
+    }
+    if (value.isBool())
+        return text == (value.asBool() ? "true" : "false");
+    return false;
+}
+
+} // namespace
+
+const Json*
+Json::resolve(std::string_view path) const
+{
+    const Json* node = this;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        // Next segment: '[...]' runs to the matching ']', a plain key
+        // runs to the next '.'.
+        std::string_view seg;
+        if (pos < path.size() && path[pos] == '[') {
+            const std::size_t close = path.find(']', pos);
+            if (close == std::string_view::npos)
+                return nullptr;
+            seg = path.substr(pos, close - pos + 1);
+            pos = close + 1;
+            if (pos < path.size()) {
+                if (path[pos] != '.')
+                    return nullptr;
+                ++pos;
+            } else {
+                pos = path.size() + 1;
+            }
+        } else {
+            const std::size_t dot = path.find('.', pos);
+            if (dot == std::string_view::npos) {
+                seg = path.substr(pos);
+                pos = path.size() + 1;
+            } else {
+                seg = path.substr(pos, dot - pos);
+                pos = dot + 1;
+            }
+        }
+        if (seg.empty())
+            return nullptr;
+
+        if (seg.front() == '[' && seg.back() == ']') {
+            if (!node->isArray())
+                return nullptr;
+            const std::string_view body =
+                seg.substr(1, seg.size() - 2);
+            const std::size_t eq = body.find('=');
+            if (eq == std::string_view::npos) {
+                // Plain numeric index.
+                std::size_t idx = 0;
+                for (char c : body) {
+                    if (c < '0' || c > '9')
+                        return nullptr;
+                    idx = idx * 10 + static_cast<std::size_t>(c - '0');
+                }
+                if (body.empty() || idx >= node->size())
+                    return nullptr;
+                node = &node->at(idx);
+            } else {
+                const std::string key(body.substr(0, eq));
+                const std::string want(body.substr(eq + 1));
+                const Json* hit = nullptr;
+                for (const Json& elem : node->elements()) {
+                    const Json* member = elem.find(key);
+                    if (member && selectorMatches(*member, want)) {
+                        hit = &elem;
+                        break;
+                    }
+                }
+                if (hit == nullptr)
+                    return nullptr;
+                node = hit;
+            }
+        } else {
+            node = node->find(std::string(seg));
+            if (node == nullptr)
+                return nullptr;
+        }
+        if (pos > path.size())
+            break;
+    }
+    return node;
 }
 
 void

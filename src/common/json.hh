@@ -79,6 +79,23 @@ class Json
     /** Member lookup without creation; nullptr when absent. */
     const Json* find(const std::string& key) const;
 
+    /**
+     * Dotted-path lookup used by the validation expectations to name
+     * metrics inside a BenchReport artifact. Segments are separated
+     * by '.'; a segment of the form `[N]` indexes an array and
+     * `[key=value]` selects the first array element whose member
+     * @p key equals @p value (numeric compare when @p value parses as
+     * a number, string compare otherwise). Object keys themselves may
+     * not contain '.' or start with '['.
+     *
+     *   "workloads.[workload=dpdk].schemes.CHA-TLB.speedup"
+     *   "sweep.[qst_entries=10].jvm_occupancy"
+     *   "config.cores"
+     *
+     * @return nullptr when any segment fails to resolve.
+     */
+    const Json* resolve(std::string_view path) const;
+
     /** Member lookup; throws std::out_of_range when absent. */
     const Json& at(const std::string& key) const;
 

@@ -1,0 +1,452 @@
+#include "expectation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/table_printer.hh"
+
+namespace qei::validate {
+
+const char*
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Pass:
+        return "PASS";
+      case Verdict::Warn:
+        return "WARN";
+      case Verdict::Fail:
+        return "FAIL";
+    }
+    return "FAIL";
+}
+
+Verdict
+worseOf(Verdict a, Verdict b)
+{
+    return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+const char*
+relationSymbol(Relation r)
+{
+    switch (r) {
+      case Relation::Lt:
+        return "<";
+      case Relation::Le:
+        return "<=";
+      case Relation::Gt:
+        return ">";
+      case Relation::Ge:
+        return ">=";
+    }
+    return "?";
+}
+
+Expectation
+Expectation::range(std::string id, std::string paper_ref,
+                   std::string description, std::string metric,
+                   std::string unit, double lo, double hi,
+                   double warn_tol, std::string note)
+{
+    Expectation e;
+    e.id = std::move(id);
+    e.paperRef = std::move(paper_ref);
+    e.description = std::move(description);
+    e.kind = Kind::Band;
+    e.metric = std::move(metric);
+    e.unit = std::move(unit);
+    e.paperLo = e.bandLo = lo;
+    e.paperHi = e.bandHi = hi;
+    e.tolerance = warn_tol;
+    e.note = std::move(note);
+    return e;
+}
+
+Expectation
+Expectation::near(std::string id, std::string paper_ref,
+                  std::string description, std::string metric,
+                  std::string unit, double value, double tol_rel,
+                  double warn_tol, std::string note)
+{
+    Expectation e = range(std::move(id), std::move(paper_ref),
+                          std::move(description), std::move(metric),
+                          std::move(unit), value * (1.0 - tol_rel),
+                          value * (1.0 + tol_rel), warn_tol,
+                          std::move(note));
+    e.paperLo = e.paperHi = value;
+    return e;
+}
+
+Expectation
+Expectation::exact(std::string id, std::string paper_ref,
+                   std::string description, std::string metric,
+                   std::string unit, double value, std::string note)
+{
+    return near(std::move(id), std::move(paper_ref),
+                std::move(description), std::move(metric),
+                std::move(unit), value, 0.0, 0.0, std::move(note));
+}
+
+Expectation
+Expectation::reanchored(std::string id, std::string paper_ref,
+                        std::string description, std::string metric,
+                        std::string unit, double paper_lo,
+                        double paper_hi, double gate_lo,
+                        double gate_hi, double warn_tol,
+                        std::string note)
+{
+    Expectation e = range(std::move(id), std::move(paper_ref),
+                          std::move(description), std::move(metric),
+                          std::move(unit), gate_lo, gate_hi, warn_tol,
+                          std::move(note));
+    e.paperLo = paper_lo;
+    e.paperHi = paper_hi;
+    return e;
+}
+
+Expectation
+Expectation::ordering(std::string id, std::string paper_ref,
+                      std::string description, std::string metric,
+                      Relation relation, std::string metric_b,
+                      double slack, std::string note,
+                      double warn_slack)
+{
+    Expectation e;
+    e.id = std::move(id);
+    e.paperRef = std::move(paper_ref);
+    e.description = std::move(description);
+    e.kind = Kind::Ordering;
+    e.metric = std::move(metric);
+    e.metricB = std::move(metric_b);
+    e.relation = relation;
+    e.tolerance = slack;
+    e.warnSlack = warn_slack < 0.0 ? slack + 0.10 : warn_slack;
+    e.note = std::move(note);
+    return e;
+}
+
+Expectation
+Expectation::shape(std::string id, std::string paper_ref,
+                   std::string description, bool holds,
+                   std::string measured_text, std::string note)
+{
+    Expectation e;
+    e.id = std::move(id);
+    e.paperRef = std::move(paper_ref);
+    e.description = std::move(description);
+    e.kind = Kind::Shape;
+    e.holds = holds;
+    e.measuredText = std::move(measured_text);
+    e.note = std::move(note);
+    return e;
+}
+
+namespace {
+
+/** Resolve a numeric metric; false when absent or non-numeric. */
+bool
+resolveNumber(const Json& report, const std::string& path, double* out)
+{
+    const Json* node = report.resolve(path);
+    if (node == nullptr || !node->isNumber())
+        return false;
+    *out = node->asDouble();
+    return true;
+}
+
+Outcome
+evaluateBand(const Expectation& e, const Json& report)
+{
+    Outcome out;
+    out.expectation = e;
+    if (!resolveNumber(report, e.metric, &out.measured)) {
+        out.verdict = Verdict::Fail;
+        out.detail = "metric '" + e.metric + "' missing from artifact";
+        return out;
+    }
+    out.haveMeasured = true;
+    const double m = out.measured;
+    if (m >= e.bandLo && m <= e.bandHi) {
+        out.verdict = Verdict::Pass;
+    } else {
+        const double margin =
+            e.tolerance *
+            std::max(std::fabs(e.bandLo), std::fabs(e.bandHi));
+        out.verdict = (m >= e.bandLo - margin && m <= e.bandHi + margin)
+                          ? Verdict::Warn
+                          : Verdict::Fail;
+    }
+    out.detail = formatValue(m, e.unit) + " vs gate [" +
+                 formatValue(e.bandLo, e.unit) + ", " +
+                 formatValue(e.bandHi, e.unit) + "]";
+    return out;
+}
+
+Outcome
+evaluateOrdering(const Expectation& e, const Json& report)
+{
+    Outcome out;
+    out.expectation = e;
+    const bool haveA = resolveNumber(report, e.metric, &out.measured);
+    const bool haveB =
+        resolveNumber(report, e.metricB, &out.measuredB);
+    out.haveMeasured = haveA;
+    out.haveMeasuredB = haveB;
+    if (!haveA || !haveB) {
+        out.verdict = Verdict::Fail;
+        out.detail = "metric '" + (haveA ? e.metricB : e.metric) +
+                     "' missing from artifact";
+        return out;
+    }
+    // PASS while the relation holds against the RHS relaxed by
+    // `tolerance`, WARN while it holds against the `warnSlack`
+    // relaxation, FAIL beyond.
+    const double a = out.measured;
+    const double b = out.measuredB;
+    bool pass = false;
+    bool warn = false;
+    const bool upward =
+        e.relation == Relation::Lt || e.relation == Relation::Le;
+    const double passRhs =
+        b * (upward ? 1.0 + e.tolerance : 1.0 - e.tolerance);
+    const double warnRhs =
+        b * (upward ? 1.0 + e.warnSlack : 1.0 - e.warnSlack);
+    switch (e.relation) {
+      case Relation::Lt:
+        pass = a < passRhs;
+        warn = a < warnRhs;
+        break;
+      case Relation::Le:
+        pass = a <= passRhs;
+        warn = a <= warnRhs;
+        break;
+      case Relation::Gt:
+        pass = a > passRhs;
+        warn = a > warnRhs;
+        break;
+      case Relation::Ge:
+        pass = a >= passRhs;
+        warn = a >= warnRhs;
+        break;
+    }
+    out.verdict = pass ? Verdict::Pass
+                       : (warn ? Verdict::Warn : Verdict::Fail);
+    out.detail = formatValue(a, e.unit) + " " +
+                 relationSymbol(e.relation) + " " +
+                 formatValue(b, e.unit) +
+                 (e.tolerance != 0.0
+                      ? " (slack " + formatValue(e.tolerance, "%") + ")"
+                      : "") +
+                 (pass ? "" : " violated");
+    return out;
+}
+
+} // namespace
+
+Outcome
+evaluate(const Expectation& e, const Json& report)
+{
+    switch (e.kind) {
+      case Kind::Band:
+        return evaluateBand(e, report);
+      case Kind::Ordering:
+        return evaluateOrdering(e, report);
+      case Kind::Shape:
+        break;
+    }
+    Outcome out;
+    out.expectation = e;
+    out.verdict = e.holds ? Verdict::Pass : Verdict::Fail;
+    out.detail = e.measuredText;
+    return out;
+}
+
+std::vector<Outcome>
+evaluate(const Suite& suite, const Json& report)
+{
+    std::vector<Outcome> outcomes;
+    outcomes.reserve(suite.expectations.size());
+    for (const Expectation& e : suite.expectations)
+        outcomes.push_back(evaluate(e, report));
+    return outcomes;
+}
+
+Verdict
+overall(const std::vector<Outcome>& outcomes)
+{
+    Verdict v = Verdict::Pass;
+    for (const Outcome& o : outcomes)
+        v = worseOf(v, o.verdict);
+    return v;
+}
+
+std::string
+formatValue(double value, const std::string& unit)
+{
+    char buf[64];
+    if (unit == "%") {
+        std::snprintf(buf, sizeof(buf), "%.1f%%", value * 100.0);
+    } else if (unit == "x") {
+        std::snprintf(buf, sizeof(buf), "%.2fx", value);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.4g", value);
+        std::string text(buf);
+        if (!unit.empty())
+            text += " " + unit;
+        return text;
+    }
+    return buf;
+}
+
+std::string
+formatPaper(const Expectation& e)
+{
+    switch (e.kind) {
+      case Kind::Band:
+        if (e.paperLo == e.paperHi)
+            return formatValue(e.paperLo, e.unit);
+        return formatValue(e.paperLo, e.unit) + "~" +
+               formatValue(e.paperHi, e.unit);
+      case Kind::Ordering:
+        return "`" + e.metric + "` " + relationSymbol(e.relation) +
+               " `" + e.metricB + "`";
+      case Kind::Shape:
+        return "(shape)";
+    }
+    return "";
+}
+
+std::string
+formatMeasured(const Outcome& outcome)
+{
+    const Expectation& e = outcome.expectation;
+    switch (e.kind) {
+      case Kind::Band:
+        return outcome.haveMeasured
+                   ? formatValue(outcome.measured, e.unit)
+                   : "(missing)";
+      case Kind::Ordering:
+        if (!outcome.haveMeasured || !outcome.haveMeasuredB)
+            return "(missing)";
+        return formatValue(outcome.measured, e.unit) + " vs " +
+               formatValue(outcome.measuredB, e.unit);
+      case Kind::Shape:
+        return e.measuredText;
+    }
+    return "";
+}
+
+Json
+toJson(const Suite& suite, const std::vector<Outcome>& outcomes)
+{
+    Json block = Json::object();
+    block["title"] = suite.title;
+    if (!suite.preamble.empty())
+        block["preamble"] = suite.preamble;
+
+    int pass = 0;
+    int warn = 0;
+    int fail = 0;
+    Json list = Json::array();
+    for (const Outcome& o : outcomes) {
+        const Expectation& e = o.expectation;
+        Json one = Json::object();
+        one["id"] = e.id;
+        one["paper_ref"] = e.paperRef;
+        one["description"] = e.description;
+        switch (e.kind) {
+          case Kind::Band:
+            one["kind"] = "band";
+            break;
+          case Kind::Ordering:
+            one["kind"] = "ordering";
+            break;
+          case Kind::Shape:
+            one["kind"] = "shape";
+            break;
+        }
+        if (!e.metric.empty())
+            one["metric"] = e.metric;
+        if (!e.metricB.empty()) {
+            one["metric_b"] = e.metricB;
+            one["relation"] = relationSymbol(e.relation);
+        }
+        one["paper"] = formatPaper(e);
+        one["measured"] = formatMeasured(o);
+        if (e.kind == Kind::Band) {
+            one["paper_lo"] = e.paperLo;
+            one["paper_hi"] = e.paperHi;
+            one["gate_lo"] = e.bandLo;
+            one["gate_hi"] = e.bandHi;
+            one["tolerance"] = e.tolerance;
+        } else if (e.kind == Kind::Ordering) {
+            one["slack"] = e.tolerance;
+            one["warn_slack"] = e.warnSlack;
+        }
+        if (o.haveMeasured)
+            one["value"] = o.measured;
+        if (o.haveMeasuredB)
+            one["value_b"] = o.measuredB;
+        one["verdict"] = verdictName(o.verdict);
+        one["detail"] = o.detail;
+        if (!e.note.empty())
+            one["note"] = e.note;
+        list.push_back(std::move(one));
+
+        switch (o.verdict) {
+          case Verdict::Pass:
+            ++pass;
+            break;
+          case Verdict::Warn:
+            ++warn;
+            break;
+          case Verdict::Fail:
+            ++fail;
+            break;
+        }
+    }
+    block["expectations"] = std::move(list);
+    Json counts = Json::object();
+    counts["pass"] = pass;
+    counts["warn"] = warn;
+    counts["fail"] = fail;
+    block["counts"] = std::move(counts);
+    block["verdict"] = verdictName(overall(outcomes));
+    return block;
+}
+
+void
+printOutcomes(const std::string& bench_name,
+              const std::vector<Outcome>& outcomes)
+{
+    TablePrinter table("validation: " + bench_name);
+    table.header({"verdict", "check", "paper ref", "paper", "measured",
+                  "detail"});
+    int pass = 0;
+    int warn = 0;
+    int fail = 0;
+    for (const Outcome& o : outcomes) {
+        table.row({verdictName(o.verdict), o.expectation.id,
+                   o.expectation.paperRef,
+                   formatPaper(o.expectation), formatMeasured(o),
+                   o.detail});
+        switch (o.verdict) {
+          case Verdict::Pass:
+            ++pass;
+            break;
+          case Verdict::Warn:
+            ++warn;
+            break;
+          case Verdict::Fail:
+            ++fail;
+            break;
+        }
+    }
+    table.print();
+    std::printf("validation verdict: %s (%d pass, %d warn, %d fail)\n",
+                verdictName(overall(outcomes)), pass, warn, fail);
+}
+
+} // namespace qei::validate

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Paper-fidelity expectations: typed, machine-readable statements of
+ * what a benchmark harness's BenchReport artifact must show for the
+ * reproduction to still match the paper.
+ *
+ * Each of the bench harnesses declares a Suite of expectations —
+ * point values, ranges, orderings, and qualitative shape assertions —
+ * evaluated against the harness's own `--json` payload. The same
+ * metadata drives three consumers that therefore can never disagree:
+ * the per-harness `--validate` PASS/WARN/FAIL table (and exit code),
+ * the `qei-validate` whole-suite gate, and the generated
+ * `EXPERIMENTS.md` paper-vs-measured tables. `docs/validation.md`
+ * documents the semantics and the band-update procedure.
+ */
+
+#ifndef QEI_VALIDATE_EXPECTATION_HH
+#define QEI_VALIDATE_EXPECTATION_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace qei::validate {
+
+/** Per-expectation evaluation result, worst-first severity order. */
+enum class Verdict { Pass, Warn, Fail };
+
+const char* verdictName(Verdict v);
+
+/** The more severe of the two verdicts. */
+Verdict worseOf(Verdict a, Verdict b);
+
+/** How an Expectation is evaluated. */
+enum class Kind {
+    Band,     ///< measured metric inside [bandLo, bandHi]
+    Ordering, ///< metric vs metricB under a relation
+    Shape,    ///< qualitative predicate the harness computed
+};
+
+/** Comparison for Kind::Ordering. */
+enum class Relation { Lt, Le, Gt, Ge };
+
+const char* relationSymbol(Relation r);
+
+/**
+ * One typed expectation. Quantitative kinds name their measured value
+ * by a Json::resolve() path into the harness's artifact; the *paper*
+ * band is what the paper states (display only), the *gate* band is
+ * what the evaluation enforces. The two coincide except for the
+ * documented known deltas, where the gate band is re-anchored to the
+ * model and `note` carries the justification.
+ */
+struct Expectation
+{
+    std::string id;          ///< short slug, unique within a harness
+    std::string paperRef;    ///< "Fig. 7", "Tab. III", "Sec. IV-D"…
+    std::string description; ///< one human-readable sentence
+    Kind kind = Kind::Shape;
+
+    /** Display formatting: "" (plain), "x", "%", "cyc", "mm^2", … */
+    std::string unit;
+
+    std::string metric;  ///< Json::resolve path of the measured value
+    std::string metricB; ///< ordering right-hand side path
+
+    double paperLo = 0.0; ///< paper band (display); point when lo==hi
+    double paperHi = 0.0;
+    double bandLo = 0.0;  ///< gate band, PASS when inside (inclusive)
+    double bandHi = 0.0;
+    /**
+     * Band: relative widening (of max(|bandLo|,|bandHi|)) that still
+     * rates WARN instead of FAIL. Ordering: relative slack on the
+     * right-hand side within which the relation still PASSes ("on
+     * par with" claims use a non-zero slack).
+     */
+    double tolerance = 0.0;
+    /**
+     * Ordering only: relative slack beyond `tolerance` within which
+     * a violated relation rates WARN instead of FAIL. Defaults to
+     * tolerance + 0.10 in the factory.
+     */
+    double warnSlack = 0.0;
+
+    Relation relation = Relation::Lt; ///< ordering only
+
+    bool holds = false;        ///< shape: the precomputed predicate
+    std::string measuredText;  ///< shape: measured summary to display
+
+    std::string note; ///< known-delta justification / context
+
+    // -- factories --
+
+    /** Paper band == gate band; PASS inside, WARN within widening. */
+    static Expectation range(std::string id, std::string paper_ref,
+                             std::string description,
+                             std::string metric, std::string unit,
+                             double lo, double hi,
+                             double warn_tol = 0.15,
+                             std::string note = {});
+
+    /** Point value with a relative PASS tolerance (gate band
+     *  [v*(1-tol), v*(1+tol)]) and a WARN widening beyond it. */
+    static Expectation near(std::string id, std::string paper_ref,
+                            std::string description,
+                            std::string metric, std::string unit,
+                            double value, double tol_rel,
+                            double warn_tol = 0.10,
+                            std::string note = {});
+
+    /** Exact value (configuration constants); any deviation FAILs. */
+    static Expectation exact(std::string id, std::string paper_ref,
+                             std::string description,
+                             std::string metric, std::string unit,
+                             double value, std::string note = {});
+
+    /** Paper band displayed as stated, gate band re-anchored to the
+     *  model; @p note must say why (the known-delta record). */
+    static Expectation reanchored(std::string id,
+                                  std::string paper_ref,
+                                  std::string description,
+                                  std::string metric, std::string unit,
+                                  double paper_lo, double paper_hi,
+                                  double gate_lo, double gate_hi,
+                                  double warn_tol, std::string note);
+
+    /**
+     * metric <relation> metricB. PASS when the relation holds with
+     * the right-hand side relaxed by @p slack ("on par" claims set a
+     * non-zero slack); WARN up to @p warn_slack (default
+     * slack + 0.10); FAIL beyond.
+     */
+    static Expectation ordering(std::string id, std::string paper_ref,
+                                std::string description,
+                                std::string metric, Relation relation,
+                                std::string metric_b,
+                                double slack = 0.0,
+                                std::string note = {},
+                                double warn_slack = -1.0);
+
+    /** Qualitative assertion the harness evaluated itself. */
+    static Expectation shape(std::string id, std::string paper_ref,
+                             std::string description, bool holds,
+                             std::string measured_text,
+                             std::string note = {});
+};
+
+/** One evaluated expectation: verdict plus the measured values. */
+struct Outcome
+{
+    Expectation expectation;
+    Verdict verdict = Verdict::Fail;
+    bool haveMeasured = false;  ///< metric resolved to a number
+    double measured = 0.0;
+    bool haveMeasuredB = false; ///< ordering RHS resolved
+    double measuredB = 0.0;
+    std::string detail; ///< short human summary ("6.2x in [5.0, 8.0]")
+};
+
+/** A harness's full expectation table plus its EXPERIMENTS.md face. */
+struct Suite
+{
+    /** Section heading, e.g. "Fig. 7 — ROI speedup per workload x
+     *  scheme". The bench name is appended automatically. */
+    std::string title;
+    /** Narrative paragraph(s) rendered above the table. */
+    std::string preamble;
+    std::vector<Expectation> expectations;
+};
+
+/** Evaluate one expectation against a harness artifact. */
+Outcome evaluate(const Expectation& e, const Json& report);
+
+/** Evaluate a whole suite, in declaration order. */
+std::vector<Outcome> evaluate(const Suite& suite, const Json& report);
+
+/** The worst verdict in @p outcomes (Pass when empty). */
+Verdict overall(const std::vector<Outcome>& outcomes);
+
+/**
+ * Format @p value in @p unit for tables: "%" renders value*100 with
+ * one decimal and a trailing '%', "x" two decimals and 'x', otherwise
+ * up-to-4-significant-digit text plus " unit". Deterministic, so
+ * generated docs are byte-stable.
+ */
+std::string formatValue(double value, const std::string& unit);
+
+/** The paper band / relation / shape column for @p e. */
+std::string formatPaper(const Expectation& e);
+
+/** The measured column for @p outcome. */
+std::string formatMeasured(const Outcome& outcome);
+
+/**
+ * The full "validation" block embedded in the BenchReport artifact:
+ * title, preamble, per-expectation records (metadata + measured +
+ * verdict), counts, and the folded verdict.
+ */
+Json toJson(const Suite& suite, const std::vector<Outcome>& outcomes);
+
+/** Render the PASS/WARN/FAIL table `--validate` prints to stdout. */
+void printOutcomes(const std::string& bench_name,
+                   const std::vector<Outcome>& outcomes);
+
+} // namespace qei::validate
+
+#endif // QEI_VALIDATE_EXPECTATION_HH
