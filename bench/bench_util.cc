@@ -5,6 +5,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "fault/fault_config.hh"
+
 // Build provenance, injected by bench/CMakeLists.txt; the fallbacks
 // keep out-of-tree builds (no git, unknown toolchain) compiling.
 #ifndef QEI_GIT_SHA
@@ -83,43 +85,80 @@ parseThreadCount(const char* text)
 
 } // namespace
 
+namespace {
+
+[[noreturn]] void
+usageError(const char* prog, const std::string& message)
+{
+    std::fprintf(
+        stderr,
+        "%s: %s\n"
+        "usage: %s [options] [positional args]\n"
+        "  --json <path>      write the JSON artifact to <path>\n"
+        "  --trace <path>     write the Perfetto timeline to <path>\n"
+        "  --threads <n>      host threads (0 or 'auto' = all cores)\n"
+        "  --faults <spec>    fault-injection mix, e.g. "
+        "'pf=0.05,flush=20000,seed=7'\n"
+        "  --validate         gate the exit code on the expectation "
+        "table\n",
+        prog, message.c_str(), prog);
+    std::exit(2);
+}
+
+} // namespace
+
 BenchOptions
 parseBenchArgs(int argc, char** argv)
 {
     BenchOptions options;
+    const char* prog = argc > 0 ? argv[0] : "bench";
     if (const char* env = std::getenv("QEI_BENCH_THREADS"))
         options.threads = parseThreadCount(env);
+
+    // A flag's operand may follow as the next argument or be glued
+    // with '='; a flag at the end of the line with no operand is an
+    // error, not a warning — benches must never silently run with a
+    // half-applied command line.
+    auto operand = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc)
+            usageError(prog, fmt("{} needs an argument", flag));
+        return argv[++i];
+    };
+
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--json") == 0) {
-            if (i + 1 < argc) {
-                options.jsonPath = argv[++i];
-            } else {
-                std::fprintf(stderr, "--json needs a path argument\n");
-            }
+            options.jsonPath = operand(i, "--json");
         } else if (std::strncmp(arg, "--json=", 7) == 0) {
             options.jsonPath = arg + 7;
         } else if (std::strcmp(arg, "--trace") == 0) {
-            if (i + 1 < argc) {
-                options.tracePath = argv[++i];
-            } else {
-                std::fprintf(stderr,
-                             "--trace needs a path argument\n");
-            }
+            options.tracePath = operand(i, "--trace");
         } else if (std::strncmp(arg, "--trace=", 8) == 0) {
             options.tracePath = arg + 8;
         } else if (std::strcmp(arg, "--threads") == 0) {
-            if (i + 1 < argc) {
-                options.threads = parseThreadCount(argv[++i]);
-            } else {
-                std::fprintf(stderr,
-                             "--threads needs a count argument\n");
-            }
+            options.threads = parseThreadCount(operand(i, "--threads"));
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
             options.threads = parseThreadCount(arg + 10);
+        } else if (std::strcmp(arg, "--faults") == 0) {
+            options.faultSpec = operand(i, "--faults");
+        } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+            options.faultSpec = arg + 9;
         } else if (std::strcmp(arg, "--validate") == 0) {
             options.validate = true;
+        } else if (std::strncmp(arg, "--", 2) == 0 && arg[2] != '\0') {
+            usageError(prog, fmt("unknown option '{}'", arg));
+        } else {
+            options.positional.push_back(arg);
         }
+    }
+
+    if (!options.faultSpec.empty()) {
+        // Validate eagerly (parseFaultSpec fatals on a bad spec) and
+        // export for every defaultChip() construction in the process,
+        // matrix worker threads included — setenv happens here on the
+        // main thread, before any fan-out.
+        (void)parseFaultSpec(options.faultSpec);
+        ::setenv("QEI_FAULTS", options.faultSpec.c_str(), 1);
     }
     return options;
 }
@@ -301,7 +340,7 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
         // seed, and safe because cells share no mutable state.
         std::unique_ptr<Workload> workload = workloads[w]();
         out.workloadName = workload->name();
-        World world(options.seed);
+        World world(options.seed, options.chip);
         workload->build(world);
         const std::size_t n = options.queries == 0
                                   ? workload->defaultQueries()
@@ -512,6 +551,16 @@ toJson(const QeiRunStats& stats)
     out["avg_qst_occupancy"] = stats.avgQstOccupancy;
     out["max_inflight_observed"] = stats.maxInFlightObserved;
     out["cycles_per_query"] = stats.cyclesPerQuery();
+
+    // Fault-injection / recovery accounting (zeros when fault-free).
+    out["faults_injected"] = stats.faultsInjected;
+    out["sw_fallbacks"] = stats.swFallbacks;
+    out["sw_fallback_cycles"] = stats.swFallbackCycles;
+    out["fault_flushes"] = stats.faultFlushes;
+    out["qst_backoffs"] = stats.qstBackoffs;
+    // Decimal string: the digest uses all 64 bits and Json numbers
+    // are signed.
+    out["result_checksum"] = fmt("{}", stats.resultChecksum);
 
     // Per-component latency decomposition (Fig. 8 view). Always
     // emitted, even all-zero, so artifacts have a stable shape and

@@ -54,15 +54,28 @@ struct BenchOptions
      * exit-code gate.
      */
     bool validate = false;
+    /**
+     * `--faults <spec>`: fault-injection mix for this run (see
+     * fault/fault_config.hh for the grammar). parseBenchArgs validates
+     * the spec and exports it as QEI_FAULTS so every defaultChip()
+     * construction in the process — including matrix cells on worker
+     * threads — picks it up.
+     */
+    std::string faultSpec;
+    /** Non-option arguments, in order (debug_probe's workload
+     *  filter). */
+    std::vector<std::string> positional;
 };
 
 /**
  * Parse the harness command line. Recognises `--json <path>`,
  * `--json=<path>`, `--trace <path>`, `--trace=<path>`,
  * `--threads <n>`, `--threads=<n>` (n = 0 or "auto" uses every host
- * core), and `--validate`; QEI_BENCH_THREADS seeds the thread
- * default. Other arguments are left for the harness to interpret
- * (debug_probe's workload filter).
+ * core), `--faults <spec>`, `--faults=<spec>`, and `--validate`;
+ * QEI_BENCH_THREADS seeds the thread default. Non-option arguments
+ * are collected into BenchOptions::positional. Unknown `--flags` and
+ * flags missing their operand print a usage message and exit(2) —
+ * a typo must not silently run the un-modified experiment.
  */
 BenchOptions parseBenchArgs(int argc, char** argv);
 
@@ -172,6 +185,13 @@ WorkloadRun runWorkload(Workload& workload, std::size_t queries = 0,
 /** Knobs for a full (workload x scheme) matrix run. */
 struct MatrixOptions
 {
+    /**
+     * Machine description every cell's World is built from. The
+     * default picks up QEI_FAULTS, so `--faults` reaches matrix
+     * harnesses without per-harness wiring; fault harnesses override
+     * `chip.faults` explicitly per mix.
+     */
+    ChipConfig chip = defaultChip();
     /** Queries per workload; 0 = each workload's default. */
     std::size_t queries = 0;
     std::vector<SchemeConfig> schemes = SchemeConfig::allSchemes();

@@ -50,20 +50,9 @@ main(int argc, char** argv)
 {
     const BenchOptions options = parseBenchArgs(argc, argv);
     BenchReport report("debug_probe", options);
-    // Workload filter: the first argument that is not an option.
-    std::string only;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--json" || arg == "--threads" || arg == "--trace") {
-            ++i; // skip the operand
-        } else if (arg.rfind("--json=", 0) != 0 &&
-                   arg.rfind("--threads=", 0) != 0 &&
-                   arg.rfind("--trace=", 0) != 0 &&
-                   arg != "--validate") {
-            only = arg;
-            break;
-        }
-    }
+    // Workload filter: the first non-option argument.
+    const std::string only =
+        options.positional.empty() ? "" : options.positional.front();
 
     // Keep only the matching workloads' factories (probe instances
     // are cheap to make just for name()).

@@ -2,7 +2,7 @@
 # Run every benchmark harness and collect BENCH_<name>.json artifacts.
 #
 # Usage: scripts/run_benches.sh [--trace-dir DIR] [--validate] \
-#            [build-dir] [output-dir] [threads]
+#            [--faults [SPEC]] [build-dir] [output-dir] [threads]
 #   --trace-dir DIR  also capture Perfetto timelines: each harness gets
 #                    --trace DIR/TRACE_<name>.json (merged file, plus
 #                    per-cell files next to it); load them at
@@ -12,6 +12,14 @@
 #               FAIL), then fold all artifacts through tools/qei-validate
 #               and regenerate output-dir/EXPERIMENTS.md from them. The
 #               script's exit code covers both.
+#   --faults[=SPEC]  fault-matrix smoke mode: run only the robustness
+#               harness (abl_fault --validate) plus fig09_end_to_end
+#               under the fault mix SPEC (default
+#               "pf=0.03,bh=0.01,fw=0.01,flush=20000"; grammar in
+#               docs/robustness.md). abl_fault sets its own per-mix
+#               faults; fig09 inherits SPEC via --faults and must
+#               still pass its paper bands — recovery only moves
+#               timing inside the tolerance, never results.
 #   build-dir   cmake build tree (default: build); configured+built
 #               here if the bench binaries are missing
 #   output-dir  where the BENCH_*.json files land (default: .)
@@ -23,6 +31,8 @@ set -eu
 
 trace_dir=
 validate=
+faults=
+fault_spec="pf=0.03,bh=0.01,fw=0.01,flush=20000"
 while [ $# -gt 0 ]; do
     case $1 in
         --trace-dir)
@@ -36,6 +46,15 @@ while [ $# -gt 0 ]; do
             ;;
         --validate)
             validate=1
+            shift
+            ;;
+        --faults)
+            faults=1
+            shift
+            ;;
+        --faults=*)
+            faults=1
+            fault_spec=${1#--faults=}
             shift
             ;;
         *)
@@ -62,6 +81,26 @@ fi
 mkdir -p "$out_dir"
 if [ -n "$trace_dir" ]; then
     mkdir -p "$trace_dir"
+fi
+
+# Fault-matrix smoke mode: the robustness harness (which hard-gates
+# the recovery invariant and its own per-mix configs), plus one
+# end-to-end figure run *under* the mix — its paper bands must still
+# hold, because recovery only moves timing within tolerance.
+if [ -n "$faults" ]; then
+    echo "== fault-matrix smoke (spec: $fault_spec, threads=$threads)"
+    status=0
+    "$build_dir/bench/abl_fault" --threads "$threads" --validate \
+        --json "$out_dir/BENCH_FAULT_abl_fault.json" || status=1
+    "$build_dir/bench/fig09_end_to_end" --threads "$threads" \
+        --validate --faults "$fault_spec" \
+        --json "$out_dir/BENCH_FAULT_fig09_end_to_end.json" || status=1
+    if [ "$status" -eq 0 ]; then
+        echo "== fault-matrix smoke: PASS"
+    else
+        echo "== fault-matrix smoke: FAIL" >&2
+    fi
+    exit $status
 fi
 
 summary=

@@ -1,5 +1,7 @@
 #include "chip_config.hh"
 
+#include <cstdlib>
+
 #include "common/format.hh"
 
 namespace qei {
@@ -37,7 +39,15 @@ ChipConfig::describe() const
 ChipConfig
 defaultChip()
 {
-    return ChipConfig{};
+    ChipConfig config{};
+    // QEI_FAULTS lets CI (scripts/run_benches.sh --faults) run any
+    // existing harness under a nonzero fault mix without per-harness
+    // plumbing: every World built from the default chip picks it up.
+    if (const char* env = std::getenv("QEI_FAULTS")) {
+        if (env[0] != '\0')
+            config.faults = parseFaultSpec(env);
+    }
+    return config;
 }
 
 } // namespace qei

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "fault/fault_config.hh"
 #include "mem/hierarchy.hh"
 #include "vm/tlb.hh"
 
@@ -44,6 +45,9 @@ struct ChipConfig
     HierarchyParams memory;
     MmuParams mmu;
     QeiSizing qei;
+    /** Fault-injection mix + watchdog knobs; default injects nothing.
+     *  Seeded per run from bench flags or the QEI_FAULTS env var. */
+    FaultConfig faults;
     int processNm = 22;
 
     /** Human-readable rendition of Tab. II. */

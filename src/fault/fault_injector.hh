@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Deterministic, seeded fault injector (Sec. IV-D): decides per query
+ * whether the accelerator trips a page fault, a corrupted
+ * StructHeader, or a firmware fault, and keeps the run's fault /
+ * recovery accounting under `system.faults.*`.
+ *
+ * Determinism contract: the injection decision for a query is a pure
+ * function of (config.seed, queryId) — a splitmix-style hash, not a
+ * sequential RNG draw — so a fault mix produces the same faults on the
+ * same queries regardless of event interleaving, scheme, or host
+ * thread count.
+ */
+
+#ifndef QEI_FAULT_FAULT_INJECTOR_HH
+#define QEI_FAULT_FAULT_INJECTOR_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/sim_object.hh"
+#include "common/stats.hh"
+#include "fault/fault_config.hh"
+
+namespace qei {
+
+/** The fault kinds the injector can plant on a query's path. The
+ *  accelerator maps these onto the architectural QueryError codes. */
+enum class FaultKind : std::uint8_t {
+    None = 0,
+    PageFault,
+    BadHeader,
+    FirmwareFault,
+};
+
+/** Per-run fault source and accounting, adopted as "faults" into the
+ *  QeiSystem tree (stats surface as `system.faults.*`). */
+class FaultInjector : public SimObject
+{
+  public:
+    explicit FaultInjector(const FaultConfig& config)
+        : SimObject("faults"), config_(config)
+    {
+    }
+
+    void
+    regStats(StatsRegistry& registry) override
+    {
+        const std::string base = fullPath() + ".";
+        registry.addCounter(base + "injected", injected_,
+                            "faults injected on query paths");
+        registry.addCounter(base + "page_faults", pageFaults_,
+                            "injected accelerator page faults");
+        registry.addCounter(base + "bad_headers", badHeaders_,
+                            "injected corrupted StructHeaders");
+        registry.addCounter(base + "firmware_faults", firmwareFaults_,
+                            "injected firmware faults");
+        registry.addCounter(base + "flushes", flushes_,
+                            "injected mid-run interrupt flushes");
+        registry.addCounter(base + "flushed_queries", flushedQueries_,
+                            "in-flight queries dropped by flushes");
+        registry.addCounter(base + "sw_fallbacks", swFallbacks_,
+                            "queries re-executed in software");
+        registry.addCounter(base + "sw_fallback_cycles",
+                            swFallbackCycles_,
+                            "core cycles spent re-executing queries");
+        registry.addCounter(base + "backoffs", backoffs_,
+                            "full-QST exponential backoff waits");
+    }
+
+    const FaultConfig& config() const { return config_; }
+    bool active() const { return config_.any(); }
+
+    /**
+     * The fault (if any) planted on query @p queryId. Pure in
+     * (config.seed, queryId); explicit index lists win over the
+     * probabilistic draw.
+     */
+    FaultKind
+    queryFault(std::uint64_t queryId) const
+    {
+        if (listed(config_.pageFaultQueries, queryId))
+            return FaultKind::PageFault;
+        if (listed(config_.badHeaderQueries, queryId))
+            return FaultKind::BadHeader;
+        if (listed(config_.firmwareFaultQueries, queryId))
+            return FaultKind::FirmwareFault;
+        const double total = config_.pageFaultRate +
+                             config_.badHeaderRate +
+                             config_.firmwareFaultRate;
+        if (total <= 0.0)
+            return FaultKind::None;
+        // One uniform draw per query partitions [0,1) between the
+        // three probabilistic fault kinds.
+        const double u = decisionUnit(queryId);
+        if (u < config_.pageFaultRate)
+            return FaultKind::PageFault;
+        if (u < config_.pageFaultRate + config_.badHeaderRate)
+            return FaultKind::BadHeader;
+        if (u < total)
+            return FaultKind::FirmwareFault;
+        return FaultKind::None;
+    }
+
+    // -- accounting hooks, called by the accelerator / QeiSystem --
+
+    void
+    onInjected(FaultKind kind)
+    {
+        injected_.inc();
+        switch (kind) {
+          case FaultKind::PageFault: pageFaults_.inc(); break;
+          case FaultKind::BadHeader: badHeaders_.inc(); break;
+          case FaultKind::FirmwareFault: firmwareFaults_.inc(); break;
+          case FaultKind::None: break;
+        }
+    }
+
+    void onFlush() { flushes_.inc(); }
+    void onFlushedQuery() { flushedQueries_.inc(); }
+
+    void
+    onSwFallback(Cycles cycles)
+    {
+        swFallbacks_.inc();
+        swFallbackCycles_.inc(cycles);
+    }
+
+    void onBackoff() { backoffs_.inc(); }
+
+    std::uint64_t injected() const { return injected_.value(); }
+    std::uint64_t flushes() const { return flushes_.value(); }
+    std::uint64_t flushedQueries() const
+    {
+        return flushedQueries_.value();
+    }
+    std::uint64_t swFallbacks() const { return swFallbacks_.value(); }
+    std::uint64_t swFallbackCycles() const
+    {
+        return swFallbackCycles_.value();
+    }
+    std::uint64_t backoffs() const { return backoffs_.value(); }
+
+  private:
+    static bool
+    listed(const std::vector<std::uint64_t>& queries, std::uint64_t id)
+    {
+        return std::find(queries.begin(), queries.end(), id) !=
+               queries.end();
+    }
+
+    /** Uniform [0,1) decision value for @p queryId: splitmix64 of the
+     *  seed-mixed id, so consecutive ids decorrelate fully. */
+    double
+    decisionUnit(std::uint64_t queryId) const
+    {
+        std::uint64_t x =
+            config_.seed ^ (queryId + 0x9E3779B97F4A7C15ULL +
+                            (config_.seed << 6) + (config_.seed >> 2));
+        x ^= x >> 30;
+        x *= 0xBF58476D1CE4E5B9ULL;
+        x ^= x >> 27;
+        x *= 0x94D049BB133111EBULL;
+        x ^= x >> 31;
+        // Top 53 bits -> double in [0,1).
+        return static_cast<double>(x >> 11) * 0x1.0p-53;
+    }
+
+    FaultConfig config_;
+    Counter injected_;
+    Counter pageFaults_;
+    Counter badHeaders_;
+    Counter firmwareFaults_;
+    Counter flushes_;
+    Counter flushedQueries_;
+    Counter swFallbacks_;
+    Counter swFallbackCycles_;
+    Counter backoffs_;
+};
+
+} // namespace qei
+
+#endif // QEI_FAULT_FAULT_INJECTOR_HH

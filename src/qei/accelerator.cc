@@ -125,9 +125,14 @@ Accelerator::enqueue(Addr header_addr, Addr key_addr, Addr result_addr,
 void
 Accelerator::makeReady(int id, Cycles when)
 {
-    qst_.at(id).ready = true;
+    QstEntry& entry = qst_.at(id);
+    entry.ready = true;
+    // Capture the slot generation: if a flush releases (and software
+    // re-fills) the slot before this event fires, the stale event must
+    // not touch the new occupant.
+    const std::uint32_t epoch = entry.epoch;
     env_.events.scheduleAt(std::max(when, env_.events.now()),
-                           [this, id] { executeEntry(id); },
+                           [this, id, epoch] { executeEntry(id, epoch); },
                            EventPriority::CfaTick);
 }
 
@@ -236,11 +241,11 @@ Accelerator::dataAccess(Addr paddr, bool is_write, Cycles now)
 }
 
 void
-Accelerator::executeEntry(int id)
+Accelerator::executeEntry(int id, std::uint32_t epoch)
 {
     QstEntry& entry = qst_.at(id);
-    if (entry.phase == QstPhase::Idle)
-        return; // flushed while an event was in flight
+    if (entry.phase == QstPhase::Idle || entry.epoch != epoch)
+        return; // flushed (and possibly re-allocated) mid-flight
     // The CEE issues one state transition per cycle: a second ready
     // entry arriving in the same cycle bounces to the next one (event
     // order preserves the FIFO pick among ready entries).
@@ -254,7 +259,9 @@ Accelerator::executeEntry(int id)
                            ceeNextFree_ - issueCycle);
         }
         env_.events.scheduleAt(ceeNextFree_,
-                               [this, id] { executeEntry(id); },
+                               [this, id, epoch] {
+                                   executeEntry(id, epoch);
+                               },
                                EventPriority::CfaTick);
         return;
     }
@@ -286,6 +293,30 @@ Accelerator::executeHeaderFetch(int id)
 {
     QstEntry& entry = qst_.at(id);
     const Cycles now = env_.events.now();
+
+    // Fault injection (Sec. IV-D): a planted fault surfaces at the
+    // query's first step on the accelerator — a page fault at the
+    // header translation (the page was swapped out), a corrupted
+    // StructHeader, or a missing/trapping firmware program.
+    if (env_.faults != nullptr) {
+        const FaultKind kind = env_.faults->queryFault(entry.queryId);
+        if (kind != FaultKind::None) {
+            env_.faults->onInjected(kind);
+            switch (kind) {
+              case FaultKind::PageFault:
+                raiseException(id, QueryError::PageFault);
+                return;
+              case FaultKind::BadHeader:
+                raiseException(id, QueryError::BadHeader);
+                return;
+              case FaultKind::FirmwareFault:
+                raiseException(id, QueryError::FirmwareFault);
+                return;
+              case FaultKind::None:
+                break;
+            }
+        }
+    }
 
     const XlatResult xlat = translate(entry.headerAddr, now);
     if (!xlat.valid) {
@@ -796,7 +827,7 @@ Accelerator::deliver(int id)
 }
 
 Cycles
-Accelerator::flush()
+Accelerator::flush(const FlushVisitor& recover)
 {
     const Cycles now = env_.events.now();
     Cycles flushCycles = 0;
@@ -819,6 +850,16 @@ Accelerator::flush()
                     translate(entry.resultAddr, now + flushCycles);
                 flushCycles += x.latency;
             }
+        }
+        if (recover) {
+            QstEntry snapshot = entry;
+            snapshot.phase = QstPhase::Exception;
+            snapshot.error = QueryError::Aborted;
+            snapshot.success = false;
+            snapshot.completed = now;
+            recover(snapshot,
+                    std::move(completions_[
+                        static_cast<std::size_t>(id)]));
         }
         completions_[static_cast<std::size_t>(id)] = nullptr;
         qst_.release(id);

@@ -24,6 +24,7 @@
 
 #include "common/sim_object.hh"
 #include "common/stats.hh"
+#include "fault/fault_injector.hh"
 #include "mem/hierarchy.hh"
 #include "qei/dpu.hh"
 #include "qei/firmware.hh"
@@ -47,6 +48,8 @@ struct AccelEnv
     RemoteComparators* remoteComparators = nullptr;
     const FirmwareStore& firmware;
     SchemeConfig scheme;
+    /** Fault-injection source; nullptr when the run is fault-free. */
+    FaultInjector* faults = nullptr;
 };
 
 /** One accelerator (per core, per CHA, or the single device). */
@@ -90,12 +93,23 @@ class Accelerator : public SimObject
                 CompletionFn on_complete);
 
     /**
+     * Receives each in-flight entry dropped by a flush (state
+     * snapshot, Aborted error recorded) along with its completion
+     * callback, so the system can hand the query back to software.
+     */
+    using FlushVisitor =
+        std::function<void(const QstEntry&, CompletionFn)>;
+
+    /**
      * Interrupt flush (Sec. IV-D): blocking entries are dropped;
      * non-blocking entries get an Aborted code written to their result
-     * address with coalesced non-temporal stores.
+     * address with coalesced non-temporal stores. When @p recover is
+     * set, every dropped entry is handed to it (snapshot + completion
+     * callback) for the software re-execution path; otherwise the
+     * callbacks are discarded, matching the bare hardware behaviour.
      * @return cycles the flush takes.
      */
-    Cycles flush();
+    Cycles flush(const FlushVisitor& recover = nullptr);
 
     // -- statistics --
     const ScalarStat& qstOccupancy() const { return qst_.occupancy(); }
@@ -113,6 +127,8 @@ class Accelerator : public SimObject
     }
     DataProcessingUnit& dpu() { return dpu_; }
     Tlb* dedicatedTlb() { return dedicatedTlb_.get(); }
+    /** Read-only QST view (watchdog dumps, tests). */
+    const QueryStateTable& qst() const { return qst_; }
 
     /**
      * Attach a trace sink: queue, CEE, micro-op, DPU, and delivery
@@ -152,8 +168,11 @@ class Accelerator : public SimObject
      * extracts, ALU ops, register compares) into the same transition —
      * the DPU's five ALUs work in parallel — so one slot retires up to
      * `alus` fused micro-operations before yielding the engine.
+     * @p epoch is the slot generation the event was scheduled
+     * against; a mismatch means the slot was flushed and the event
+     * drops itself.
      */
-    void executeEntry(int id);
+    void executeEntry(int id, std::uint32_t epoch);
 
     /** Run the type-independent header-fetch prologue. */
     void executeHeaderFetch(int id);

@@ -71,6 +71,14 @@ struct QstEntry
     QueryError error = QueryError::None;
 
     // -- bookkeeping --
+    /**
+     * Slot generation, bumped on every release. In-flight CEE events
+     * capture the epoch they were scheduled against and drop
+     * themselves when it no longer matches, so a mid-run flush that
+     * frees (and possibly re-allocates) the slot can never let a
+     * stale event execute the new occupant.
+     */
+    std::uint32_t epoch = 0;
     std::uint64_t queryId = 0;
     Cycles enqueued = 0;
     Cycles completed = 0;
@@ -128,15 +136,13 @@ class QueryStateTable : public SimObject
     /** Number of slots. */
     std::size_t capacity() const { return entries_.size(); }
 
-    /** Currently allocated slots. */
-    std::size_t
-    occupied() const
-    {
-        std::size_t n = 0;
-        for (const auto& e : entries_)
-            n += e.phase != QstPhase::Idle ? 1 : 0;
-        return n;
-    }
+    /**
+     * Currently allocated slots. O(1): a slot leaves Idle only in
+     * allocate() and returns only in release(), so the counter is
+     * maintained at exactly those two sites (the scheduler samples
+     * this every pass, and full() gates every enqueue).
+     */
+    std::size_t occupied() const { return occupied_; }
 
     bool full() const { return occupied() == capacity(); }
 
@@ -147,21 +153,33 @@ class QueryStateTable : public SimObject
     int
     allocate()
     {
+        if (full())
+            return -1;
         for (std::size_t i = 0; i < entries_.size(); ++i) {
             if (entries_[i].phase == QstPhase::Idle) {
+                const std::uint32_t epoch = entries_[i].epoch;
                 entries_[i] = QstEntry{};
+                entries_[i].epoch = epoch;
                 entries_[i].phase = QstPhase::FetchHeader;
+                ++occupied_;
                 return static_cast<int>(i);
             }
         }
-        return -1;
+        panic("QST occupancy counter out of sync: {} < {} but no "
+              "idle slot",
+              occupied_, capacity());
     }
 
     /** Release a slot back to Idle. */
     void
     release(int id)
     {
-        at(id) = QstEntry{};
+        QstEntry& entry = at(id);
+        if (entry.phase != QstPhase::Idle)
+            --occupied_;
+        const std::uint32_t epoch = entry.epoch + 1;
+        entry = QstEntry{};
+        entry.epoch = epoch;
     }
 
     QstEntry&
@@ -196,6 +214,7 @@ class QueryStateTable : public SimObject
 
   private:
     std::vector<QstEntry> entries_;
+    std::size_t occupied_ = 0;
     ScalarStat occupancy_;
 };
 

@@ -15,6 +15,15 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
       memory_(memory), vm_(vm), scheme_(scheme),
       remoteCmps_(memory.cores(), chip.qei.comparatorsPerCha)
 {
+    // Injected QST shrink (capacity-pressure fault): apply before
+    // anything sizes off the scheme — accelerator tables, completion
+    // arrays, and the software-side reservation limit all read
+    // scheme_.qstEntries.
+    if (chip_.faults.qstEntriesOverride > 0) {
+        scheme_.qstEntries = std::min(scheme_.qstEntries,
+                                      chip_.faults.qstEntriesOverride);
+    }
+
     // The shared memory system and address space join this system's
     // component tree for the duration of the run (re-adopted by the
     // next QeiSystem; adopt() re-parents).
@@ -49,6 +58,26 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
             i, tile, homeCore, *env_, dpu));
         adopt(*accels_.back());
     }
+
+    if (chip_.faults.any()) {
+        faults_ = std::make_unique<FaultInjector>(chip_.faults);
+        adopt(*faults_);
+        env_->faults = faults_.get();
+    }
+    watchdog_ = std::make_unique<sim::Watchdog>(
+        events_,
+        sim::Watchdog::Params{chip_.faults.watchdogEpoch,
+                              chip_.faults.watchdogStrikes});
+    adopt(*watchdog_);
+    watchdog_->setDump([this] { return dumpForWatchdog(); });
+    // Secondary progress signal: a whole-buffer scan can run for many
+    // epochs without retiring, but its micro-op count keeps moving.
+    watchdog_->setProgressProbe([this] {
+        std::uint64_t sum = 0;
+        for (const auto& a : accels_)
+            sum += a->microOps();
+        return sum;
+    });
 
     adopt(breakdown_);
     trace_ = trace_sink;
@@ -111,6 +140,7 @@ void
 QeiSystem::recordCompletion(const QstEntry& entry, Cycles issue_at,
                             Cycles response_latency)
 {
+    watchdog_->noteProgress();
     trace::QueryAttribution a;
     for (std::size_t i = 0; i < trace::kLatencyComponentCount; ++i)
         a.cycles[i] = entry.attr[i];
@@ -232,6 +262,206 @@ QeiSystem::flushAll()
     return worst;
 }
 
+void
+QeiSystem::setSoftwareFallback(const std::vector<QueryTrace>* traces,
+                               const RoiProfile& profile)
+{
+    fallbackTraces_ = traces;
+    fallbackProfile_ = profile;
+}
+
+void
+QeiSystem::ensureFallbackCore()
+{
+    if (fallbackCore_ != nullptr)
+        return;
+    fallbackHierarchy_ =
+        std::make_unique<MemoryHierarchy>(chip_.memory);
+    adopt(*fallbackHierarchy_, "fallback_mem");
+    // Same steady state the main hierarchy runs in: the whole mapped
+    // footprint LLC-resident (World::warmLlc), private caches cold.
+    for (const auto& [vpn, pfn] : vm_.pageTable().entries()) {
+        (void)vpn;
+        const Addr base = pfn * kPageBytes;
+        for (std::uint32_t off = 0; off < kPageBytes;
+             off += kCacheLineBytes) {
+            fallbackHierarchy_->preloadLlc(base + off);
+        }
+    }
+    fallbackMmu_ = std::make_unique<Mmu>(vm_, chip_.mmu);
+    adopt(*fallbackMmu_, "fallback_mmu");
+    fallbackCore_ = std::make_unique<CoreModel>(
+        0, chip_.core, *fallbackHierarchy_, *fallbackMmu_);
+    adopt(*fallbackCore_, "fallback_core");
+}
+
+Cycles
+QeiSystem::recoverInSoftware(QstEntry& entry, const QueryJob& job)
+{
+    if (entry.error == QueryError::None || !faultRecoveryActive())
+        return 0;
+    ensureFallbackCore();
+    // The interval core restarts its clock each invocation; reset the
+    // queue state it shares with previous fallbacks so the timing is a
+    // pure function of the query, not of recovery order.
+    fallbackCore_->reset();
+    fallbackHierarchy_->dram().reset();
+    fallbackHierarchy_->mesh().resetTraffic();
+
+    // Trap delivery, OS fault service, and user-level re-dispatch
+    // before the software walk itself starts (Sec. IV-D).
+    constexpr Cycles kTrapOverhead = 150;
+    Cycles sw = kTrapOverhead;
+    const std::uint64_t qid = entry.queryId;
+    if (qid < fallbackTraces_->size()) {
+        const std::vector<QueryTrace> one(1, (*fallbackTraces_)[qid]);
+        sw += fallbackCore_->runQueries(one, fallbackProfile_).cycles;
+    }
+
+    if (faults_ != nullptr)
+        faults_->onSwFallback(sw);
+    entry.error = QueryError::None;
+    entry.success = job.expectFound;
+    entry.resultValue = job.expectFound ? job.expectValue : 0;
+    entry.attr[static_cast<std::size_t>(
+        trace::LatencyComponent::SwFallback)] += sw;
+    if (entry.mode == QueryMode::NonBlocking &&
+        entry.resultAddr != kNullAddr &&
+        vm_.tryTranslate(entry.resultAddr)) {
+        // Software overwrites the error code with the real result.
+        vm_.write<std::uint64_t>(entry.resultAddr,
+                                 entry.success ? 1 : 2);
+        vm_.write<std::uint64_t>(entry.resultAddr + 8,
+                                 entry.resultValue);
+    }
+    return sw;
+}
+
+void
+QeiSystem::armFaultDaemons()
+{
+    watchdog_->arm();
+    if (faults_ != nullptr && chip_.faults.flushPeriod > 0 &&
+        !flusherArmed_) {
+        flusherArmed_ = true;
+        events_.scheduleDaemon(chip_.faults.flushPeriod,
+                               [this] { flushTick(); });
+    }
+}
+
+void
+QeiSystem::flushTick()
+{
+    if (events_.pendingWork() == 0) {
+        // Run region drained: stop so the event loop can return; the
+        // next run re-arms.
+        flusherArmed_ = false;
+        return;
+    }
+    injectedFlush();
+    events_.scheduleDaemon(chip_.faults.flushPeriod,
+                           [this] { flushTick(); });
+}
+
+void
+QeiSystem::injectedFlush()
+{
+    if (faults_ != nullptr)
+        faults_->onFlush();
+    struct Dropped
+    {
+        QstEntry snapshot;
+        Accelerator::CompletionFn done;
+    };
+    std::vector<Dropped> dropped;
+    Cycles worst = 0;
+    for (auto& a : accels_) {
+        const Cycles cost =
+            a->flush([&](const QstEntry& snapshot,
+                         Accelerator::CompletionFn done) {
+                if (faults_ != nullptr)
+                    faults_->onFlushedQuery();
+                dropped.push_back({snapshot, std::move(done)});
+            });
+        worst = std::max(worst, cost);
+    }
+    // Each dropped query reappears to software once the flush drains;
+    // its completion runs through the normal recovery path (the
+    // snapshot carries error=Aborted).
+    const Cycles drain = worst + 1;
+    for (auto& d : dropped) {
+        if (!d.done)
+            continue;
+        QstEntry snapshot = d.snapshot;
+        snapshot.attr[static_cast<std::size_t>(
+            trace::LatencyComponent::Flush)] += drain;
+        snapshot.completed = events_.now() + drain;
+        events_.schedule(drain, [snapshot,
+                                 done = std::move(d.done)] {
+            done(snapshot);
+        });
+    }
+}
+
+std::string
+QeiSystem::dumpForWatchdog() const
+{
+    auto phaseName = [](QstPhase p) {
+        switch (p) {
+          case QstPhase::Idle: return "Idle";
+          case QstPhase::FetchHeader: return "FetchHeader";
+          case QstPhase::Running: return "Running";
+          case QstPhase::Done: return "Done";
+          case QstPhase::Exception: return "Exception";
+        }
+        return "?";
+    };
+    std::string out = fmt("scheme={} events pending={} (daemons={})\n",
+                          scheme_.name(), events_.pending(),
+                          events_.daemons());
+    for (const auto& a : accels_) {
+        const QueryStateTable& qst = a->qst();
+        if (qst.occupied() == 0)
+            continue;
+        out += fmt("accel{} qst {}/{}:", a->id(), qst.occupied(),
+                   qst.capacity());
+        for (int id : qst.activeIds()) {
+            const QstEntry& e = qst.at(id);
+            out += fmt(" [{}:q{} {} state={} ready={}]", id, e.queryId,
+                       phaseName(e.phase), e.state,
+                       e.ready ? 1 : 0);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+QeiSystem::FaultCounters
+QeiSystem::faultCountersNow() const
+{
+    FaultCounters c;
+    if (faults_ != nullptr) {
+        c.injected = faults_->injected();
+        c.swFallbacks = faults_->swFallbacks();
+        c.swFallbackCycles = faults_->swFallbackCycles();
+        c.flushes = faults_->flushes();
+    }
+    return c;
+}
+
+void
+QeiSystem::fillFaultStats(QeiRunStats& stats,
+                          const FaultCounters& before) const
+{
+    if (faults_ == nullptr)
+        return;
+    stats.faultsInjected = faults_->injected() - before.injected;
+    stats.swFallbacks = faults_->swFallbacks() - before.swFallbacks;
+    stats.swFallbackCycles =
+        faults_->swFallbackCycles() - before.swFallbackCycles;
+    stats.faultFlushes = faults_->flushes() - before.flushes;
+}
+
 namespace {
 
 /** Gather per-accelerator counters into run stats. */
@@ -263,6 +493,27 @@ matchesExpectation(const QstEntry& entry, const QueryJob& job)
     if (entry.success != job.expectFound)
         return false;
     return !job.expectFound || entry.resultValue == job.expectValue;
+}
+
+/**
+ * Mix one query's functional outcome into the order-independent run
+ * digest. Only the architectural outcome participates: queryId,
+ * found/not-found, and (for found queries) the value — so a recovered
+ * query folds identically to its fault-free twin. Not-found queries
+ * ignore resultValue, matching matchesExpectation.
+ */
+std::uint64_t
+resultDigest(const QstEntry& entry)
+{
+    std::uint64_t x = entry.queryId + 0x9E3779B97F4A7C15ULL;
+    x ^= entry.success ? 0xBF58476D1CE4E5B9ULL : 0x94D049BB133111EBULL;
+    x += entry.success ? entry.resultValue : 0;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
 }
 
 } // namespace
@@ -347,19 +598,38 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
                     QueryMode::Blocking, jobIdx,
                     [this, &target, &jobs, jobIdx, issuing_core, &stats,
                      &inflight, &lastRetire, &reserved, &issueLoop,
-                     issueAt](const QstEntry& entry) {
-                        const Cycles now = events_.now();
-                        const Cycles respLat = responseLatency(
-                            issuing_core, target, now);
-                        lastRetire =
-                            std::max(lastRetire, now + respLat);
-                        recordCompletion(entry, issueAt, respLat);
-                        if (!matchesExpectation(entry, jobs[jobIdx]))
-                            ++stats.mismatches;
-                        --inflight;
-                        --reserved[static_cast<std::size_t>(
-                            target.id())];
-                        issueLoop();
+                     issueAt](const QstEntry& raw) {
+                        // Faulted or flushed? Re-run in software
+                        // before the core sees the retirement.
+                        QstEntry entry = raw;
+                        const Cycles sw =
+                            recoverInSoftware(entry, jobs[jobIdx]);
+                        const auto finish = [this, &target, &jobs,
+                                             jobIdx, issuing_core,
+                                             &stats, &inflight,
+                                             &lastRetire, &reserved,
+                                             &issueLoop, issueAt,
+                                             entry]() {
+                            const Cycles now = events_.now();
+                            const Cycles respLat = responseLatency(
+                                issuing_core, target, now);
+                            lastRetire =
+                                std::max(lastRetire, now + respLat);
+                            recordCompletion(entry, issueAt, respLat);
+                            if (!matchesExpectation(entry,
+                                                    jobs[jobIdx]))
+                                ++stats.mismatches;
+                            stats.resultChecksum ^=
+                                resultDigest(entry);
+                            --inflight;
+                            --reserved[static_cast<std::size_t>(
+                                target.id())];
+                            issueLoop();
+                        };
+                        if (sw > 0)
+                            events_.schedule(sw, finish);
+                        else
+                            finish();
                     });
                 simAssert(slot >= 0,
                           "QST overflow despite software tracking");
@@ -367,13 +637,19 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
         }
     };
 
+    const FaultCounters before = faultCountersNow();
     issueLoop();
+    armFaultDaemons();
     events_.run();
+    simAssert(nextJob == jobs.size() && inflight == 0,
+              "blocking run stalled: {}/{} issued, {} in flight",
+              nextJob, jobs.size(), inflight);
 
     stats.cycles = lastRetire;
     collectAccelStats(accels_, stats);
     stats.maxInFlightObserved = inflightPeak;
     fillBreakdownStats(stats);
+    fillFaultStats(stats, before);
     return stats;
 }
 
@@ -455,24 +731,40 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
                     QueryMode::Blocking, jobIdx,
                     [this, &target, &jobs, jobIdx, core, &stats,
                      &coreState, &lastRetire, &reserved, &issueLoop,
-                     issueAt](const QstEntry& entry) {
-                        const Cycles now = events_.now();
-                        const Cycles respLat =
-                            responseLatency(core, target, now);
-                        lastRetire =
-                            std::max(lastRetire, now + respLat);
-                        recordCompletion(entry, issueAt, respLat);
-                        if (!matchesExpectation(entry, jobs[jobIdx]))
-                            ++stats.mismatches;
-                        --coreState[static_cast<std::size_t>(core)]
-                              .inflight;
-                        --reserved[static_cast<std::size_t>(
-                            target.id())];
-                        // A completion can unblock any core waiting
-                        // on this accelerator's QST.
-                        for (std::size_t c = 0; c < coreState.size();
-                             ++c)
-                            issueLoop(static_cast<int>(c));
+                     issueAt](const QstEntry& raw) {
+                        QstEntry entry = raw;
+                        const Cycles sw =
+                            recoverInSoftware(entry, jobs[jobIdx]);
+                        const auto finish = [this, &target, &jobs,
+                                             jobIdx, core, &stats,
+                                             &coreState, &lastRetire,
+                                             &reserved, &issueLoop,
+                                             issueAt, entry]() {
+                            const Cycles now = events_.now();
+                            const Cycles respLat =
+                                responseLatency(core, target, now);
+                            lastRetire =
+                                std::max(lastRetire, now + respLat);
+                            recordCompletion(entry, issueAt, respLat);
+                            if (!matchesExpectation(entry,
+                                                    jobs[jobIdx]))
+                                ++stats.mismatches;
+                            stats.resultChecksum ^=
+                                resultDigest(entry);
+                            --coreState[static_cast<std::size_t>(core)]
+                                  .inflight;
+                            --reserved[static_cast<std::size_t>(
+                                target.id())];
+                            // A completion can unblock any core
+                            // waiting on this accelerator's QST.
+                            for (std::size_t c = 0;
+                                 c < coreState.size(); ++c)
+                                issueLoop(static_cast<int>(c));
+                        };
+                        if (sw > 0)
+                            events_.schedule(sw, finish);
+                        else
+                            finish();
                     });
                 simAssert(slot >= 0,
                           "QST overflow despite software tracking");
@@ -480,13 +772,24 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
         }
     };
 
+    const FaultCounters before = faultCountersNow();
     for (int c = 0; c < cores; ++c)
         issueLoop(c);
+    armFaultDaemons();
     events_.run();
+    for (std::size_t c = 0; c < coreState.size(); ++c) {
+        simAssert(coreState[c].next == coreState[c].jobIdxs.size() &&
+                      coreState[c].inflight == 0,
+                  "multi-core run stalled on core {}: {}/{} issued, "
+                  "{} in flight",
+                  c, coreState[c].next, coreState[c].jobIdxs.size(),
+                  coreState[c].inflight);
+    }
 
     stats.cycles = lastRetire;
     collectAccelStats(accels_, stats);
     fillBreakdownStats(stats);
+    fillFaultStats(stats, before);
     return stats;
 }
 
@@ -524,34 +827,53 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
     std::size_t batchTarget = 0;
 
     // Hand job `jobIdx` to its accelerator; if the target QST is full
-    // (software over-filled a hot instance), back off and retry — the
-    // paper notes an overflow "will prevent the accelerator from
-    // accepting further query requests".
-    std::function<void(std::size_t, Cycles)> tryEnqueue =
-        [&](std::size_t jobIdx, Cycles issueAt) {
+    // (software over-filled a hot instance), retry under bounded
+    // exponential backoff — the paper notes an overflow "will prevent
+    // the accelerator from accepting further query requests", and a
+    // fixed short retry hammers a fault-shrunken table.
+    static constexpr Cycles kBackoffBase = 4;
+    static constexpr Cycles kBackoffCap = 64;
+    std::function<void(std::size_t, Cycles, Cycles)> tryEnqueue =
+        [&](std::size_t jobIdx, Cycles issueAt, Cycles backoff) {
             const QueryJob& j = jobs[jobIdx];
             Accelerator& target =
                 acceleratorFor(j.keyAddr, issuing_core);
             if (!target.hasFreeSlot()) {
-                events_.schedule(20,
-                                 [&tryEnqueue, jobIdx, issueAt] {
-                                     tryEnqueue(jobIdx, issueAt);
-                                 });
+                ++stats.qstBackoffs;
+                if (faults_ != nullptr)
+                    faults_->onBackoff();
+                events_.schedule(
+                    backoff, [&tryEnqueue, jobIdx, issueAt, backoff] {
+                        tryEnqueue(jobIdx, issueAt,
+                                   std::min<Cycles>(backoff * 2,
+                                                    kBackoffCap));
+                    });
                 return;
             }
             const int slot = target.enqueue(
                 j.headerAddr, j.keyAddr, j.resultAddr,
                 QueryMode::NonBlocking, jobIdx,
-                [&, jobIdx, issueAt](const QstEntry& entry) {
-                    lastDone = std::max(lastDone, events_.now());
-                    // The query retired at issue; the result is read
-                    // by the polling loop, whose cost is charged in
-                    // aggregate below — so no Response component here.
-                    recordCompletion(entry, issueAt, 0);
-                    if (!matchesExpectation(entry, jobs[jobIdx]))
-                        ++stats.mismatches;
-                    --inflight;
-                    ++completedInBatch;
+                [&, jobIdx, issueAt](const QstEntry& raw) {
+                    QstEntry entry = raw;
+                    const Cycles sw =
+                        recoverInSoftware(entry, jobs[jobIdx]);
+                    const auto finish = [&, jobIdx, issueAt, entry]() {
+                        lastDone = std::max(lastDone, events_.now());
+                        // The query retired at issue; the result is
+                        // read by the polling loop, whose cost is
+                        // charged in aggregate below — so no Response
+                        // component here.
+                        recordCompletion(entry, issueAt, 0);
+                        if (!matchesExpectation(entry, jobs[jobIdx]))
+                            ++stats.mismatches;
+                        stats.resultChecksum ^= resultDigest(entry);
+                        --inflight;
+                        ++completedInBatch;
+                    };
+                    if (sw > 0)
+                        events_.schedule(sw, finish);
+                    else
+                        finish();
                 });
             simAssert(slot >= 0, "enqueue failed with a free slot");
         };
@@ -583,15 +905,17 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
 
             events_.scheduleAt(submitAt, [&tryEnqueue, jobIdx,
                                           issueAt] {
-                tryEnqueue(jobIdx, issueAt);
+                tryEnqueue(jobIdx, issueAt, kBackoffBase);
             });
         }
     };
 
     // Poll-and-refill loop: issue a batch, poll until it completes,
     // then issue the next.
+    const FaultCounters before = faultCountersNow();
     while (nextJob < jobs.size()) {
         issueBatch();
+        armFaultDaemons();
         events_.run();
         simAssert(completedInBatch == batchTarget,
                   "non-blocking batch lost queries ({}/{})",
@@ -615,6 +939,7 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
     collectAccelStats(accels_, stats);
     stats.maxInFlightObserved = inflightPeak;
     fillBreakdownStats(stats);
+    fillFaultStats(stats, before);
     return stats;
 }
 

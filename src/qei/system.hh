@@ -18,10 +18,13 @@
 #include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "core/chip_config.hh"
+#include "core/core_model.hh"
 #include "core/trace.hh"
+#include "fault/fault_injector.hh"
 #include "qei/accelerator.hh"
 #include "qei/scheme.hh"
 #include "sim/event_queue.hh"
+#include "sim/watchdog.hh"
 #include "trace/trace.hh"
 
 namespace qei {
@@ -53,6 +56,25 @@ struct QeiRunStats
     std::uint64_t remoteCompares = 0;
     double avgQstOccupancy = 0.0;
     double maxInFlightObserved = 0.0;
+
+    // -- robustness (fault injection + recovery, Sec. IV-D) --
+    /** Faults the injector planted during this run. */
+    std::uint64_t faultsInjected = 0;
+    /** Queries re-executed on the core after a fault. */
+    std::uint64_t swFallbacks = 0;
+    /** Core cycles charged to those re-executions. */
+    Cycles swFallbackCycles = 0;
+    /** Injected interrupt flushes delivered mid-run. */
+    std::uint64_t faultFlushes = 0;
+    /** QUERY_NB retries after finding the target QST full. */
+    std::uint64_t qstBackoffs = 0;
+    /**
+     * Order-independent digest of every query's functional outcome
+     * (XOR of a hash of queryId/success/resultValue). Identical
+     * between fault-free and fault-injected runs of the same jobs —
+     * the recovery invariant abl_fault asserts.
+     */
+    std::uint64_t resultChecksum = 0;
 
     /**
      * Per-component latency totals (cycles) from the run's
@@ -140,6 +162,23 @@ class QeiSystem : public SimObject
     Cycles flushAll();
 
     /**
+     * Provide the software view of the jobs — the same QueryTraces the
+     * baseline runs, indexed by queryId — so faulted queries can be
+     * re-executed on a simulated core (Sec. IV-D: the OS services the
+     * fault and software redoes the query). Without a fallback,
+     * injected faults surface as exceptions, as bare hardware would.
+     * @p traces must outlive the runs that use it.
+     */
+    void setSoftwareFallback(const std::vector<QueryTrace>* traces,
+                             const RoiProfile& profile);
+
+    /** Fault-injection source; nullptr when the run is fault-free. */
+    FaultInjector* faultInjector() { return faults_.get(); }
+
+    /** Forward-progress watchdog (always present, armed per run). */
+    sim::Watchdog& watchdog() { return *watchdog_; }
+
+    /**
      * Pre-warm every translation structure (dedicated TLBs and core
      * L2-TLBs) with @p vpns — the paper's steady state, where "there
      * are few TLB misses in our tests".
@@ -194,6 +233,48 @@ class QeiSystem : public SimObject
     /** Copy the breakdown's totals into @p stats. */
     void fillBreakdownStats(QeiRunStats& stats) const;
 
+    /** True when injected faults are recovered by software re-run. */
+    bool
+    faultRecoveryActive() const
+    {
+        return faults_ != nullptr && fallbackTraces_ != nullptr;
+    }
+
+    /** Lazily build the private core + memory the fallback runs on. */
+    void ensureFallbackCore();
+
+    /**
+     * Service a faulted completion: re-execute the query on the
+     * fallback core, patch @p entry to the functional outcome, and
+     * charge the extra cycles to the SwFallback component.
+     * @return the extra cycles (0 when no recovery applies).
+     */
+    Cycles recoverInSoftware(QstEntry& entry, const QueryJob& job);
+
+    /** Arm the watchdog (and, if configured, the interrupt flusher). */
+    void armFaultDaemons();
+
+    /** Periodic injected-interrupt daemon (FaultConfig::flushPeriod). */
+    void flushTick();
+
+    /** One injected flush: drop in-flight work, hand it to recovery. */
+    void injectedFlush();
+
+    /** QST + event-queue snapshot for the watchdog's panic message. */
+    std::string dumpForWatchdog() const;
+
+    /** Injector counter snapshot, for per-run deltas. */
+    struct FaultCounters
+    {
+        std::uint64_t injected = 0;
+        std::uint64_t swFallbacks = 0;
+        Cycles swFallbackCycles = 0;
+        std::uint64_t flushes = 0;
+    };
+    FaultCounters faultCountersNow() const;
+    void fillFaultStats(QeiRunStats& stats,
+                        const FaultCounters& before) const;
+
     ChipConfig chip_;
     EventQueue& events_;
     MemoryHierarchy& memory_;
@@ -203,6 +284,24 @@ class QeiSystem : public SimObject
     std::vector<std::unique_ptr<Mmu>> mmus_;
     std::unique_ptr<AccelEnv> env_;
     std::vector<std::unique_ptr<Accelerator>> accels_;
+
+    // -- fault injection + recovery (Sec. IV-D) --
+    std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<sim::Watchdog> watchdog_;
+    bool flusherArmed_ = false;
+    const std::vector<QueryTrace>* fallbackTraces_ = nullptr;
+    RoiProfile fallbackProfile_;
+    /**
+     * The fallback core runs on a private memory hierarchy (LLC warmed
+     * from the page table, like the main one): its interval model
+     * restarts its clock per invocation, and feeding non-monotonic
+     * times into the shared DRAM/mesh state mid-run would corrupt the
+     * accelerator-side timing.
+     */
+    std::unique_ptr<MemoryHierarchy> fallbackHierarchy_;
+    std::unique_ptr<Mmu> fallbackMmu_;
+    std::unique_ptr<CoreModel> fallbackCore_;
+
     trace::LatencyBreakdown breakdown_;
     trace::TraceSink* trace_ = nullptr;
     std::uint16_t traceComp_ = 0;

@@ -8,17 +8,25 @@ EventQueue::run(Cycles maxCycles)
     const Cycles deadline =
         maxCycles == kInvalidCycle ? kInvalidCycle : now_ + maxCycles;
     const Cycles start = now_;
+    // Daemon events execute at their scheduled cycle but never define
+    // the end of the run: once real work drains, now() rewinds here.
+    Cycles lastReal = now_;
     std::uint64_t executed = 0;
     while (!heap_.empty()) {
         if (deadline != kInvalidCycle && heap_.front().when > deadline) {
-            now_ = deadline;
+            lastReal = deadline;
             break;
         }
         Event ev = popEarliest();
         now_ = ev.when;
+        if (ev.daemon)
+            --daemons_;
+        else
+            lastReal = now_;
         ev.action();
         ++executed;
     }
+    now_ = lastReal;
     if (executed > 0 && trace::active(trace_)) {
         trace_->record(trace::Category::Sim, traceComp_, traceRun_,
                        trace::kNoQuery, start, now_ - start);
@@ -34,6 +42,8 @@ EventQueue::runUntil(Cycles until)
     while (!heap_.empty() && heap_.front().when <= until) {
         Event ev = popEarliest();
         now_ = ev.when;
+        if (ev.daemon)
+            --daemons_;
         ev.action();
         ++executed;
     }
@@ -52,6 +62,7 @@ EventQueue::reset()
     heap_.clear();
     now_ = 0;
     nextSequence_ = 0;
+    daemons_ = 0;
 }
 
 } // namespace qei

@@ -156,6 +156,8 @@ struct Event
     std::uint64_t sequence = 0;
     EventFn action;
     EventPriority priority = EventPriority::Default;
+    /** Housekeeping event (see scheduleDaemon()). */
+    bool daemon = false;
 };
 
 /** Central time-ordered event queue driving a simulation. */
@@ -197,6 +199,45 @@ class EventQueue
 
     /** Number of pending events. */
     std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Schedule a housekeeping *daemon* event @p delay cycles from now.
+     *
+     * Daemons (the fault-injection flusher, the forward-progress
+     * watchdog) are periodic self-rescheduling events that must not
+     * keep run() alive forever, must not keep *each other* alive, and
+     * must not drag the simulated clock: once only daemons remain in
+     * the heap, run() still drains them (so no callback outlives the
+     * run region) but rewinds now() to the last *real* event before
+     * returning — a trailing watchdog epoch does not inflate the time
+     * an issue loop reads back.
+     *
+     * Contract for daemon callbacks: re-arm (via scheduleDaemon) only
+     * while pendingWork() is non-zero, and schedule no real work once
+     * it has hit zero.
+     */
+    void
+    scheduleDaemon(Cycles delay, EventFn action)
+    {
+        heap_.push_back(Event{now_ + delay, nextSequence_++,
+                              std::move(action),
+                              EventPriority::Default, true});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        ++daemons_;
+    }
+
+    /** Registered daemon events currently scheduled. */
+    std::size_t daemons() const
+    {
+        return static_cast<std::size_t>(daemons_);
+    }
+
+    /** Pending events that are not housekeeping daemons. */
+    std::size_t
+    pendingWork() const
+    {
+        return heap_.size() - static_cast<std::size_t>(daemons_);
+    }
 
     /** Pre-size the event storage for an expected @p events load. */
     void reserve(std::size_t events) { heap_.reserve(events); }
@@ -260,6 +301,7 @@ class EventQueue
 
     Cycles now_ = 0;
     std::uint64_t nextSequence_ = 0;
+    int daemons_ = 0;
     std::vector<Event> heap_;
     trace::TraceSink* trace_ = nullptr;
     std::uint16_t traceComp_ = 0;

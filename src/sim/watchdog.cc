@@ -1,0 +1,74 @@
+#include "watchdog.hh"
+
+#include "common/logging.hh"
+
+namespace qei::sim {
+
+Watchdog::Watchdog(EventQueue& events, Params params)
+    : SimObject("watchdog"), events_(events), params_(params)
+{
+    simAssert(params_.epochCycles > 0, "watchdog epoch must be > 0");
+    simAssert(params_.maxStrikes > 0, "watchdog strikes must be > 0");
+}
+
+void
+Watchdog::regStats(StatsRegistry& registry)
+{
+    const std::string base = fullPath() + ".";
+    registry.addCounter(base + "epochs", epochs_,
+                        "scheduler epochs observed");
+    registry.addCounter(base + "silent_epochs", silentEpochs_,
+                        "epochs with pending work but no retirement");
+}
+
+void
+Watchdog::arm()
+{
+    if (armed_)
+        return;
+    armed_ = true;
+    strikes_ = 0;
+    lastRetired_ = retired_;
+    lastProbe_ = probe_ ? probe_() : 0;
+    events_.scheduleDaemon(params_.epochCycles,
+                           [this] { checkEpoch(); });
+}
+
+void
+Watchdog::checkEpoch()
+{
+    epochs_.inc();
+    // Run region over: only daemon events (us, the fault flusher)
+    // remain, so stand down until the owner re-arms.
+    if (events_.pendingWork() == 0) {
+        armed_ = false;
+        return;
+    }
+    // A long-running query can legitimately retire nothing for many
+    // epochs; the probe (micro-ops executed) distinguishes "still
+    // working" from a retry storm spinning without progress.
+    const std::uint64_t probe = probe_ ? probe_() : 0;
+    if (retired_ == lastRetired_ && probe == lastProbe_) {
+        silentEpochs_.inc();
+        ++strikes_;
+        if (strikes_ >= params_.maxStrikes) {
+            panic("watchdog: no query retired and no work executed "
+                  "for {} epochs ({} cycles) with {} events pending "
+                  "at cycle {}\n{}",
+                  strikes_,
+                  static_cast<std::uint64_t>(strikes_) *
+                      params_.epochCycles,
+                  events_.pending(), events_.now(),
+                  dump_ ? dump_() : std::string("(no state dump "
+                                                "registered)"));
+        }
+    } else {
+        strikes_ = 0;
+    }
+    lastRetired_ = retired_;
+    lastProbe_ = probe;
+    events_.scheduleDaemon(params_.epochCycles,
+                           [this] { checkEpoch(); });
+}
+
+} // namespace qei::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Forward-progress watchdog (robustness tentpole): detects livelock —
+ * no query retirement across N scheduler epochs while work is still
+ * pending — and panics with a full state dump instead of letting the
+ * simulation hang silently. A hung event loop with events still
+ * circulating (a retry storm, a lost completion) would otherwise spin
+ * forever; the watchdog turns that into a diagnosable failure.
+ */
+
+#ifndef QEI_SIM_WATCHDOG_HH
+#define QEI_SIM_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/sim_object.hh"
+#include "common/stats.hh"
+#include "sim/event_queue.hh"
+
+namespace qei::sim {
+
+/**
+ * Epoch-based livelock detector, adopted into the owning system's
+ * SimObject tree (stats surface as `system.watchdog.*`).
+ *
+ * Usage: the owner calls arm() at the start of each run region and
+ * noteProgress() on every retirement; setProgressProbe() registers a
+ * secondary work fingerprint (e.g. total micro-ops executed) so a
+ * single long-running query — a whole-buffer scan that retires
+ * nothing for many epochs while steadily executing — is not mistaken
+ * for livelock. The watchdog schedules itself as a daemon event every
+ * epoch; when a whole epoch passes with pending work, no retirement,
+ * and an unchanged probe it strikes, and after `maxStrikes`
+ * consecutive silent epochs it panics with the owner's dump. It
+ * disarms itself automatically once the queue holds no real work.
+ */
+class Watchdog : public SimObject
+{
+  public:
+    struct Params
+    {
+        Cycles epochCycles = 100000;
+        int maxStrikes = 8;
+    };
+
+    /** Renders the owner's state (QST entries, queue depth) for the
+     *  panic message. */
+    using DumpFn = std::function<std::string()>;
+
+    /** Monotonic work fingerprint; any change within an epoch counts
+     *  as forward progress even without a retirement. */
+    using ProbeFn = std::function<std::uint64_t()>;
+
+    Watchdog(EventQueue& events, Params params);
+
+    void regStats(StatsRegistry& registry) override;
+
+    /** Attach the owner's state-dump callback. */
+    void setDump(DumpFn dump) { dump_ = std::move(dump); }
+
+    /** Attach the owner's secondary progress fingerprint. */
+    void setProgressProbe(ProbeFn probe) { probe_ = std::move(probe); }
+
+    /** Start (or restart) epoch checks for the current run region.
+     *  No-op when already armed. */
+    void arm();
+
+    /** Record one retirement; any progress within an epoch clears the
+     *  strike count. */
+    void noteProgress() { ++retired_; }
+
+    bool armed() const { return armed_; }
+    std::uint64_t epochs() const { return epochs_.value(); }
+    std::uint64_t silentEpochs() const { return silentEpochs_.value(); }
+
+  private:
+    void checkEpoch();
+
+    EventQueue& events_;
+    Params params_;
+    DumpFn dump_;
+    ProbeFn probe_;
+    bool armed_ = false;
+    int strikes_ = 0;
+    std::uint64_t retired_ = 0;
+    std::uint64_t lastRetired_ = 0;
+    std::uint64_t lastProbe_ = 0;
+    Counter epochs_;
+    Counter silentEpochs_;
+};
+
+} // namespace qei::sim
+
+#endif // QEI_SIM_WATCHDOG_HH

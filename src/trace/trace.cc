@@ -169,6 +169,8 @@ toString(LatencyComponent c)
       case LatencyComponent::Noc: return "noc";
       case LatencyComponent::Delivery: return "delivery";
       case LatencyComponent::Response: return "response";
+      case LatencyComponent::SwFallback: return "sw_fallback";
+      case LatencyComponent::Flush: return "flush";
       case LatencyComponent::Other: return "other";
     }
     return "unknown";
@@ -177,6 +179,7 @@ toString(LatencyComponent c)
 LatencyBreakdown::LatencyBreakdown()
     : SimObject("breakdown"),
       componentHist_{Histogram(8.0, 256), Histogram(8.0, 256),
+                     Histogram(8.0, 256), Histogram(8.0, 256),
                      Histogram(8.0, 256), Histogram(8.0, 256),
                      Histogram(8.0, 256), Histogram(8.0, 256),
                      Histogram(8.0, 256), Histogram(8.0, 256),

@@ -254,10 +254,12 @@ enum class LatencyComponent : std::uint8_t {
     Noc,         ///< remote-comparator mesh traversals
     Delivery,    ///< Result Queue + result-slot write
     Response,    ///< accelerator -> core response (blocking only)
+    SwFallback,  ///< software re-execution after a fault (Sec. IV-D)
+    Flush,       ///< interrupt-flush drain before the retry
     Other,       ///< residue (zero by construction)
 };
 
-inline constexpr std::size_t kLatencyComponentCount = 11;
+inline constexpr std::size_t kLatencyComponentCount = 13;
 
 /** Stable snake_case name of @p c ("queue_wait", ...). */
 const char* toString(LatencyComponent c);

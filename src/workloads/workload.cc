@@ -52,6 +52,10 @@ runQei(World& world, const Prepared& prepared,
                      world.vm, world.firmware, scheme,
                      &world.traceSink);
     system.warmTlbs(sortedVpns(world));
+    // The baseline traces double as the software view of each job:
+    // with a fault mix configured, faulted queries re-execute on the
+    // simulated core instead of surfacing as exceptions (Sec. IV-D).
+    system.setSoftwareFallback(&prepared.traces, prepared.profile);
     QeiRunStats stats;
     if (mode == QueryMode::Blocking) {
         stats = system.runBlocking(prepared.jobs, core,
