@@ -67,8 +67,7 @@ runMix(const Mix& mix)
     World world(kSeed, chip);
     workload->build(world);
     const Prepared prepared = workload->prepare(world, kQueries);
-    return runQei(world, prepared, SchemeConfig::coreIntegrated(),
-                  mix.mode);
+    return runQei(world, prepared, DriverConfig(SchemeConfig::coreIntegrated()).withMode(mix.mode));
 }
 
 using validate::Expectation;

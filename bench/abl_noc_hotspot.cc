@@ -99,8 +99,7 @@ main(int argc, char** argv)
             jvm->build(world);
             const Prepared prepared = jvm->prepare(world, 1200);
             tracer.arm(world);
-            const QeiRunStats stats = runQei(
-                world, prepared, scheme, QueryMode::NonBlocking, 0, 120);
+            const QeiRunStats stats = runQei(world, prepared, DriverConfig(scheme).withMode(QueryMode::NonBlocking).withPollBatch(120));
 
             HotspotResult out;
             out.name = scheme.name();

@@ -105,7 +105,7 @@ main(int argc, char** argv)
                 runBaseline(jvmWorld, jvmPrep);
             tracer.arm(jvmWorld);
             const QeiRunStats jvmStats =
-                runQei(jvmWorld, jvmPrep, scheme);
+                runQei(jvmWorld, jvmPrep, DriverConfig(scheme));
 
             World dpdkWorld(43);
             workloads[0]->build(dpdkWorld);
@@ -115,7 +115,7 @@ main(int argc, char** argv)
                 runBaseline(dpdkWorld, dpdkPrep);
             tracer.arm(dpdkWorld);
             const QeiRunStats dpdkStats =
-                runQei(dpdkWorld, dpdkPrep, scheme);
+                runQei(dpdkWorld, dpdkPrep, DriverConfig(scheme));
 
             SweepPoint point{speedupOf(jvmBase, jvmStats),
                              jvmStats.avgQstOccupancy / entries,

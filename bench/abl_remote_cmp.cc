@@ -111,11 +111,11 @@ main(int argc, char** argv)
             out.name = workload->name();
             tracer.arm(world);
             const QeiRunStats withRemote =
-                runQei(world, prepared, remote);
+                runQei(world, prepared, DriverConfig(remote));
             if (tracer.enabled())
                 out.remoteTrace = world.traceSink.drain();
             tracer.arm(world);
-            const QeiRunStats localOnly = runQei(world, prepared, local);
+            const QeiRunStats localOnly = runQei(world, prepared, DriverConfig(local));
             if (tracer.enabled())
                 out.localTrace = world.traceSink.drain();
 

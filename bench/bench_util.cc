@@ -100,9 +100,56 @@ usageError(const char* prog, const std::string& message)
         "  --faults <spec>    fault-injection mix, e.g. "
         "'pf=0.05,flush=20000,seed=7'\n"
         "  --validate         gate the exit code on the expectation "
-        "table\n",
+        "table\n"
+        "  --list-workloads   print workload names + descriptions, "
+        "exit 0\n"
+        "  --list-schemes     print scheme names + descriptions, "
+        "exit 0\n",
         prog, message.c_str(), prog);
     std::exit(2);
+}
+
+/** One-line description of a canonical integration scheme. */
+const char*
+schemeDescription(IntegrationScheme scheme)
+{
+    switch (scheme) {
+    case IntegrationScheme::ChaTlb:
+        return "accelerator per CHA with a dedicated TLB "
+               "(HALO-style)";
+    case IntegrationScheme::ChaNoTlb:
+        return "accelerator per CHA, translation via the core MMU "
+               "over the NoC";
+    case IntegrationScheme::DeviceDirect:
+        return "single accelerator on its own NoC stop (DASX-style)";
+    case IntegrationScheme::DeviceIndirect:
+        return "single accelerator behind a standard device "
+               "interface (CXL/OpenCAPI)";
+    case IntegrationScheme::CoreIntegrated:
+        return "this paper: control by the L2/L2-TLB, comparators in "
+               "the CHAs";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+listWorkloads()
+{
+    for (const auto& w : makeAllWorkloads()) {
+        std::printf("%-10s %s\n", w->name().c_str(),
+                    w->description().c_str());
+    }
+    std::exit(0);
+}
+
+[[noreturn]] void
+listSchemes()
+{
+    for (const Topology& t : Topology::allPaper()) {
+        std::printf("%-16s %s\n", t.name().c_str(),
+                    schemeDescription(t.params().scheme));
+    }
+    std::exit(0);
 }
 
 } // namespace
@@ -145,6 +192,10 @@ parseBenchArgs(int argc, char** argv)
             options.faultSpec = arg + 9;
         } else if (std::strcmp(arg, "--validate") == 0) {
             options.validate = true;
+        } else if (std::strcmp(arg, "--list-workloads") == 0) {
+            listWorkloads();
+        } else if (std::strcmp(arg, "--list-schemes") == 0) {
+            listSchemes();
         } else if (std::strncmp(arg, "--", 2) == 0 && arg[2] != '\0') {
             usageError(prog, fmt("unknown option '{}'", arg));
         } else {
@@ -266,7 +317,7 @@ BenchReport::finish()
 
 WorkloadRun
 runWorkload(Workload& workload, std::size_t queries,
-            const std::vector<SchemeConfig>& schemes, QueryMode mode,
+            const std::vector<Topology>& topologies, QueryMode mode,
             std::uint64_t seed, bool capture_stats)
 {
     WorkloadRun run;
@@ -285,17 +336,18 @@ runWorkload(Workload& workload, std::size_t queries,
     run.activity["baseline"] = ChipActivity::capture(world.hierarchy);
     run.cellWallMs["baseline"] = msSince(start);
 
-    for (const auto& scheme : schemes) {
+    for (const Topology& topo : topologies) {
         const auto cellStart = Clock::now();
         std::string stats_json;
-        run.schemes[scheme.name()] =
-            runQei(world, run.prepared, scheme, mode, 0, 32,
-                   capture_stats ? &stats_json : nullptr);
-        run.activity[scheme.name()] =
-            ChipActivity::capture(world.hierarchy);
+        const std::string name = topo.name();
+        run.schemes[name] = runQei(
+            world, run.prepared,
+            DriverConfig(topo).withMode(mode).captureStats(
+                capture_stats ? &stats_json : nullptr));
+        run.activity[name] = ChipActivity::capture(world.hierarchy);
         if (capture_stats)
-            run.statsJson[scheme.name()] = std::move(stats_json);
-        run.cellWallMs[scheme.name()] = msSince(cellStart);
+            run.statsJson[name] = std::move(stats_json);
+        run.cellWallMs[name] = msSince(cellStart);
     }
     run.hostWallMs = msSince(start);
     return run;
@@ -323,8 +375,9 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
                   const MatrixOptions& options)
 {
     // Cell layout: for each workload, one baseline cell followed by
-    // one cell per scheme — index math keeps reassembly deterministic.
-    const std::size_t stride = 1 + options.schemes.size();
+    // one cell per topology — index math keeps reassembly
+    // deterministic.
+    const std::size_t stride = 1 + options.topologies.size();
     const std::size_t cellCount = workloads.size() * stride;
     const bool armTrace =
         options.captureTrace || !options.tracePath.empty();
@@ -360,11 +413,14 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
         if (s == 0) {
             out.baseline = runBaseline(world, out.prepared);
         } else {
-            const SchemeConfig& scheme = options.schemes[s - 1];
+            const Topology& topo = options.topologies[s - 1];
             out.stats = runQei(
-                world, out.prepared, scheme, options.mode, 0,
-                options.pollBatch,
-                options.captureStats ? &out.statsJson : nullptr);
+                world, out.prepared,
+                DriverConfig(topo)
+                    .withMode(options.mode)
+                    .withPollBatch(options.pollBatch)
+                    .captureStats(options.captureStats ? &out.statsJson
+                                                       : nullptr));
         }
         out.activity = ChipActivity::capture(world.hierarchy);
         if (armTrace)
@@ -389,9 +445,9 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
         run.hostWallMs = base.wallMs;
         if (armTrace)
             run.traces["baseline"] = std::move(base.traceBuf);
-        for (std::size_t s = 0; s < options.schemes.size(); ++s) {
+        for (std::size_t s = 0; s < options.topologies.size(); ++s) {
             CellResult& cell = cells[w * stride + 1 + s];
-            const std::string name = options.schemes[s].name();
+            const std::string name = options.topologies[s].name();
             run.schemes[name] = cell.stats;
             run.activity[name] = cell.activity;
             if (options.captureStats)

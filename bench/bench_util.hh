@@ -72,10 +72,12 @@ struct BenchOptions
  * `--json=<path>`, `--trace <path>`, `--trace=<path>`,
  * `--threads <n>`, `--threads=<n>` (n = 0 or "auto" uses every host
  * core), `--faults <spec>`, `--faults=<spec>`, and `--validate`;
- * QEI_BENCH_THREADS seeds the thread default. Non-option arguments
- * are collected into BenchOptions::positional. Unknown `--flags` and
- * flags missing their operand print a usage message and exit(2) —
- * a typo must not silently run the un-modified experiment.
+ * QEI_BENCH_THREADS seeds the thread default. `--list-workloads` and
+ * `--list-schemes` print the available names with descriptions and
+ * exit(0), so scripts can enumerate instead of hardcoding. Non-option
+ * arguments are collected into BenchOptions::positional. Unknown
+ * `--flags` and flags missing their operand print a usage message and
+ * exit(2) — a typo must not silently run the un-modified experiment.
  */
 BenchOptions parseBenchArgs(int argc, char** argv);
 
@@ -138,7 +140,8 @@ struct WorkloadRun
     std::string name;
     CoreRunResult baseline;
     Prepared prepared;
-    /** Keyed by SchemeConfig::name(). */
+    /** Keyed by Topology::name() (== SchemeConfig::name() for the
+     *  five canonical scheme topologies). */
     std::map<std::string, QeiRunStats> schemes;
     /** Activity deltas for the energy model, keyed like `schemes`,
      *  plus "baseline". */
@@ -173,11 +176,13 @@ struct WorkloadRun
 
 /**
  * Build @p workload in a fresh world and run baseline + the given
- * schemes on @p queries matched queries (workload default when 0).
+ * topologies on @p queries matched queries (workload default when 0).
+ * A vector of SchemeConfigs converts element-wise at the call site via
+ * Topology's implicit constructor.
  */
 WorkloadRun runWorkload(Workload& workload, std::size_t queries = 0,
-                        const std::vector<SchemeConfig>& schemes =
-                            SchemeConfig::allSchemes(),
+                        const std::vector<Topology>& topologies =
+                            Topology::allPaper(),
                         QueryMode mode = QueryMode::Blocking,
                         std::uint64_t seed = 42,
                         bool capture_stats = false);
@@ -194,7 +199,8 @@ struct MatrixOptions
     ChipConfig chip = defaultChip();
     /** Queries per workload; 0 = each workload's default. */
     std::size_t queries = 0;
-    std::vector<SchemeConfig> schemes = SchemeConfig::allSchemes();
+    /** Deployments to run per workload (one cell each). */
+    std::vector<Topology> topologies = Topology::allPaper();
     QueryMode mode = QueryMode::Blocking;
     std::uint64_t seed = 42;
     /** Poll batch for QueryMode::NonBlocking. */
@@ -216,12 +222,12 @@ struct MatrixOptions
 };
 
 /**
- * Run the full (workload x scheme) matrix, one baseline cell plus one
- * cell per scheme for every workload, fanned across
+ * Run the full (workload x topology) matrix, one baseline cell plus
+ * one cell per topology for every workload, fanned across
  * min(threads, cells) host threads. Every cell constructs its own
  * World/Workload/QeiSystem from the same seed, so the returned runs
  * are bit-identical to the serial path at any thread count; results
- * come back in (workload, scheme) order.
+ * come back in (workload, topology) order.
  */
 std::vector<WorkloadRun> runWorkloadMatrix(
     const std::vector<WorkloadFactory>& workloads,

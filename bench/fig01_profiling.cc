@@ -98,7 +98,7 @@ main(int argc, char** argv)
     const int width = defaultChip().core.issueWidth;
     // Only the baseline run matters for profiling.
     MatrixOptions matrix;
-    matrix.schemes = {SchemeConfig::coreIntegrated()};
+    matrix.topologies = {SchemeConfig::coreIntegrated()};
     matrix.threads = options.threads;
     matrix.tracePath = options.tracePath;
     for (const WorkloadRun& run :

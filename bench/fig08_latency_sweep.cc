@@ -134,8 +134,7 @@ main(int argc, char** argv)
             bool haveFirst = false;
             for (Cycles c : sweep) {
                 tracer.arm(world);
-                const QeiRunStats stats = runQei(
-                    world, prepared, SchemeConfig::deviceIndirect(c));
+                const QeiRunStats stats = runQei(world, prepared, DriverConfig(SchemeConfig::deviceIndirect(c)));
                 if (tracer.enabled()) {
                     result.traces.emplace_back(
                         workload->name() + "/dev-" + std::to_string(c),

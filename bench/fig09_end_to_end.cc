@@ -99,7 +99,7 @@ main(int argc, char** argv)
                   "end-to-end gain (CHA-noTLB)"});
 
     MatrixOptions matrix;
-    matrix.schemes = {SchemeConfig::chaTlb(), SchemeConfig::chaNoTlb(),
+    matrix.topologies = {SchemeConfig::chaTlb(), SchemeConfig::chaNoTlb(),
                       SchemeConfig::coreIntegrated()};
     matrix.threads = options.threads;
     matrix.tracePath = options.tracePath;

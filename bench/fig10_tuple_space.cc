@@ -176,8 +176,7 @@ main(int argc, char** argv)
                 out.traceLabel = "baseline";
             } else {
                 out.stats =
-                    runQei(world, setup.prepared, schemes[s - 1],
-                           QueryMode::NonBlocking, 0, 32 * tuples);
+                    runQei(world, setup.prepared, DriverConfig(schemes[s - 1]).withMode(QueryMode::NonBlocking).withPollBatch(32 * tuples));
                 out.traceLabel = schemes[s - 1].name();
             }
             out.traceLabel =

@@ -70,7 +70,7 @@ main(int argc, char** argv)
                   "QEI instr/query", "reduction"});
 
     MatrixOptions matrix;
-    matrix.schemes = {SchemeConfig::coreIntegrated()};
+    matrix.topologies = {SchemeConfig::coreIntegrated()};
     matrix.threads = options.threads;
     matrix.tracePath = options.tracePath;
 

@@ -213,7 +213,7 @@ BM_AcceleratedQuery(benchmark::State& state)
 
     for (auto _ : state) {
         const QeiRunStats stats =
-            runQei(world, prep, SchemeConfig::coreIntegrated());
+            runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
         benchmark::DoNotOptimize(stats.cycles);
     }
     state.SetItemsProcessed(

@@ -67,7 +67,7 @@ main(int argc, char** argv)
     std::printf("software mark     : %8.1f cycles/lookup\n",
                 baseline.cyclesPerQuery());
     for (const auto& scheme : SchemeConfig::allSchemes()) {
-        const QeiRunStats stats = runQei(world, prep, scheme);
+        const QeiRunStats stats = runQei(world, prep, DriverConfig(scheme));
         std::printf("%-18s: %8.1f cycles/lookup  %4.2fx\n",
                     scheme.name().c_str(), stats.cyclesPerQuery(),
                     speedupOf(baseline, stats));
@@ -90,7 +90,7 @@ main(int argc, char** argv)
     for (auto& job : tagged.jobs)
         job.headerAddr = taggedHeader;
     const QeiRunStats stats =
-        runQei(world, tagged, SchemeConfig::coreIntegrated());
+        runQei(world, tagged, DriverConfig(SchemeConfig::coreIntegrated()));
     std::printf("\nfirmware-updated subtype %d ran %llu lookups with "
                 "%llu mismatches\n",
                 static_cast<int>(kGenTaggedTree),

@@ -75,7 +75,7 @@ main(int argc, char** argv)
 
     for (const auto& scheme :
          {SchemeConfig::coreIntegrated(), SchemeConfig::chaTlb()}) {
-        const QeiRunStats stats = runQei(world, prep, scheme);
+        const QeiRunStats stats = runQei(world, prep, DriverConfig(scheme));
         std::printf("%-18s: %8.1f cycles/op  %4.2fx  "
                     "(remote compares/op %.1f, mismatches %llu)\n",
                     scheme.name().c_str(), stats.cyclesPerQuery(),

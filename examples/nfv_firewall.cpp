@@ -73,8 +73,7 @@ main(int argc, char** argv)
          {SchemeConfig::coreIntegrated(), SchemeConfig::chaTlb(),
           SchemeConfig::deviceDirect()}) {
         const QeiRunStats stats =
-            runQei(world, prep, scheme, QueryMode::NonBlocking, 0,
-                   32 * tuples);
+            runQei(world, prep, DriverConfig(scheme).withMode(QueryMode::NonBlocking).withPollBatch(32 * tuples));
         std::printf("%-18s: %8.1f cycles/packet  %5.2fx  "
                     "(in-flight peak %.0f)\n",
                     scheme.name().c_str(),

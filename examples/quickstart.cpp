@@ -71,7 +71,7 @@ main()
 
     // 5. The same queries through QEI, once per integration scheme.
     for (const auto& scheme : SchemeConfig::allSchemes()) {
-        const QeiRunStats stats = runQei(world, prep, scheme);
+        const QeiRunStats stats = runQei(world, prep, DriverConfig(scheme));
         std::printf("%-18s: %8.1f cycles/query  %5.2fx speedup  "
                     "(%llu wrong results)\n",
                     scheme.name().c_str(), stats.cyclesPerQuery(),

@@ -19,9 +19,20 @@ Histogram::percentile(double fraction) const
     const double target = fraction * static_cast<double>(total);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        const double before = static_cast<double>(seen);
         seen += buckets_[i];
-        if (static_cast<double>(seen) >= target)
-            return (static_cast<double>(i) + 1.0) * bucketWidth_;
+        if (static_cast<double>(seen) >= target) {
+            // Linear interpolation inside the bucket: samples are
+            // assumed uniform over [i*w, (i+1)*w), so the estimate
+            // moves smoothly with the fraction instead of jumping a
+            // whole bucket width at a time.
+            const double within =
+                (target - before) /
+                static_cast<double>(buckets_[i]);
+            return (static_cast<double>(i) + within) * bucketWidth_;
+        }
     }
     return static_cast<double>(buckets_.size()) * bucketWidth_;
 }

@@ -29,6 +29,7 @@ histogramToJson(const Histogram& h)
     rec["p50"] = h.percentile(0.50);
     rec["p95"] = h.percentile(0.95);
     rec["p99"] = h.percentile(0.99);
+    rec["p999"] = h.percentile(0.999);
     rec["bucket_width"] = h.bucketWidth();
     Json buckets = Json::array();
     for (std::uint64_t b : h.buckets())
@@ -99,6 +100,8 @@ StatsRegistry::dumpCsv() const
             row(path, "p50", fmt("{:.6f}", e.histogram->percentile(0.50)));
             row(path, "p95", fmt("{:.6f}", e.histogram->percentile(0.95)));
             row(path, "p99", fmt("{:.6f}", e.histogram->percentile(0.99)));
+            row(path, "p999",
+                fmt("{:.6f}", e.histogram->percentile(0.999)));
             break;
         case Kind::Formula:
             row(path, "value", fmt("{:.6f}", e.formula()));

@@ -1,0 +1,230 @@
+#include "driver.hh"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace qei {
+
+void
+DriverMetrics::regStats(StatsRegistry& registry)
+{
+    const std::string base = fullPath() + ".";
+    registry.addHistogram(base + "sojourn", sojourn_,
+                          "arrival-to-retire latency per query "
+                          "(cycles)");
+    registry.addHistogram(base + "queue_wait", queueWait_,
+                          "software queueing delay before issue "
+                          "(cycles)");
+    registry.addHistogram(base + "service", service_,
+                          "issue-to-retire latency per query "
+                          "(cycles)");
+}
+
+LatencyDigest
+DriverMetrics::digest(const Histogram& h)
+{
+    LatencyDigest d;
+    d.count = h.scalar().count();
+    d.mean = h.scalar().mean();
+    d.max = h.scalar().max();
+    d.p50 = h.percentile(0.50);
+    d.p99 = h.percentile(0.99);
+    d.p999 = h.percentile(0.999);
+    return d;
+}
+
+QeiRunStats
+Driver::run(const std::vector<QueryJob>& jobs,
+            const RoiProfile& profile)
+{
+    QeiRunStats stats;
+    const bool closed =
+        config_.traffic == nullptr || config_.traffic->closedLoop();
+    if (closed) {
+        // The legacy loops ARE the closed-loop semantics; delegating
+        // keeps every pre-traffic-layer result bit-identical.
+        if (config_.mode == QueryMode::Blocking) {
+            stats = system_.runBlocking(jobs, config_.core, profile);
+        } else {
+            stats = system_.runNonBlocking(jobs, config_.core, profile,
+                                           config_.pollBatch);
+        }
+    } else {
+        stats = runOpenLoop(jobs, profile,
+                            config_.traffic->schedule(jobs.size()));
+    }
+    DriverMetrics& m = system_.driverMetrics();
+    stats.sojourn = DriverMetrics::digest(m.sojourn());
+    stats.queueWait = DriverMetrics::digest(m.queueWait());
+    stats.service = DriverMetrics::digest(m.service());
+    return stats;
+}
+
+QeiRunStats
+Driver::runOpenLoop(const std::vector<QueryJob>& jobs,
+                    const RoiProfile& profile,
+                    const std::vector<traffic::Arrival>& arrivals)
+{
+    QeiRunStats stats;
+    stats.queries = jobs.size();
+    system_.breakdown_.reset();
+    system_.driverStats_->reset();
+    if (jobs.empty()) {
+        system_.fillBreakdownStats(stats);
+        return stats;
+    }
+    simAssert(arrivals.size() == jobs.size(),
+              "traffic source scheduled {} arrivals for {} jobs",
+              arrivals.size(), jobs.size());
+
+    EventQueue& events = system_.events_;
+    const int core = config_.core;
+
+    // The serving core dispatches one query per window of surrounding
+    // work, with the same issue-gap and in-flight window model as the
+    // closed-loop blocking path (Sec. VII-A).
+    const std::uint32_t windowInstr = profile.nonQueryInstrPerOp + 1;
+    const int robLimit = std::max(
+        1, system_.chip_.core.robEntries /
+               static_cast<int>(windowInstr));
+    const int maxInflight =
+        std::min(robLimit, system_.chip_.core.loadQueueEntries);
+    const double issueGap =
+        static_cast<double>(profile.nonQueryInstrPerOp) /
+            system_.chip_.core.issueWidth +
+        profile.frontendStallPerInstr * windowInstr +
+        static_cast<double>(profile.nonQueryMispredictsPerOp) *
+            static_cast<double>(
+                system_.chip_.core.branchMispredictPenalty);
+
+    // Arrivals wait here until the head-of-queue query finds both a
+    // free in-flight slot and QST capacity on its target accelerator
+    // (FIFO admission — no reordering around a blocked head).
+    struct Pending
+    {
+        std::size_t jobIdx;
+        Cycles arrivedAt;
+    };
+    std::deque<Pending> pendingQ;
+    std::size_t issued = 0;
+    int inflight = 0;
+    double fetchTime = 0.0;
+    Cycles lastRetire = 0;
+    double inflightPeak = 0.0;
+    std::vector<int> reserved(system_.accels_.size(), 0);
+
+    std::function<void()> pump = [&]() {
+        while (!pendingQ.empty() && inflight < maxInflight) {
+            const Pending head = pendingQ.front();
+            const QueryJob& job = jobs[head.jobIdx];
+            Accelerator& target =
+                system_.acceleratorFor(job.keyAddr, core);
+            if (reserved[static_cast<std::size_t>(target.id())] >=
+                system_.scheme_.qstEntries)
+                break; // software waits for a slot
+
+            fetchTime = std::max(fetchTime,
+                                 static_cast<double>(events.now()));
+            fetchTime += issueGap;
+            stats.coreInstructions += windowInstr;
+
+            const Cycles issueAt = static_cast<Cycles>(fetchTime);
+            const Cycles queueWait =
+                issueAt > head.arrivedAt ? issueAt - head.arrivedAt
+                                         : 0;
+            const Cycles submitAt =
+                issueAt + system_.submitLatency(core, target, issueAt);
+            const std::size_t jobIdx = head.jobIdx;
+
+            pendingQ.pop_front();
+            ++issued;
+            ++inflight;
+            ++reserved[static_cast<std::size_t>(target.id())];
+            inflightPeak =
+                std::max(inflightPeak, static_cast<double>(inflight));
+
+            events.scheduleAt(submitAt, [this, &events, &target, &jobs,
+                                         jobIdx, core, &stats,
+                                         &inflight, &lastRetire,
+                                         &reserved, &pump, issueAt,
+                                         queueWait]() {
+                const QueryJob& j = jobs[jobIdx];
+                const int slot = target.enqueue(
+                    j.headerAddr, j.keyAddr, kNullAddr,
+                    QueryMode::Blocking, jobIdx,
+                    [this, &events, &target, &jobs, jobIdx, core,
+                     &stats, &inflight, &lastRetire, &reserved, &pump,
+                     issueAt, queueWait](const QstEntry& raw) {
+                        QstEntry entry = raw;
+                        const Cycles sw = system_.recoverInSoftware(
+                            entry, jobs[jobIdx]);
+                        const auto finish = [this, &events, &target,
+                                             &jobs, jobIdx, core,
+                                             &stats, &inflight,
+                                             &lastRetire, &reserved,
+                                             &pump, issueAt, queueWait,
+                                             entry]() {
+                            const Cycles now = events.now();
+                            const Cycles respLat =
+                                system_.responseLatency(core, target,
+                                                        now);
+                            lastRetire =
+                                std::max(lastRetire, now + respLat);
+                            system_.recordCompletion(entry, issueAt,
+                                                     respLat,
+                                                     queueWait);
+                            if (!QeiSystem::matchesExpectation(
+                                    entry, jobs[jobIdx]))
+                                ++stats.mismatches;
+                            stats.resultChecksum ^=
+                                QeiSystem::resultDigest(entry);
+                            --inflight;
+                            --reserved[static_cast<std::size_t>(
+                                target.id())];
+                            pump();
+                        };
+                        if (sw > 0)
+                            events.schedule(sw, finish);
+                        else
+                            finish();
+                    });
+                simAssert(slot >= 0,
+                          "QST overflow despite software tracking");
+            });
+        }
+    };
+
+    // Pre-schedule the whole arrival timeline; each arrival joins the
+    // software queue and kicks the pump.
+    events.reserve(events.pending() + arrivals.size());
+    for (const traffic::Arrival& a : arrivals) {
+        simAssert(a.queryIndex < jobs.size(),
+                  "arrival references job {} of {}", a.queryIndex,
+                  jobs.size());
+        events.scheduleAt(a.tick, [&pendingQ, &pump, a]() {
+            pendingQ.push_back(Pending{a.queryIndex, a.tick});
+            pump();
+        });
+    }
+
+    const QeiSystem::FaultCounters before = system_.faultCountersNow();
+    system_.armFaultDaemons();
+    events.run();
+    simAssert(issued == jobs.size() && inflight == 0 &&
+                  pendingQ.empty(),
+              "open-loop run stalled: {}/{} issued, {} in flight, {} "
+              "queued",
+              issued, jobs.size(), inflight, pendingQ.size());
+
+    stats.cycles = lastRetire;
+    system_.collectAccelStats(stats);
+    stats.maxInFlightObserved = inflightPeak;
+    system_.fillBreakdownStats(stats);
+    system_.fillFaultStats(stats, before);
+    return stats;
+}
+
+} // namespace qei

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Driver layer: the execution harness between a Workload's prepared
+ * query streams and a QeiSystem.
+ *
+ * DriverConfig replaces runQei's positional-parameter tail with one
+ * struct (topology, query mode, issuing core, poll batch, traffic
+ * source). The Driver consumes a traffic::TrafficSource: closed-loop
+ * sources delegate to the legacy QeiSystem run loops — bit-identical
+ * to the pre-refactor behaviour — while open-loop sources run an
+ * event-driven submit loop that queues arrivals against QST capacity
+ * and measures per-query sojourn (queue-wait + service) into the
+ * system.driver.* histograms.
+ */
+
+#ifndef QEI_QEI_DRIVER_HH
+#define QEI_QEI_DRIVER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_object.hh"
+#include "common/stats.hh"
+#include "qei/system.hh"
+#include "qei/topology.hh"
+#include "traffic/traffic.hh"
+
+namespace qei {
+
+/**
+ * Per-query latency histograms, registered as the "driver" child of
+ * QeiSystem (stats paths system.driver.sojourn / .queue_wait /
+ * .service). Sampled by QeiSystem::recordCompletion on every run.
+ */
+class DriverMetrics : public SimObject
+{
+  public:
+    DriverMetrics() : SimObject("driver") {}
+
+    void
+    record(Cycles queue_wait, Cycles service)
+    {
+        queueWait_.sample(static_cast<double>(queue_wait));
+        service_.sample(static_cast<double>(service));
+        sojourn_.sample(static_cast<double>(queue_wait + service));
+    }
+
+    void
+    reset()
+    {
+        sojourn_.reset();
+        queueWait_.reset();
+        service_.reset();
+    }
+
+    const Histogram& sojourn() const { return sojourn_; }
+    const Histogram& queueWait() const { return queueWait_; }
+    const Histogram& service() const { return service_; }
+
+    void regStats(StatsRegistry& registry) override;
+
+    /** Percentile summary of one histogram. */
+    static LatencyDigest digest(const Histogram& h);
+
+  private:
+    // 32-cycle buckets over [0, 256k): fine enough for p50 at a few
+    // hundred cycles, wide enough that device-scheme tails and queue
+    // waits near saturation stay in range.
+    Histogram sojourn_{32.0, 8192};
+    Histogram queueWait_{32.0, 8192};
+    Histogram service_{32.0, 8192};
+};
+
+/**
+ * Everything one QEI run needs beyond the World and the Prepared
+ * streams. Construct from a Topology (or a SchemeConfig, implicitly)
+ * and chain the fluent setters for the rest:
+ *
+ *   runQei(world, prepared,
+ *          DriverConfig(SchemeConfig::coreIntegrated())
+ *              .withMode(QueryMode::NonBlocking)
+ *              .withPollBatch(64));
+ */
+struct DriverConfig
+{
+    Topology topology;
+    QueryMode mode = QueryMode::Blocking;
+    /** Core issuing the queries. */
+    int core = 0;
+    /** QUERY_NB completions polled per SNAPSHOT_READ batch. */
+    int pollBatch = 32;
+    /**
+     * Arrival process; null means closed loop (the historical
+     * behaviour). Shared so DriverConfig stays copyable across the
+     * parallel matrix runner's cell captures.
+     */
+    std::shared_ptr<traffic::TrafficSource> traffic;
+    /** When non-null, receives the full post-run stats dump. */
+    std::string* statsJsonOut = nullptr;
+
+    DriverConfig(Topology topo) : topology(std::move(topo)) {}
+    DriverConfig(const SchemeConfig& scheme) : topology(scheme) {}
+    DriverConfig() = default;
+
+    DriverConfig&
+    withMode(QueryMode m)
+    {
+        mode = m;
+        return *this;
+    }
+
+    DriverConfig&
+    onCore(int c)
+    {
+        core = c;
+        return *this;
+    }
+
+    DriverConfig&
+    withPollBatch(int batch)
+    {
+        pollBatch = batch;
+        return *this;
+    }
+
+    DriverConfig&
+    withTraffic(std::shared_ptr<traffic::TrafficSource> source)
+    {
+        traffic = std::move(source);
+        return *this;
+    }
+
+    DriverConfig&
+    captureStats(std::string* out)
+    {
+        statsJsonOut = out;
+        return *this;
+    }
+};
+
+/**
+ * Runs prepared jobs through a QeiSystem under a DriverConfig.
+ * Stateless between runs; borrow the system for the call.
+ */
+class Driver
+{
+  public:
+    Driver(QeiSystem& system, const DriverConfig& config)
+        : system_(system), config_(config)
+    {
+    }
+
+    /**
+     * Execute @p jobs. Closed-loop (null or ClosedLoop traffic):
+     * delegates to QeiSystem::runBlocking / runNonBlocking unchanged.
+     * Open-loop: schedules the source's arrival timeline and submits
+     * from a FIFO software queue as QST capacity and the core's
+     * in-flight window allow. Either way the returned stats carry the
+     * sojourn/queue-wait/service digests.
+     */
+    QeiRunStats run(const std::vector<QueryJob>& jobs,
+                    const RoiProfile& profile);
+
+  private:
+    QeiRunStats runOpenLoop(const std::vector<QueryJob>& jobs,
+                            const RoiProfile& profile,
+                            const std::vector<traffic::Arrival>& arrivals);
+
+    QeiSystem& system_;
+    const DriverConfig& config_;
+};
+
+} // namespace qei
+
+#endif // QEI_QEI_DRIVER_HH

@@ -3,16 +3,17 @@
 #include <algorithm>
 
 #include "common/hash.hh"
+#include "qei/driver.hh"
 
 namespace qei {
 
 QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
                      MemoryHierarchy& memory, VirtualMemory& vm,
                      const FirmwareStore& firmware,
-                     const SchemeConfig& scheme,
+                     const Topology& topo,
                      trace::TraceSink* trace_sink)
     : SimObject("system"), chip_(chip), events_(events),
-      memory_(memory), vm_(vm), scheme_(scheme),
+      memory_(memory), vm_(vm), topo_(topo), scheme_(topo.params()),
       remoteCmps_(memory.cores(), chip.qei.comparatorsPerCha)
 {
     // Injected QST shrink (capacity-pressure fault): apply before
@@ -22,6 +23,7 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
     if (chip_.faults.qstEntriesOverride > 0) {
         scheme_.qstEntries = std::min(scheme_.qstEntries,
                                       chip_.faults.qstEntriesOverride);
+        topo_.params().qstEntries = scheme_.qstEntries;
     }
 
     // The shared memory system and address space join this system's
@@ -46,17 +48,17 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
                           ? chip.qei.comparatorsPerDpu
                           : chip.qei.comparatorsPerCha;
 
-    for (int i = 0; i < scheme_.accelerators; ++i) {
-        const int tile = scheme_.accelerators == 1 ? scheme_.deviceTile
-                                                   : i;
-        // Core-integrated instances use their own core's L2-TLB; CHA /
-        // device instances that must reach a core MMU go to the
-        // issuing thread's core (core 0 in the single-thread
-        // evaluation of Sec. VI-B) — a real NoC round trip.
-        const int homeCore = scheme_.perCore ? tile : 0;
+    // Instances live where the topology's placements put them (the
+    // canonical scheme topologies reproduce the historical layout:
+    // device instance on its tile, replicated instances one per
+    // tile, home core = own core when per-core, else core 0).
+    const std::vector<AcceleratorPlacement>& places =
+        topo_.placements();
+    for (std::size_t i = 0; i < places.size(); ++i) {
         accels_.push_back(std::make_unique<Accelerator>(
-            i, tile, homeCore, *env_, dpu));
-        adopt(*accels_.back());
+            static_cast<int>(i), places[i].tile, places[i].homeCore,
+            *env_, dpu));
+        adopt(*accels_.back(), places[i].name);
     }
 
     if (chip_.faults.any()) {
@@ -80,6 +82,8 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
     });
 
     adopt(breakdown_);
+    driverStats_ = std::make_unique<DriverMetrics>();
+    adopt(*driverStats_);
     trace_ = trace_sink;
     if (trace_ != nullptr) {
         // Attach after adoption so interned component paths are the
@@ -102,17 +106,9 @@ QeiSystem::~QeiSystem() = default;
 Accelerator&
 QeiSystem::acceleratorFor(Addr key_addr, int issuing_core)
 {
-    if (scheme_.accelerators == 1)
-        return *accels_.front();
-    if (scheme_.perCore) {
-        return *accels_[static_cast<std::size_t>(issuing_core) %
-                        accels_.size()];
-    }
-    // CHA-based: distribute by the NUCA hash of the key's line, so a
-    // single hot table still fans out over every slice.
-    const Addr paddr = vm_.translate(key_addr);
-    const int slice = memory_.homeSlice(paddr);
-    return *accels_[static_cast<std::size_t>(slice)];
+    const Topology::RouteContext ctx{vm_, memory_};
+    const int idx = topo_.route(key_addr, issuing_core, ctx);
+    return *accels_[static_cast<std::size_t>(idx)];
 }
 
 Cycles
@@ -138,7 +134,8 @@ QeiSystem::responseLatency(int core, const Accelerator& target,
 
 void
 QeiSystem::recordCompletion(const QstEntry& entry, Cycles issue_at,
-                            Cycles response_latency)
+                            Cycles response_latency,
+                            Cycles queue_wait)
 {
     watchdog_->noteProgress();
     trace::QueryAttribution a;
@@ -155,6 +152,7 @@ QeiSystem::recordCompletion(const QstEntry& entry, Cycles issue_at,
     const Cycles endToEnd =
         (events_.now() + response_latency) - issue_at;
     a.endToEnd = endToEnd;
+    driverStats_->record(queue_wait, endToEnd);
     // Zero by construction (every scheduled delay is charged to one
     // component); anything unaccounted would land in Other.
     const Cycles accounted = a.sum();
@@ -462,17 +460,16 @@ QeiSystem::fillFaultStats(QeiRunStats& stats,
     stats.faultFlushes = faults_->flushes() - before.flushes;
 }
 
-namespace {
+// Shared by the legacy loops below and the Driver's open-loop submit
+// loop (driver.cc), hence members rather than file-local helpers.
 
 /** Gather per-accelerator counters into run stats. */
 void
-collectAccelStats(
-    const std::vector<std::unique_ptr<Accelerator>>& accels,
-    QeiRunStats& stats)
+QeiSystem::collectAccelStats(QeiRunStats& stats) const
 {
     double occSum = 0.0;
     double occCount = 0.0;
-    for (const auto& a : accels) {
+    for (const auto& a : accels_) {
         stats.memAccesses += a->memAccesses();
         stats.microOps += a->microOps();
         stats.remoteCompares += a->remoteCompares();
@@ -486,7 +483,8 @@ collectAccelStats(
 
 /** Validate a completed entry against the job's expected outcome. */
 bool
-matchesExpectation(const QstEntry& entry, const QueryJob& job)
+QeiSystem::matchesExpectation(const QstEntry& entry,
+                              const QueryJob& job)
 {
     if (entry.error != QueryError::None)
         return false;
@@ -503,7 +501,7 @@ matchesExpectation(const QstEntry& entry, const QueryJob& job)
  * ignore resultValue, matching matchesExpectation.
  */
 std::uint64_t
-resultDigest(const QstEntry& entry)
+QeiSystem::resultDigest(const QstEntry& entry)
 {
     std::uint64_t x = entry.queryId + 0x9E3779B97F4A7C15ULL;
     x ^= entry.success ? 0xBF58476D1CE4E5B9ULL : 0x94D049BB133111EBULL;
@@ -516,8 +514,6 @@ resultDigest(const QstEntry& entry)
     return x;
 }
 
-} // namespace
-
 QeiRunStats
 QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
                        int issuing_core, const RoiProfile& profile)
@@ -525,6 +521,7 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
     QeiRunStats stats;
     stats.queries = jobs.size();
     breakdown_.reset();
+    driverStats_->reset();
     if (jobs.empty()) {
         fillBreakdownStats(stats);
         return stats;
@@ -646,7 +643,7 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
               nextJob, jobs.size(), inflight);
 
     stats.cycles = lastRetire;
-    collectAccelStats(accels_, stats);
+    collectAccelStats(stats);
     stats.maxInFlightObserved = inflightPeak;
     fillBreakdownStats(stats);
     fillFaultStats(stats, before);
@@ -660,6 +657,7 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
     QeiRunStats stats;
     stats.queries = jobs.size();
     breakdown_.reset();
+    driverStats_->reset();
     if (jobs.empty()) {
         fillBreakdownStats(stats);
         return stats;
@@ -787,7 +785,7 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
     }
 
     stats.cycles = lastRetire;
-    collectAccelStats(accels_, stats);
+    collectAccelStats(stats);
     fillBreakdownStats(stats);
     fillFaultStats(stats, before);
     return stats;
@@ -801,6 +799,7 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
     QeiRunStats stats;
     stats.queries = jobs.size();
     breakdown_.reset();
+    driverStats_->reset();
     if (jobs.empty()) {
         fillBreakdownStats(stats);
         return stats;
@@ -936,7 +935,7 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
 
     stats.cycles = std::max(
         lastDone, static_cast<Cycles>(fetchTime));
-    collectAccelStats(accels_, stats);
+    collectAccelStats(stats);
     stats.maxInFlightObserved = inflightPeak;
     fillBreakdownStats(stats);
     fillFaultStats(stats, before);

@@ -23,11 +23,15 @@
 #include "fault/fault_injector.hh"
 #include "qei/accelerator.hh"
 #include "qei/scheme.hh"
+#include "qei/topology.hh"
 #include "sim/event_queue.hh"
 #include "sim/watchdog.hh"
 #include "trace/trace.hh"
 
 namespace qei {
+
+class Driver;
+class DriverMetrics;
 
 /** One query to run: inputs plus the expected functional outcome. */
 struct QueryJob
@@ -39,6 +43,21 @@ struct QueryJob
     /** Ground truth from the software reference, for validation. */
     bool expectFound = false;
     std::uint64_t expectValue = 0;
+};
+
+/**
+ * Percentile summary of one per-query latency distribution, filled by
+ * the Driver (driver.hh) from the system's driver histograms. All
+ * zeros for runs that bypass the Driver (direct run* calls).
+ */
+struct LatencyDigest
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
 };
 
 /** Outcome of one QEI run. */
@@ -88,6 +107,16 @@ struct QeiRunStats
     /** Queries folded into the breakdown (== completions). */
     std::uint64_t breakdownQueries = 0;
 
+    /**
+     * Per-query latency summaries from the Driver's histograms
+     * (system.driver.*). Sojourn = queue-wait + service; under the
+     * closed-loop source queue-wait is identically zero, so sojourn
+     * equals service. Zeros when the run bypassed the Driver.
+     */
+    LatencyDigest sojourn;
+    LatencyDigest queueWait;
+    LatencyDigest service;
+
     double
     cyclesPerQuery() const
     {
@@ -101,9 +130,15 @@ struct QeiRunStats
 class QeiSystem : public SimObject
 {
   public:
+    /**
+     * Build the deployment @p topo describes. A plain SchemeConfig
+     * converts implicitly, so scheme-era call sites keep compiling
+     * (and behave identically — the five schemes are canonical
+     * topologies).
+     */
     QeiSystem(const ChipConfig& chip, EventQueue& events,
               MemoryHierarchy& memory, VirtualMemory& vm,
-              const FirmwareStore& firmware, const SchemeConfig& scheme,
+              const FirmwareStore& firmware, const Topology& topo,
               trace::TraceSink* trace_sink = nullptr);
     ~QeiSystem();
 
@@ -203,6 +238,14 @@ class QeiSystem : public SimObject
     std::string dumpStatsJson();
 
     const SchemeConfig& scheme() const { return scheme_; }
+    /** The deployment description this system was built from. */
+    const Topology& topology() const { return topo_; }
+    /**
+     * Per-query sojourn / queue-wait / service histograms, registered
+     * as the "driver" child (system.driver.*). Filled by
+     * recordCompletion on every run; the Driver resets them per run.
+     */
+    DriverMetrics& driverMetrics() { return *driverStats_; }
     RemoteComparators& remoteComparators() { return remoteCmps_; }
     Mmu& coreMmu(int core) { return *mmus_[static_cast<std::size_t>(core)]; }
 
@@ -213,6 +256,10 @@ class QeiSystem : public SimObject
     }
 
   private:
+    /** The open-loop submit loop lives in driver.cc and reuses the
+     *  issue/completion plumbing below. */
+    friend class Driver;
+
     /** Core->accelerator submission latency at time @p now. */
     Cycles submitLatency(int core, const Accelerator& target,
                          Cycles now);
@@ -225,10 +272,23 @@ class QeiSystem : public SimObject
      * emit its Query span plus the Breakdown spans tiling it).
      * @p issue_at is when the core issued the QUERY instruction;
      * @p response_latency the accelerator->core return cost (0 for
-     * non-blocking queries, whose polling is charged in aggregate).
+     * non-blocking queries, whose polling is charged in aggregate);
+     * @p queue_wait the software queueing delay before issue (only
+     * non-zero under an open-loop traffic source).
      */
     void recordCompletion(const QstEntry& entry, Cycles issue_at,
-                          Cycles response_latency);
+                          Cycles response_latency,
+                          Cycles queue_wait = 0);
+
+    /** Gather per-accelerator counters into @p stats. */
+    void collectAccelStats(QeiRunStats& stats) const;
+
+    /** Validate a completed entry against the job's expectation. */
+    static bool matchesExpectation(const QstEntry& entry,
+                                   const QueryJob& job);
+
+    /** Mix one query's functional outcome into the run digest. */
+    static std::uint64_t resultDigest(const QstEntry& entry);
 
     /** Copy the breakdown's totals into @p stats. */
     void fillBreakdownStats(QeiRunStats& stats) const;
@@ -279,6 +339,9 @@ class QeiSystem : public SimObject
     EventQueue& events_;
     MemoryHierarchy& memory_;
     VirtualMemory& vm_;
+    /** The deployment description (fault overrides applied). */
+    Topology topo_;
+    /** Convenience copy of topo_.params(), kept in sync. */
     SchemeConfig scheme_;
     RemoteComparators remoteCmps_;
     std::vector<std::unique_ptr<Mmu>> mmus_;
@@ -303,6 +366,7 @@ class QeiSystem : public SimObject
     std::unique_ptr<CoreModel> fallbackCore_;
 
     trace::LatencyBreakdown breakdown_;
+    std::unique_ptr<DriverMetrics> driverStats_;
     trace::TraceSink* trace_ = nullptr;
     std::uint16_t traceComp_ = 0;
     std::uint32_t traceQueryName_ = 0;

@@ -1,0 +1,121 @@
+#include "topology.hh"
+
+#include "common/format.hh"
+#include "common/logging.hh"
+#include "mem/hierarchy.hh"
+#include "vm/virtual_memory.hh"
+
+namespace qei {
+
+Topology::Topology(const SchemeConfig& params) : params_(params)
+{
+    // Derived placements replicate the historical QeiSystem layout: a
+    // single (device) instance sits on its configured tile; replicated
+    // instances sit one per tile. Core-integrated instances borrow
+    // their own core's structures; everything else that must reach a
+    // core MMU goes to core 0 — the issuing thread in the paper's
+    // single-thread evaluation (Sec. VI-B).
+    placements_.reserve(
+        static_cast<std::size_t>(params_.accelerators));
+    for (int i = 0; i < params_.accelerators; ++i) {
+        const int tile =
+            params_.accelerators == 1 ? params_.deviceTile : i;
+        const int homeCore = params_.perCore ? tile : 0;
+        placements_.push_back(
+            AcceleratorPlacement{fmt("accel{}", i), tile, homeCore});
+    }
+}
+
+std::string
+Topology::name() const
+{
+    return label_.empty() ? params_.name() : label_;
+}
+
+Topology&
+Topology::named(std::string name)
+{
+    label_ = std::move(name);
+    return *this;
+}
+
+Topology&
+Topology::withPlacements(std::vector<AcceleratorPlacement> p)
+{
+    simAssert(!p.empty(), "Topology needs at least one placement");
+    placements_ = std::move(p);
+    params_.accelerators = static_cast<int>(placements_.size());
+    return *this;
+}
+
+Topology&
+Topology::withRoute(RouteFn fn)
+{
+    route_ = std::move(fn);
+    return *this;
+}
+
+int
+Topology::route(Addr key_addr, int issuing_core,
+                const RouteContext& ctx) const
+{
+    const auto count = placements_.size();
+    if (route_) {
+        const int idx = route_(key_addr, issuing_core, ctx);
+        simAssert(idx >= 0 && static_cast<std::size_t>(idx) < count,
+                  "custom route returned {} with {} instances", idx,
+                  count);
+        return idx;
+    }
+    if (count == 1)
+        return 0;
+    if (params_.perCore) {
+        return static_cast<int>(
+            static_cast<std::size_t>(issuing_core) % count);
+    }
+    // CHA-based: distribute by the NUCA hash of the key's line, so a
+    // single hot table still fans out over every slice.
+    const Addr paddr = ctx.vm.translate(key_addr);
+    return ctx.memory.homeSlice(paddr);
+}
+
+Topology
+Topology::chaTlb()
+{
+    return Topology(SchemeConfig::chaTlb());
+}
+
+Topology
+Topology::chaNoTlb()
+{
+    return Topology(SchemeConfig::chaNoTlb());
+}
+
+Topology
+Topology::deviceDirect()
+{
+    return Topology(SchemeConfig::deviceDirect());
+}
+
+Topology
+Topology::deviceIndirect(Cycles if_latency)
+{
+    return Topology(SchemeConfig::deviceIndirect(if_latency));
+}
+
+Topology
+Topology::coreIntegrated()
+{
+    return Topology(SchemeConfig::coreIntegrated());
+}
+
+std::vector<Topology>
+Topology::allPaper()
+{
+    std::vector<Topology> all;
+    for (const SchemeConfig& s : SchemeConfig::allSchemes())
+        all.push_back(Topology(s));
+    return all;
+}
+
+} // namespace qei

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Topology layer: where accelerator instances live on the chip and how
+ * queries are routed to them.
+ *
+ * SchemeConfig (scheme.hh) parameterises one of the paper's five
+ * integration schemes; a Topology generalises that into an explicit
+ * description — named instances with placements, the translate/data
+ * paths, and a pluggable route() hook — of which the five schemes are
+ * canonical instances (Topology::allPaper()). QeiSystem and the bench
+ * matrix runner consume Topologies; a plain SchemeConfig converts
+ * implicitly, so scheme-era call sites keep working and produce
+ * byte-identical results.
+ */
+
+#ifndef QEI_QEI_TOPOLOGY_HH
+#define QEI_QEI_TOPOLOGY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "qei/scheme.hh"
+
+namespace qei {
+
+class VirtualMemory;
+class MemoryHierarchy;
+
+/** One named accelerator instance and where it sits. */
+struct AcceleratorPlacement
+{
+    /** Leaf name in the SimObject tree ("accel3"). */
+    std::string name;
+    /** NoC stop hosting the instance. */
+    int tile = 0;
+    /** Core whose L2 / L2-TLB / MMU the instance borrows when its
+     *  translate or data path needs one. */
+    int homeCore = 0;
+};
+
+/**
+ * Chip-level accelerator deployment: instance placements plus the
+ * per-instance parameters (translate path, data path, QST size, hop
+ * costs) that SchemeConfig has always carried.
+ */
+class Topology
+{
+  public:
+    /**
+     * Routing decision context. route() runs on the issue path, so the
+     * hook may consult the address space (NUCA home slice of the
+     * queried key) exactly like the built-in policies do.
+     */
+    struct RouteContext
+    {
+        VirtualMemory& vm;
+        MemoryHierarchy& memory;
+    };
+
+    /**
+     * Custom routing policy: map (key address, issuing core) to an
+     * accelerator index in [0, placements().size()). Must be
+     * deterministic — route order is part of a run's reproducibility.
+     */
+    using RouteFn =
+        std::function<int(Addr key_addr, int issuing_core,
+                          const RouteContext& ctx)>;
+
+    /** Implicit: every SchemeConfig is a canonical Topology. */
+    Topology(const SchemeConfig& params);
+    Topology() : Topology(SchemeConfig{}) {}
+
+    /** The scheme-era parameter block (still the source of truth for
+     *  per-instance costs and QST sizing). */
+    const SchemeConfig& params() const { return params_; }
+    SchemeConfig& params() { return params_; }
+
+    /** Display name: the scheme name unless overridden by named(). */
+    std::string name() const;
+
+    /** One placement per instance, index-aligned with accelerator
+     *  ids. Derived from params() unless overridden. */
+    const std::vector<AcceleratorPlacement>& placements() const
+    {
+        return placements_;
+    }
+
+    int acceleratorCount() const
+    {
+        return static_cast<int>(placements_.size());
+    }
+
+    /** Override the display name (ablation variants). */
+    Topology& named(std::string name);
+
+    /** Replace the derived placements. Also updates
+     *  params().accelerators to match. */
+    Topology& withPlacements(std::vector<AcceleratorPlacement> p);
+
+    /** Install a custom routing policy. */
+    Topology& withRoute(RouteFn fn);
+
+    bool hasCustomRoute() const { return static_cast<bool>(route_); }
+
+    /**
+     * The accelerator index a query is dispatched to. With no custom
+     * hook this is the built-in policy the schemes have always used:
+     * a single instance takes everything; per-core instances take
+     * their own core's queries; CHA instances are spread by the NUCA
+     * hash of the queried key's line.
+     */
+    int route(Addr key_addr, int issuing_core,
+              const RouteContext& ctx) const;
+
+    /** The five paper schemes as canonical topologies. */
+    static Topology chaTlb();
+    static Topology chaNoTlb();
+    static Topology deviceDirect();
+    static Topology deviceIndirect(Cycles if_latency = 300);
+    static Topology coreIntegrated();
+
+    /** All five, in the paper's presentation order. */
+    static std::vector<Topology> allPaper();
+
+  private:
+    SchemeConfig params_;
+    std::string label_;
+    std::vector<AcceleratorPlacement> placements_;
+    RouteFn route_;
+};
+
+} // namespace qei
+
+#endif // QEI_QEI_TOPOLOGY_HH

@@ -1,0 +1,133 @@
+#include "traffic.hh"
+
+#include <cmath>
+
+#include "common/format.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace qei {
+namespace traffic {
+
+namespace {
+
+/** Exponential draw with the given mean, strictly positive. */
+double
+expGap(Rng& rng, double mean)
+{
+    // 1 - uniform() is in (0, 1], so the log argument never hits 0.
+    return -mean * std::log(1.0 - rng.uniform());
+}
+
+int
+tenantFor(std::size_t index, int tenants)
+{
+    return tenants > 1 ? static_cast<int>(index % tenants) : 0;
+}
+
+} // namespace
+
+ClosedLoop::ClosedLoop(int tenants) : tenants_(tenants > 0 ? tenants : 1)
+{
+}
+
+std::string
+ClosedLoop::description() const
+{
+    return "closed loop: next query arrives when the previous retires";
+}
+
+std::vector<Arrival>
+ClosedLoop::schedule(std::size_t count)
+{
+    std::vector<Arrival> out(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = Arrival{0, i, tenantFor(i, tenants_)};
+    return out;
+}
+
+PoissonOpenLoop::PoissonOpenLoop(double mean_gap_cycles,
+                                 std::uint64_t seed, int tenants)
+    : meanGap_(mean_gap_cycles), seed_(seed),
+      tenants_(tenants > 0 ? tenants : 1)
+{
+    simAssert(mean_gap_cycles > 0.0,
+              "PoissonOpenLoop: mean gap must be positive, got {}",
+              mean_gap_cycles);
+}
+
+std::string
+PoissonOpenLoop::description() const
+{
+    return fmt("open loop: Poisson arrivals, mean gap {:.1f} cycles",
+               meanGap_);
+}
+
+std::vector<Arrival>
+PoissonOpenLoop::schedule(std::size_t count)
+{
+    Rng rng(seed_);
+    std::vector<Arrival> out(count);
+    double clock = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        clock += expGap(rng, meanGap_);
+        out[i] = Arrival{static_cast<Cycles>(clock), i,
+                         tenantFor(i, tenants_)};
+    }
+    return out;
+}
+
+Bursty::Bursty(double mean_gap_cycles, double mean_burst,
+               double intra_gap_cycles, std::uint64_t seed, int tenants)
+    : meanGap_(mean_gap_cycles),
+      meanBurst_(mean_burst >= 1.0 ? mean_burst : 1.0),
+      intraGap_(intra_gap_cycles >= 0.0 ? intra_gap_cycles : 0.0),
+      seed_(seed), tenants_(tenants > 0 ? tenants : 1)
+{
+    simAssert(mean_gap_cycles > 0.0,
+              "Bursty: mean gap must be positive, got {}",
+              mean_gap_cycles);
+}
+
+std::string
+Bursty::description() const
+{
+    return fmt("bursty: geometric bursts (mean {:.1f}) at long-run "
+               "mean gap {:.1f} cycles",
+               meanBurst_, meanGap_);
+}
+
+std::vector<Arrival>
+Bursty::schedule(std::size_t count)
+{
+    Rng rng(seed_);
+    std::vector<Arrival> out(count);
+    // A burst of B queries spends (B-1)*intraGap inside the burst, so
+    // the idle gap between bursts must average B*meanGap minus that to
+    // keep the long-run rate at 1/meanGap.
+    const double interBurstMean =
+        std::max(meanBurst_ * meanGap_ - (meanBurst_ - 1.0) * intraGap_,
+                 1.0);
+    double clock = 0.0;
+    std::size_t emitted = 0;
+    while (emitted < count) {
+        clock += expGap(rng, interBurstMean);
+        // Geometric burst size with mean meanBurst_ (support >= 1).
+        std::size_t burst = 1;
+        const double continueP = 1.0 - 1.0 / meanBurst_;
+        while (rng.chance(continueP))
+            ++burst;
+        double at = clock;
+        for (std::size_t b = 0; b < burst && emitted < count;
+             ++b, ++emitted) {
+            out[emitted] = Arrival{static_cast<Cycles>(at), emitted,
+                                   tenantFor(emitted, tenants_)};
+            at += intraGap_;
+        }
+        clock = at;
+    }
+    return out;
+}
+
+} // namespace traffic
+} // namespace qei

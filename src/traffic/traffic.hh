@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Traffic layer: *when* queries arrive, decoupled from *what* they are.
+ *
+ * A Workload (src/workloads) builds data structures and prepares
+ * matched query streams; a TrafficSource turns "N queries" into a
+ * timeline of arrivals. The Driver (src/qei/driver.hh) consumes that
+ * timeline: closed-loop sources delegate to the legacy back-to-back
+ * issue loops (bit-identical to the historical runQei behaviour),
+ * while open-loop sources feed an event-driven submit loop that
+ * queues arrivals against QST capacity and measures sojourn time.
+ *
+ * Determinism contract: schedule() must be a pure function of the
+ * constructor arguments (rate, seed, ...) and @p count — no global
+ * state, no wall clock — so the same seed reproduces the same arrival
+ * ticks regardless of --threads or which experiment cell runs first.
+ */
+
+#ifndef QEI_TRAFFIC_TRAFFIC_HH
+#define QEI_TRAFFIC_TRAFFIC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace qei {
+namespace traffic {
+
+/** One query entering the system. */
+struct Arrival
+{
+    /** Absolute arrival tick, relative to the start of the run. */
+    Cycles tick = 0;
+    /** Index into the Prepared job/trace streams. */
+    std::size_t queryIndex = 0;
+    /** Logical tenant the query belongs to (0-based). */
+    int tenant = 0;
+};
+
+/** Interface every arrival process implements. */
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    /** Short identifier ("closed", "poisson", "bursty"). */
+    virtual std::string name() const = 0;
+
+    /** Human-readable description for reports and --list output. */
+    virtual std::string description() const = 0;
+
+    /**
+     * Produce the arrival timeline for @p count queries, sorted by
+     * tick (ties keep queryIndex order). Must be deterministic: same
+     * constructor arguments + same @p count => identical vector.
+     */
+    virtual std::vector<Arrival> schedule(std::size_t count) = 0;
+
+    /**
+     * True when the source has no arrival clock of its own — the next
+     * query "arrives" the moment the previous one retires. The Driver
+     * routes closed-loop sources through the legacy issue loops so
+     * their results stay bit-identical to the pre-traffic-layer code.
+     */
+    virtual bool closedLoop() const { return false; }
+};
+
+/**
+ * The historical behaviour: queries are issued back to back with no
+ * think time. schedule() reports every arrival at tick 0 (the driver
+ * never consults the ticks for a closed-loop source).
+ */
+class ClosedLoop : public TrafficSource
+{
+  public:
+    explicit ClosedLoop(int tenants = 1);
+
+    std::string name() const override { return "closed"; }
+    std::string description() const override;
+    std::vector<Arrival> schedule(std::size_t count) override;
+    bool closedLoop() const override { return true; }
+
+  private:
+    int tenants_;
+};
+
+/**
+ * Open-loop Poisson arrivals: independent exponential inter-arrival
+ * gaps with the given mean, the canonical cloud serving model. Tenants
+ * are assigned round-robin in arrival order.
+ */
+class PoissonOpenLoop : public TrafficSource
+{
+  public:
+    /**
+     * @param mean_gap_cycles mean inter-arrival gap; the offered load
+     *        is 1/mean_gap_cycles queries per cycle.
+     * @param seed seeds the private Rng; same seed => same timeline.
+     */
+    PoissonOpenLoop(double mean_gap_cycles, std::uint64_t seed = 1,
+                    int tenants = 1);
+
+    std::string name() const override { return "poisson"; }
+    std::string description() const override;
+    std::vector<Arrival> schedule(std::size_t count) override;
+
+    double meanGapCycles() const { return meanGap_; }
+
+  private:
+    double meanGap_;
+    std::uint64_t seed_;
+    int tenants_;
+};
+
+/**
+ * Bursty arrivals: geometrically-sized bursts of back-to-back queries
+ * separated by exponential idle gaps, sized so the long-run offered
+ * load matches @p mean_gap_cycles. Stresses queueing far harder than
+ * Poisson at the same average rate.
+ */
+class Bursty : public TrafficSource
+{
+  public:
+    /**
+     * @param mean_gap_cycles long-run mean inter-arrival gap.
+     * @param mean_burst mean queries per burst (>= 1; geometric).
+     * @param intra_gap_cycles fixed gap between queries inside a burst.
+     */
+    Bursty(double mean_gap_cycles, double mean_burst = 8.0,
+           double intra_gap_cycles = 1.0, std::uint64_t seed = 1,
+           int tenants = 1);
+
+    std::string name() const override { return "bursty"; }
+    std::string description() const override;
+    std::vector<Arrival> schedule(std::size_t count) override;
+
+  private:
+    double meanGap_;
+    double meanBurst_;
+    double intraGap_;
+    std::uint64_t seed_;
+    int tenants_;
+};
+
+} // namespace traffic
+} // namespace qei
+
+#endif // QEI_TRAFFIC_TRAFFIC_HH

@@ -43,30 +43,36 @@ runBaseline(World& world, const Prepared& prepared, int core)
 
 QeiRunStats
 runQei(World& world, const Prepared& prepared,
-       const SchemeConfig& scheme, QueryMode mode, int core,
-       int poll_batch, std::string* stats_json_out)
+       const DriverConfig& config)
 {
     world.resetTiming();
     world.warmLlc();
     QeiSystem system(world.chip, world.events, world.hierarchy,
-                     world.vm, world.firmware, scheme,
+                     world.vm, world.firmware, config.topology,
                      &world.traceSink);
     system.warmTlbs(sortedVpns(world));
     // The baseline traces double as the software view of each job:
     // with a fault mix configured, faulted queries re-execute on the
     // simulated core instead of surfacing as exceptions (Sec. IV-D).
     system.setSoftwareFallback(&prepared.traces, prepared.profile);
-    QeiRunStats stats;
-    if (mode == QueryMode::Blocking) {
-        stats = system.runBlocking(prepared.jobs, core,
-                                   prepared.profile);
-    } else {
-        stats = system.runNonBlocking(prepared.jobs, core,
-                                      prepared.profile, poll_batch);
-    }
-    if (stats_json_out != nullptr)
-        *stats_json_out = system.dumpStatsJson();
+    Driver driver(system, config);
+    QeiRunStats stats = driver.run(prepared.jobs, prepared.profile);
+    if (config.statsJsonOut != nullptr)
+        *config.statsJsonOut = system.dumpStatsJson();
     return stats;
+}
+
+QeiRunStats
+runQei(World& world, const Prepared& prepared,
+       const SchemeConfig& scheme, QueryMode mode, int core,
+       int poll_batch, std::string* stats_json_out)
+{
+    return runQei(world, prepared,
+                  DriverConfig(scheme)
+                      .withMode(mode)
+                      .onCore(core)
+                      .withPollBatch(poll_batch)
+                      .captureStats(stats_json_out));
 }
 
 double

@@ -18,6 +18,7 @@
 #include "core/core_model.hh"
 #include "core/trace.hh"
 #include "mem/sim_memory.hh"
+#include "qei/driver.hh"
 #include "qei/firmware.hh"
 #include "qei/system.hh"
 #include "sim/event_queue.hh"
@@ -146,11 +147,23 @@ CoreRunResult runBaseline(World& world, const Prepared& prepared,
                           int core = 0);
 
 /**
- * Run @p prepared through QEI under @p scheme. When @p stats_json_out
- * is non-null it receives the full component-tree stats dump
- * (QeiSystem::dumpStatsJson()) captured before the system is torn
- * down.
+ * Run @p prepared through QEI under @p config: build a QeiSystem for
+ * the config's topology on this world, warm its TLBs, wire the
+ * software fallback, and drive the prepared jobs through the Driver
+ * (closed loop unless the config carries an open-loop traffic
+ * source). When config.statsJsonOut is non-null it receives the full
+ * component-tree stats dump captured before the system is torn down.
  */
+QeiRunStats runQei(World& world, const Prepared& prepared,
+                   const DriverConfig& config);
+
+/**
+ * Positional-parameter shim for the pre-DriverConfig signature.
+ * Equivalent to runQei(world, prepared, DriverConfig(scheme)
+ * .withMode(mode).onCore(core).withPollBatch(poll_batch)
+ * .captureStats(stats_json_out)).
+ */
+[[deprecated("migrate to runQei(world, prepared, DriverConfig)")]]
 QeiRunStats runQei(World& world, const Prepared& prepared,
                    const SchemeConfig& scheme,
                    QueryMode mode = QueryMode::Blocking, int core = 0,

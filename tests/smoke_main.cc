@@ -57,7 +57,7 @@ runQueries(World& world, Ds& ds, const std::vector<Key>& keys,
     }
     for (const auto& scheme : SchemeConfig::allSchemes()) {
         const QeiRunStats stats =
-            runQei(world, prep, scheme, QueryMode::Blocking);
+            runQei(world, prep, DriverConfig(scheme).withMode(QueryMode::Blocking));
         std::printf("  %-16s %-16s mismatches=%llu cycles/query=%.1f "
                     "occ=%.1f\n",
                     name, scheme.name().c_str(),
@@ -160,7 +160,7 @@ main()
         prep.traces.push_back(gold);
         for (const auto& scheme : SchemeConfig::allSchemes()) {
             const QeiRunStats stats =
-                runQei(world, prep, scheme, QueryMode::Blocking);
+                runQei(world, prep, DriverConfig(scheme).withMode(QueryMode::Blocking));
             check(stats.mismatches == 0, "trie");
         }
     }

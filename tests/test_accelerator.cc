@@ -77,7 +77,7 @@ TEST_F(AccelFixture, LinkedListAllSchemesFunctional)
     SimLinkedList ll(world.vm, items);
     Prepared prep = makeJobs(ll, mixedKeys(ll, items, 30, 16));
     for (const auto& scheme : SchemeConfig::allSchemes()) {
-        const QeiRunStats stats = runQei(world, prep, scheme);
+        const QeiRunStats stats = runQei(world, prep, DriverConfig(scheme));
         EXPECT_EQ(stats.mismatches, 0u) << scheme.name();
         EXPECT_EQ(stats.exceptions, 0u) << scheme.name();
         EXPECT_EQ(stats.queries, 30u);
@@ -90,11 +90,9 @@ TEST_F(AccelFixture, SkipListBlockingAndNonBlockingAgree)
     SimSkipList sl(world.vm, items);
     Prepared prep = makeJobs(sl, mixedKeys(sl, items, 40, 24));
     const QeiRunStats blocking =
-        runQei(world, prep, SchemeConfig::coreIntegrated(),
-               QueryMode::Blocking);
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()).withMode(QueryMode::Blocking));
     const QeiRunStats nonBlocking =
-        runQei(world, prep, SchemeConfig::coreIntegrated(),
-               QueryMode::NonBlocking);
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()).withMode(QueryMode::NonBlocking));
     EXPECT_EQ(blocking.mismatches, 0u);
     EXPECT_EQ(nonBlocking.mismatches, 0u);
 }
@@ -105,8 +103,7 @@ TEST_F(AccelFixture, NonBlockingWritesResultSlots)
     SimChainedHash ch(world.vm, items, 64);
     Prepared prep = makeJobs(ch, {items[0].first, randomKey(rng, 16)});
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::coreIntegrated(),
-               QueryMode::NonBlocking);
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()).withMode(QueryMode::NonBlocking));
     EXPECT_EQ(stats.mismatches, 0u);
     // Slot 0: found -> status 1 + value; slot 1: likely not found.
     EXPECT_EQ(world.vm.read<std::uint64_t>(prep.jobs[0].resultAddr),
@@ -128,7 +125,7 @@ TEST_F(AccelFixture, UnmappedHeaderRaisesPageFault)
     prep.jobs[0].headerAddr = 0x40; // never mapped
     prep.jobs[0].expectFound = false;
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_EQ(stats.exceptions, 1u);
     EXPECT_EQ(stats.mismatches, 1u); // exception != expected result
 }
@@ -145,7 +142,7 @@ TEST_F(AccelFixture, BadStructTypeRaisesBadHeader)
     h.writeTo(world.vm, corrupt);
     prep.jobs[0].headerAddr = corrupt;
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_EQ(stats.exceptions, 1u);
 }
 
@@ -161,7 +158,7 @@ TEST_F(AccelFixture, DanglingNodePointerFaultsNotHangs)
     const Addr second = world.vm.read<std::uint64_t>(first);
     world.vm.write<std::uint64_t>(second, 0xDEAD0000ULL);
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_EQ(stats.exceptions, 1u);
 }
 
@@ -172,8 +169,7 @@ TEST_F(AccelFixture, NonBlockingFaultWritesErrorCode)
     Prepared prep = makeJobs(ll, {items[0].first});
     prep.jobs[0].headerAddr = 0x40;
     prep.jobs[0].expectFound = false;
-    runQei(world, prep, SchemeConfig::coreIntegrated(),
-           QueryMode::NonBlocking);
+    runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()).withMode(QueryMode::NonBlocking));
     const std::uint64_t status =
         world.vm.read<std::uint64_t>(prep.jobs[0].resultAddr);
     EXPECT_EQ(status & 0x100u, 0x100u); // error base
@@ -231,7 +227,7 @@ TEST_F(AccelFixture, FirmwareUpdateEnablesNewSubtype)
     Prepared prep = makeJobs(ch, {items[3].first});
     prep.jobs[0].headerAddr = header;
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_EQ(stats.mismatches, 0u);
     EXPECT_EQ(stats.exceptions, 0u);
 }
@@ -244,7 +240,7 @@ TEST_F(AccelFixture, HashOfListsCombinedStructure)
     Prepared prep =
         makeJobs(combined, mixedKeys(combined, items, 25, 16));
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_EQ(stats.mismatches, 0u);
 }
 
@@ -268,7 +264,7 @@ TEST_F(AccelFixture, TrieStreamMatchThroughAccelerator)
     prep.jobs.push_back(job);
     prep.traces.push_back(gold);
     for (const auto& scheme : SchemeConfig::allSchemes()) {
-        const QeiRunStats stats = runQei(world, prep, scheme);
+        const QeiRunStats stats = runQei(world, prep, DriverConfig(scheme));
         EXPECT_EQ(stats.mismatches, 0u) << scheme.name();
     }
 }
@@ -280,7 +276,7 @@ TEST_F(AccelFixture, OccupancyNeverExceedsCapacity)
     Prepared prep = makeJobs(bst, mixedKeys(bst, items, 60, 16));
     prep.profile.nonQueryInstrPerOp = 2; // maximum pressure
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_LE(stats.avgQstOccupancy, 10.0);
     EXPECT_EQ(stats.mismatches, 0u);
 }
@@ -293,7 +289,7 @@ TEST_F(AccelFixture, BigKeysCompareRemotely)
     SimLinkedList ll(world.vm, items);
     Prepared prep = makeJobs(ll, mixedKeys(ll, items, 15, 200));
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_EQ(stats.mismatches, 0u);
     EXPECT_GT(stats.remoteCompares, 0u);
 }

@@ -22,7 +22,7 @@ goldenRun()
     static const WorkloadRun run = [] {
         auto workloads = makeAllWorkloads();
         return runWorkload(*workloads.front(), 400,
-                           SchemeConfig::allSchemes(),
+                           Topology::allPaper(),
                            QueryMode::Blocking, 42,
                            /*capture_stats=*/true);
     }();

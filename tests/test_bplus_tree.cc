@@ -121,7 +121,7 @@ TEST_P(BPlusQei, AcceleratorMatchesReference)
     for (const auto& scheme :
          {SchemeConfig::coreIntegrated(), SchemeConfig::chaTlb(),
           SchemeConfig::deviceDirect()}) {
-        const QeiRunStats stats = runQei(world, prep, scheme);
+        const QeiRunStats stats = runQei(world, prep, DriverConfig(scheme));
         EXPECT_EQ(stats.mismatches, 0u)
             << scheme.name() << " keyLen=" << keyLen;
         EXPECT_EQ(stats.exceptions, 0u);
@@ -159,7 +159,7 @@ TEST(BPlusQei, FasterThanSoftwareOnWarmLlc)
     }
     const CoreRunResult base = runBaseline(world, prep);
     const QeiRunStats qei =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_EQ(qei.mismatches, 0u);
     EXPECT_GT(speedupOf(base, qei), 1.5);
 }

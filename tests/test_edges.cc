@@ -190,7 +190,7 @@ TEST(FigureInvariants, DeviceIndirectWorstBlockingScheme)
     Cycles worst = 0;
     std::string worstName;
     for (const auto& scheme : SchemeConfig::allSchemes()) {
-        const QeiRunStats stats = runQei(world, prep, scheme);
+        const QeiRunStats stats = runQei(world, prep, DriverConfig(scheme));
         if (stats.cycles > worst) {
             worst = stats.cycles;
             worstName = scheme.name();

@@ -260,8 +260,7 @@ runFaulted(const char* spec, QueryMode mode, std::size_t queries = 150)
     World world(42, chip);
     workload->build(world);
     const Prepared prepared = workload->prepare(world, queries);
-    return runQei(world, prepared, SchemeConfig::coreIntegrated(),
-                  mode);
+    return runQei(world, prepared, DriverConfig(SchemeConfig::coreIntegrated()).withMode(mode));
 }
 
 TEST(FaultRecovery, BlockingResultsBitIdenticalUnderFaults)
@@ -364,7 +363,7 @@ TEST(FaultRecovery, MatrixDeterministicAcrossThreadsUnderFaults)
         options.chip.faults =
             parseFaultSpec("pf=0.05,seed=9,flush=3000");
         options.queries = 120;
-        options.schemes = {SchemeConfig::coreIntegrated()};
+        options.topologies = {SchemeConfig::coreIntegrated()};
         options.threads = threads;
         return bench::runWorkloadMatrix(factories, options);
     };

@@ -71,7 +71,7 @@ TEST(MultiCore, OneCoreuEqualsSingleCoreSemantics)
     const QeiRunStats multi =
         h.run(SchemeConfig::coreIntegrated(), 1);
     const QeiRunStats single =
-        runQei(h.world, h.prep, SchemeConfig::coreIntegrated());
+        runQei(h.world, h.prep, DriverConfig(SchemeConfig::coreIntegrated()));
     // Same machinery, same load: cycles agree to within a few percent
     // (the multi-core runner skips the per-query retire bookkeeping
     // order but nothing structural).

@@ -115,7 +115,7 @@ TEST_P(QeiEquivalence, CoreIntegratedMatchesReference)
                 static_cast<std::uint64_t>(kind));
     const Prepared prep = buildAndPrepare(world, kind, keyLen, 77);
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_EQ(stats.mismatches, 0u) << kindName(kind);
     EXPECT_EQ(stats.exceptions, 0u) << kindName(kind);
 }
@@ -127,7 +127,7 @@ TEST_P(QeiEquivalence, ChaTlbMatchesReference)
                 static_cast<std::uint64_t>(kind));
     const Prepared prep = buildAndPrepare(world, kind, keyLen, 78);
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::chaTlb());
+        runQei(world, prep, DriverConfig(SchemeConfig::chaTlb()));
     EXPECT_EQ(stats.mismatches, 0u) << kindName(kind);
 }
 
@@ -138,8 +138,7 @@ TEST_P(QeiEquivalence, NonBlockingMatchesReference)
                 static_cast<std::uint64_t>(kind));
     const Prepared prep = buildAndPrepare(world, kind, keyLen, 79);
     const QeiRunStats stats =
-        runQei(world, prep, SchemeConfig::deviceDirect(),
-               QueryMode::NonBlocking, 0, 24);
+        runQei(world, prep, DriverConfig(SchemeConfig::deviceDirect()).withMode(QueryMode::NonBlocking).withPollBatch(24));
     EXPECT_EQ(stats.mismatches, 0u) << kindName(kind);
 }
 
@@ -206,7 +205,7 @@ TEST(TimingInvariants, QstOccupancyWithinCapacityAcrossSchemes)
         prep.traces.push_back(std::move(t));
     }
     for (const auto& scheme : SchemeConfig::allSchemes()) {
-        const QeiRunStats stats = runQei(world, prep, scheme);
+        const QeiRunStats stats = runQei(world, prep, DriverConfig(scheme));
         EXPECT_LE(stats.avgQstOccupancy,
                   static_cast<double>(scheme.qstEntries))
             << scheme.name();
@@ -236,7 +235,7 @@ TEST(TimingInvariants, DeterministicAcrossIdenticalRuns)
             prep.jobs.push_back(job);
             prep.traces.push_back(std::move(t));
         }
-        return runQei(world, prep, SchemeConfig::coreIntegrated())
+        return runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()))
             .cycles;
     };
     EXPECT_EQ(once(), once());

@@ -83,7 +83,7 @@ TEST_F(SystemFixture, BlockingInFlightBoundedByRobWindow)
     Prepared dense = prep;
     dense.profile.nonQueryInstrPerOp = 50; // window 51 -> 224/51 = 4
     const QeiRunStats stats =
-        runQei(world, dense, SchemeConfig::coreIntegrated());
+        runQei(world, dense, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_LE(stats.maxInFlightObserved, 4.0);
     EXPECT_EQ(stats.mismatches, 0u);
 }
@@ -93,11 +93,11 @@ TEST_F(SystemFixture, DenserQueriesAllowMoreInFlight)
     Prepared dense = prep;
     dense.profile.nonQueryInstrPerOp = 4;
     const QeiRunStats denseStats =
-        runQei(world, dense, SchemeConfig::coreIntegrated());
+        runQei(world, dense, DriverConfig(SchemeConfig::coreIntegrated()));
     Prepared sparse = prep;
     sparse.profile.nonQueryInstrPerOp = 100;
     const QeiRunStats sparseStats =
-        runQei(world, sparse, SchemeConfig::coreIntegrated());
+        runQei(world, sparse, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_GT(denseStats.maxInFlightObserved,
               sparseStats.maxInFlightObserved);
 }
@@ -107,11 +107,9 @@ TEST_F(SystemFixture, NonBlockingExceedsBlockingParallelism)
     Prepared wide = prep;
     wide.profile.nonQueryInstrPerOp = 100; // blocking would cap at 2
     const QeiRunStats blocking =
-        runQei(world, wide, SchemeConfig::chaTlb(),
-               QueryMode::Blocking);
+        runQei(world, wide, DriverConfig(SchemeConfig::chaTlb()).withMode(QueryMode::Blocking));
     const QeiRunStats nonBlocking =
-        runQei(world, wide, SchemeConfig::chaTlb(),
-               QueryMode::NonBlocking, 0, 32);
+        runQei(world, wide, DriverConfig(SchemeConfig::chaTlb()).withMode(QueryMode::NonBlocking));
     EXPECT_GT(nonBlocking.maxInFlightObserved,
               blocking.maxInFlightObserved);
 }
@@ -119,7 +117,7 @@ TEST_F(SystemFixture, NonBlockingExceedsBlockingParallelism)
 TEST_F(SystemFixture, AllQueriesCompleteOnEveryScheme)
 {
     for (const auto& scheme : SchemeConfig::allSchemes()) {
-        const QeiRunStats stats = runQei(world, prep, scheme);
+        const QeiRunStats stats = runQei(world, prep, DriverConfig(scheme));
         EXPECT_EQ(stats.queries, prep.jobs.size()) << scheme.name();
         EXPECT_EQ(stats.mismatches, 0u) << scheme.name();
         EXPECT_GT(stats.cycles, 0u) << scheme.name();
@@ -129,9 +127,9 @@ TEST_F(SystemFixture, AllQueriesCompleteOnEveryScheme)
 TEST_F(SystemFixture, DeviceIndirectSlowerThanDirect)
 {
     const QeiRunStats direct =
-        runQei(world, prep, SchemeConfig::deviceDirect());
+        runQei(world, prep, DriverConfig(SchemeConfig::deviceDirect()));
     const QeiRunStats indirect =
-        runQei(world, prep, SchemeConfig::deviceIndirect(300));
+        runQei(world, prep, DriverConfig(SchemeConfig::deviceIndirect(300)));
     EXPECT_GT(indirect.cycles, direct.cycles);
 }
 
@@ -139,8 +137,7 @@ TEST_F(SystemFixture, InterfaceLatencySweepIsMonotonic)
 {
     Cycles prev = 0;
     for (Cycles lat : {50u, 300u, 1000u}) {
-        const QeiRunStats stats = runQei(
-            world, prep, SchemeConfig::deviceIndirect(lat));
+        const QeiRunStats stats = runQei(world, prep, DriverConfig(SchemeConfig::deviceIndirect(lat)));
         EXPECT_GT(stats.cycles, prev);
         prev = stats.cycles;
     }
@@ -149,9 +146,9 @@ TEST_F(SystemFixture, InterfaceLatencySweepIsMonotonic)
 TEST_F(SystemFixture, ChaNoTlbSlowerThanChaTlb)
 {
     const QeiRunStats with =
-        runQei(world, prep, SchemeConfig::chaTlb());
+        runQei(world, prep, DriverConfig(SchemeConfig::chaTlb()));
     const QeiRunStats without =
-        runQei(world, prep, SchemeConfig::chaNoTlb());
+        runQei(world, prep, DriverConfig(SchemeConfig::chaNoTlb()));
     // The per-access MMU round trip must cost something.
     EXPECT_GE(without.cycles, with.cycles);
 }
@@ -167,7 +164,7 @@ TEST_F(SystemFixture, WarmTlbsReduceCycles)
         cold.runBlocking(prep.jobs, 0, prep.profile);
 
     const QeiRunStats warmStats =
-        runQei(world, prep, SchemeConfig::chaTlb());
+        runQei(world, prep, DriverConfig(SchemeConfig::chaTlb()));
     EXPECT_LT(warmStats.cycles, coldStats.cycles);
 }
 
@@ -175,7 +172,7 @@ TEST_F(SystemFixture, CoreInstructionsFarBelowBaseline)
 {
     const CoreRunResult baseline = runBaseline(world, prep);
     const QeiRunStats qei =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_LT(qei.coreInstructions, baseline.instructions / 2);
 }
 
@@ -183,6 +180,6 @@ TEST_F(SystemFixture, SpeedupOverBaselineOnWarmLlc)
 {
     const CoreRunResult baseline = runBaseline(world, prep);
     const QeiRunStats qei =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_GT(speedupOf(baseline, qei), 1.0);
 }

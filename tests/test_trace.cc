@@ -161,7 +161,7 @@ tracedRun(QeiRunStats& stats_out)
     const Prepared prepared = workload->prepare(world, 150);
     world.traceSink.enable(std::size_t{1} << 20); // no drops
     stats_out =
-        runQei(world, prepared, SchemeConfig::coreIntegrated());
+        runQei(world, prepared, DriverConfig(SchemeConfig::coreIntegrated()));
     trace::TraceBuffer buf = world.traceSink.drain();
     EXPECT_EQ(buf.dropped, 0u);
     return buf;
@@ -241,7 +241,7 @@ TEST(Trace, MatrixTraceFilesAreWellFormed)
     const std::string path = "test_trace_matrix.json";
     bench::MatrixOptions matrix;
     matrix.queries = 60;
-    matrix.schemes = {SchemeConfig::coreIntegrated()};
+    matrix.topologies = {SchemeConfig::coreIntegrated()};
     matrix.tracePath = path;
     auto factories = makeWorkloadFactories();
     factories.resize(1);

@@ -108,7 +108,7 @@ TEST(Updates, QeiSeesSoftwareUpdatesBetweenBatches)
     for (int i = 0; i < 20; ++i)
         probe.push_back(h.someKey());
     const Prepared before = makePrep(probe);
-    EXPECT_EQ(runQei(h.world, before, SchemeConfig::coreIntegrated())
+    EXPECT_EQ(runQei(h.world, before, DriverConfig(SchemeConfig::coreIntegrated()))
                   .mismatches,
               0u);
 
@@ -123,7 +123,7 @@ TEST(Updates, QeiSeesSoftwareUpdatesBetweenBatches)
     EXPECT_EQ(after.traces[0].resultValue, 0xFEEDu);
     for (int i = 1; i < 10; ++i)
         EXPECT_FALSE(after.traces[static_cast<std::size_t>(i)].found);
-    EXPECT_EQ(runQei(h.world, after, SchemeConfig::coreIntegrated())
+    EXPECT_EQ(runQei(h.world, after, DriverConfig(SchemeConfig::coreIntegrated()))
                   .mismatches,
               0u);
 }
@@ -186,7 +186,7 @@ TEST(Updates, LinkedListHeadInsertRepublishesHeader)
     job.expectValue = 0xABCD;
     prep.jobs.push_back(job);
     prep.traces.push_back(std::move(t));
-    EXPECT_EQ(runQei(world, prep, SchemeConfig::coreIntegrated())
+    EXPECT_EQ(runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()))
                   .mismatches,
               0u);
 }

@@ -32,7 +32,7 @@ runWorkloadChecks(std::size_t queries, Args&&... args)
     EXPECT_GT(baseline.cycles, 0u);
 
     const QeiRunStats qei =
-        runQei(world, prep, SchemeConfig::coreIntegrated());
+        runQei(world, prep, DriverConfig(SchemeConfig::coreIntegrated()));
     EXPECT_EQ(qei.mismatches, 0u);
     EXPECT_EQ(qei.exceptions, 0u);
     EXPECT_GT(speedupOf(baseline, qei), 1.0);
