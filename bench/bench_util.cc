@@ -104,7 +104,9 @@ usageError(const char* prog, const std::string& message)
         "  --list-workloads   print workload names + descriptions, "
         "exit 0\n"
         "  --list-schemes     print scheme names + descriptions, "
-        "exit 0\n",
+        "exit 0\n"
+        "  --list-traffic     print traffic-source names + "
+        "descriptions, exit 0\n",
         prog, message.c_str(), prog);
     std::exit(2);
 }
@@ -148,6 +150,16 @@ listSchemes()
     for (const Topology& t : Topology::allPaper()) {
         std::printf("%-16s %s\n", t.name().c_str(),
                     schemeDescription(t.params().scheme));
+    }
+    std::exit(0);
+}
+
+[[noreturn]] void
+listTraffic()
+{
+    for (const auto& source : traffic::catalog()) {
+        std::printf("%-10s %s\n", source->name().c_str(),
+                    source->description().c_str());
     }
     std::exit(0);
 }
@@ -196,6 +208,8 @@ parseBenchArgs(int argc, char** argv)
             listWorkloads();
         } else if (std::strcmp(arg, "--list-schemes") == 0) {
             listSchemes();
+        } else if (std::strcmp(arg, "--list-traffic") == 0) {
+            listTraffic();
         } else if (std::strncmp(arg, "--", 2) == 0 && arg[2] != '\0') {
             usageError(prog, fmt("unknown option '{}'", arg));
         } else {
@@ -419,6 +433,7 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
                 DriverConfig(topo)
                     .withMode(options.mode)
                     .withPollBatch(options.pollBatch)
+                    .withBatch(options.batch)
                     .captureStats(options.captureStats ? &out.statsJson
                                                        : nullptr));
         }
@@ -617,6 +632,18 @@ toJson(const QeiRunStats& stats)
     // Decimal string: the digest uses all 64 bits and Json numbers
     // are signed.
     out["result_checksum"] = fmt("{}", stats.resultChecksum);
+
+    // QUERY_BATCH amortization block, only for batched runs — scalar
+    // artifacts keep their historical shape byte-for-byte.
+    if (stats.batches > 0) {
+        Json batch = Json::object();
+        batch["batches"] = stats.batches;
+        batch["batched_queries"] = stats.batchedQueries;
+        batch["admission_backoffs"] = stats.batchBackoffs;
+        batch["header_hits"] = stats.batchHeaderHits;
+        batch["line_hits"] = stats.batchLineHits;
+        out["batch"] = std::move(batch);
+    }
 
     // Per-component latency decomposition (Fig. 8 view). Always
     // emitted, even all-zero, so artifacts have a stable shape and

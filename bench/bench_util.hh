@@ -72,9 +72,10 @@ struct BenchOptions
  * `--json=<path>`, `--trace <path>`, `--trace=<path>`,
  * `--threads <n>`, `--threads=<n>` (n = 0 or "auto" uses every host
  * core), `--faults <spec>`, `--faults=<spec>`, and `--validate`;
- * QEI_BENCH_THREADS seeds the thread default. `--list-workloads` and
- * `--list-schemes` print the available names with descriptions and
- * exit(0), so scripts can enumerate instead of hardcoding. Non-option
+ * QEI_BENCH_THREADS seeds the thread default. `--list-workloads`,
+ * `--list-schemes`, and `--list-traffic` print the available names
+ * with descriptions and exit(0), so scripts can enumerate instead of
+ * hardcoding. Non-option
  * arguments are collected into BenchOptions::positional. Unknown
  * `--flags` and flags missing their operand print a usage message and
  * exit(2) — a typo must not silently run the un-modified experiment.
@@ -205,6 +206,8 @@ struct MatrixOptions
     std::uint64_t seed = 42;
     /** Poll batch for QueryMode::NonBlocking. */
     int pollBatch = 32;
+    /** QUERY_BATCH config for every cell; default scalar (size 1). */
+    BatchConfig batch;
     bool captureStats = false;
     /** Host threads; 1 runs every cell inline on this thread. */
     int threads = 1;

@@ -1,5 +1,9 @@
 #!/usr/bin/env sh
 # Run every benchmark harness and collect BENCH_<name>.json artifacts.
+# New harnesses are picked up automatically (the loop globs
+# build-dir/bench/*): abl_batch, for example, runs its full workload x
+# batch-size sweep here, while CI's quick smoke passes it a reduced
+# positional query count.
 #
 # Usage: scripts/run_benches.sh [--trace-dir DIR] [--validate] \
 #            [--faults [SPEC]] [build-dir] [output-dir] [threads]

@@ -92,6 +92,12 @@ Accelerator::regStats(StatsRegistry& registry)
                         "queries completed with an error");
     registry.addCounter(base + "translation_cycles", translationCycles_,
                         "cycles spent translating addresses");
+    registry.addCounter(base + "batches", batchesAccepted_,
+                        "QUERY_BATCH descriptors accepted");
+    registry.addCounter(base + "batch_header_hits", batchHeaderHits_,
+                        "header fetches coalesced across batch members");
+    registry.addCounter(base + "batch_line_hits", batchLineHits_,
+                        "level-line fetches coalesced across members");
 }
 
 int
@@ -120,6 +126,83 @@ Accelerator::enqueue(Addr header_addr, Addr key_addr, Addr result_addr,
     // One cycle through the Query Queue before the CEE sees it.
     makeReady(slot, env_.events.now() + 1);
     return slot;
+}
+
+Accelerator::BatchCtx*
+Accelerator::batchCtx(const QstEntry& entry)
+{
+    if (entry.batchId < 0)
+        return nullptr;
+    return batches_[static_cast<std::size_t>(entry.batchId)].get();
+}
+
+int
+Accelerator::enqueueBatch(std::vector<BatchMember> members,
+                          QueryMode mode, bool coalesce,
+                          BatchDoneFn on_done)
+{
+    simAssert(!members.empty(), "empty QUERY_BATCH descriptor");
+    const int window =
+        batchWindowFor(static_cast<int>(members.size()));
+    const int base = qst_.reserveWindow(window);
+    if (base < 0)
+        return -1; // no contiguous window; the caller backs off
+
+    // Reuse a freed context slot or append a new one.
+    std::size_t idx = 0;
+    while (idx < batches_.size() && batches_[idx] != nullptr)
+        ++idx;
+    if (idx == batches_.size())
+        batches_.emplace_back();
+    auto ctx = std::make_unique<BatchCtx>();
+    ctx->id = static_cast<int>(idx);
+    ctx->base = base;
+    ctx->window = window;
+    ctx->reservedMine.assign(static_cast<std::size_t>(window), 1);
+    ctx->members = std::move(members);
+    ctx->remaining = ctx->members.size();
+    ctx->mode = mode;
+    ctx->coalesce = coalesce;
+    ctx->onDone = std::move(on_done);
+    batches_[idx] = std::move(ctx);
+    batchesAccepted_.inc();
+
+    // Fill the window's idle slots; the remaining members stream in
+    // as occupants deliver (a window may overlap a draining
+    // predecessor's tail, whose slots hand over as they empty).
+    BatchCtx& b = *batches_[idx];
+    while (b.nextMember < b.members.size() && admitNextMember(b)) {
+    }
+    return static_cast<int>(idx);
+}
+
+bool
+Accelerator::admitNextMember(BatchCtx& ctx)
+{
+    simAssert(ctx.nextMember < ctx.members.size(),
+              "batch {} has no member left to admit", ctx.id);
+    const int slot = qst_.allocateInWindow(ctx.base, ctx.window);
+    if (slot < 0)
+        return false; // occupied by a draining predecessor's tail
+    BatchMember& m = ctx.members[ctx.nextMember++];
+    QstEntry& entry = qst_.at(slot);
+    entry.headerAddr = m.headerAddr;
+    entry.keyAddr = m.keyAddr;
+    entry.resultAddr = m.resultAddr;
+    entry.mode = ctx.mode;
+    entry.queryId = m.queryId;
+    entry.enqueued = env_.events.now();
+    entry.batchId = ctx.id;
+    completions_[static_cast<std::size_t>(slot)] =
+        std::move(m.onComplete);
+    qst_.sampleOccupancy();
+    charge(entry, trace::LatencyComponent::QueueWait, 1);
+    if (trace::active(trace_)) {
+        trace_->record(trace::Category::Qst, traceComp_, traceEnqueue_,
+                       entry.queryId, env_.events.now(), 0);
+    }
+    makeReady(slot, env_.events.now() + 1);
+    return true;
 }
 
 void
@@ -318,13 +401,34 @@ Accelerator::executeHeaderFetch(int id)
         }
     }
 
-    const XlatResult xlat = translate(entry.headerAddr, now);
-    if (!xlat.valid) {
-        raiseException(id, QueryError::PageFault);
-        return;
+    // Batch header coalescing: the descriptor's members share (at
+    // most a handful of) structure headers, so only the first member
+    // per header pays the real translate + fetch; the rest pay the
+    // residual staging latency out of the batch buffer.
+    BatchCtx* batch = batchCtx(entry);
+    Cycles xlatLat = 0;
+    Cycles latency = 0;
+    bool headerStaged = false;
+    if (batch != nullptr) {
+        const auto it = batch->headers.find(entry.headerAddr);
+        if (it != batch->headers.end()) {
+            latency = it->second > now ? it->second - now : 1;
+            batchHeaderHits_.inc();
+            headerStaged = true;
+        }
     }
-    const Cycles latency =
-        xlat.latency + dataAccess(xlat.paddr, false, now + xlat.latency);
+    if (!headerStaged) {
+        const XlatResult xlat = translate(entry.headerAddr, now);
+        if (!xlat.valid) {
+            raiseException(id, QueryError::PageFault);
+            return;
+        }
+        xlatLat = xlat.latency;
+        latency = xlat.latency +
+                  dataAccess(xlat.paddr, false, now + xlat.latency);
+        if (batch != nullptr)
+            batch->headers.emplace(entry.headerAddr, now + latency);
+    }
 
     entry.header = StructHeader::readFrom(env_.vm, entry.headerAddr);
     const CfaProgram* prog = env_.firmware.program(entry.header.type);
@@ -333,32 +437,30 @@ Accelerator::executeHeaderFetch(int id)
         return;
     }
 
+    // Level-wise line coalescing is a property of the structure's
+    // traversal (declared by its CFA program); decide it once per
+    // batch at the first member's dispatch.
+    if (batch != nullptr && batch->lineMode == 0)
+        batch->lineMode =
+            prog->batchLevelReuse && batch->coalesce ? 1 : 2;
+
     // Stage the query key alongside the metadata fetch when it fits
     // one cacheline: later comparisons read it from the QST instead of
-    // refetching it per node.
+    // refetching it per node. Batch members staged back to back often
+    // share key lines (the reorderer sorts by key locality), which
+    // fetchSpan coalesces like any other shared line.
     Cycles keyLatency = 0;
+    bool laneEligible = headerStaged;
     if (entry.header.keyLen > 0 &&
         entry.header.keyLen <= QstEntry::kKeyBufBytes) {
-        const std::uint64_t lines =
-            linesCovering(entry.keyAddr, entry.header.keyLen);
-        bool ok = true;
-        for (std::uint64_t i = 0; i < lines; ++i) {
-            const Addr va =
-                lineAlign(entry.keyAddr) + i * kCacheLineBytes;
-            const XlatResult x = translateCached(entry, va, now);
-            if (!x.valid) {
-                ok = false;
-                break;
-            }
-            keyLatency = std::max(
-                keyLatency,
-                x.latency +
-                    dataAccess(x.paddr, false, now + x.latency));
-        }
-        if (!ok) {
+        const SpanCost keyCost =
+            fetchSpan(entry, entry.keyAddr, entry.header.keyLen, now);
+        if (keyCost.faulted()) {
             raiseException(id, QueryError::PageFault);
             return;
         }
+        laneEligible = laneEligible && keyCost.coalesced;
+        keyLatency = keyCost.total;
         env_.vm.readBytes(entry.keyAddr, entry.keyBuf.data(),
                           entry.header.keyLen);
         entry.keyStaged = true;
@@ -375,10 +477,13 @@ Accelerator::executeHeaderFetch(int id)
     entry.regs[kRegT7] = entry.header.aux0;
     entry.phase = QstPhase::Running;
     entry.state = 0;
+    // A dispatch served entirely from the batch's staged header and
+    // key lines rides the batch lane (see executeMicroInst).
+    if (laneEligible)
+        ceeNextFree_ = now;
     const Cycles delay = std::max(latency, keyLatency);
-    charge(entry, trace::LatencyComponent::Translation, xlat.latency);
-    charge(entry, trace::LatencyComponent::Memory,
-           delay - xlat.latency);
+    charge(entry, trace::LatencyComponent::Translation, xlatLat);
+    charge(entry, trace::LatencyComponent::Memory, delay - xlatLat);
     if (trace::active(trace_)) {
         trace_->record(trace::Category::Microcode, traceComp_,
                        traceHeaderFetch_, entry.queryId, now, delay);
@@ -400,6 +505,58 @@ Accelerator::compareKeyFunctional(const QstEntry& entry, Addr mem_vaddr,
     return c < 0 ? CmpFlag::Lt : CmpFlag::Gt;
 }
 
+Accelerator::SpanCost
+Accelerator::fetchSpan(QstEntry& entry, Addr vaddr,
+                       std::uint64_t bytes, Cycles start)
+{
+    BatchCtx* batch = batchCtx(entry);
+    const bool coalesce = batch != nullptr && batch->lineMode == 1;
+    SpanCost worst;
+    const std::uint64_t lines = linesCovering(vaddr, bytes);
+    worst.coalesced = coalesce && lines > 0;
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        const Addr lineVaddr = lineAlign(vaddr) + i * kCacheLineBytes;
+        if (coalesce) {
+            // Level-wise traversal batching: a line a fellow member
+            // already staged costs only its residual staging latency
+            // (min 1 cycle to read the batch buffer) — no translation,
+            // no memory access. Only the timing coalesces; functional
+            // reads stay per member, so results are bit-identical to
+            // the scalar path.
+            const auto it = batch->lines.find(lineVaddr);
+            if (it != batch->lines.end()) {
+                const Cycles lat =
+                    it->second > start ? it->second - start : 1;
+                batchLineHits_.inc();
+                if (lat > worst.total) {
+                    worst.total = lat;
+                    worst.xlat = 0;
+                }
+                continue;
+            }
+        }
+        worst.coalesced = false; // this line pays a real access
+        const XlatResult x = translateCached(entry, lineVaddr, start);
+        if (!x.valid)
+            return SpanCost{kInvalidCycle, 0};
+        const Cycles lat =
+            x.latency + dataAccess(x.paddr, false, start + x.latency);
+        if (coalesce) {
+            // Bounded staging buffer: hold the batch's hot upper
+            // levels, drop everything on overflow (lower levels churn
+            // through and would not have been reused anyway).
+            if (batch->lines.size() >= BatchCtx::kMaxLines)
+                batch->lines.clear();
+            batch->lines.emplace(lineVaddr, start + lat);
+        }
+        if (lat > worst.total) {
+            worst.total = lat;
+            worst.xlat = x.latency;
+        }
+    }
+    return worst;
+}
+
 bool
 Accelerator::executeMicroInst(int id)
 {
@@ -413,45 +570,21 @@ Accelerator::executeMicroInst(int id)
               entry.state);
     const MicroInst& mi = prog->states[entry.state];
 
-    // Cost of a multi-line fetch, split so the translation share can
-    // be attributed separately from the data-array share.
-    struct SpanCost
-    {
-        Cycles total = 0;
-        Cycles xlat = 0;
-        bool faulted() const { return total == kInvalidCycle; }
-    };
-
-    // Fetch the lines covering [vaddr, vaddr+bytes): timed as parallel
-    // independent reads (the CEE issues them back to back); returns
-    // the slowest line's cost, or a faulted cost on a translation
-    // fault.
-    auto fetchSpan = [&](Addr vaddr, std::uint64_t bytes,
-                         Cycles start) -> SpanCost {
-        SpanCost worst;
-        const std::uint64_t lines = linesCovering(vaddr, bytes);
-        for (std::uint64_t i = 0; i < lines; ++i) {
-            const Addr lineVaddr = lineAlign(vaddr) + i * kCacheLineBytes;
-            const XlatResult x =
-                translateCached(entry, lineVaddr, start);
-            if (!x.valid)
-                return SpanCost{kInvalidCycle, 0};
-            const Cycles lat =
-                x.latency +
-                dataAccess(x.paddr, false, start + x.latency);
-            if (lat > worst.total) {
-                worst.total = lat;
-                worst.xlat = x.latency;
-            }
-        }
-        return worst;
-    };
-
     // Attribute a fetch's cost: translation vs. memory cycles.
     auto chargeSpan = [&](const SpanCost& cost) {
         charge(entry, trace::LatencyComponent::Translation, cost.xlat);
         charge(entry, trace::LatencyComponent::Memory,
                cost.total - cost.xlat);
+    };
+
+    // Batch lane: a transition whose memory span was served entirely
+    // from the batch's staged lines is one lane of level-wise vector
+    // processing — the staged line is applied to many members at once
+    // by the DPU's parallel comparators — so it hands the scalar CEE
+    // issue port back to this cycle instead of consuming it.
+    auto batchLane = [&](bool coalesced) {
+        if (coalesced)
+            ceeNextFree_ = now;
     };
 
     // Record the whole micro-op as one Microcode timeline span.
@@ -487,7 +620,8 @@ Accelerator::executeMicroInst(int id)
             makeReady(id, now + 1);
             return false;
         }
-        const SpanCost cost = fetchSpan(vaddr, kCacheLineBytes, now);
+        const SpanCost cost =
+            fetchSpan(entry, vaddr, kCacheLineBytes, now);
         if (cost.faulted()) {
             raiseException(id, QueryError::PageFault);
             return false;
@@ -496,6 +630,7 @@ Accelerator::executeMicroInst(int id)
         env_.vm.readBytes(entry.lineBase, entry.lineBuf.data(),
                           kCacheLineBytes);
         entry.state = mi.next;
+        batchLane(cost.coalesced);
         chargeSpan(cost);
         traceOp(now, cost.total);
         makeReady(id, now + cost.total);
@@ -509,13 +644,14 @@ Accelerator::executeMicroInst(int id)
             entry.state = mi.next;
             return true; // served from the staged line
         }
-        const SpanCost cost = fetchSpan(vaddr, mi.width, now);
+        const SpanCost cost = fetchSpan(entry, vaddr, mi.width, now);
         if (cost.faulted()) {
             raiseException(id, QueryError::PageFault);
             return false;
         }
         entry.regs[mi.dst] = readFieldLE(vaddr, mi.width);
         entry.state = mi.next;
+        batchLane(cost.coalesced);
         chargeSpan(cost);
         traceOp(now, cost.total);
         makeReady(id, now + cost.total);
@@ -555,7 +691,7 @@ Accelerator::executeMicroInst(int id)
             static_cast<std::uint32_t>(entry.regs[kRegKeyLen]);
         SpanCost mem;
         if (!entry.keyStaged) {
-            mem = fetchSpan(entry.keyAddr, len, now);
+            mem = fetchSpan(entry, entry.keyAddr, len, now);
             if (mem.faulted()) {
                 raiseException(id, QueryError::PageFault);
                 return false;
@@ -567,6 +703,7 @@ Accelerator::executeMicroInst(int id)
             computeHash(entry.header.hashFn, key.data(), len);
         entry.state = mi.next;
         const Cycles hashDone = dpu_.hashKey(now + mem.total, len);
+        batchLane(mem.coalesced);
         chargeSpan(mem);
         charge(entry, trace::LatencyComponent::Dpu,
                hashDone - (now + mem.total));
@@ -688,14 +825,17 @@ Accelerator::executeMicroInst(int id)
         } else {
             // Local compare: stage the candidate (and the key, unless
             // already staged), then run a DPU comparator.
-            const SpanCost candCost = fetchSpan(candidate, len, now);
+            const SpanCost candCost =
+                fetchSpan(entry, candidate, len, now);
             const SpanCost keyCost =
                 entry.keyStaged ? SpanCost{}
-                                : fetchSpan(entry.keyAddr, len, now);
+                                : fetchSpan(entry, entry.keyAddr, len, now);
             simAssert(!candCost.faulted() && !keyCost.faulted(),
                       "fault after successful pre-translation");
             const SpanCost& slower =
                 candCost.total >= keyCost.total ? candCost : keyCost;
+            batchLane(candCost.coalesced &&
+                      (entry.keyStaged || keyCost.coalesced));
             done = dpu_.compare(now + slower.total, len);
             chargeSpan(slower);
             charge(entry, trace::LatencyComponent::Dpu,
@@ -741,7 +881,8 @@ Accelerator::executeMicroInst(int id)
         // stops at the match, so only the lines actually covered by
         // the scanned entries are fetched.
         const SpanCost mem = fetchSpan(
-            node, 16 + static_cast<std::uint64_t>(scanned) * 8, now);
+            entry, node, 16 + static_cast<std::uint64_t>(scanned) * 8,
+            now);
         if (mem.faulted()) {
             raiseException(id, QueryError::PageFault);
             return false;
@@ -753,6 +894,7 @@ Accelerator::executeMicroInst(int id)
         const Cycles scanDone =
             dpu_.compare(now + mem.total, std::max<std::uint32_t>(
                                               8, scanned));
+        batchLane(mem.coalesced);
         chargeSpan(mem);
         charge(entry, trace::LatencyComponent::Dpu,
                scanDone - (now + mem.total));
@@ -815,6 +957,7 @@ Accelerator::deliver(int id)
                        entry.queryId, now, latency);
     }
     const QstEntry snapshot = entry;
+    const std::int32_t bId = entry.batchId;
     CompletionFn done =
         std::move(completions_[static_cast<std::size_t>(id)]);
     qst_.release(id);
@@ -824,6 +967,50 @@ Accelerator::deliver(int id)
         if (done)
             done(snapshot);
     });
+
+    if (bId >= 0) {
+        // Stream the next batch member into the slot this one
+        // vacated. Once no member is left to admit, the batch is
+        // draining: it drops every reservation it still holds at
+        // once, so the next descriptor's contiguous window can form
+        // over the retiring tail and fill slot by slot as it empties.
+        BatchCtx& b = *batches_[static_cast<std::size_t>(bId)];
+        if (b.nextMember < b.members.size()) {
+            const bool ok = admitNextMember(b);
+            simAssert(ok, "batch {} failed to refill its own slot",
+                      bId);
+        } else {
+            for (std::size_t i = 0; i < b.reservedMine.size(); ++i) {
+                if (!b.reservedMine[i])
+                    continue;
+                qst_.unreserveSlot(b.base + static_cast<int>(i));
+                b.reservedMine[i] = 0;
+            }
+        }
+        simAssert(b.remaining > 0, "batch {} over-delivered", bId);
+        if (--b.remaining == 0) {
+            BatchDoneFn batchDone = std::move(b.onDone);
+            batches_[static_cast<std::size_t>(bId)].reset();
+            if (batchDone)
+                batchDone();
+        }
+    }
+
+    // The freed slot may sit inside another descriptor's reservation
+    // (windows overlap draining tails): hand it over right away.
+    if (qst_.isReserved(id)) {
+        for (const auto& other : batches_) {
+            if (other == nullptr)
+                continue;
+            const int rel = id - other->base;
+            if (rel < 0 || rel >= other->window ||
+                !other->reservedMine[static_cast<std::size_t>(rel)])
+                continue;
+            if (other->nextMember < other->members.size())
+                admitNextMember(*other);
+            break;
+        }
+    }
 }
 
 Cycles
@@ -863,6 +1050,59 @@ Accelerator::flush(const FlushVisitor& recover)
         }
         completions_[static_cast<std::size_t>(id)] = nullptr;
         qst_.release(id);
+    }
+    // Batch contexts: in-flight members were handled above like any
+    // other QST entry; members still waiting behind the window never
+    // had a slot, so abort them here and retire the window.
+    for (std::size_t bi = 0; bi < batches_.size(); ++bi) {
+        if (batches_[bi] == nullptr)
+            continue;
+        BatchCtx& b = *batches_[bi];
+        for (std::size_t mi = b.nextMember; mi < b.members.size();
+             ++mi) {
+            BatchMember& m = b.members[mi];
+            if (b.mode == QueryMode::NonBlocking &&
+                m.resultAddr != kNullAddr) {
+                env_.vm.write<std::uint64_t>(
+                    m.resultAddr,
+                    kStatusErrorBase |
+                        static_cast<std::uint64_t>(
+                            QueryError::Aborted));
+                const Addr line = lineAlign(m.resultAddr);
+                if (std::find(dirtyLines.begin(), dirtyLines.end(),
+                              line) == dirtyLines.end()) {
+                    dirtyLines.push_back(line);
+                    const XlatResult x =
+                        translate(m.resultAddr, now + flushCycles);
+                    flushCycles += x.latency;
+                }
+            }
+            if (recover) {
+                QstEntry snapshot;
+                snapshot.headerAddr = m.headerAddr;
+                snapshot.keyAddr = m.keyAddr;
+                snapshot.resultAddr = m.resultAddr;
+                snapshot.mode = b.mode;
+                snapshot.queryId = m.queryId;
+                snapshot.enqueued = now;
+                snapshot.completed = now;
+                snapshot.phase = QstPhase::Exception;
+                snapshot.error = QueryError::Aborted;
+                snapshot.success = false;
+                recover(snapshot, std::move(m.onComplete));
+            }
+        }
+        // Tail-drain delivers may already have unreserved some slots
+        // (and a later batch may hold them now) — drop only the
+        // reservations this batch still owns.
+        for (int i = b.base; i < b.base + b.window; ++i) {
+            if (b.reservedMine[static_cast<std::size_t>(i - b.base)])
+                qst_.unreserveSlot(i);
+        }
+        BatchDoneFn batchDone = std::move(b.onDone);
+        batches_[bi].reset();
+        if (batchDone)
+            batchDone();
     }
     qst_.sampleOccupancy();
     return flushCycles;

@@ -16,10 +16,12 @@
 #ifndef QEI_QEI_ACCELERATOR_HH
 #define QEI_QEI_ACCELERATOR_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/sim_object.hh"
@@ -92,6 +94,70 @@ class Accelerator : public SimObject
                 QueryMode mode, std::uint64_t query_id,
                 CompletionFn on_complete);
 
+    /** One key of a QUERY_BATCH descriptor. */
+    struct BatchMember
+    {
+        Addr headerAddr = kNullAddr;
+        Addr keyAddr = kNullAddr;
+        Addr resultAddr = kNullAddr;
+        std::uint64_t queryId = 0;
+        CompletionFn onComplete;
+    };
+
+    /** Invoked once the batch's last member has delivered (or the
+     *  whole descriptor was aborted by a flush). */
+    using BatchDoneFn = std::function<void()>;
+
+    /**
+     * QST window size a QUERY_BATCH of @p count keys reserves: at most
+     * half the table (double buffering). Capping the window below
+     * capacity lets the next descriptor's window form while this one's
+     * tail drains; a full-table window would serialize batch
+     * boundaries on complete QST drains and waste roughly one query
+     * latency per descriptor.
+     */
+    int
+    batchWindowFor(int count) const
+    {
+        const int half =
+            std::max(1, static_cast<int>(qst_.capacity()) / 2);
+        return std::min(count, half);
+    }
+
+    /**
+     * Would a QUERY_BATCH of @p count keys be admitted right now?
+     * True when a contiguous QST window of batchWindowFor(count) idle,
+     * unreserved slots exists — the single admission decision the
+     * batch path makes per descriptor (vs. one per key on the scalar
+     * path).
+     */
+    bool
+    canAcceptBatch(int count) const
+    {
+        const int window = batchWindowFor(count);
+        return window >= 1 && qst_.findWindow(window) >= 0;
+    }
+
+    /**
+     * Accept a QUERY_BATCH descriptor: reserve one contiguous QST
+     * window of batchWindowFor(members) slots, admit the first window
+     * of members immediately, and stream the rest in as earlier
+     * members deliver (each delivery re-fills its freed slot; once no
+     * member is left to admit, the freed slot's reservation drops
+     * immediately so the next descriptor's window can form while this
+     * one's tail drains). While
+     * the batch is in flight, header fetches and — when @p coalesce
+     * is set and the structure's CFA declares batchLevelReuse —
+     * structure-level line fetches coalesce across members: the first
+     * member pays the real access, later members pay the residual
+     * staging latency. Functional reads stay per member, so results
+     * are bit-identical to the scalar path.
+     * @return a batch id >= 0, or -1 when no contiguous window exists
+     * (the caller backs off, one decision for the whole batch).
+     */
+    int enqueueBatch(std::vector<BatchMember> members, QueryMode mode,
+                     bool coalesce, BatchDoneFn on_done);
+
     /**
      * Receives each in-flight entry dropped by a flush (state
      * snapshot, Aborted error recorded) along with its completion
@@ -125,6 +191,18 @@ class Accelerator : public SimObject
     {
         return translationCycles_.value();
     }
+    std::uint64_t batchesAccepted() const
+    {
+        return batchesAccepted_.value();
+    }
+    std::uint64_t batchHeaderHits() const
+    {
+        return batchHeaderHits_.value();
+    }
+    std::uint64_t batchLineHits() const
+    {
+        return batchLineHits_.value();
+    }
     DataProcessingUnit& dpu() { return dpu_; }
     Tlb* dedicatedTlb() { return dedicatedTlb_.get(); }
     /** Read-only QST view (watchdog dumps, tests). */
@@ -146,6 +224,75 @@ class Accelerator : public SimObject
         Addr paddr = 0;
         Cycles latency = 0;
     };
+
+    /**
+     * Cost of a multi-line fetch, split so the translation share can
+     * be attributed separately from the data-array share.
+     */
+    struct SpanCost
+    {
+        Cycles total = 0;
+        Cycles xlat = 0;
+        bool faulted() const { return total == kInvalidCycle; }
+        /**
+         * Every line of the span was served from the batch's staged
+         * lines: the transition rides the batch lane (vectorized
+         * level-wise processing) instead of the scalar CEE issue port.
+         */
+        bool coalesced = false;
+    };
+
+    /** In-flight QUERY_BATCH bookkeeping, one per accepted descriptor. */
+    struct BatchCtx
+    {
+        int id = 0;
+        int base = 0;   ///< reserved QST window base
+        int window = 0; ///< reserved QST window size
+        /**
+         * Which window slots this batch still holds reservations on
+         * (indexed slot - base). Tail-drain delivers drop slots one by
+         * one, and a later batch may immediately re-reserve them — so
+         * the global reserved marks alone can't tell whose they are.
+         */
+        std::vector<std::uint8_t> reservedMine;
+        std::vector<BatchMember> members;
+        std::size_t nextMember = 0; ///< next member to admit
+        std::size_t remaining = 0;  ///< members not yet delivered
+        QueryMode mode = QueryMode::Blocking;
+        bool coalesce = true;
+        /** 0 = undecided (set at the first member's dispatch),
+         *  1 = level-wise line coalescing on, 2 = off. */
+        int lineMode = 0;
+        BatchDoneFn onDone;
+        /** headerAddr -> cycle its line lands in the batch buffer. */
+        std::unordered_map<Addr, Cycles> headers;
+        /** Level-line vaddr -> staged-at cycle. Bounded staging
+         *  buffer: cleared wholesale when full (see fetchSpan). */
+        std::unordered_map<Addr, Cycles> lines;
+        static constexpr std::size_t kMaxLines = 256;
+    };
+
+    /** The batch context @p entry belongs to, or nullptr (scalar). */
+    BatchCtx* batchCtx(const QstEntry& entry);
+
+    /**
+     * Admit the next pending member into the batch's QST window.
+     * @return false when every window slot is still occupied (a
+     * reservation may overlap a draining predecessor's tail; the
+     * member is admitted later, as those slots empty).
+     */
+    bool admitNextMember(BatchCtx& ctx);
+
+    /**
+     * Fetch the lines covering [vaddr, vaddr+bytes): timed as
+     * parallel independent reads (the CEE issues them back to back);
+     * returns the slowest line's cost, or a faulted cost on a
+     * translation fault. For batch members with line coalescing
+     * active, lines already staged by a fellow member cost only the
+     * residual staging latency (min 1 cycle) and no memory access.
+     */
+    SpanCost fetchSpan(QstEntry& entry, Addr vaddr,
+                       std::uint64_t bytes, Cycles start);
 
     /** Translate per the scheme's TranslatePath. */
     XlatResult translate(Addr vaddr, Cycles now);
@@ -208,12 +355,18 @@ class Accelerator : public SimObject
     /** CEE issue port: at most one state transition per cycle. */
     Cycles ceeNextFree_ = 0;
 
+    /** Live batch contexts, indexed by batch id (nullptr = free). */
+    std::vector<std::unique_ptr<BatchCtx>> batches_;
+
     Counter completed_;
     Counter memAccesses_;
     Counter microOps_;
     Counter remoteCompares_;
     Counter exceptions_;
     Counter translationCycles_;
+    Counter batchesAccepted_;
+    Counter batchHeaderHits_;
+    Counter batchLineHits_;
 
     trace::TraceSink* trace_ = nullptr;
     std::uint16_t traceComp_ = 0;

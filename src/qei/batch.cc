@@ -1,0 +1,100 @@
+#include "qei/batch.hh"
+
+#include <algorithm>
+
+#include "qei/system.hh"
+
+namespace qei {
+
+const char*
+toString(BatchReorder policy)
+{
+    switch (policy) {
+      case BatchReorder::None: return "none";
+      case BatchReorder::ByStructure: return "by-structure";
+      case BatchReorder::ByKeyLocality: return "by-key-locality";
+    }
+    return "?";
+}
+
+std::vector<PlannedBatch>
+planQueryBatches(const std::vector<QueryJob>& jobs,
+                 const BatchConfig& config,
+                 const std::function<int(const QueryJob&)>& route)
+{
+    simAssert(config.size >= 1, "batch size must be >= 1, got {}",
+              config.size);
+
+    // Group by target accelerator, preserving arrival order.
+    std::vector<int> accelOf(jobs.size(), 0);
+    int maxAccel = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        accelOf[i] = route(jobs[i]);
+        simAssert(accelOf[i] >= 0, "route returned {}", accelOf[i]);
+        maxAccel = std::max(maxAccel, accelOf[i]);
+    }
+    std::vector<std::vector<std::size_t>> groups(
+        static_cast<std::size_t>(maxAccel) + 1);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        groups[static_cast<std::size_t>(accelOf[i])].push_back(i);
+
+    // Sequence-aware reorder within each group. Stable sorts keyed
+    // only on addresses keep equal keys in arrival order, so the plan
+    // is a deterministic function of (jobs, config).
+    const auto lineOf = [](Addr a) { return a / kCacheLineBytes; };
+    for (auto& group : groups) {
+        switch (config.reorder) {
+          case BatchReorder::None:
+            break;
+          case BatchReorder::ByStructure:
+            std::stable_sort(group.begin(), group.end(),
+                             [&](std::size_t a, std::size_t b) {
+                                 return jobs[a].headerAddr <
+                                        jobs[b].headerAddr;
+                             });
+            break;
+          case BatchReorder::ByKeyLocality:
+            std::stable_sort(
+                group.begin(), group.end(),
+                [&](std::size_t a, std::size_t b) {
+                    if (jobs[a].headerAddr != jobs[b].headerAddr)
+                        return jobs[a].headerAddr < jobs[b].headerAddr;
+                    return lineOf(jobs[a].keyAddr) <
+                           lineOf(jobs[b].keyAddr);
+                });
+            break;
+        }
+    }
+
+    // Chunk each group to the batch size, then emit round-robin
+    // across the groups so every accelerator sees work early.
+    std::vector<std::vector<PlannedBatch>> perAccel(groups.size());
+    const auto chunk = static_cast<std::size_t>(config.size);
+    for (std::size_t a = 0; a < groups.size(); ++a) {
+        const auto& group = groups[a];
+        for (std::size_t at = 0; at < group.size(); at += chunk) {
+            PlannedBatch b;
+            b.accel = static_cast<int>(a);
+            const std::size_t end = std::min(at + chunk, group.size());
+            b.jobIdxs.assign(group.begin() + static_cast<std::ptrdiff_t>(at),
+                             group.begin() + static_cast<std::ptrdiff_t>(end));
+            perAccel[a].push_back(std::move(b));
+        }
+    }
+    std::vector<PlannedBatch> plan;
+    plan.reserve((jobs.size() + chunk - 1) / std::max<std::size_t>(chunk, 1));
+    for (std::size_t round = 0;; ++round) {
+        bool any = false;
+        for (auto& batches : perAccel) {
+            if (round < batches.size()) {
+                plan.push_back(std::move(batches[round]));
+                any = true;
+            }
+        }
+        if (!any)
+            break;
+    }
+    return plan;
+}
+
+} // namespace qei

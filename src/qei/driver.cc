@@ -43,7 +43,14 @@ Driver::run(const std::vector<QueryJob>& jobs,
     QeiRunStats stats;
     const bool closed =
         config_.traffic == nullptr || config_.traffic->closedLoop();
-    if (closed) {
+    if (config_.batch.enabled()) {
+        simAssert(closed,
+                  "QUERY_BATCH requires a closed-loop source: the "
+                  "reorderer batches a pending backlog, which an "
+                  "open-loop arrival timeline does not provide");
+        stats = system_.runBatched(jobs, config_.core, profile,
+                                   config_.batch);
+    } else if (closed) {
         // The legacy loops ARE the closed-loop semantics; delegating
         // keeps every pre-traffic-layer result bit-identical.
         if (config_.mode == QueryMode::Blocking) {

@@ -96,6 +96,12 @@ struct DriverConfig
      * parallel matrix runner's cell captures.
      */
     std::shared_ptr<traffic::TrafficSource> traffic;
+    /**
+     * QUERY_BATCH execution: size > 1 switches the run to batched,
+     * sequence-aware submission (QeiSystem::runBatched). Defaults to
+     * scalar — the historical paths are untouched.
+     */
+    BatchConfig batch;
     /** When non-null, receives the full post-run stats dump. */
     std::string* statsJsonOut = nullptr;
 
@@ -128,6 +134,13 @@ struct DriverConfig
     withTraffic(std::shared_ptr<traffic::TrafficSource> source)
     {
         traffic = std::move(source);
+        return *this;
+    }
+
+    DriverConfig&
+    withBatch(BatchConfig b)
+    {
+        batch = b;
         return *this;
     }
 

@@ -170,6 +170,7 @@ buildLinkedList()
 
     b.add(ret(false, "not found"));
     b.add(ret(true, "found"));
+    b.batchLevelReuse(); // chains share their head lines across keys
     return b.finish();
 }
 
@@ -211,6 +212,7 @@ buildBinaryTree()
 
     b.add(ret(false, "not found"));
     b.add(ret(true, "found"));
+    b.batchLevelReuse(); // all lookups descend from the same root
     return b.finish();
 }
 
@@ -274,6 +276,7 @@ buildSkipList()
 
     b.add(ret(false, "not found"));
     b.add(ret(true, "found"));
+    b.batchLevelReuse(); // head tower + upper levels shared by all keys
     return b.finish();
 }
 
@@ -337,6 +340,10 @@ buildChainedHashNamed(const char* name)
 
     b.add(ret(false, "not found"));
     b.add(ret(true, "found"));
+    // Hot buckets repeat across a batch (Zipf-skewed keys), so the
+    // head-array and bucket lines coalesce even though the hash
+    // scatters cold keys.
+    b.batchLevelReuse();
     return b.finish();
 }
 
@@ -567,6 +574,7 @@ buildTrie()
     b.add(fail);
 
     b.add(ret(true, "done; R3 = matches"));
+    b.batchLevelReuse(); // automaton upper states shared by all inputs
     return b.finish();
 }
 

@@ -114,6 +114,18 @@ struct CfaProgram
     std::string name;
     std::vector<MicroInst> states;
 
+    /**
+     * True when the structure's traversal revisits the same upper
+     * levels across queries (trees, skip lists, tries, chained
+     * buckets), so QUERY_BATCH may coalesce level line fetches across
+     * the batch's in-flight members (level-wise traversal batching).
+     * False for structures whose probe sequence is key-individual all
+     * the way down (cuckoo hashing: both candidate buckets are
+     * hash-scattered), where a batch only amortizes issue, submit,
+     * admission, and the shared header.
+     */
+    bool batchLevelReuse = false;
+
     /** The architectural state-count limit (8-bit state field). */
     static constexpr std::size_t kMaxStates = 256;
 
@@ -170,6 +182,14 @@ class ProgramBuilder
     }
 
     MicroInst& at(std::uint8_t idx) { return prog_.states[idx]; }
+
+    /** Declare level-wise batch reuse (see CfaProgram). */
+    ProgramBuilder&
+    batchLevelReuse(bool reuse = true)
+    {
+        prog_.batchLevelReuse = reuse;
+        return *this;
+    }
 
     CfaProgram
     finish()

@@ -79,6 +79,8 @@ struct QstEntry
      * stale event execute the new occupant.
      */
     std::uint32_t epoch = 0;
+    /** QUERY_BATCH context this entry belongs to; -1 for scalar. */
+    std::int32_t batchId = -1;
     std::uint64_t queryId = 0;
     Cycles enqueued = 0;
     Cycles completed = 0;
@@ -103,7 +105,8 @@ class QueryStateTable : public SimObject
 {
   public:
     explicit QueryStateTable(int entries)
-        : SimObject("qst"), entries_(static_cast<std::size_t>(entries))
+        : SimObject("qst"), entries_(static_cast<std::size_t>(entries)),
+          reserved_(static_cast<std::size_t>(entries), 0)
     {
         simAssert(entries > 0, "QST needs at least one entry");
     }
@@ -148,7 +151,11 @@ class QueryStateTable : public SimObject
 
     /**
      * Allocate the first idle slot (the paper's "first empty entry").
-     * @return the slot index (QST ID), or -1 when full.
+     * Slots inside a reserved QUERY_BATCH window are skipped: they
+     * belong to the batch until releaseWindow, even between member
+     * completions.
+     * @return the slot index (QST ID), or -1 when full (or when every
+     * idle slot is reserved).
      */
     int
     allocate()
@@ -156,19 +163,126 @@ class QueryStateTable : public SimObject
         if (full())
             return -1;
         for (std::size_t i = 0; i < entries_.size(); ++i) {
-            if (entries_[i].phase == QstPhase::Idle) {
-                const std::uint32_t epoch = entries_[i].epoch;
-                entries_[i] = QstEntry{};
-                entries_[i].epoch = epoch;
-                entries_[i].phase = QstPhase::FetchHeader;
-                ++occupied_;
+            if (entries_[i].phase == QstPhase::Idle && !reserved_[i]) {
+                initSlot(i);
                 return static_cast<int>(i);
             }
         }
+        if (reservedCount_ > 0)
+            return -1; // the only idle slots are batch-reserved
         panic("QST occupancy counter out of sync: {} < {} but no "
               "idle slot",
               occupied_, capacity());
     }
+
+    /**
+     * First contiguous run of @p count unreserved slots, or -1.
+     * Const feasibility probe backing canAcceptBatch / reserveWindow.
+     * Occupancy doesn't matter: a reservation is a claim on each
+     * slot's NEXT vacancy, so a window may overlap a draining
+     * predecessor's tail (its members stream in as those slots empty;
+     * see allocateInWindow).
+     */
+    int
+    findWindow(int count) const
+    {
+        simAssert(count >= 1 &&
+                      static_cast<std::size_t>(count) <= capacity(),
+                  "bad window size {}", count);
+        std::size_t run = 0;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (!reserved_[i]) {
+                if (++run == static_cast<std::size_t>(count))
+                    return static_cast<int>(i + 1 - run);
+            } else {
+                run = 0;
+            }
+        }
+        return -1;
+    }
+
+    /**
+     * Reserve a contiguous window of @p count slots for a batch: one
+     * admission decision for the whole batch (Sec. IV-A gives
+     * software the non-overflow responsibility; QUERY_BATCH moves it
+     * to one check per descriptor). Reserved slots are invisible to
+     * scalar allocate() until releaseWindow.
+     * @return the window base, or -1 when no contiguous run exists.
+     */
+    int
+    reserveWindow(int count)
+    {
+        const int base = findWindow(count);
+        if (base < 0)
+            return -1;
+        for (int i = base; i < base + count; ++i)
+            reserved_[static_cast<std::size_t>(i)] = 1;
+        reservedCount_ += static_cast<std::size_t>(count);
+        return base;
+    }
+
+    /** Return a batch window's slots to the scalar pool. */
+    void
+    releaseWindow(int base, int count)
+    {
+        for (int i = base; i < base + count; ++i) {
+            auto& r = reserved_[static_cast<std::size_t>(i)];
+            simAssert(r, "releaseWindow on unreserved slot {}", i);
+            r = 0;
+        }
+        simAssert(reservedCount_ >= static_cast<std::size_t>(count),
+                  "reserved counter underflow");
+        reservedCount_ -= static_cast<std::size_t>(count);
+    }
+
+    /**
+     * Allocate the first idle slot inside a reserved window
+     * [base, base+count). @return the slot id, or -1 when every
+     * window slot is still occupied by an earlier member.
+     */
+    int
+    allocateInWindow(int base, int count)
+    {
+        for (int i = base; i < base + count; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            simAssert(reserved_[idx],
+                      "allocateInWindow outside reservation at {}", i);
+            if (entries_[idx].phase == QstPhase::Idle) {
+                initSlot(idx);
+                return i;
+            }
+        }
+        return -1;
+    }
+
+    /**
+     * Drop the reservation on one window slot early — called as a
+     * batch's tail drains, so the next batch's contiguous run forms at
+     * the earliest possible moment instead of waiting for the whole
+     * window to retire.
+     */
+    void
+    unreserveSlot(int id)
+    {
+        simAssert(id >= 0 &&
+                      static_cast<std::size_t>(id) < entries_.size(),
+                  "QST id {} out of range", id);
+        auto& r = reserved_[static_cast<std::size_t>(id)];
+        simAssert(r, "unreserveSlot on unreserved slot {}", id);
+        r = 0;
+        simAssert(reservedCount_ > 0, "reserved counter underflow");
+        --reservedCount_;
+    }
+
+    /** True when @p id sits inside a live batch reservation. */
+    bool
+    isReserved(int id) const
+    {
+        return reserved_[static_cast<std::size_t>(id)] != 0;
+    }
+
+    /** Slots currently held by batch reservations. */
+    std::size_t reservedSlots() const { return reservedCount_; }
 
     /** Release a slot back to Idle. */
     void
@@ -213,8 +327,22 @@ class QueryStateTable : public SimObject
     }
 
   private:
+    /** Reset slot @p i for a fresh query (epoch preserved). */
+    void
+    initSlot(std::size_t i)
+    {
+        const std::uint32_t epoch = entries_[i].epoch;
+        entries_[i] = QstEntry{};
+        entries_[i].epoch = epoch;
+        entries_[i].phase = QstPhase::FetchHeader;
+        ++occupied_;
+    }
+
     std::vector<QstEntry> entries_;
+    /** Per-slot batch-window reservation marks (see reserveWindow). */
+    std::vector<std::uint8_t> reserved_;
     std::size_t occupied_ = 0;
+    std::size_t reservedCount_ = 0;
     ScalarStat occupancy_;
 };
 

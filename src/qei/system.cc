@@ -84,6 +84,21 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
     adopt(breakdown_);
     driverStats_ = std::make_unique<DriverMetrics>();
     adopt(*driverStats_);
+    batchStats_ = std::make_unique<BatchMetrics>();
+    adopt(*batchStats_);
+    batchStats_->setProbes(
+        [this] {
+            std::uint64_t sum = 0;
+            for (const auto& a : accels_)
+                sum += a->batchHeaderHits();
+            return sum;
+        },
+        [this] {
+            std::uint64_t sum = 0;
+            for (const auto& a : accels_)
+                sum += a->batchLineHits();
+            return sum;
+        });
     trace_ = trace_sink;
     if (trace_ != nullptr) {
         // Attach after adoption so interned component paths are the
@@ -939,6 +954,211 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
     stats.maxInFlightObserved = inflightPeak;
     fillBreakdownStats(stats);
     fillFaultStats(stats, before);
+    return stats;
+}
+
+QeiRunStats
+QeiSystem::runBatched(const std::vector<QueryJob>& jobs,
+                      int issuing_core, const RoiProfile& profile,
+                      const BatchConfig& batch)
+{
+    QeiRunStats stats;
+    stats.queries = jobs.size();
+    breakdown_.reset();
+    driverStats_->reset();
+    batchStats_->reset();
+    if (jobs.empty()) {
+        fillBreakdownStats(stats);
+        return stats;
+    }
+    simAssert(batch.enabled(),
+              "runBatched needs a batch size > 1 (got {})", batch.size);
+
+    // The accelerator-side coalescing counters are cumulative across
+    // runs; snapshot them for per-run deltas.
+    std::uint64_t headerHitsBefore = 0;
+    std::uint64_t lineHitsBefore = 0;
+    for (const auto& a : accels_) {
+        headerHitsBefore += a->batchHeaderHits();
+        lineHitsBefore += a->batchLineHits();
+    }
+
+    // The sequence-aware reorderer: group by target accelerator, sort
+    // for locality, chunk, interleave.
+    const Topology::RouteContext rctx{vm_, memory_};
+    const std::vector<PlannedBatch> plan = planQueryBatches(
+        jobs, batch, [&](const QueryJob& j) {
+            return topo_.route(j.keyAddr, issuing_core, rctx);
+        });
+
+    // QUERY_BATCH is store-like (like QUERY_NB): the descriptor
+    // retires once accepted and software polls for the results, so the
+    // core-side cost per batch is the surrounding work for its keys,
+    // ~2 instructions of descriptor setup, and one store per key into
+    // the descriptor's key vector.
+    constexpr std::uint32_t kPollInstr = 4;
+    constexpr Cycles kPollInterval = 50;
+
+    double fetchTime = 0.0;
+    Cycles lastDone = 0;
+    std::size_t completedQueries = 0;
+    std::size_t completedBatches = 0;
+
+    // Hand descriptor `planIdx` to its accelerator; one admission
+    // decision covers the whole batch.
+    auto admit = [&](std::size_t planIdx, Cycles issueAt) {
+            const PlannedBatch& pb = plan[planIdx];
+            Accelerator& target = accelerator(pb.accel);
+            const int count = static_cast<int>(pb.jobIdxs.size());
+            std::vector<Accelerator::BatchMember> members;
+            members.reserve(pb.jobIdxs.size());
+            for (std::size_t jobIdx : pb.jobIdxs) {
+                const QueryJob& j = jobs[jobIdx];
+                Accelerator::BatchMember m;
+                m.headerAddr = j.headerAddr;
+                m.keyAddr = j.keyAddr;
+                m.resultAddr = j.resultAddr;
+                m.queryId = jobIdx;
+                m.onComplete = [this, &jobs, &stats, &lastDone,
+                                &completedQueries, jobIdx,
+                                issueAt](const QstEntry& raw) {
+                    QstEntry entry = raw;
+                    const Cycles sw =
+                        recoverInSoftware(entry, jobs[jobIdx]);
+                    const auto finish = [this, &jobs, &stats, &lastDone,
+                                         &completedQueries, jobIdx,
+                                         issueAt, entry]() {
+                        lastDone = std::max(lastDone, events_.now());
+                        // Results surface through the polling loop,
+                        // charged in aggregate below.
+                        recordCompletion(entry, issueAt, 0);
+                        if (!matchesExpectation(entry, jobs[jobIdx]))
+                            ++stats.mismatches;
+                        stats.resultChecksum ^= resultDigest(entry);
+                        ++completedQueries;
+                    };
+                    if (sw > 0)
+                        events_.schedule(sw, finish);
+                    else
+                        finish();
+                };
+                members.push_back(std::move(m));
+            }
+            const int bid = target.enqueueBatch(
+                std::move(members), QueryMode::NonBlocking,
+                batch.coalesce,
+                [&completedBatches] { ++completedBatches; });
+            simAssert(bid >= 0,
+                      "enqueueBatch failed after canAcceptBatch");
+            batchStats_->batches().inc();
+            batchStats_->queries().inc(
+                static_cast<std::uint64_t>(count));
+        };
+
+    // Per-accelerator FIFO admission: descriptors park in arrival
+    // order and only the head of each queue retries (bounded-interval
+    // polling). Independent per-descriptor backoff would have every
+    // parked descriptor spinning for the whole run; head-only retry
+    // keeps the admission traffic flat and the admission order
+    // deterministic.
+    constexpr Cycles kAdmitRetry = 8;
+    struct PendingDesc
+    {
+        std::size_t planIdx;
+        Cycles issueAt;
+    };
+    std::vector<std::vector<PendingDesc>> pending(accels_.size());
+    std::vector<std::size_t> pendingHead(accels_.size(), 0);
+    std::vector<std::uint8_t> retryArmed(accels_.size(), 0);
+    std::function<void(std::size_t)> drainAdmissions =
+        [&](std::size_t a) {
+            auto& queue = pending[a];
+            std::size_t& head = pendingHead[a];
+            while (head < queue.size()) {
+                const PendingDesc& d = queue[head];
+                const int count = static_cast<int>(
+                    plan[d.planIdx].jobIdxs.size());
+                if (!accelerator(plan[d.planIdx].accel)
+                         .canAcceptBatch(count)) {
+                    batchStats_->backoffs().inc();
+                    if (faults_ != nullptr)
+                        faults_->onBackoff();
+                    if (!retryArmed[a]) {
+                        retryArmed[a] = 1;
+                        events_.schedule(
+                            kAdmitRetry, [&drainAdmissions,
+                                          &retryArmed, a] {
+                                retryArmed[a] = 0;
+                                drainAdmissions(a);
+                            });
+                    }
+                    return;
+                }
+                admit(d.planIdx, d.issueAt);
+                ++head;
+            }
+        };
+
+    const FaultCounters before = faultCountersNow();
+    for (std::size_t p = 0; p < plan.size(); ++p) {
+        const auto keys =
+            static_cast<std::uint32_t>(plan[p].jobIdxs.size());
+        const std::uint32_t issueInstr =
+            keys * profile.nonQueryInstrPerOp + 2 + keys;
+        fetchTime +=
+            static_cast<double>(issueInstr) / chip_.core.issueWidth +
+            profile.frontendStallPerInstr * issueInstr;
+        stats.coreInstructions += issueInstr;
+
+        const Cycles issueAt = static_cast<Cycles>(fetchTime);
+        Accelerator& target = accelerator(plan[p].accel);
+        // One NoC header for the whole descriptor; the key vector
+        // streams behind it at one beat per key.
+        const Cycles submitAt =
+            issueAt + submitLatency(issuing_core, target, issueAt) +
+            static_cast<Cycles>(keys - 1);
+        const auto accelIdx = static_cast<std::size_t>(plan[p].accel);
+        simAssert(accelIdx < accels_.size(),
+                  "planned batch routed to bad accel {}", plan[p].accel);
+        events_.scheduleAt(
+            submitAt, [&pending, &drainAdmissions, accelIdx, p,
+                       issueAt] {
+                pending[accelIdx].push_back(PendingDesc{p, issueAt});
+                drainAdmissions(accelIdx);
+            });
+    }
+
+    armFaultDaemons();
+    events_.run();
+    simAssert(completedQueries == jobs.size(),
+              "batched run lost queries ({}/{})", completedQueries,
+              jobs.size());
+    simAssert(completedBatches == plan.size(),
+              "batched run lost descriptors ({}/{})", completedBatches,
+              plan.size());
+
+    // Aggregate SNAPSHOT_READ polling while results were outstanding.
+    const double span =
+        std::max(0.0, static_cast<double>(lastDone) - fetchTime);
+    const auto polls =
+        static_cast<std::uint64_t>(span / kPollInterval + 1.0);
+    stats.coreInstructions += polls * kPollInstr;
+
+    stats.cycles = std::max(lastDone, static_cast<Cycles>(fetchTime));
+    collectAccelStats(stats);
+    fillBreakdownStats(stats);
+    fillFaultStats(stats, before);
+    stats.batches = batchStats_->batches().value();
+    stats.batchedQueries = batchStats_->queries().value();
+    stats.batchBackoffs = batchStats_->backoffs().value();
+    std::uint64_t headerHitsAfter = 0;
+    std::uint64_t lineHitsAfter = 0;
+    for (const auto& a : accels_) {
+        headerHitsAfter += a->batchHeaderHits();
+        lineHitsAfter += a->batchLineHits();
+    }
+    stats.batchHeaderHits = headerHitsAfter - headerHitsBefore;
+    stats.batchLineHits = lineHitsAfter - lineHitsBefore;
     return stats;
 }
 

@@ -22,6 +22,7 @@
 #include "core/trace.hh"
 #include "fault/fault_injector.hh"
 #include "qei/accelerator.hh"
+#include "qei/batch.hh"
 #include "qei/scheme.hh"
 #include "qei/topology.hh"
 #include "sim/event_queue.hh"
@@ -87,6 +88,18 @@ struct QeiRunStats
     std::uint64_t faultFlushes = 0;
     /** QUERY_NB retries after finding the target QST full. */
     std::uint64_t qstBackoffs = 0;
+
+    // -- QUERY_BATCH amortization (zeros for scalar runs) --
+    /** Batch descriptors admitted. */
+    std::uint64_t batches = 0;
+    /** Queries carried by those descriptors. */
+    std::uint64_t batchedQueries = 0;
+    /** Whole-batch admission retries (no contiguous QST window). */
+    std::uint64_t batchBackoffs = 0;
+    /** Header fetches coalesced across batch members. */
+    std::uint64_t batchHeaderHits = 0;
+    /** Level-line fetches coalesced across batch members. */
+    std::uint64_t batchLineHits = 0;
     /**
      * Order-independent digest of every query's functional outcome
      * (XOR of a hash of queryId/success/resultValue). Identical
@@ -176,6 +189,18 @@ class QeiSystem : public SimObject
                                      const RoiProfile& profile);
 
     /**
+     * Run @p jobs as QUERY_BATCH descriptors: the driver's reorderer
+     * (planQueryBatches) groups them per target accelerator, each
+     * descriptor pays one issue + submit + admission decision for all
+     * of its keys, and the accelerator reserves a contiguous QST
+     * window the members stream through. Store-like semantics (like
+     * QUERY_NB); @p batch must be enabled (size > 1).
+     */
+    QeiRunStats runBatched(const std::vector<QueryJob>& jobs,
+                           int issuing_core, const RoiProfile& profile,
+                           const BatchConfig& batch);
+
+    /**
      * The accelerator a query is dispatched to. Core-integrated: the
      * issuing core's own instance. CHA-based: distributed over the
      * CHAs by the NUCA hash of the queried key's line (so one hot
@@ -246,6 +271,8 @@ class QeiSystem : public SimObject
      * recordCompletion on every run; the Driver resets them per run.
      */
     DriverMetrics& driverMetrics() { return *driverStats_; }
+    /** QUERY_BATCH amortization counters (system.batch.*). */
+    BatchMetrics& batchMetrics() { return *batchStats_; }
     RemoteComparators& remoteComparators() { return remoteCmps_; }
     Mmu& coreMmu(int core) { return *mmus_[static_cast<std::size_t>(core)]; }
 
@@ -367,6 +394,7 @@ class QeiSystem : public SimObject
 
     trace::LatencyBreakdown breakdown_;
     std::unique_ptr<DriverMetrics> driverStats_;
+    std::unique_ptr<BatchMetrics> batchStats_;
     trace::TraceSink* trace_ = nullptr;
     std::uint16_t traceComp_ = 0;
     std::uint32_t traceQueryName_ = 0;

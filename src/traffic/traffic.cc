@@ -129,5 +129,15 @@ Bursty::schedule(std::size_t count)
     return out;
 }
 
+std::vector<std::unique_ptr<TrafficSource>>
+catalog()
+{
+    std::vector<std::unique_ptr<TrafficSource>> out;
+    out.push_back(std::make_unique<ClosedLoop>());
+    out.push_back(std::make_unique<PoissonOpenLoop>(100.0));
+    out.push_back(std::make_unique<Bursty>(100.0));
+    return out;
+}
+
 } // namespace traffic
 } // namespace qei

@@ -146,6 +146,13 @@ class Bursty : public TrafficSource
     int tenants_;
 };
 
+/**
+ * One default-parameterized instance of every traffic source, for
+ * enumeration (`--list-traffic`): name() + description() of each
+ * available arrival process.
+ */
+std::vector<std::unique_ptr<TrafficSource>> catalog();
+
 } // namespace traffic
 } // namespace qei
 

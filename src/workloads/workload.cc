@@ -62,19 +62,6 @@ runQei(World& world, const Prepared& prepared,
     return stats;
 }
 
-QeiRunStats
-runQei(World& world, const Prepared& prepared,
-       const SchemeConfig& scheme, QueryMode mode, int core,
-       int poll_batch, std::string* stats_json_out)
-{
-    return runQei(world, prepared,
-                  DriverConfig(scheme)
-                      .withMode(mode)
-                      .onCore(core)
-                      .withPollBatch(poll_batch)
-                      .captureStats(stats_json_out));
-}
-
 double
 speedupOf(const CoreRunResult& baseline, const QeiRunStats& qei)
 {

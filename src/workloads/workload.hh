@@ -157,19 +157,6 @@ CoreRunResult runBaseline(World& world, const Prepared& prepared,
 QeiRunStats runQei(World& world, const Prepared& prepared,
                    const DriverConfig& config);
 
-/**
- * Positional-parameter shim for the pre-DriverConfig signature.
- * Equivalent to runQei(world, prepared, DriverConfig(scheme)
- * .withMode(mode).onCore(core).withPollBatch(poll_batch)
- * .captureStats(stats_json_out)).
- */
-[[deprecated("migrate to runQei(world, prepared, DriverConfig)")]]
-QeiRunStats runQei(World& world, const Prepared& prepared,
-                   const SchemeConfig& scheme,
-                   QueryMode mode = QueryMode::Blocking, int core = 0,
-                   int poll_batch = 32,
-                   std::string* stats_json_out = nullptr);
-
 /** Baseline-cycles / QEI-cycles. */
 double speedupOf(const CoreRunResult& baseline, const QeiRunStats& qei);
 
