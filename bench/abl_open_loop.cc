@@ -6,11 +6,13 @@
  * p50/p99/p999 sojourn times (queue-wait + service) look like?
  *
  * Each cell first calibrates the closed-loop service rate for its
- * workload, then offers load at 30%/50%/70%/90% of that rate through
- * traffic::PoissonOpenLoop. Expectation bands are self-anchored: the
- * paper has no open-loop numbers, so the gates assert the queueing
- * shape (tails grow with load, percentiles are ordered, light load
- * leaves the queue empty) rather than absolute cycles.
+ * workload, then offers load at 30/50/70/80/90% of that rate through
+ * traffic::PoissonOpenLoop, and finally locates the knee of the
+ * p99-vs-load curve (the largest slope break across the sweep).
+ * Expectation bands are self-anchored: the paper has no open-loop
+ * numbers, so the gates assert the queueing shape (tails grow with
+ * load, percentiles are ordered, light load leaves the queue empty,
+ * the knee sits at high load) rather than absolute cycles.
  *
  * Usage: abl_open_loop [queries] — the optional positional argument
  * caps queries per workload (CI smoke runs use a reduced count).
@@ -18,6 +20,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 
 #include "bench_util.hh"
@@ -32,7 +35,45 @@ using validate::Expectation;
 using validate::Relation;
 
 /** Offered load as a percentage of the calibrated service rate. */
-const std::vector<int> kLoadsPct{30, 50, 70, 90};
+const std::vector<int> kLoadsPct{30, 50, 70, 80, 90};
+
+/** Knee of the p99-vs-load curve (largest slope break). */
+struct Knee
+{
+    int loadPct = 0;       ///< 0 until detectKnee ran
+    double p99 = 0.0;      ///< windowed at the knee point
+    double slopeBreak = 0.0; ///< outgoing − incoming slope, cyc/load-%
+};
+
+/**
+ * Find the load point where the p99 curve bends hardest: for each
+ * interior point of the sweep, compare the outgoing and incoming
+ * cycles-per-load-percent slopes and keep the largest increase. A
+ * second-difference test is robust where slope *ratios* are not —
+ * the low-load side of a queueing curve is nearly flat, so a ratio
+ * would divide by almost zero.
+ */
+Knee
+detectKnee(const std::vector<int>& loads,
+           const std::vector<double>& p99)
+{
+    Knee best;
+    for (std::size_t i = 1; i + 1 < loads.size(); ++i) {
+        const double incoming =
+            (p99[i] - p99[i - 1]) /
+            static_cast<double>(loads[i] - loads[i - 1]);
+        const double outgoing =
+            (p99[i + 1] - p99[i]) /
+            static_cast<double>(loads[i + 1] - loads[i]);
+        const double slopeBreak = outgoing - incoming;
+        if (best.loadPct == 0 || slopeBreak > best.slopeBreak) {
+            best.loadPct = loads[i];
+            best.p99 = p99[i];
+            best.slopeBreak = slopeBreak;
+        }
+    }
+    return best;
+}
 
 struct CellSpec
 {
@@ -69,7 +110,7 @@ calibrateServiceGap(const CellSpec& spec)
 
 /** Self-anchored expectations: queueing shape, not absolute cycles. */
 validate::Suite
-paperExpectations()
+paperExpectations(const std::map<std::string, Knee>& knees)
 {
     validate::Suite suite;
     suite.title = "Ablation — open-loop serving latency";
@@ -108,6 +149,25 @@ paperExpectations()
                 " functional correctness under Poisson arrivals",
             std::string(w) + "_summary.mismatches", "queries",
             0.0, kSelfAnchored));
+        // Knee-of-curve gates: any correct open-loop sweep of a
+        // queueing system bends in the upper half of the load range —
+        // a knee at light load means the calibration (or the queue
+        // model) is wrong. The band is self-anchored like the rest.
+        suite.expectations.push_back(Expectation::range(
+            w + std::string("-knee-in-band"), "Sec. VII (ext.)",
+            std::string(w) + " detected p99 knee sits at high load",
+            std::string(w) + "_summary.knee_load_pct", "% load",
+            60.0, 90.0, 0.15, kSelfAnchored));
+        const Knee& knee = knees.at(w);
+        suite.expectations.push_back(Expectation::shape(
+            w + std::string("-knee-detected"), "Sec. VII (ext.)",
+            std::string(w) +
+                " p99-vs-load curve is convex at the knee (positive "
+                "slope break)",
+            knee.slopeBreak > 0.0,
+            fmt("knee at {}% load, slope break {:.2f} cycles/% ",
+                knee.loadPct, knee.slopeBreak),
+            kSelfAnchored));
     }
     return suite;
 }
@@ -167,6 +227,8 @@ main(int argc, char** argv)
             const QeiRunStats stats = runQei(
                 world, prep,
                 DriverConfig(SchemeConfig::coreIntegrated())
+                    .withLabel(specNames[w] + "/load-" +
+                               std::to_string(loadPct))
                     .withTraffic(
                         std::make_shared<traffic::PoissonOpenLoop>(
                             meanGap, /*seed=*/1000 + c)));
@@ -180,12 +242,15 @@ main(int argc, char** argv)
     table.header({"workload", "load", "offered gap", "sojourn p50",
                   "sojourn p99", "sojourn p999", "queue-wait p99"});
 
+    std::map<std::string, Knee> knees;
     for (std::size_t w = 0; w < specs.size(); ++w) {
         Json points = Json::array();
         std::uint64_t mismatches = 0;
+        std::vector<double> p99s;
         for (std::size_t l = 0; l < kLoadsPct.size(); ++l) {
             const CellResult& cell = sweep[w * kLoadsPct.size() + l];
             const QeiRunStats& s = cell.stats;
+            p99s.push_back(s.sojourn.p99);
             tracer.add(specNames[w] + "/load-" +
                            std::to_string(cell.loadPct),
                        cell.trace);
@@ -215,10 +280,19 @@ main(int argc, char** argv)
         // The per-load points live directly under the workload name
         // so expectations address them as "<w>.[load_pct=90].<key>".
         report.data()[specNames[w]] = std::move(points);
+        const Knee knee = detectKnee(kLoadsPct, p99s);
+        knees[specNames[w]] = knee;
         Json summary = Json::object();
         summary["service_gap_cycles"] = gaps[w];
         summary["mismatches"] = mismatches;
+        summary["knee_load_pct"] = knee.loadPct;
+        summary["knee_p99"] = knee.p99;
+        summary["knee_slope_break"] = knee.slopeBreak;
         report.data()[specNames[w] + "_summary"] = std::move(summary);
+        std::printf("%s: p99 knee at %d%% load (slope break %.2f "
+                    "cycles per load-%%)\n",
+                    specNames[w].c_str(), knee.loadPct,
+                    knee.slopeBreak);
     }
     table.print();
     std::printf("tails: p99 sojourn grows with offered load while the "
@@ -226,7 +300,7 @@ main(int argc, char** argv)
                 "accelerator, sets the high-load latency\n");
 
     report.setTable(table);
-    report.setValidation(paperExpectations());
+    report.setValidation(paperExpectations(knees));
     const bool traceOk = tracer.write();
     return report.finish() && traceOk ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 #include <fstream>
 
 #include "fault/fault_config.hh"
+#include "metrics/metrics.hh"
+#include "sim/event_queue.hh"
 
 // Build provenance, injected by bench/CMakeLists.txt; the fallbacks
 // keep out-of-tree builds (no git, unknown toolchain) compiling.
@@ -68,6 +70,36 @@ accumulateBreakdowns(const Json& node,
     }
 }
 
+/**
+ * Recursively collect every per-cell "host_wall_ms" in @p node into
+ * @p cells, keyed by the dotted path of the object that carries it
+ * ("dpdk.schemes.qei-l2"). The harness's own top-level stamp is
+ * excluded by the caller (it scans before stamping).
+ */
+void
+collectCellWalls(const Json& node, const std::string& prefix,
+                 Json& cells)
+{
+    if (node.isObject()) {
+        for (const auto& [key, child] : node.items()) {
+            if (key == "host_wall_ms" && child.isNumber()) {
+                cells[prefix.empty() ? "(top)" : prefix] =
+                    child.asDouble();
+                continue;
+            }
+            collectCellWalls(
+                child, prefix.empty() ? key : prefix + "." + key,
+                cells);
+        }
+    } else if (node.isArray()) {
+        std::size_t idx = 0;
+        for (const auto& child : node.elements()) {
+            collectCellWalls(child, fmt("{}[{}]", prefix, idx), cells);
+            ++idx;
+        }
+    }
+}
+
 /** "0" / "auto" = all host cores; anything else must be >= 1. */
 int
 parseThreadCount(const char* text)
@@ -96,6 +128,8 @@ usageError(const char* prog, const std::string& message)
         "usage: %s [options] [positional args]\n"
         "  --json <path>      write the JSON artifact to <path>\n"
         "  --trace <path>     write the Perfetto timeline to <path>\n"
+        "  --metrics <path>   sample time-series metrics, write the "
+        "CSV to <path>\n"
         "  --threads <n>      host threads (0 or 'auto' = all cores)\n"
         "  --faults <spec>    fault-injection mix, e.g. "
         "'pf=0.05,flush=20000,seed=7'\n"
@@ -194,6 +228,10 @@ parseBenchArgs(int argc, char** argv)
             options.tracePath = operand(i, "--trace");
         } else if (std::strncmp(arg, "--trace=", 8) == 0) {
             options.tracePath = arg + 8;
+        } else if (std::strcmp(arg, "--metrics") == 0) {
+            options.metricsPath = operand(i, "--metrics");
+        } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+            options.metricsPath = arg + 10;
         } else if (std::strcmp(arg, "--threads") == 0) {
             options.threads = parseThreadCount(operand(i, "--threads"));
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -225,12 +263,27 @@ parseBenchArgs(int argc, char** argv)
         (void)parseFaultSpec(options.faultSpec);
         ::setenv("QEI_FAULTS", options.faultSpec.c_str(), 1);
     }
+
+    if (!options.metricsPath.empty()) {
+        if (metrics::kCompiledIn) {
+            // Same pattern as QEI_FAULTS: flip the process-wide switch
+            // here on the main thread, before any matrix fan-out, so
+            // worker-thread runQei() calls only read it.
+            metrics::loadRuntimeConfigFromEnv();
+            metrics::runtimeConfig().enabled = true;
+        } else {
+            std::fprintf(stderr,
+                         "--metrics: this build has QEI_METRICS=OFF; "
+                         "no time series will be sampled\n");
+            options.metricsPath.clear();
+        }
+    }
     return options;
 }
 
 BenchReport::BenchReport(std::string bench_name, BenchOptions options)
     : options_(std::move(options)), root_(Json::object()),
-      start_(Clock::now())
+      start_(Clock::now()), simEventsStart_(simEventsExecuted())
 {
     root_["bench"] = std::move(bench_name);
     root_["schema_version"] = 3;
@@ -277,6 +330,25 @@ BenchReport::finish()
                      "--validate: no expectation suite declared\n");
         validationOk = false;
     }
+    // Host-side self-metrics: how much simulated work this harness
+    // executed and how fast the host chewed through it. The cell scan
+    // runs before the top-level host_wall_ms stamp below, so `cells`
+    // holds only the per-cell walls the payload carries.
+    {
+        const std::uint64_t simEvents =
+            simEventsExecuted() - simEventsStart_;
+        Json host = Json::object();
+        host["sim_events"] = simEvents;
+        host["sim_events_per_sec"] =
+            wallMs > 0.0
+                ? static_cast<double>(simEvents) / (wallMs / 1000.0)
+                : 0.0;
+        host["wall_ms"] = wallMs;
+        Json cells = Json::object();
+        collectCellWalls(root_, "", cells);
+        host["cells"] = std::move(cells);
+        root_["host"] = std::move(host);
+    }
     root_["host_wall_ms"] = wallMs;
     root_["threads"] = static_cast<std::int64_t>(options_.threads);
 
@@ -313,6 +385,27 @@ BenchReport::finish()
     }
     std::printf("host wall time: %.1f ms (threads=%d)\n", wallMs,
                 options_.threads);
+
+    // Render the process-wide Recorder to the --metrics CSV and clear
+    // it, so back-to-back reports in one process don't leak runs into
+    // each other's files.
+    if (!options_.metricsPath.empty()) {
+        metrics::Recorder& recorder = metrics::Recorder::global();
+        std::ofstream csv(options_.metricsPath);
+        if (csv) {
+            csv << recorder.csv();
+            csv.flush();
+        }
+        if (!csv) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         options_.metricsPath.c_str());
+            recorder.clear();
+            return false;
+        }
+        std::printf("wrote %s (%zu sampled runs)\n",
+                    options_.metricsPath.c_str(), recorder.size());
+        recorder.clear();
+    }
     if (!enabled())
         return validationOk;
     std::ofstream out(options_.jsonPath);
@@ -356,8 +449,10 @@ runWorkload(Workload& workload, std::size_t queries,
         const std::string name = topo.name();
         run.schemes[name] = runQei(
             world, run.prepared,
-            DriverConfig(topo).withMode(mode).captureStats(
-                capture_stats ? &stats_json : nullptr));
+            DriverConfig(topo)
+                .withMode(mode)
+                .withLabel(run.name + "/" + name)
+                .captureStats(capture_stats ? &stats_json : nullptr));
         run.activity[name] = ChipActivity::capture(world.hierarchy);
         if (capture_stats)
             run.statsJson[name] = std::move(stats_json);
@@ -434,6 +529,7 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
                     .withMode(options.mode)
                     .withPollBatch(options.pollBatch)
                     .withBatch(options.batch)
+                    .withLabel(out.workloadName + "/" + topo.name())
                     .captureStats(options.captureStats ? &out.statsJson
                                                        : nullptr));
         }
@@ -644,6 +740,12 @@ toJson(const QeiRunStats& stats)
         batch["line_hits"] = stats.batchLineHits;
         out["batch"] = std::move(batch);
     }
+
+    // Sampled time series, only when the run had a sampler attached
+    // (--metrics): unsampled artifacts keep their historical shape
+    // byte-for-byte.
+    if (stats.metrics && stats.metrics->samples > 0)
+        out["metrics"] = stats.metrics->toJson();
 
     // Per-component latency decomposition (Fig. 8 view). Always
     // emitted, even all-zero, so artifacts have a stable shape and

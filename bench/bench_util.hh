@@ -15,6 +15,7 @@
 #define QEI_BENCH_BENCH_UTIL_HH
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -41,6 +42,13 @@ struct BenchOptions
      * file per cell next to it.
      */
     std::string tracePath;
+    /**
+     * Destination of the metrics time-series CSV (`--metrics <path>`);
+     * non-empty enables the per-run MetricsSampler (see src/metrics/).
+     * Empty — the default — leaves sampling off, so artifacts are
+     * byte-identical to a run without the subsystem.
+     */
+    std::string metricsPath;
     /**
      * Host threads for experiment fan-out (runWorkloadMatrix /
      * parallelMap). 1 = serial; defaults from QEI_BENCH_THREADS.
@@ -70,8 +78,11 @@ struct BenchOptions
 /**
  * Parse the harness command line. Recognises `--json <path>`,
  * `--json=<path>`, `--trace <path>`, `--trace=<path>`,
- * `--threads <n>`, `--threads=<n>` (n = 0 or "auto" uses every host
- * core), `--faults <spec>`, `--faults=<spec>`, and `--validate`;
+ * `--metrics <path>`, `--metrics=<path>` (enables time-series
+ * sampling and writes the CSV there; warns and ignores when the build
+ * has -DQEI_METRICS=OFF), `--threads <n>`, `--threads=<n>` (n = 0 or
+ * "auto" uses every host core), `--faults <spec>`, `--faults=<spec>`,
+ * and `--validate`;
  * QEI_BENCH_THREADS seeds the thread default. `--list-workloads`,
  * `--list-schemes`, and `--list-traffic` print the available names
  * with descriptions and exit(0), so scripts can enumerate instead of
@@ -89,9 +100,12 @@ BenchOptions parseBenchArgs(int argc, char** argv);
  * usually mirror the printed table via setTable()); the constructor
  * stamps build provenance (`schema_version`, `git_sha`, `compiler`,
  * `build_flags`); finish() stamps the host-performance fields
- * (`host_wall_ms`, `threads`), aggregates every per-run `breakdown`
- * found in the payload into a top-level `breakdown`, and writes the
- * artifact to the `--json` path, if one was given.
+ * (`host_wall_ms`, `threads`, and the `host` self-metrics block with
+ * `sim_events` / `sim_events_per_sec` and every per-cell
+ * `host_wall_ms` found in the payload), aggregates every per-run
+ * `breakdown` found in the payload into a top-level `breakdown`,
+ * writes the Recorder's metrics CSV to the `--metrics` path, and
+ * writes the artifact to the `--json` path, if one was given.
  */
 class BenchReport
 {
@@ -133,6 +147,9 @@ class BenchReport
     validate::Suite suite_;
     bool haveSuite_ = false;
     std::chrono::steady_clock::time_point start_;
+    /** simEventsExecuted() at construction, for the `host` block's
+     *  per-harness delta. */
+    std::uint64_t simEventsStart_ = 0;
 };
 
 /** Results for one workload across the baseline and all schemes. */

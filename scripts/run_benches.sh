@@ -5,12 +5,17 @@
 # batch-size sweep here, while CI's quick smoke passes it a reduced
 # positional query count.
 #
-# Usage: scripts/run_benches.sh [--trace-dir DIR] [--validate] \
-#            [--faults [SPEC]] [build-dir] [output-dir] [threads]
+# Usage: scripts/run_benches.sh [--trace-dir DIR] [--metrics-dir DIR] \
+#            [--validate] [--faults [SPEC]] [build-dir] [output-dir] \
+#            [threads]
 #   --trace-dir DIR  also capture Perfetto timelines: each harness gets
 #                    --trace DIR/TRACE_<name>.json (merged file, plus
 #                    per-cell files next to it); load them at
 #                    https://ui.perfetto.dev
+#   --metrics-dir DIR  also sample time-series metrics: each harness
+#                    gets --metrics DIR/METRICS_<name>.csv (see
+#                    docs/observability.md; needs -DQEI_METRICS=ON,
+#                    the default)
 #   --validate  evaluate each harness's paper expectations (the harness
 #               prints its PASS/WARN/FAIL table and exits non-zero on
 #               FAIL), then fold all artifacts through tools/qei-validate
@@ -34,6 +39,7 @@
 set -eu
 
 trace_dir=
+metrics_dir=
 validate=
 faults=
 fault_spec="pf=0.03,bh=0.01,fw=0.01,flush=20000"
@@ -46,6 +52,15 @@ while [ $# -gt 0 ]; do
             ;;
         --trace-dir=*)
             trace_dir=${1#--trace-dir=}
+            shift
+            ;;
+        --metrics-dir)
+            [ $# -ge 2 ] || { echo "--metrics-dir needs a value" >&2; exit 2; }
+            metrics_dir=$2
+            shift 2
+            ;;
+        --metrics-dir=*)
+            metrics_dir=${1#--metrics-dir=}
             shift
             ;;
         --validate)
@@ -86,6 +101,9 @@ mkdir -p "$out_dir"
 if [ -n "$trace_dir" ]; then
     mkdir -p "$trace_dir"
 fi
+if [ -n "$metrics_dir" ]; then
+    mkdir -p "$metrics_dir"
+fi
 
 # Fault-matrix smoke mode: the robustness harness (which hard-gates
 # the recovery invariant and its own per-mix configs), plus one
@@ -123,6 +141,9 @@ for bench in "$build_dir"/bench/*; do
     if [ -n "$trace_dir" ]; then
         set -- "$@" --trace "$trace_dir/TRACE_$name.json"
     fi
+    if [ -n "$metrics_dir" ]; then
+        set -- "$@" --metrics "$metrics_dir/METRICS_$name.csv"
+    fi
     if [ -n "$validate" ]; then
         set -- "$@" --validate
     fi
@@ -158,6 +179,9 @@ echo "== suite wall time: $((suite_end - suite_start)) s" \
      "(threads=$threads)"
 if [ -n "$trace_dir" ]; then
     echo "== traces in $trace_dir (ui.perfetto.dev)"
+fi
+if [ -n "$metrics_dir" ]; then
+    echo "== metrics CSVs in $metrics_dir"
 fi
 
 if [ -n "$validate" ]; then

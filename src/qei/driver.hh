@@ -104,6 +104,13 @@ struct DriverConfig
     BatchConfig batch;
     /** When non-null, receives the full post-run stats dump. */
     std::string* statsJsonOut = nullptr;
+    /**
+     * Cell label for telemetry (the metrics CSV's first column);
+     * empty falls back to the topology name. Matrix runners label
+     * cells "workload/topology" so CSV rows stay unique and the file
+     * deterministic at any --threads.
+     */
+    std::string cellLabel;
 
     DriverConfig(Topology topo) : topology(std::move(topo)) {}
     DriverConfig(const SchemeConfig& scheme) : topology(scheme) {}
@@ -148,6 +155,13 @@ struct DriverConfig
     captureStats(std::string* out)
     {
         statsJsonOut = out;
+        return *this;
+    }
+
+    DriverConfig&
+    withLabel(std::string label)
+    {
+        cellLabel = std::move(label);
         return *this;
     }
 };

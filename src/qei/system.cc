@@ -168,6 +168,10 @@ QeiSystem::recordCompletion(const QstEntry& entry, Cycles issue_at,
         (events_.now() + response_latency) - issue_at;
     a.endToEnd = endToEnd;
     driverStats_->record(queue_wait, endToEnd);
+    if (metrics::active(metrics_)) {
+        metrics_->onSojourn(
+            static_cast<double>(queue_wait + endToEnd));
+    }
     // Zero by construction (every scheduled delay is charged to one
     // component); anything unaccounted would land in Other.
     const Cycles accounted = a.sum();
@@ -224,6 +228,12 @@ QeiSystem::statsRegistry()
     StatsRegistry registry;
     regStatsTree(registry);
     return registry;
+}
+
+std::uint64_t
+QeiSystem::liveBackoffs() const
+{
+    return backoffs_.value() + batchStats_->backoffs().value();
 }
 
 std::string
@@ -354,6 +364,8 @@ void
 QeiSystem::armFaultDaemons()
 {
     watchdog_->arm();
+    if (metrics::active(metrics_))
+        metrics_->arm(events_);
     if (faults_ != nullptr && chip_.faults.flushPeriod > 0 &&
         !flusherArmed_) {
         flusherArmed_ = true;
@@ -854,6 +866,7 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
                 acceleratorFor(j.keyAddr, issuing_core);
             if (!target.hasFreeSlot()) {
                 ++stats.qstBackoffs;
+                backoffs_.inc();
                 if (faults_ != nullptr)
                     faults_->onBackoff();
                 events_.schedule(

@@ -18,6 +18,7 @@
 #include "common/sim_object.hh"
 #include "common/stats.hh"
 #include "core/chip_config.hh"
+#include "metrics/metrics.hh"
 #include "core/core_model.hh"
 #include "core/trace.hh"
 #include "fault/fault_injector.hh"
@@ -130,6 +131,13 @@ struct QeiRunStats
     LatencyDigest queueWait;
     LatencyDigest service;
 
+    /**
+     * Time-series telemetry drained from the run's MetricsSampler;
+     * null unless sampling was enabled (--metrics). Shared so
+     * QeiRunStats stays cheaply copyable through the matrix runner.
+     */
+    std::shared_ptr<metrics::RunSeries> metrics;
+
     double
     cyclesPerQuery() const
     {
@@ -234,6 +242,25 @@ class QeiSystem : public SimObject
 
     /** Fault-injection source; nullptr when the run is fault-free. */
     FaultInjector* faultInjector() { return faults_.get(); }
+
+    /**
+     * Attach (or detach, with nullptr) a telemetry sampler: the run
+     * loops arm it alongside the fault daemons, and recordCompletion
+     * pushes every completed query's sojourn into its tail monitor.
+     * The sampler is borrowed — the owner (runQei) drains and detaches
+     * it before this system dies.
+     */
+    void setMetricsSampler(metrics::MetricsSampler* sampler)
+    {
+        metrics_ = sampler;
+    }
+
+    /**
+     * Live full-QST deferrals (scalar QUERY_NB retries plus batch
+     * admission backoffs), cumulative across runs — the counter the
+     * metrics backoff-rate series differentiates.
+     */
+    std::uint64_t liveBackoffs() const;
 
     /** Forward-progress watchdog (always present, armed per run). */
     sim::Watchdog& watchdog() { return *watchdog_; }
@@ -395,6 +422,10 @@ class QeiSystem : public SimObject
     trace::LatencyBreakdown breakdown_;
     std::unique_ptr<DriverMetrics> driverStats_;
     std::unique_ptr<BatchMetrics> batchStats_;
+    /** Borrowed telemetry sampler; null when sampling is off. */
+    metrics::MetricsSampler* metrics_ = nullptr;
+    /** Scalar QUERY_NB full-QST retries, cumulative across runs. */
+    Counter backoffs_;
     trace::TraceSink* trace_ = nullptr;
     std::uint16_t traceComp_ = 0;
     std::uint32_t traceQueryName_ = 0;

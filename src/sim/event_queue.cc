@@ -1,6 +1,20 @@
 #include "event_queue.hh"
 
+#include <atomic>
+
 namespace qei {
+
+namespace {
+
+std::atomic<std::uint64_t> gSimEventsExecuted{0};
+
+} // namespace
+
+std::uint64_t
+simEventsExecuted()
+{
+    return gSimEventsExecuted.load(std::memory_order_relaxed);
+}
 
 std::uint64_t
 EventQueue::run(Cycles maxCycles)
@@ -31,6 +45,7 @@ EventQueue::run(Cycles maxCycles)
         trace_->record(trace::Category::Sim, traceComp_, traceRun_,
                        trace::kNoQuery, start, now_ - start);
     }
+    gSimEventsExecuted.fetch_add(executed, std::memory_order_relaxed);
     return executed;
 }
 
@@ -53,6 +68,7 @@ EventQueue::runUntil(Cycles until)
         trace_->record(trace::Category::Sim, traceComp_, traceRun_,
                        trace::kNoQuery, start, now_ - start);
     }
+    gSimEventsExecuted.fetch_add(executed, std::memory_order_relaxed);
     return executed;
 }
 

@@ -35,6 +35,15 @@
 
 namespace qei {
 
+/**
+ * Process-wide count of events executed by every EventQueue (all
+ * Worlds, all threads; relaxed atomic). run()/runUntil() add their
+ * executed counts on return. BenchReport divides the per-harness
+ * delta by wall time into `host.sim_events_per_sec` — the simulator's
+ * own throughput metric.
+ */
+std::uint64_t simEventsExecuted();
+
 /** Relative ordering of events scheduled for the same cycle. */
 enum class EventPriority : std::int8_t {
     MemoryResponse = -2, ///< responses fire before consumers

@@ -23,6 +23,7 @@ toString(Category cat)
       case Category::Noc: return "noc";
       case Category::Tlb: return "tlb";
       case Category::Vm: return "vm";
+      case Category::Metric: return "metric";
     }
     return "unknown";
 }
@@ -128,6 +129,16 @@ appendPerfettoEvents(Json& trace_events, const TraceBuffer& buf,
         out["pid"] = pid;
         out["tid"] = static_cast<int>(ev.componentId);
         out["ts"] = ev.tick;
+        if (ev.category == Category::Metric) {
+            // Counter track: Perfetto renders one stacked counter per
+            // (pid, name); the sampled value rides in args.
+            out["ph"] = "C";
+            Json args = Json::object();
+            args["value"] = ev.value;
+            out["args"] = std::move(args);
+            trace_events.push_back(std::move(out));
+            continue;
+        }
         if (ev.duration > 0) {
             out["ph"] = "X";
             out["dur"] = ev.duration;

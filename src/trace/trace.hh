@@ -63,9 +63,10 @@ enum class Category : std::uint8_t {
     Noc,       ///< mesh messages
     Tlb,       ///< TLB lookups (core MMU and dedicated TLBs)
     Vm,        ///< page walks reaching the in-memory page table
+    Metric,    ///< sampled counter-track values (metrics subsystem)
 };
 
-inline constexpr std::size_t kCategoryCount = 12;
+inline constexpr std::size_t kCategoryCount = 13;
 
 /** Stable lower-case name of @p cat ("ucode" for Microcode). */
 const char* toString(Category cat);
@@ -79,6 +80,8 @@ struct TraceEvent
     Cycles tick = 0;
     Cycles duration = 0;
     std::uint64_t queryId = kNoQuery;
+    /** Sampled value; meaningful for Category::Metric events only. */
+    double value = 0.0;
     std::uint32_t nameId = 0;
     std::uint16_t componentId = 0;
     Category category = Category::Sim;
@@ -147,9 +150,33 @@ class TraceSink
         slot.tick = tick;
         slot.duration = duration;
         slot.queryId = query_id;
+        slot.value = 0.0;
         slot.nameId = name;
         slot.componentId = component;
         slot.category = category;
+        if (++head_ == ring_.size())
+            head_ = 0;
+        ++emitted_;
+    }
+
+    /**
+     * Append one Category::Metric counter sample — exported as a
+     * Perfetto "ph":"C" counter track, so sampled series (QST
+     * occupancy, event-queue depth) land in the same timeline as the
+     * query spans. Same guard rules as record().
+     */
+    void
+    recordCounter(std::uint16_t component, std::uint32_t name,
+                  Cycles tick, double value)
+    {
+        TraceEvent& slot = ring_[head_];
+        slot.tick = tick;
+        slot.duration = 0;
+        slot.queryId = kNoQuery;
+        slot.value = value;
+        slot.nameId = name;
+        slot.componentId = component;
+        slot.category = Category::Metric;
         if (++head_ == ring_.size())
             head_ = 0;
         ++emitted_;

@@ -1,0 +1,250 @@
+#include "perf_trajectory.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/format.hh"
+
+namespace qei::validate {
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+double
+numberOr(const Json& node, const char* key, double fallback)
+{
+    const Json* v = node.find(key);
+    return v != nullptr && v->isNumber() ? v->asDouble() : fallback;
+}
+
+/** Relative growth of @p now over @p base; 0 when base is 0. */
+double
+relGrowth(double base, double now)
+{
+    return base != 0.0 ? (now - base) / base : 0.0;
+}
+
+/**
+ * Recursively sum every numeric "cycles" field in @p node. The
+ * deterministic-cost fallback for artifacts without a top-level
+ * breakdown block (the sweep ablations report per-point cycle counts
+ * instead of one aggregate): the sum is as bit-deterministic as any
+ * single run, so it gates the same way.
+ */
+std::uint64_t
+sumCyclesFields(const Json& node)
+{
+    std::uint64_t total = 0;
+    if (node.isObject()) {
+        for (const auto& [key, value] : node.items()) {
+            if (key == "cycles" && value.isNumber())
+                total += value.asUint();
+            else
+                total += sumCyclesFields(value);
+        }
+    } else if (node.isArray()) {
+        for (const Json& element : node.elements())
+            total += sumCyclesFields(element);
+    }
+    return total;
+}
+
+} // namespace
+
+PerfEntry
+foldArtifacts(const std::vector<Json>& artifacts, std::string label)
+{
+    PerfEntry entry;
+    entry.label = std::move(label);
+    for (const Json& artifact : artifacts) {
+        if (!artifact.isObject() || !artifact.contains("bench"))
+            continue;
+        if (entry.gitSha.empty()) {
+            if (const Json* sha = artifact.find("git_sha"))
+                entry.gitSha = sha->asString();
+        }
+        PerfBenchSample sample;
+        if (const Json* breakdown = artifact.find("breakdown")) {
+            sample.meanCyclesPerQuery =
+                numberOr(*breakdown, "mean_cycles_per_query", 0.0);
+            if (const Json* e = breakdown->find("end_to_end_cycles"))
+                sample.endToEndCycles = e->asUint();
+            if (const Json* q = breakdown->find("queries"))
+                sample.queries = q->asUint();
+        } else {
+            sample.endToEndCycles = sumCyclesFields(artifact);
+        }
+        sample.hostWallMs = numberOr(artifact, "host_wall_ms", 0.0);
+        if (const Json* host = artifact.find("host")) {
+            sample.simEventsPerSec =
+                numberOr(*host, "sim_events_per_sec", 0.0);
+        }
+        entry.benches[artifact.at("bench").asString()] = sample;
+    }
+    return entry;
+}
+
+Json
+toJson(const PerfEntry& entry)
+{
+    Json out = Json::object();
+    out["label"] = entry.label;
+    out["git_sha"] = entry.gitSha;
+    Json benches = Json::object();
+    for (const auto& [name, s] : entry.benches) {
+        Json b = Json::object();
+        b["mean_cycles_per_query"] = s.meanCyclesPerQuery;
+        b["end_to_end_cycles"] = s.endToEndCycles;
+        b["queries"] = s.queries;
+        b["host_wall_ms"] = s.hostWallMs;
+        b["sim_events_per_sec"] = s.simEventsPerSec;
+        benches[name] = std::move(b);
+    }
+    out["benches"] = std::move(benches);
+    return out;
+}
+
+PerfEntry
+entryFromJson(const Json& json)
+{
+    PerfEntry entry;
+    if (const Json* label = json.find("label"))
+        entry.label = label->asString();
+    if (const Json* sha = json.find("git_sha"))
+        entry.gitSha = sha->asString();
+    if (const Json* benches = json.find("benches")) {
+        for (const auto& [name, b] : benches->items()) {
+            PerfBenchSample s;
+            s.meanCyclesPerQuery =
+                numberOr(b, "mean_cycles_per_query", 0.0);
+            if (const Json* e = b.find("end_to_end_cycles"))
+                s.endToEndCycles = e->asUint();
+            if (const Json* q = b.find("queries"))
+                s.queries = q->asUint();
+            s.hostWallMs = numberOr(b, "host_wall_ms", 0.0);
+            s.simEventsPerSec =
+                numberOr(b, "sim_events_per_sec", 0.0);
+            entry.benches[name] = s;
+        }
+    }
+    return entry;
+}
+
+Json
+emptyTrajectory()
+{
+    Json out = Json::object();
+    out["schema_version"] = kSchemaVersion;
+    out["entries"] = Json::array();
+    return out;
+}
+
+void
+appendEntry(Json& trajectory, const PerfEntry& entry)
+{
+    trajectory["entries"].push_back(toJson(entry));
+}
+
+std::vector<PerfEntry>
+entriesOf(const Json& trajectory)
+{
+    const Json* entries =
+        trajectory.isObject() ? trajectory.find("entries") : nullptr;
+    if (entries == nullptr || !entries->isArray())
+        throw std::runtime_error(
+            "perf trajectory: no \"entries\" array");
+    std::vector<PerfEntry> out;
+    for (const Json& e : entries->elements())
+        out.push_back(entryFromJson(e));
+    return out;
+}
+
+PerfCheckResult
+checkAgainst(const PerfEntry& baseline, const PerfEntry& candidate,
+             const PerfCheckConfig& config)
+{
+    PerfCheckResult result;
+    for (const auto& [name, base] : baseline.benches) {
+        auto it = candidate.benches.find(name);
+        if (it == candidate.benches.end()) {
+            result.notes.push_back(
+                fmt("{}: in baseline '{}' but not in the candidate "
+                    "set",
+                    name, baseline.label));
+            continue;
+        }
+        const PerfBenchSample& now = it->second;
+        if (base.queries != now.queries) {
+            result.notes.push_back(
+                fmt("{}: query count changed ({} -> {}), cycle "
+                    "comparison skipped",
+                    name, base.queries, now.queries));
+            continue;
+        }
+        // Simulation metrics are deterministic, so any growth beyond
+        // the (small) tolerance is a real model-side regression.
+        // mean_cycles_per_query is the primary gate; harnesses without
+        // a breakdown block gate on the summed per-point cycle counts
+        // instead.
+        if (base.meanCyclesPerQuery > 0.0) {
+            const double simGrowth = relGrowth(
+                base.meanCyclesPerQuery, now.meanCyclesPerQuery);
+            if (simGrowth > config.simTolerance) {
+                result.regressions.push_back(
+                    fmt("{}: mean_cycles_per_query {:.2f} -> {:.2f} "
+                        "(+{:.1f}%, tolerance {:.1f}%)",
+                        name, base.meanCyclesPerQuery,
+                        now.meanCyclesPerQuery, simGrowth * 100.0,
+                        config.simTolerance * 100.0));
+            }
+        } else {
+            const double cycleGrowth = relGrowth(
+                static_cast<double>(base.endToEndCycles),
+                static_cast<double>(now.endToEndCycles));
+            if (cycleGrowth > config.simTolerance) {
+                result.regressions.push_back(
+                    fmt("{}: end_to_end_cycles {} -> {} "
+                        "(+{:.1f}%, tolerance {:.1f}%)",
+                        name, base.endToEndCycles, now.endToEndCycles,
+                        cycleGrowth * 100.0,
+                        config.simTolerance * 100.0));
+            }
+        }
+        if (config.hostTolerance > 0.0) {
+            const double wallGrowth =
+                relGrowth(base.hostWallMs, now.hostWallMs);
+            if (wallGrowth > config.hostTolerance) {
+                result.regressions.push_back(
+                    fmt("{}: host_wall_ms {:.1f} -> {:.1f} "
+                        "(+{:.1f}%, tolerance {:.1f}%)",
+                        name, base.hostWallMs, now.hostWallMs,
+                        wallGrowth * 100.0,
+                        config.hostTolerance * 100.0));
+            }
+            const double rateLoss = -relGrowth(base.simEventsPerSec,
+                                               now.simEventsPerSec);
+            if (base.simEventsPerSec > 0.0 &&
+                rateLoss > config.hostTolerance) {
+                result.regressions.push_back(
+                    fmt("{}: sim_events_per_sec {:.0f} -> {:.0f} "
+                        "(-{:.1f}%, tolerance {:.1f}%)",
+                        name, base.simEventsPerSec,
+                        now.simEventsPerSec, rateLoss * 100.0,
+                        config.hostTolerance * 100.0));
+            }
+        }
+    }
+    for (const auto& [name, sample] : candidate.benches) {
+        (void)sample;
+        if (baseline.benches.find(name) == baseline.benches.end()) {
+            result.notes.push_back(
+                fmt("{}: new bench, no baseline in '{}'", name,
+                    baseline.label));
+        }
+    }
+    result.ok = result.regressions.empty();
+    return result;
+}
+
+} // namespace qei::validate

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Perf trajectory: fold the host/sim self-metrics of successive
+ * BENCH_*.json artifact sets into one append-only trajectory file and
+ * gate new runs against it.
+ *
+ * One *entry* summarises one artifact set (one CI run, one local
+ * sweep): per bench, the deterministic simulation metrics
+ * (mean_cycles_per_query, end_to_end_cycles, queries from the
+ * top-level breakdown) plus the host self-metrics BenchReport stamps
+ * (host_wall_ms, host.sim_events_per_sec). check() compares a
+ * candidate entry against the trajectory's most recent entry:
+ *  - simulation metrics are bit-deterministic, so they gate tightly
+ *    (default 2% on mean_cycles_per_query) on every run;
+ *  - host metrics are machine-dependent, so they gate only when a
+ *    host tolerance is explicitly requested (local A/B runs on one
+ *    machine), never by default in CI.
+ *
+ * The `tools/qei-perf` CLI is a thin wrapper over this header so the
+ * fold/check logic stays unit-testable.
+ */
+
+#ifndef QEI_VALIDATE_PERF_TRAJECTORY_HH
+#define QEI_VALIDATE_PERF_TRAJECTORY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace qei::validate {
+
+/** One bench's perf sample inside one trajectory entry. */
+struct PerfBenchSample
+{
+    // Deterministic simulation metrics (identical on every host).
+    double meanCyclesPerQuery = 0.0;
+    std::uint64_t endToEndCycles = 0;
+    std::uint64_t queries = 0;
+    // Host self-metrics (machine-dependent; informational by default).
+    double hostWallMs = 0.0;
+    double simEventsPerSec = 0.0;
+};
+
+/** One artifact set folded into one trajectory point. */
+struct PerfEntry
+{
+    std::string label;
+    std::string gitSha;
+    /** Keyed by the artifact's "bench" name. */
+    std::map<std::string, PerfBenchSample> benches;
+};
+
+/**
+ * Fold parsed BENCH_*.json artifacts into one entry. Artifacts
+ * without a "bench" name or a usable breakdown are skipped (a
+ * harness with no per-query breakdown contributes host metrics
+ * only). The git SHA is taken from the first artifact carrying one.
+ */
+PerfEntry foldArtifacts(const std::vector<Json>& artifacts,
+                        std::string label);
+
+Json toJson(const PerfEntry& entry);
+PerfEntry entryFromJson(const Json& json);
+
+/** Empty trajectory document ({"schema_version", "entries": []}). */
+Json emptyTrajectory();
+
+/** Append @p entry to @p trajectory's "entries" array. */
+void appendEntry(Json& trajectory, const PerfEntry& entry);
+
+/** Entries of @p trajectory, oldest first; throws on a malformed
+ *  document. */
+std::vector<PerfEntry> entriesOf(const Json& trajectory);
+
+/** Tolerances for checkAgainst(). */
+struct PerfCheckConfig
+{
+    /** Relative gate on mean_cycles_per_query (deterministic). */
+    double simTolerance = 0.02;
+    /**
+     * Relative gate on host_wall_ms growth and sim_events_per_sec
+     * loss; <= 0 (the default) leaves host metrics ungated — they
+     * only make sense when baseline and candidate ran on one machine.
+     */
+    double hostTolerance = 0.0;
+};
+
+/** Outcome of gating one candidate entry against a baseline. */
+struct PerfCheckResult
+{
+    bool ok = true;
+    /** Gate violations; non-empty implies !ok. */
+    std::vector<std::string> regressions;
+    /** Non-gating observations (bench added/removed, query-count
+     *  change making the comparison meaningless, ...). */
+    std::vector<std::string> notes;
+};
+
+/**
+ * Gate @p candidate against @p baseline. A bench whose query count
+ * changed is reported as a note and not gated (the workload
+ * configuration changed, so cycle comparisons are meaningless);
+ * benches present on only one side are notes as well.
+ */
+PerfCheckResult checkAgainst(const PerfEntry& baseline,
+                             const PerfEntry& candidate,
+                             const PerfCheckConfig& config = {});
+
+} // namespace qei::validate
+
+#endif // QEI_VALIDATE_PERF_TRAJECTORY_HH

@@ -41,6 +41,60 @@ runBaseline(World& world, const Prepared& prepared, int core)
     return model.runQueries(prepared.traces, prepared.profile);
 }
 
+namespace {
+
+/**
+ * Build, adopt, and wire a telemetry sampler for @p system: the
+ * standard probe set (per-accelerator completion rate), the live
+ * gauges a registry can't express (summed QST occupancy, event-queue
+ * depth, NoC link utilisation), the backoff-rate series, and the
+ * sojourn tail monitor recordCompletion feeds. Series names use the
+ * sampler's dotted path ("system.metrics.*") so artifact consumers
+ * address them like any other stat.
+ */
+std::unique_ptr<metrics::MetricsSampler>
+makeSampler(World& world, QeiSystem& system,
+            const metrics::SamplerConfig& config)
+{
+    auto sampler = std::make_unique<metrics::MetricsSampler>(config);
+    system.adopt(*sampler);
+    sampler->setTraceSink(&world.traceSink);
+    sampler->observeRegistry(system.statsRegistry());
+    for (int i = 0; i < system.acceleratorCount(); ++i) {
+        sampler->probe(fmt("system.accel{}.queries", i),
+                       metrics::SeriesKind::Rate);
+    }
+    QeiSystem* sys = &system;
+    sampler->addGauge("system.metrics.qst_occupancy", [sys] {
+        double occupied = 0.0;
+        for (int i = 0; i < sys->acceleratorCount(); ++i) {
+            occupied += static_cast<double>(
+                sys->accelerator(i).qst().occupied());
+        }
+        return occupied;
+    });
+    EventQueue* events = &world.events;
+    sampler->addGauge("system.metrics.event_queue_depth", [events] {
+        return static_cast<double>(events->pendingWork());
+    });
+    Mesh* mesh = &world.hierarchy.mesh();
+    sampler->addGauge("system.metrics.noc_peak_link_util", [mesh] {
+        return mesh->peakLinkUtilisation();
+    });
+    sampler->addGauge("system.metrics.noc_mean_link_util", [mesh] {
+        return mesh->meanLinkUtilisation();
+    });
+    sampler->addRate("system.metrics.qst_backoffs", [sys] {
+        return static_cast<double>(sys->liveBackoffs());
+    });
+    sampler->addTailMonitor("system.metrics.sojourn",
+                            config.sloSojournP99);
+    system.setMetricsSampler(sampler.get());
+    return sampler;
+}
+
+} // namespace
+
 QeiRunStats
 runQei(World& world, const Prepared& prepared,
        const DriverConfig& config)
@@ -55,8 +109,25 @@ runQei(World& world, const Prepared& prepared,
     // with a fault mix configured, faulted queries re-execute on the
     // simulated core instead of surfacing as exceptions (Sec. IV-D).
     system.setSoftwareFallback(&prepared.traces, prepared.profile);
+    // Telemetry rides daemon events, so arming it changes no query
+    // timing; declared after the system so it dies first (its probes
+    // borrow registry pointers into the component tree).
+    std::unique_ptr<metrics::MetricsSampler> sampler;
+    if (metrics::kCompiledIn && metrics::runtimeConfig().enabled) {
+        sampler = makeSampler(world, system,
+                              metrics::runtimeConfig().sampler);
+    }
     Driver driver(system, config);
     QeiRunStats stats = driver.run(prepared.jobs, prepared.profile);
+    if (sampler != nullptr) {
+        stats.metrics = std::make_shared<metrics::RunSeries>(
+            sampler->drain());
+        metrics::Recorder::global().add(
+            config.cellLabel.empty() ? config.topology.name()
+                                     : config.cellLabel,
+            *stats.metrics);
+        system.setMetricsSampler(nullptr);
+    }
     if (config.statsJsonOut != nullptr)
         *config.statsJsonOut = system.dumpStatsJson();
     return stats;

@@ -134,6 +134,32 @@ TEST(BenchJson, CapturedStatsAreValidDottedDumps)
     }
 }
 
+TEST(BenchJson, HostSelfMetricsStampSimEventRateAndCellWalls)
+{
+    // The report must be constructed before the simulation work so
+    // its sim-event baseline brackets the run.
+    BenchReport report("unit_host", BenchOptions{});
+    auto workloads = makeAllWorkloads();
+    const WorkloadRun run = runWorkload(
+        *workloads.front(), 120, {SchemeConfig::coreIntegrated()});
+    report.data()["run"] = toJson(run);
+    ASSERT_TRUE(report.finish());
+
+    const Json& host = report.data().at("host");
+    EXPECT_GT(host.at("sim_events").asUint(), 0u);
+    EXPECT_GT(host.at("sim_events_per_sec").asDouble(), 0.0);
+    EXPECT_GT(host.at("wall_ms").asDouble(), 0.0);
+
+    // Every per-cell host_wall_ms in the payload surfaces in the
+    // top-level block, keyed by its dotted path.
+    const Json& cells = host.at("cells");
+    EXPECT_TRUE(cells.contains("run"));
+    EXPECT_TRUE(cells.contains("run.baseline"));
+    EXPECT_TRUE(cells.contains(
+        "run.schemes." + SchemeConfig::coreIntegrated().name()));
+    EXPECT_GT(cells.at("run.baseline").asDouble(), 0.0);
+}
+
 TEST(BenchJson, TableMirrorsIntoReport)
 {
     TablePrinter table;

@@ -1,0 +1,207 @@
+/**
+ * The perf-trajectory fold/check logic behind tools/qei-perf: folding
+ * successive artifact sets into trajectory entries, round-tripping
+ * them through JSON, and the regression gates (deterministic sim
+ * metrics always, host metrics only on request).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "validate/perf_trajectory.hh"
+
+using namespace qei;
+using namespace qei::validate;
+
+namespace {
+
+/** A minimal BENCH_*.json artifact with the fields qei-perf reads. */
+Json
+artifact(const char* bench, double mean_cycles,
+         std::uint64_t queries, double wall_ms, double events_per_sec)
+{
+    Json a = Json::object();
+    a["bench"] = bench;
+    a["git_sha"] = "abc123";
+    Json breakdown = Json::object();
+    breakdown["mean_cycles_per_query"] = mean_cycles;
+    breakdown["end_to_end_cycles"] = static_cast<std::uint64_t>(
+        mean_cycles * static_cast<double>(queries));
+    breakdown["queries"] = queries;
+    a["breakdown"] = std::move(breakdown);
+    a["host_wall_ms"] = wall_ms;
+    Json host = Json::object();
+    host["sim_events_per_sec"] = events_per_sec;
+    a["host"] = std::move(host);
+    return a;
+}
+
+} // namespace
+
+TEST(PerfTrajectory, FoldsSuccessiveArtifactSetsIntoEntries)
+{
+    Json trajectory = emptyTrajectory();
+
+    const std::vector<Json> setA{
+        artifact("fig09_end_to_end", 120.0, 500, 900.0, 2.0e6),
+        artifact("abl_open_loop", 310.0, 300, 1200.0, 1.5e6),
+    };
+    appendEntry(trajectory, foldArtifacts(setA, "run-1"));
+    const std::vector<Json> setB{
+        artifact("fig09_end_to_end", 119.0, 500, 850.0, 2.1e6),
+        artifact("abl_open_loop", 312.0, 300, 1190.0, 1.6e6),
+    };
+    appendEntry(trajectory, foldArtifacts(setB, "run-2"));
+
+    const auto entries = entriesOf(trajectory);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].label, "run-1");
+    EXPECT_EQ(entries[1].label, "run-2");
+    EXPECT_EQ(entries[0].gitSha, "abc123");
+    ASSERT_EQ(entries[1].benches.size(), 2u);
+    const PerfBenchSample& fig =
+        entries[1].benches.at("fig09_end_to_end");
+    EXPECT_DOUBLE_EQ(fig.meanCyclesPerQuery, 119.0);
+    EXPECT_EQ(fig.queries, 500u);
+    EXPECT_DOUBLE_EQ(fig.hostWallMs, 850.0);
+    EXPECT_DOUBLE_EQ(fig.simEventsPerSec, 2.1e6);
+
+    // Round trip: entryFromJson(toJson(e)) is the identity.
+    const PerfEntry back = entryFromJson(toJson(entries[1]));
+    EXPECT_EQ(back.label, entries[1].label);
+    EXPECT_DOUBLE_EQ(
+        back.benches.at("abl_open_loop").meanCyclesPerQuery, 312.0);
+}
+
+TEST(PerfTrajectory, CleanRunPassesTheGate)
+{
+    const PerfEntry base = foldArtifacts(
+        {artifact("fig09_end_to_end", 120.0, 500, 900.0, 2.0e6)},
+        "base");
+    // 1% growth sits inside the default 2% tolerance.
+    const PerfEntry cand = foldArtifacts(
+        {artifact("fig09_end_to_end", 121.2, 500, 2000.0, 1.0e6)},
+        "cand");
+    const PerfCheckResult result = checkAgainst(base, cand);
+    EXPECT_TRUE(result.ok);
+    EXPECT_TRUE(result.regressions.empty());
+}
+
+TEST(PerfTrajectory, InjectedSimRegressionFailsTheGate)
+{
+    const PerfEntry base = foldArtifacts(
+        {artifact("fig09_end_to_end", 120.0, 500, 900.0, 2.0e6)},
+        "base");
+    // +5% mean cycles/query: a model-side regression, deterministic,
+    // must fail regardless of host tolerances.
+    const PerfEntry cand = foldArtifacts(
+        {artifact("fig09_end_to_end", 126.0, 500, 900.0, 2.0e6)},
+        "cand");
+    const PerfCheckResult result = checkAgainst(base, cand);
+    EXPECT_FALSE(result.ok);
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_NE(result.regressions[0].find("fig09_end_to_end"),
+              std::string::npos);
+    EXPECT_NE(result.regressions[0].find("mean_cycles_per_query"),
+              std::string::npos);
+}
+
+TEST(PerfTrajectory, QueryCountChangeIsANoteNotAGate)
+{
+    const PerfEntry base = foldArtifacts(
+        {artifact("abl_open_loop", 310.0, 300, 900.0, 2.0e6)},
+        "base");
+    // Different query count: the workload configuration changed, so
+    // the (wildly different) cycle count must not fire the gate.
+    const PerfEntry cand = foldArtifacts(
+        {artifact("abl_open_loop", 450.0, 1500, 900.0, 2.0e6)},
+        "cand");
+    const PerfCheckResult result = checkAgainst(base, cand);
+    EXPECT_TRUE(result.ok);
+    ASSERT_EQ(result.notes.size(), 1u);
+    EXPECT_NE(result.notes[0].find("query count changed"),
+              std::string::npos);
+}
+
+TEST(PerfTrajectory, HostMetricsGateOnlyWhenRequested)
+{
+    const PerfEntry base = foldArtifacts(
+        {artifact("fig09_end_to_end", 120.0, 500, 1000.0, 2.0e6)},
+        "base");
+    const PerfEntry cand = foldArtifacts(
+        {artifact("fig09_end_to_end", 120.0, 500, 1500.0, 1.0e6)},
+        "cand");
+
+    // Default: host metrics are informational, no gate.
+    EXPECT_TRUE(checkAgainst(base, cand).ok);
+
+    // Opt in with a 20% host tolerance: +50% wall and -50% event rate
+    // both fire.
+    PerfCheckConfig config;
+    config.hostTolerance = 0.20;
+    const PerfCheckResult gated = checkAgainst(base, cand, config);
+    EXPECT_FALSE(gated.ok);
+    EXPECT_EQ(gated.regressions.size(), 2u);
+}
+
+TEST(PerfTrajectory, BreakdownlessArtifactsGateOnSummedCycles)
+{
+    // Sweep ablations (abl_open_loop, abl_batch) have no top-level
+    // breakdown block; their deterministic cost is the sum of the
+    // per-point "cycles" fields, at any nesting depth.
+    const auto sweep = [](const char* bench, double a, double b) {
+        Json art = Json::object();
+        art["bench"] = bench;
+        Json points = Json::array();
+        for (double c : {a, b}) {
+            Json p = Json::object();
+            p["load_pct"] = 50;
+            p["cycles"] = c;
+            points.push_back(std::move(p));
+        }
+        art["dpdk"] = std::move(points);
+        return art;
+    };
+
+    const PerfEntry base =
+        foldArtifacts({sweep("abl_open_loop", 10000.0, 20000.0)},
+                      "base");
+    EXPECT_EQ(base.benches.at("abl_open_loop").endToEndCycles, 30000u);
+    EXPECT_DOUBLE_EQ(
+        base.benches.at("abl_open_loop").meanCyclesPerQuery, 0.0);
+
+    // Inside tolerance: +1% total cycles passes.
+    const PerfEntry near =
+        foldArtifacts({sweep("abl_open_loop", 10100.0, 20200.0)},
+                      "near");
+    EXPECT_TRUE(checkAgainst(base, near).ok);
+
+    // +5% total cycles fires the fallback gate.
+    const PerfEntry slow =
+        foldArtifacts({sweep("abl_open_loop", 10500.0, 21000.0)},
+                      "slow");
+    const PerfCheckResult result = checkAgainst(base, slow);
+    EXPECT_FALSE(result.ok);
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_NE(result.regressions[0].find("end_to_end_cycles"),
+              std::string::npos);
+}
+
+TEST(PerfTrajectory, MissingAndNewBenchesAreNotes)
+{
+    const PerfEntry base = foldArtifacts(
+        {artifact("fig09_end_to_end", 120.0, 500, 900.0, 2.0e6)},
+        "base");
+    const PerfEntry cand = foldArtifacts(
+        {artifact("abl_batch", 80.0, 192, 400.0, 3.0e6)}, "cand");
+    const PerfCheckResult result = checkAgainst(base, cand);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.notes.size(), 2u);
+}
+
+TEST(PerfTrajectory, MalformedTrajectoryThrows)
+{
+    EXPECT_THROW(entriesOf(Json::object()), std::runtime_error);
+    EXPECT_THROW(entriesOf(Json(3)), std::runtime_error);
+    EXPECT_NO_THROW(entriesOf(emptyTrajectory()));
+}

@@ -147,6 +147,45 @@ TEST(Trace, PerfettoJsonRoundTrips)
     EXPECT_EQ(query.at("args").at("query").asUint(), 42u);
 }
 
+TEST(Trace, PerfettoCounterTrackRoundTrips)
+{
+    // Category::Metric events carry a double value and export as
+    // Perfetto counter tracks ("ph":"C") — the metrics sampler's
+    // QST-occupancy / event-queue-depth series.
+    TestSink t(16);
+    const auto comp = t.sink.internComponent("system.metrics");
+    const auto occupancy = t.sink.internName("qst_occupancy");
+    const auto depth = t.sink.internName("event_queue_depth");
+    t.sink.recordCounter(comp, occupancy, 100, 3.0);
+    t.sink.recordCounter(comp, depth, 100, 17.0);
+    t.sink.recordCounter(comp, occupancy, 200, 4.5);
+
+    const trace::TraceBuffer buf = t.sink.drain();
+    ASSERT_EQ(buf.events.size(), 3u);
+    EXPECT_EQ(buf.events[0].category, trace::Category::Metric);
+    EXPECT_DOUBLE_EQ(buf.events[2].value, 4.5);
+
+    const Json doc = Json::parse(
+        trace::perfettoJson(buf, "unit/counters").dump(2));
+    const Json& events = doc.at("traceEvents");
+    // process_name plus one thread_name per interned component (the
+    // TestSink pre-interns one), then the three counter samples.
+    ASSERT_EQ(events.size(), 6u);
+    for (std::size_t i = 3; i < 6; ++i) {
+        const Json& ev = events.at(i);
+        EXPECT_EQ(ev.at("ph").asString(), "C") << i;
+        EXPECT_EQ(ev.at("cat").asString(), "metric") << i;
+        EXPECT_FALSE(ev.contains("dur")) << i;
+        EXPECT_TRUE(ev.at("args").contains("value")) << i;
+    }
+    EXPECT_EQ(events.at(3).at("name").asString(), "qst_occupancy");
+    EXPECT_EQ(events.at(3).at("ts").asUint(), 100u);
+    EXPECT_DOUBLE_EQ(events.at(3).at("args").at("value").asDouble(),
+                     3.0);
+    EXPECT_DOUBLE_EQ(events.at(5).at("args").at("value").asDouble(),
+                     4.5);
+}
+
 #if QEI_TRACING
 
 namespace {

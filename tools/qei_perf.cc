@@ -1,0 +1,224 @@
+/**
+ * qei-perf — fold the host/sim self-metrics of successive BENCH_*.json
+ * artifact sets into a perf-trajectory file, and gate new runs against
+ * the trajectory's most recent entry.
+ *
+ * Usage:
+ *   qei-perf fold --out TRAJ.json [--label NAME] BENCH_a.json ...
+ *       append one entry folded from the artifacts to TRAJ.json
+ *       (created when missing)
+ *   qei-perf check --against TRAJ.json [--tol FRAC] [--host-tol FRAC]
+ *            BENCH_a.json ...
+ *       fold the artifacts and compare against TRAJ.json's last entry
+ *   qei-perf --check TRAJ.json BENCH_a.json ...
+ *       shorthand for `check --against TRAJ.json`
+ *
+ * Deterministic simulation metrics (mean_cycles_per_query) gate on
+ * every check (default tolerance 2%); host metrics (host_wall_ms,
+ * sim_events_per_sec) gate only when --host-tol is given, since they
+ * only compare meaningfully across runs on one machine.
+ *
+ * Exit code: 0 when the fold/check succeeded and no gate fired;
+ * 1 on any regression, unreadable file, or malformed trajectory.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "validate/perf_trajectory.hh"
+
+using qei::Json;
+using namespace qei::validate;
+
+namespace {
+
+bool
+readFile(const std::string& path, std::string* out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    *out = text.str();
+    return true;
+}
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: qei-perf fold --out TRAJ.json [--label NAME] "
+        "ARTIFACT.json...\n"
+        "       qei-perf check --against TRAJ.json [--tol FRAC] "
+        "[--host-tol FRAC] ARTIFACT.json...\n"
+        "       qei-perf --check TRAJ.json ARTIFACT.json...\n");
+    std::exit(code);
+}
+
+bool
+loadArtifacts(const std::vector<std::string>& paths,
+              std::vector<Json>* out)
+{
+    for (const std::string& path : paths) {
+        std::string text;
+        if (!readFile(path, &text)) {
+            std::fprintf(stderr, "qei-perf: cannot read %s\n",
+                         path.c_str());
+            return false;
+        }
+        try {
+            out->push_back(Json::parse(text));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "qei-perf: %s: %s\n", path.c_str(),
+                         e.what());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string command;
+    std::string outPath;
+    std::string againstPath;
+    std::string label;
+    PerfCheckConfig config;
+    std::vector<std::string> artifactPaths;
+
+    auto operand = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "qei-perf: %s needs an argument\n",
+                         flag);
+            usage(1);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "fold") == 0 ||
+            std::strcmp(arg, "check") == 0) {
+            if (!command.empty())
+                usage(1);
+            command = arg;
+        } else if (std::strcmp(arg, "--check") == 0) {
+            // `--check TRAJ` shorthand for `check --against TRAJ`.
+            command = "check";
+            againstPath = operand(i, "--check");
+        } else if (std::strcmp(arg, "--out") == 0) {
+            outPath = operand(i, "--out");
+        } else if (std::strcmp(arg, "--against") == 0) {
+            againstPath = operand(i, "--against");
+        } else if (std::strcmp(arg, "--label") == 0) {
+            label = operand(i, "--label");
+        } else if (std::strcmp(arg, "--tol") == 0) {
+            config.simTolerance = std::atof(operand(i, "--tol"));
+        } else if (std::strcmp(arg, "--host-tol") == 0) {
+            config.hostTolerance =
+                std::atof(operand(i, "--host-tol"));
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(0);
+        } else if (std::strncmp(arg, "--", 2) == 0) {
+            std::fprintf(stderr, "qei-perf: unknown option '%s'\n",
+                         arg);
+            usage(1);
+        } else {
+            artifactPaths.push_back(arg);
+        }
+    }
+    if (command.empty() || artifactPaths.empty())
+        usage(1);
+
+    std::vector<Json> artifacts;
+    if (!loadArtifacts(artifactPaths, &artifacts))
+        return 1;
+
+    if (command == "fold") {
+        if (outPath.empty()) {
+            std::fprintf(stderr, "qei-perf: fold needs --out\n");
+            return 1;
+        }
+        Json trajectory;
+        std::string text;
+        if (readFile(outPath, &text)) {
+            try {
+                trajectory = Json::parse(text);
+                (void)entriesOf(trajectory); // validate the shape
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "qei-perf: %s: %s\n",
+                             outPath.c_str(), e.what());
+                return 1;
+            }
+        } else {
+            trajectory = emptyTrajectory();
+        }
+        if (label.empty()) {
+            label = "entry-" +
+                    std::to_string(entriesOf(trajectory).size());
+        }
+        appendEntry(trajectory,
+                    foldArtifacts(artifacts, std::move(label)));
+        std::ofstream out(outPath, std::ios::binary);
+        out << trajectory.dump(2) << '\n';
+        if (!out) {
+            std::fprintf(stderr, "qei-perf: cannot write %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (%zu entries)\n", outPath.c_str(),
+                    entriesOf(trajectory).size());
+        return 0;
+    }
+
+    // check
+    if (againstPath.empty()) {
+        std::fprintf(stderr, "qei-perf: check needs --against\n");
+        return 1;
+    }
+    std::string text;
+    if (!readFile(againstPath, &text)) {
+        std::fprintf(stderr, "qei-perf: cannot read %s\n",
+                     againstPath.c_str());
+        return 1;
+    }
+    std::vector<PerfEntry> entries;
+    try {
+        entries = entriesOf(Json::parse(text));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "qei-perf: %s: %s\n", againstPath.c_str(),
+                     e.what());
+        return 1;
+    }
+    if (entries.empty()) {
+        std::fprintf(stderr, "qei-perf: %s has no entries\n",
+                     againstPath.c_str());
+        return 1;
+    }
+    const PerfEntry& baseline = entries.back();
+    const PerfEntry candidate = foldArtifacts(
+        artifacts, label.empty() ? "candidate" : std::move(label));
+    const PerfCheckResult result =
+        checkAgainst(baseline, candidate, config);
+    for (const std::string& note : result.notes)
+        std::printf("note: %s\n", note.c_str());
+    for (const std::string& regression : result.regressions)
+        std::fprintf(stderr, "REGRESSION: %s\n", regression.c_str());
+    std::printf("%s: %zu benches checked against '%s', %zu "
+                "regressions\n",
+                result.ok ? "OK" : "FAIL", candidate.benches.size(),
+                baseline.label.c_str(), result.regressions.size());
+    return result.ok ? 0 : 1;
+}
