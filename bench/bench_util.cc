@@ -7,6 +7,7 @@
 
 #include "fault/fault_config.hh"
 #include "metrics/metrics.hh"
+#include "qei/planner.hh"
 #include "sim/event_queue.hh"
 
 // Build provenance, injected by bench/CMakeLists.txt; the fallbacks
@@ -133,6 +134,8 @@ usageError(const char* prog, const std::string& message)
         "  --threads <n>      host threads (0 or 'auto' = all cores)\n"
         "  --faults <spec>    fault-injection mix, e.g. "
         "'pf=0.05,flush=20000,seed=7'\n"
+        "  --planner <mode>   offload planner: static|cost|shard "
+        "(exported as QEI_PLANNER)\n"
         "  --validate         gate the exit code on the expectation "
         "table\n"
         "  --list-workloads   print workload names + descriptions, "
@@ -140,6 +143,8 @@ usageError(const char* prog, const std::string& message)
         "  --list-schemes     print scheme names + descriptions, "
         "exit 0\n"
         "  --list-traffic     print traffic-source names + "
+        "descriptions, exit 0\n"
+        "  --list-topologies  print deployment topologies + "
         "descriptions, exit 0\n",
         prog, message.c_str(), prog);
     std::exit(2);
@@ -198,6 +203,30 @@ listTraffic()
     std::exit(0);
 }
 
+[[noreturn]] void
+listTopologies()
+{
+    // The five canonical scheme topologies, then the generated
+    // deployment families (built per run, not enumerable by name).
+    for (const Topology& t : Topology::allPaper()) {
+        std::printf("%-18s %2d instance%s, qst=%-3d  %s\n",
+                    t.name().c_str(), t.acceleratorCount(),
+                    t.acceleratorCount() == 1 ? " " : "s",
+                    t.params().qstEntries,
+                    schemeDescription(t.params().scheme));
+    }
+    std::printf("%-18s cost-model pick of the best family per "
+                "workload (--planner cost)\n",
+                "planner-cost");
+    std::printf("%-18s heterogeneous per-class union for mixed "
+                "traces (docs/planner.md)\n",
+                "planner-mix");
+    std::printf("%-18s key-space sharded family, optional QST work "
+                "stealing (--planner shard)\n",
+                "<family>-shardN");
+    std::exit(0);
+}
+
 } // namespace
 
 BenchOptions
@@ -240,6 +269,10 @@ parseBenchArgs(int argc, char** argv)
             options.faultSpec = operand(i, "--faults");
         } else if (std::strncmp(arg, "--faults=", 9) == 0) {
             options.faultSpec = arg + 9;
+        } else if (std::strcmp(arg, "--planner") == 0) {
+            options.plannerMode = operand(i, "--planner");
+        } else if (std::strncmp(arg, "--planner=", 10) == 0) {
+            options.plannerMode = arg + 10;
         } else if (std::strcmp(arg, "--validate") == 0) {
             options.validate = true;
         } else if (std::strcmp(arg, "--list-workloads") == 0) {
@@ -248,6 +281,8 @@ parseBenchArgs(int argc, char** argv)
             listSchemes();
         } else if (std::strcmp(arg, "--list-traffic") == 0) {
             listTraffic();
+        } else if (std::strcmp(arg, "--list-topologies") == 0) {
+            listTopologies();
         } else if (std::strncmp(arg, "--", 2) == 0 && arg[2] != '\0') {
             usageError(prog, fmt("unknown option '{}'", arg));
         } else {
@@ -262,6 +297,15 @@ parseBenchArgs(int argc, char** argv)
         // main thread, before any fan-out.
         (void)parseFaultSpec(options.faultSpec);
         ::setenv("QEI_FAULTS", options.faultSpec.c_str(), 1);
+    }
+
+    if (!options.plannerMode.empty()) {
+        // Same pattern as QEI_FAULTS: validate eagerly
+        // (parsePlannerMode fatals on a bad name) and export before
+        // any matrix fan-out, so every Inherit-mode runQei in the
+        // process — worker threads included — resolves it.
+        (void)parsePlannerMode(options.plannerMode);
+        ::setenv("QEI_PLANNER", options.plannerMode.c_str(), 1);
     }
 
     if (!options.metricsPath.empty()) {
@@ -443,6 +487,11 @@ runWorkload(Workload& workload, std::size_t queries,
     run.activity["baseline"] = ChipActivity::capture(world.hierarchy);
     run.cellWallMs["baseline"] = msSince(start);
 
+    // The planner's cost-model class for every cell of this workload;
+    // mode stays Inherit, so this only takes effect under --planner.
+    PlannerConfig plannerCfg;
+    plannerCfg.workload = run.name;
+
     for (const Topology& topo : topologies) {
         const auto cellStart = Clock::now();
         std::string stats_json;
@@ -452,6 +501,7 @@ runWorkload(Workload& workload, std::size_t queries,
             DriverConfig(topo)
                 .withMode(mode)
                 .withLabel(run.name + "/" + name)
+                .withPlanner(plannerCfg)
                 .captureStats(capture_stats ? &stats_json : nullptr));
         run.activity[name] = ChipActivity::capture(world.hierarchy);
         if (capture_stats)
@@ -523,6 +573,10 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
             out.baseline = runBaseline(world, out.prepared);
         } else {
             const Topology& topo = options.topologies[s - 1];
+            // Cost-model class for this cell; Inherit mode means the
+            // planner only engages under --planner / QEI_PLANNER.
+            PlannerConfig plannerCfg;
+            plannerCfg.workload = out.workloadName;
             out.stats = runQei(
                 world, out.prepared,
                 DriverConfig(topo)
@@ -530,6 +584,7 @@ runWorkloadMatrix(const std::vector<WorkloadFactory>& workloads,
                     .withPollBatch(options.pollBatch)
                     .withBatch(options.batch)
                     .withLabel(out.workloadName + "/" + topo.name())
+                    .withPlanner(plannerCfg)
                     .captureStats(options.captureStats ? &out.statsJson
                                                        : nullptr));
         }
@@ -739,6 +794,15 @@ toJson(const QeiRunStats& stats)
         batch["header_hits"] = stats.batchHeaderHits;
         batch["line_hits"] = stats.batchLineHits;
         out["batch"] = std::move(batch);
+    }
+
+    // Offload-planner block, only when a planner was consulted —
+    // planner-free artifacts keep their historical shape.
+    if (stats.plannerDecisions > 0) {
+        Json planner = Json::object();
+        planner["decisions"] = stats.plannerDecisions;
+        planner["core_executes"] = stats.plannerCoreExecutes;
+        out["planner"] = std::move(planner);
     }
 
     // Sampled time series, only when the run had a sampler attached

@@ -70,6 +70,15 @@ struct BenchOptions
      * threads — picks it up.
      */
     std::string faultSpec;
+    /**
+     * `--planner static|cost|shard`: process-wide offload-planner
+     * mode. parseBenchArgs validates the name and exports it as
+     * QEI_PLANNER, which every runQei() whose DriverConfig leaves the
+     * planner mode at Inherit — i.e. every harness cell that does not
+     * pin a mode explicitly — resolves at run start (see
+     * src/qei/planner.hh). Empty = flag absent.
+     */
+    std::string plannerMode;
     /** Non-option arguments, in order (debug_probe's workload
      *  filter). */
     std::vector<std::string> positional;
@@ -82,9 +91,11 @@ struct BenchOptions
  * sampling and writes the CSV there; warns and ignores when the build
  * has -DQEI_METRICS=OFF), `--threads <n>`, `--threads=<n>` (n = 0 or
  * "auto" uses every host core), `--faults <spec>`, `--faults=<spec>`,
- * and `--validate`;
+ * `--planner <mode>`, `--planner=<mode>` (static|cost|shard; exported
+ * as QEI_PLANNER), and `--validate`;
  * QEI_BENCH_THREADS seeds the thread default. `--list-workloads`,
- * `--list-schemes`, and `--list-traffic` print the available names
+ * `--list-schemes`, `--list-traffic`, and `--list-topologies` print
+ * the available names
  * with descriptions and exit(0), so scripts can enumerate instead of
  * hardcoding. Non-option
  * arguments are collected into BenchOptions::positional. Unknown

@@ -38,19 +38,21 @@ charge(QstEntry& entry, trace::LatencyComponent c, Cycles cycles)
 } // namespace
 
 Accelerator::Accelerator(int id, int tile, int home_core, AccelEnv& env,
-                         const DpuParams& dpu_params)
+                         const DpuParams& dpu_params,
+                         const SchemeConfig* params_override)
     : SimObject(fmt("accel{}", id)), id_(id), tile_(tile),
-      homeCore_(home_core), env_(env), qst_(env.scheme.qstEntries),
-      dpu_(dpu_params),
-      completions_(static_cast<std::size_t>(env.scheme.qstEntries))
+      homeCore_(home_core), env_(env),
+      params_(params_override ? *params_override : env.scheme),
+      qst_(params_.qstEntries), dpu_(dpu_params),
+      completions_(static_cast<std::size_t>(params_.qstEntries))
 {
     adopt(qst_);
     adopt(dpu_);
-    if (env_.scheme.translate == TranslatePath::DedicatedTlb ||
-        env_.scheme.translate == TranslatePath::DeviceTlb) {
+    if (params_.translate == TranslatePath::DedicatedTlb ||
+        params_.translate == TranslatePath::DeviceTlb) {
         dedicatedTlb_ = std::make_unique<Tlb>(
-            static_cast<std::size_t>(env_.scheme.dedicatedTlbEntries),
-            env_.scheme.dedicatedTlbHitLatency, "tlb");
+            static_cast<std::size_t>(params_.dedicatedTlbEntries),
+            params_.dedicatedTlbHitLatency, "tlb");
         adopt(*dedicatedTlb_);
     }
 }
@@ -224,7 +226,7 @@ Accelerator::translate(Addr vaddr, Cycles now)
 {
     XlatResult out;
     const auto paddr = env_.vm.tryTranslate(vaddr);
-    switch (env_.scheme.translate) {
+    switch (params_.translate) {
       case TranslatePath::CoreL2Tlb: {
         Mmu* mmu = env_.coreMmus[static_cast<std::size_t>(homeCore_)];
         const Translation t = mmu->translateViaL2(vaddr, now);
@@ -302,7 +304,7 @@ Accelerator::dataAccess(Addr paddr, bool is_write, Cycles now)
 {
     memAccesses_.inc();
     Cycles latency = 0;
-    switch (env_.scheme.data) {
+    switch (params_.data) {
       case DataPath::L2Path:
         latency = env_.memory.l2Access(homeCore_, paddr, is_write, now)
                       .latency;
@@ -317,7 +319,7 @@ Accelerator::dataAccess(Addr paddr, bool is_write, Cycles now)
         // The device's request pipeline (and, for Device-indirect,
         // the standard interface's protocol translation + coherence
         // handling) taxes every access.
-        latency += env_.scheme.dataOverhead;
+        latency += params_.dataOverhead;
         break;
     }
     return latency;
@@ -757,9 +759,9 @@ Accelerator::executeMicroInst(int id)
         }
 
         const bool remote =
-            env_.scheme.remoteComparators &&
+            params_.remoteComparators &&
             entry.header.remoteCompareOk() &&
-            len > env_.scheme.localCompareMaxBytes &&
+            len > params_.localCompareMaxBytes &&
             env_.remoteComparators != nullptr;
 
         Cycles done;

@@ -65,9 +65,13 @@ class Accelerator : public SimObject
      * @param tile mesh tile the instance lives on
      * @param home_core core whose L2/MMU it borrows (Core-integrated /
      *        CHA-noTLB translation target)
+     * @param params_override per-instance parameter block for
+     *        heterogeneous deployments; null uses env.scheme (the
+     *        historical behaviour — every canonical topology)
      */
     Accelerator(int id, int tile, int home_core, AccelEnv& env,
-                const DpuParams& dpu_params);
+                const DpuParams& dpu_params,
+                const SchemeConfig* params_override = nullptr);
 
     void regStats(StatsRegistry& registry) override;
 
@@ -79,6 +83,13 @@ class Accelerator : public SimObject
      */
     int id() const { return id_; }
     int tile() const { return tile_; }
+    /**
+     * This instance's effective parameter block (translate/data paths,
+     * QST size, hop costs). Equal to the system-wide scheme for every
+     * canonical topology; differs per instance in heterogeneous
+     * deployments.
+     */
+    const SchemeConfig& params() const { return params_; }
     bool hasFreeSlot() const { return !qst_.full(); }
     std::size_t freeSlots() const
     {
@@ -347,6 +358,8 @@ class Accelerator : public SimObject
     int tile_;
     int homeCore_;
     AccelEnv& env_;
+    /** Per-instance parameter block (copy; see params()). */
+    SchemeConfig params_;
     QueryStateTable qst_;
     DataProcessingUnit dpu_;
     std::unique_ptr<Tlb> dedicatedTlb_;

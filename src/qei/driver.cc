@@ -130,7 +130,7 @@ Driver::runOpenLoop(const std::vector<QueryJob>& jobs,
             Accelerator& target =
                 system_.acceleratorFor(job.keyAddr, core);
             if (reserved[static_cast<std::size_t>(target.id())] >=
-                system_.scheme_.qstEntries)
+                target.params().qstEntries)
                 break; // software waits for a slot
 
             fetchTime = std::max(fetchTime,

@@ -22,6 +22,7 @@
 
 #include "common/sim_object.hh"
 #include "common/stats.hh"
+#include "qei/planner.hh"
 #include "qei/system.hh"
 #include "qei/topology.hh"
 #include "traffic/traffic.hh"
@@ -111,6 +112,16 @@ struct DriverConfig
      * deterministic at any --threads.
      */
     std::string cellLabel;
+    /**
+     * Offload planner parameters. Default mode Inherit defers to the
+     * process default ($QEI_PLANNER, set by `--planner`; Static when
+     * unset), so a bare `--planner cost` reaches every harness run —
+     * while cells that pin a mode explicitly stay immune to the flag.
+     * runQei constructs the per-run OffloadPlanner from this value
+     * (never shared across matrix cells) and attaches it to the
+     * system; plain values keep the config copyable.
+     */
+    PlannerConfig planner;
 
     DriverConfig(Topology topo) : topology(std::move(topo)) {}
     DriverConfig(const SchemeConfig& scheme) : topology(scheme) {}
@@ -162,6 +173,13 @@ struct DriverConfig
     withLabel(std::string label)
     {
         cellLabel = std::move(label);
+        return *this;
+    }
+
+    DriverConfig&
+    withPlanner(PlannerConfig p)
+    {
+        planner = std::move(p);
         return *this;
     }
 };

@@ -4,6 +4,7 @@
 
 #include "common/hash.hh"
 #include "qei/driver.hh"
+#include "qei/planner.hh"
 
 namespace qei {
 
@@ -17,13 +18,12 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
       remoteCmps_(memory.cores(), chip.qei.comparatorsPerCha)
 {
     // Injected QST shrink (capacity-pressure fault): apply before
-    // anything sizes off the scheme — accelerator tables, completion
-    // arrays, and the software-side reservation limit all read
-    // scheme_.qstEntries.
+    // anything sizes off the topology — accelerator tables,
+    // completion arrays, and the software-side reservation limits all
+    // read the (per-instance) qstEntries.
     if (chip_.faults.qstEntriesOverride > 0) {
-        scheme_.qstEntries = std::min(scheme_.qstEntries,
-                                      chip_.faults.qstEntriesOverride);
-        topo_.params().qstEntries = scheme_.qstEntries;
+        topo_.limitQstEntries(chip_.faults.qstEntriesOverride);
+        scheme_ = topo_.params();
     }
 
     // The shared memory system and address space join this system's
@@ -42,22 +42,25 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
     for (auto& m : mmus_)
         env_->coreMmus.push_back(m.get());
 
-    DpuParams dpu;
-    dpu.alus = chip.qei.alusPerDpu;
-    dpu.comparators = scheme_.accelerators == 1
-                          ? chip.qei.comparatorsPerDpu
-                          : chip.qei.comparatorsPerCha;
-
     // Instances live where the topology's placements put them (the
     // canonical scheme topologies reproduce the historical layout:
     // device instance on its tile, replicated instances one per
-    // tile, home core = own core when per-core, else core 0).
+    // tile, home core = own core when per-core, else core 0). A
+    // heterogeneous topology (the planner's mixed-workload unions)
+    // sizes each instance off its own parameter block.
     const std::vector<AcceleratorPlacement>& places =
         topo_.placements();
     for (std::size_t i = 0; i < places.size(); ++i) {
+        const SchemeConfig& params =
+            topo_.paramsFor(static_cast<int>(i));
+        DpuParams dpu;
+        dpu.alus = chip.qei.alusPerDpu;
+        dpu.comparators = params.accelerators == 1
+                              ? chip.qei.comparatorsPerDpu
+                              : chip.qei.comparatorsPerCha;
         accels_.push_back(std::make_unique<Accelerator>(
             static_cast<int>(i), places[i].tile, places[i].homeCore,
-            *env_, dpu));
+            *env_, dpu, places[i].params ? &params : nullptr));
         adopt(*accels_.back(), places[i].name);
     }
 
@@ -118,22 +121,39 @@ QeiSystem::QeiSystem(const ChipConfig& chip, EventQueue& events,
 
 QeiSystem::~QeiSystem() = default;
 
+Topology::RouteContext
+QeiSystem::routeContext()
+{
+    Topology::RouteContext ctx{vm_, memory_, {}};
+    // Live QST free-slot probe for occupancy-aware routes (sharded
+    // work stealing). Probing changes no timing.
+    ctx.freeSlots = [this](int idx) {
+        const Accelerator& a =
+            *accels_[static_cast<std::size_t>(idx)];
+        return a.params().qstEntries - a.qst().occupied();
+    };
+    return ctx;
+}
+
 Accelerator&
 QeiSystem::acceleratorFor(Addr key_addr, int issuing_core)
 {
-    const Topology::RouteContext ctx{vm_, memory_};
-    const int idx = topo_.route(key_addr, issuing_core, ctx);
+    const int idx =
+        topo_.route(key_addr, issuing_core, routeContext());
     return *accels_[static_cast<std::size_t>(idx)];
 }
 
 Cycles
 QeiSystem::submitLatency(int core, const Accelerator& target, Cycles now)
 {
-    Cycles lat = scheme_.submitLatency;
-    if (scheme_.accelerators == 1) {
+    // Per-instance parameters: a heterogeneous deployment mixes
+    // submit paths on one chip.
+    const SchemeConfig& params = target.params();
+    Cycles lat = params.submitLatency;
+    if (params.accelerators == 1) {
         lat += memory_.messageOneWay(core, target.tile(), now);
-        lat += scheme_.deviceIfLatency;
-    } else if (!scheme_.perCore) {
+        lat += params.deviceIfLatency;
+    } else if (!params.perCore) {
         lat += memory_.messageOneWay(core, target.tile(), now);
     }
     return std::max<Cycles>(lat, 1);
@@ -487,6 +507,71 @@ QeiSystem::fillFaultStats(QeiRunStats& stats,
     stats.faultFlushes = faults_->flushes() - before.flushes;
 }
 
+QeiSystem::PlannerCounters
+QeiSystem::plannerCountersNow() const
+{
+    PlannerCounters c;
+    if (planner_ != nullptr) {
+        c.decisions = planner_->decisions();
+        c.coreExecutes = planner_->coreExecutes();
+    }
+    return c;
+}
+
+void
+QeiSystem::fillPlannerStats(QeiRunStats& stats,
+                            const PlannerCounters& before) const
+{
+    if (planner_ == nullptr)
+        return;
+    stats.plannerDecisions = planner_->decisions() - before.decisions;
+    stats.plannerCoreExecutes =
+        planner_->coreExecutes() - before.coreExecutes;
+}
+
+bool
+QeiSystem::plannerKeepsOnCore(const QueryJob& job)
+{
+    // Core execution needs the software view of the jobs; without it
+    // the planner can only route (which the topology already does).
+    return planner_ != nullptr && fallbackTraces_ != nullptr &&
+           planner_->coreExecute(job.keyAddr);
+}
+
+Cycles
+QeiSystem::coreExecuteCycles(std::uint64_t query_id)
+{
+    ensureFallbackCore();
+    // Same determinism discipline as recoverInSoftware: the interval
+    // core restarts its clock per invocation.
+    fallbackCore_->reset();
+    fallbackHierarchy_->dram().reset();
+    fallbackHierarchy_->mesh().resetTraffic();
+    if (query_id >= fallbackTraces_->size())
+        return 1;
+    const std::vector<QueryTrace> one(1,
+                                      (*fallbackTraces_)[query_id]);
+    return std::max<Cycles>(
+        1, fallbackCore_->runQueries(one, fallbackProfile_).cycles);
+}
+
+QstEntry
+QeiSystem::coreExecutedEntry(const QueryJob& job,
+                             std::uint64_t query_id, Cycles issue_at,
+                             Cycles sw_cycles) const
+{
+    QstEntry entry;
+    entry.queryId = query_id;
+    entry.resultAddr = job.resultAddr;
+    entry.success = job.expectFound;
+    entry.resultValue = job.expectFound ? job.expectValue : 0;
+    entry.enqueued = issue_at;
+    entry.completed = issue_at + sw_cycles;
+    entry.attr[static_cast<std::size_t>(
+        trace::LatencyComponent::SwFallback)] += sw_cycles;
+    return entry;
+}
+
 // Shared by the legacy loops below and the Driver's open-loop submit
 // loop (driver.cc), hence members rather than file-local helpers.
 
@@ -589,10 +674,41 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
     std::function<void()> issueLoop = [&]() {
         while (nextJob < jobs.size() && inflight < maxInflight) {
             const QueryJob& job = jobs[nextJob];
+            if (plannerKeepsOnCore(job)) {
+                // Planned core execution: the core runs the walk
+                // itself (no trap overhead — this is a decision, not
+                // a fault) and its pipeline stays busy until the walk
+                // retires. No QST slot is touched.
+                fetchTime = std::max(
+                    fetchTime, static_cast<double>(events_.now()));
+                fetchTime += issueGap;
+                stats.coreInstructions += windowInstr;
+                const Cycles issueAt = static_cast<Cycles>(fetchTime);
+                const Cycles sw = coreExecuteCycles(nextJob);
+                fetchTime += static_cast<double>(sw);
+                const QstEntry entry =
+                    coreExecutedEntry(job, nextJob, issueAt, sw);
+                ++nextJob;
+                ++inflight;
+                inflightPeak = std::max(
+                    inflightPeak, static_cast<double>(inflight));
+                events_.scheduleAt(
+                    issueAt + sw,
+                    [this, entry, issueAt, &stats, &inflight,
+                     &lastRetire, &issueLoop]() {
+                        lastRetire =
+                            std::max(lastRetire, events_.now());
+                        recordCompletion(entry, issueAt, 0);
+                        stats.resultChecksum ^= resultDigest(entry);
+                        --inflight;
+                        issueLoop();
+                    });
+                continue;
+            }
             Accelerator& target =
                 acceleratorFor(job.keyAddr, issuing_core);
             if (reserved[static_cast<std::size_t>(target.id())] >=
-                scheme_.qstEntries)
+                target.params().qstEntries)
                 break; // software waits for a slot (Sec. IV-A)
 
             fetchTime = std::max(
@@ -662,6 +778,7 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
     };
 
     const FaultCounters before = faultCountersNow();
+    const PlannerCounters pBefore = plannerCountersNow();
     issueLoop();
     armFaultDaemons();
     events_.run();
@@ -674,6 +791,7 @@ QeiSystem::runBlocking(const std::vector<QueryJob>& jobs,
     stats.maxInFlightObserved = inflightPeak;
     fillBreakdownStats(stats);
     fillFaultStats(stats, before);
+    fillPlannerStats(stats, pBefore);
     return stats;
 }
 
@@ -731,7 +849,7 @@ QeiSystem::runBlockingMultiCore(const std::vector<QueryJob>& jobs,
             const QueryJob& job = jobs[jobIdx];
             Accelerator& target = acceleratorFor(job.keyAddr, core);
             if (reserved[static_cast<std::size_t>(target.id())] >=
-                scheme_.qstEntries)
+                target.params().qstEntries)
                 break;
 
             cs.fetchTime = std::max(
@@ -913,6 +1031,47 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
             return;
         for (std::size_t k = 0; k < batchTarget; ++k) {
             const QueryJob& job = jobs[nextJob];
+            if (plannerKeepsOnCore(job)) {
+                // Planned core execution (see runBlocking). The
+                // "non-blocking" query degenerates to a synchronous
+                // software walk on the issuing core.
+                fetchTime = std::max(
+                    fetchTime, static_cast<double>(events_.now()));
+                fetchTime += issueGap;
+                stats.coreInstructions += issueInstr;
+                const Cycles issueAt = static_cast<Cycles>(fetchTime);
+                const Cycles sw = coreExecuteCycles(nextJob);
+                fetchTime += static_cast<double>(sw);
+                QstEntry entry =
+                    coreExecutedEntry(job, nextJob, issueAt, sw);
+                entry.mode = QueryMode::NonBlocking;
+                ++nextJob;
+                ++inflight;
+                inflightPeak = std::max(
+                    inflightPeak, static_cast<double>(inflight));
+                events_.scheduleAt(
+                    issueAt + sw,
+                    [this, entry, issueAt, &stats, &inflight,
+                     &lastDone, &completedInBatch]() {
+                        lastDone = std::max(lastDone, events_.now());
+                        if (entry.resultAddr != kNullAddr &&
+                            vm_.tryTranslate(entry.resultAddr)) {
+                            // The core fills the result slot the
+                            // polling loop reads.
+                            vm_.write<std::uint64_t>(
+                                entry.resultAddr,
+                                entry.success ? 1 : 2);
+                            vm_.write<std::uint64_t>(
+                                entry.resultAddr + 8,
+                                entry.resultValue);
+                        }
+                        recordCompletion(entry, issueAt, 0);
+                        stats.resultChecksum ^= resultDigest(entry);
+                        --inflight;
+                        ++completedInBatch;
+                    });
+                continue;
+            }
             Accelerator& target =
                 acceleratorFor(job.keyAddr, issuing_core);
 
@@ -940,6 +1099,7 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
     // Poll-and-refill loop: issue a batch, poll until it completes,
     // then issue the next.
     const FaultCounters before = faultCountersNow();
+    const PlannerCounters pBefore = plannerCountersNow();
     while (nextJob < jobs.size()) {
         issueBatch();
         armFaultDaemons();
@@ -967,6 +1127,7 @@ QeiSystem::runNonBlocking(const std::vector<QueryJob>& jobs,
     stats.maxInFlightObserved = inflightPeak;
     fillBreakdownStats(stats);
     fillFaultStats(stats, before);
+    fillPlannerStats(stats, pBefore);
     return stats;
 }
 
@@ -996,11 +1157,32 @@ QeiSystem::runBatched(const std::vector<QueryJob>& jobs,
         lineHitsBefore += a->batchLineHits();
     }
 
+    // Planner partition: a QUERY_BATCH is planned as a unit, so
+    // planner-kept queries never reach the reorderer — the class-level
+    // verdict means whole batches either offload or stay on the core.
+    // origIdx maps reorderer indices back to the original job vector
+    // (identity when the planner keeps nothing).
+    const FaultCounters before = faultCountersNow();
+    const PlannerCounters pBefore = plannerCountersNow();
+    std::vector<std::size_t> coreJobs;
+    std::vector<std::size_t> origIdx;
+    std::vector<QueryJob> accelJobs;
+    origIdx.reserve(jobs.size());
+    accelJobs.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (plannerKeepsOnCore(jobs[i])) {
+            coreJobs.push_back(i);
+        } else {
+            origIdx.push_back(i);
+            accelJobs.push_back(jobs[i]);
+        }
+    }
+
     // The sequence-aware reorderer: group by target accelerator, sort
     // for locality, chunk, interleave.
-    const Topology::RouteContext rctx{vm_, memory_};
+    const Topology::RouteContext rctx = routeContext();
     const std::vector<PlannedBatch> plan = planQueryBatches(
-        jobs, batch, [&](const QueryJob& j) {
+        accelJobs, batch, [&](const QueryJob& j) {
             return topo_.route(j.keyAddr, issuing_core, rctx);
         });
 
@@ -1025,7 +1207,8 @@ QeiSystem::runBatched(const std::vector<QueryJob>& jobs,
             const int count = static_cast<int>(pb.jobIdxs.size());
             std::vector<Accelerator::BatchMember> members;
             members.reserve(pb.jobIdxs.size());
-            for (std::size_t jobIdx : pb.jobIdxs) {
+            for (std::size_t planIdx2 : pb.jobIdxs) {
+                const std::size_t jobIdx = origIdx[planIdx2];
                 const QueryJob& j = jobs[jobIdx];
                 Accelerator::BatchMember m;
                 m.headerAddr = j.headerAddr;
@@ -1112,7 +1295,39 @@ QeiSystem::runBatched(const std::vector<QueryJob>& jobs,
             }
         };
 
-    const FaultCounters before = faultCountersNow();
+    // Planner-kept jobs run on the issuing core first (order is
+    // immaterial: store-like semantics and an order-independent
+    // checksum), each a synchronous software walk.
+    for (const std::size_t jobIdx : coreJobs) {
+        const QueryJob& job = jobs[jobIdx];
+        const std::uint32_t issueInstr = profile.nonQueryInstrPerOp + 1;
+        fetchTime +=
+            static_cast<double>(issueInstr) / chip_.core.issueWidth +
+            profile.frontendStallPerInstr * issueInstr;
+        stats.coreInstructions += issueInstr;
+        const Cycles issueAt = static_cast<Cycles>(fetchTime);
+        const Cycles sw = coreExecuteCycles(jobIdx);
+        fetchTime += static_cast<double>(sw);
+        QstEntry entry = coreExecutedEntry(job, jobIdx, issueAt, sw);
+        entry.mode = QueryMode::NonBlocking;
+        events_.scheduleAt(
+            issueAt + sw,
+            [this, entry, issueAt, &stats, &lastDone,
+             &completedQueries]() {
+                lastDone = std::max(lastDone, events_.now());
+                if (entry.resultAddr != kNullAddr &&
+                    vm_.tryTranslate(entry.resultAddr)) {
+                    vm_.write<std::uint64_t>(entry.resultAddr,
+                                             entry.success ? 1 : 2);
+                    vm_.write<std::uint64_t>(entry.resultAddr + 8,
+                                             entry.resultValue);
+                }
+                recordCompletion(entry, issueAt, 0);
+                stats.resultChecksum ^= resultDigest(entry);
+                ++completedQueries;
+            });
+    }
+
     for (std::size_t p = 0; p < plan.size(); ++p) {
         const auto keys =
             static_cast<std::uint32_t>(plan[p].jobIdxs.size());
@@ -1161,6 +1376,7 @@ QeiSystem::runBatched(const std::vector<QueryJob>& jobs,
     collectAccelStats(stats);
     fillBreakdownStats(stats);
     fillFaultStats(stats, before);
+    fillPlannerStats(stats, pBefore);
     stats.batches = batchStats_->batches().value();
     stats.batchedQueries = batchStats_->queries().value();
     stats.batchBackoffs = batchStats_->backoffs().value();

@@ -34,6 +34,7 @@ namespace qei {
 
 class Driver;
 class DriverMetrics;
+class OffloadPlanner;
 
 /** One query to run: inputs plus the expected functional outcome. */
 struct QueryJob
@@ -89,6 +90,12 @@ struct QeiRunStats
     std::uint64_t faultFlushes = 0;
     /** QUERY_NB retries after finding the target QST full. */
     std::uint64_t qstBackoffs = 0;
+
+    // -- offload planner (zeros when no planner is attached) --
+    /** Issue-path planner consultations this run. */
+    std::uint64_t plannerDecisions = 0;
+    /** Queries the planner kept on the issuing core. */
+    std::uint64_t plannerCoreExecutes = 0;
 
     // -- QUERY_BATCH amortization (zeros for scalar runs) --
     /** Batch descriptors admitted. */
@@ -244,6 +251,19 @@ class QeiSystem : public SimObject
     FaultInjector* faultInjector() { return faults_.get(); }
 
     /**
+     * Attach (or detach, with nullptr) the offload planner: the
+     * closed-loop issue paths (QUERY_B, QUERY_NB, QUERY_BATCH)
+     * consult it per query and keep planned queries on the issuing
+     * core. Core execution needs the software view of the jobs
+     * (setSoftwareFallback); without one, the planner only counts
+     * decisions. The planner is borrowed — the owner (runQei) must
+     * outlive the runs that use it. Multi-core runs ignore it
+     * (placement there is the topology's job alone).
+     */
+    void setPlanner(OffloadPlanner* planner) { planner_ = planner; }
+    OffloadPlanner* planner() { return planner_; }
+
+    /**
      * Attach (or detach, with nullptr) a telemetry sampler: the run
      * loops arm it alongside the fault daemons, and recordCompletion
      * pushes every completed query's sojourn into its tail monitor.
@@ -365,6 +385,34 @@ class QeiSystem : public SimObject
      */
     Cycles recoverInSoftware(QstEntry& entry, const QueryJob& job);
 
+    /**
+     * Cycles the issuing core spends running query @p query_id's
+     * software walk itself — a *planned* core execution, so unlike
+     * recoverInSoftware there is no trap/OS overhead. Needs the
+     * software fallback view of the jobs.
+     */
+    Cycles coreExecuteCycles(std::uint64_t query_id);
+
+    /**
+     * Synthesize the completed-entry record of a planner-kept query:
+     * the functional outcome from the job's expectation, the whole
+     * duration charged to SwFallback (the core-executed-walk
+     * component), enqueued == issue so Submit is zero.
+     */
+    QstEntry coreExecutedEntry(const QueryJob& job,
+                               std::uint64_t query_id, Cycles issue_at,
+                               Cycles sw_cycles) const;
+
+    /**
+     * True when the planner keeps this query on the core. Only
+     * consults the planner when core execution is actually possible
+     * (fallback traces attached).
+     */
+    bool plannerKeepsOnCore(const QueryJob& job);
+
+    /** The live routing context (with the QST free-slot probe). */
+    Topology::RouteContext routeContext();
+
     /** Arm the watchdog (and, if configured, the interrupt flusher). */
     void armFaultDaemons();
 
@@ -388,6 +436,16 @@ class QeiSystem : public SimObject
     FaultCounters faultCountersNow() const;
     void fillFaultStats(QeiRunStats& stats,
                         const FaultCounters& before) const;
+
+    /** Planner counter snapshot, for per-run deltas. */
+    struct PlannerCounters
+    {
+        std::uint64_t decisions = 0;
+        std::uint64_t coreExecutes = 0;
+    };
+    PlannerCounters plannerCountersNow() const;
+    void fillPlannerStats(QeiRunStats& stats,
+                          const PlannerCounters& before) const;
 
     ChipConfig chip_;
     EventQueue& events_;
@@ -424,6 +482,8 @@ class QeiSystem : public SimObject
     std::unique_ptr<BatchMetrics> batchStats_;
     /** Borrowed telemetry sampler; null when sampling is off. */
     metrics::MetricsSampler* metrics_ = nullptr;
+    /** Borrowed offload planner; null for static runs. */
+    OffloadPlanner* planner_ = nullptr;
     /** Scalar QUERY_NB full-QST retries, cumulative across runs. */
     Counter backoffs_;
     trace::TraceSink* trace_ = nullptr;

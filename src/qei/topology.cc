@@ -1,5 +1,8 @@
 #include "topology.hh"
 
+#include <algorithm>
+#include <memory>
+
 #include "common/format.hh"
 #include "common/logging.hh"
 #include "mem/hierarchy.hh"
@@ -21,8 +24,8 @@ Topology::Topology(const SchemeConfig& params) : params_(params)
         const int tile =
             params_.accelerators == 1 ? params_.deviceTile : i;
         const int homeCore = params_.perCore ? tile : 0;
-        placements_.push_back(
-            AcceleratorPlacement{fmt("accel{}", i), tile, homeCore});
+        placements_.push_back(AcceleratorPlacement{
+            fmt("accel{}", i), tile, homeCore, nullptr});
     }
 }
 
@@ -53,6 +56,36 @@ Topology::withRoute(RouteFn fn)
 {
     route_ = std::move(fn);
     return *this;
+}
+
+const SchemeConfig&
+Topology::paramsFor(int idx) const
+{
+    const auto& p = placements_.at(static_cast<std::size_t>(idx));
+    return p.params ? *p.params : params_;
+}
+
+bool
+Topology::heterogeneous() const
+{
+    for (const auto& p : placements_) {
+        if (p.params)
+            return true;
+    }
+    return false;
+}
+
+void
+Topology::limitQstEntries(int entries)
+{
+    params_.qstEntries = std::min(params_.qstEntries, entries);
+    for (auto& p : placements_) {
+        if (p.params && p.params->qstEntries > entries) {
+            auto shrunk = std::make_shared<SchemeConfig>(*p.params);
+            shrunk->qstEntries = entries;
+            p.params = std::move(shrunk);
+        }
+    }
 }
 
 int
@@ -116,6 +149,68 @@ Topology::allPaper()
     for (const SchemeConfig& s : SchemeConfig::allSchemes())
         all.push_back(Topology(s));
     return all;
+}
+
+namespace {
+
+/** splitmix64 finalizer: uncorrelated shard pick per key line. */
+std::uint64_t
+mixLine(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Topology
+Topology::sharded(const SchemeConfig& family, int shards,
+                  bool work_stealing)
+{
+    simAssert(shards >= 1, "sharded topology needs >= 1 shard, got {}",
+              shards);
+    SchemeConfig params = family;
+    params.accelerators = shards;
+    Topology topo(params);
+
+    std::vector<AcceleratorPlacement> places;
+    places.reserve(static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i) {
+        // Wrap over the mesh: shard counts beyond the tile count
+        // co-locate instances rather than fall off the chip.
+        const int tile = i % 24;
+        const int homeCore = family.perCore ? tile : 0;
+        places.push_back(AcceleratorPlacement{
+            fmt("shard{}", i), tile, homeCore, nullptr});
+    }
+    topo.withPlacements(std::move(places));
+
+    topo.withRoute([shards, work_stealing](Addr key_addr, int,
+                                           const RouteContext& ctx) {
+        const std::uint64_t line = key_addr / kCacheLineBytes;
+        const int home = static_cast<int>(
+            mixLine(line) % static_cast<std::uint64_t>(shards));
+        if (!work_stealing || !ctx.freeSlots ||
+            ctx.freeSlots(home) > 0)
+            return home;
+        // Home shard full: steal a slot from the emptiest shard
+        // (lowest index wins ties, so the pick is deterministic).
+        int best = home;
+        int bestFree = 0;
+        for (int i = 0; i < shards; ++i) {
+            const int free = ctx.freeSlots(i);
+            if (free > bestFree) {
+                best = i;
+                bestFree = free;
+            }
+        }
+        return best;
+    });
+
+    return topo.named(fmt("{}-shard{}{}", family.name(), shards,
+                          work_stealing ? "+steal" : ""));
 }
 
 } // namespace qei

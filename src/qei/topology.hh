@@ -17,6 +17,7 @@
 #define QEI_QEI_TOPOLOGY_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,15 @@ struct AcceleratorPlacement
     /** Core whose L2 / L2-TLB / MMU the instance borrows when its
      *  translate or data path needs one. */
     int homeCore = 0;
+    /**
+     * Per-instance parameter override for heterogeneous deployments
+     * (the planner's mixed-workload unions mix CHA-TLB and
+     * Core-integrated instances on one chip). Null — the default —
+     * means the topology-wide params() apply, which is what every
+     * canonical scheme topology uses. Shared and treated as immutable
+     * so placements stay cheap to copy across matrix cells.
+     */
+    std::shared_ptr<const SchemeConfig> params;
 };
 
 /**
@@ -57,6 +67,14 @@ class Topology
     {
         VirtualMemory& vm;
         MemoryHierarchy& memory;
+        /**
+         * Live QST free-slot probe, indexed by accelerator id; null
+         * outside a run (a route hook must tolerate its absence).
+         * Lets occupancy-aware policies — the sharded topologies' work
+         * stealing, the planner's load spreading — divert a query when
+         * its home instance is full. Probing changes no timing.
+         */
+        std::function<int(int accel_idx)> freeSlots;
     };
 
     /**
@@ -86,6 +104,24 @@ class Topology
     {
         return placements_;
     }
+
+    /**
+     * The effective parameter block of instance @p idx: its
+     * placement's override when one is set, the topology-wide params()
+     * otherwise. Every canonical topology returns params() for all
+     * instances.
+     */
+    const SchemeConfig& paramsFor(int idx) const;
+
+    /** True when any placement carries a per-instance override. */
+    bool heterogeneous() const;
+
+    /**
+     * Clamp every QST (topology-wide and per-instance overrides) to at
+     * most @p entries — the injected capacity-pressure fault. A no-op
+     * when every table is already at or below the limit.
+     */
+    void limitQstEntries(int entries);
 
     int acceleratorCount() const
     {
@@ -123,6 +159,20 @@ class Topology
 
     /** All five, in the paper's presentation order. */
     static std::vector<Topology> allPaper();
+
+    /**
+     * Key-space sharded deployment: @p shards instances of @p family
+     * (one per mesh tile, wrapping), each owning an equal hash slice
+     * of the key space. Routing hashes the queried key's cacheline, so
+     * a query's home shard is a pure function of its key — results are
+     * order-independent-checksum-identical to a single-instance run.
+     * With @p work_stealing, a query whose home shard's QST is full
+     * diverts to the fullest-free shard instead of waiting (the route
+     * consults RouteContext::freeSlots; without the probe it stays
+     * home). Named "<family>-shard<N>" ("+steal" when stealing).
+     */
+    static Topology sharded(const SchemeConfig& family, int shards,
+                            bool work_stealing = false);
 
   private:
     SchemeConfig params_;

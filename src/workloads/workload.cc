@@ -109,6 +109,21 @@ runQei(World& world, const Prepared& prepared,
     // with a fault mix configured, faulted queries re-execute on the
     // simulated core instead of surfacing as exceptions (Sec. IV-D).
     system.setSoftwareFallback(&prepared.traces, prepared.profile);
+    // Offload planner: per-run (matrix cells share no mutable state),
+    // attached only when a mode is in force — explicitly via
+    // DriverConfig.withPlanner or process-wide via --planner/
+    // QEI_PLANNER. Attaching adds the core-vs-accelerate decision
+    // layer on top of whatever deployment this cell chose; routing
+    // stays the topology's job.
+    std::unique_ptr<OffloadPlanner> planner;
+    PlannerConfig plannerCfg = config.planner;
+    plannerCfg.mode = plannerCfg.resolvedMode();
+    if (plannerCfg.mode != PlannerMode::Static) {
+        planner = std::make_unique<OffloadPlanner>(plannerCfg);
+        planner->bindTopology(config.topology);
+        system.adopt(*planner);
+        system.setPlanner(planner.get());
+    }
     // Telemetry rides daemon events, so arming it changes no query
     // timing; declared after the system so it dies first (its probes
     // borrow registry pointers into the component tree).

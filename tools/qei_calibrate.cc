@@ -1,0 +1,181 @@
+/**
+ * @file
+ * qei-calibrate: fit the offload planner's cost model from committed
+ * BENCH artifacts.
+ *
+ * Reads the fig07 speedup artifact (the per-workload cycles/query of
+ * the software baseline and of every integration scheme) and emits
+ * the planner's calibration as perf/cost_model.json. The same numbers
+ * are baked into CostModel::builtin() so the simulator needs no
+ * filesystem access at run time; `--check` verifies artifact, JSON,
+ * and builtin all agree, which is what CI runs.
+ *
+ *   qei-calibrate [--artifact BENCH_out/BENCH_fig07_speedup.json]
+ *                 [--out perf/cost_model.json] [--check]
+ *
+ * With --check, no file is written: the tool recomputes the model
+ * from the artifact and diffs it against both the committed JSON and
+ * the builtin table (tolerance 1e-3 cycles/query), exiting non-zero
+ * on any drift. Regenerate with the same command minus --check.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+#include "qei/planner.hh"
+
+namespace {
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "qei-calibrate: cannot read %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Fit the model from the fig07 artifact's cycles/query numbers. */
+qei::CostModel
+fitFromArtifact(const qei::Json& doc)
+{
+    qei::CostModel model;
+    const qei::Json* workloads = doc.find("workloads");
+    if (workloads == nullptr || !workloads->isArray()) {
+        std::fprintf(stderr,
+                     "qei-calibrate: artifact has no 'workloads' "
+                     "array (is this BENCH_fig07_speedup.json?)\n");
+        std::exit(2);
+    }
+    for (const qei::Json& w : workloads->elements()) {
+        qei::CostModel::WorkloadCosts costs;
+        costs.core = w.at("baseline")
+                         .at("cycles_per_query")
+                         .asDouble();
+        for (const auto& [scheme, stats] : w.at("schemes").items())
+            costs.schemes[scheme] =
+                stats.at("cycles_per_query").asDouble();
+        model.set(w.at("workload").asString(), std::move(costs));
+    }
+    return model;
+}
+
+/** Max absolute cycles/query difference between two models. */
+double
+modelDelta(const qei::CostModel& a, const qei::CostModel& b)
+{
+    double worst = 0.0;
+    auto fold = [&](const qei::CostModel& x, const qei::CostModel& y) {
+        for (const auto& [name, costs] : x.workloads()) {
+            worst = std::max(
+                worst, std::abs(costs.core - y.coreCost(name)));
+            for (const auto& [scheme, cycles] : costs.schemes) {
+                worst = std::max(
+                    worst,
+                    std::abs(cycles - y.schemeCost(name, scheme)));
+            }
+        }
+    };
+    fold(a, b);
+    fold(b, a); // catches workloads/schemes present on one side only
+    return worst;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string artifactPath = "BENCH_out/BENCH_fig07_speedup.json";
+    std::string outPath = "perf/cost_model.json";
+    bool check = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        auto operand = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "qei-calibrate: %s needs an argument\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--artifact") == 0) {
+            artifactPath = operand("--artifact");
+        } else if (std::strcmp(arg, "--out") == 0) {
+            outPath = operand("--out");
+        } else if (std::strcmp(arg, "--check") == 0) {
+            check = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: qei-calibrate [--artifact <fig07 "
+                         "json>] [--out <cost_model.json>] "
+                         "[--check]\n");
+            return 2;
+        }
+    }
+
+    const qei::Json artifact =
+        qei::Json::parse(readFile(artifactPath));
+    const qei::CostModel fitted = fitFromArtifact(artifact);
+    constexpr double kTolerance = 1e-3;
+
+    if (check) {
+        bool ok = true;
+        const double builtinDelta =
+            modelDelta(fitted, qei::CostModel::builtin());
+        if (builtinDelta > kTolerance) {
+            std::fprintf(stderr,
+                         "CostModel::builtin() drifted from %s by "
+                         "%.4f cycles/query — re-run qei-calibrate "
+                         "and update planner.cc\n",
+                         artifactPath.c_str(), builtinDelta);
+            ok = false;
+        }
+        const qei::CostModel committed =
+            qei::CostModel::fromJson(qei::Json::parse(readFile(outPath)));
+        const double jsonDelta = modelDelta(fitted, committed);
+        if (jsonDelta > kTolerance) {
+            std::fprintf(stderr,
+                         "%s drifted from %s by %.4f cycles/query — "
+                         "re-run qei-calibrate\n",
+                         outPath.c_str(), artifactPath.c_str(),
+                         jsonDelta);
+            ok = false;
+        }
+        if (ok) {
+            std::printf("cost model in sync: %s == %s == builtin "
+                        "(tolerance %.0e)\n",
+                        outPath.c_str(), artifactPath.c_str(),
+                        kTolerance);
+        }
+        return ok ? 0 : 1;
+    }
+
+    std::ofstream out(outPath);
+    if (!out) {
+        std::fprintf(stderr, "qei-calibrate: cannot write %s\n",
+                     outPath.c_str());
+        return 2;
+    }
+    out << fitted.toJson().dump(2) << '\n';
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "qei-calibrate: failed writing %s\n",
+                     outPath.c_str());
+        return 2;
+    }
+    std::printf("wrote %s (%zu workloads)\n", outPath.c_str(),
+                fitted.workloads().size());
+    return 0;
+}
