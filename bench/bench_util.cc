@@ -805,6 +805,34 @@ toJson(const QeiRunStats& stats)
         out["planner"] = std::move(planner);
     }
 
+    // Admission / multi-tenant serving block, only when the serving
+    // path ran — every historical artifact keeps its exact shape.
+    if (!stats.tenants.empty() || stats.sheddedQueries > 0 ||
+        stats.admittedQueries > 0) {
+        Json adm = Json::object();
+        adm["admitted"] = stats.admittedQueries;
+        adm["shed"] = stats.sheddedQueries;
+        adm["degraded"] = stats.degradedQueries;
+        adm["admitted_checksum"] =
+            fmt("{}", stats.admittedChecksum);
+        Json tenants = Json::array();
+        for (const auto& t : stats.tenants) {
+            Json one = Json::object();
+            one["tenant"] = t.tenant;
+            one["offered"] = t.offered;
+            one["admitted"] = t.admitted;
+            one["shed"] = t.shed;
+            one["degraded"] = t.degraded;
+            one["sojourn_p50"] = t.sojournP50;
+            one["sojourn_p99"] = t.sojournP99;
+            one["sojourn_mean"] = t.sojournMean;
+            one["occupancy_mean"] = t.occupancyMean;
+            tenants.push_back(std::move(one));
+        }
+        adm["tenants"] = std::move(tenants);
+        out["admission"] = std::move(adm);
+    }
+
     // Sampled time series, only when the run had a sampler attached
     // (--metrics): unsampled artifacts keep their historical shape
     // byte-for-byte.

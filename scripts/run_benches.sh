@@ -22,13 +22,16 @@
 #               and regenerate output-dir/EXPERIMENTS.md from them. The
 #               script's exit code covers both.
 #   --faults[=SPEC]  fault-matrix smoke mode: run only the robustness
-#               harness (abl_fault --validate) plus fig09_end_to_end
-#               under the fault mix SPEC (default
+#               harnesses (abl_fault --validate, and abl_overload
+#               --validate at its smoke query count) plus
+#               fig09_end_to_end under the fault mix SPEC (default
 #               "pf=0.03,bh=0.01,fw=0.01,flush=20000"; grammar in
 #               docs/robustness.md). abl_fault sets its own per-mix
-#               faults; fig09 inherits SPEC via --faults and must
-#               still pass its paper bands — recovery only moves
-#               timing inside the tolerance, never results.
+#               faults; fig09 and abl_overload inherit SPEC via
+#               --faults and must still pass their bands — recovery
+#               only moves timing inside the tolerance, never
+#               results, and shed queries never consume a fault
+#               decision.
 #   build-dir   cmake build tree (default: build); configured+built
 #               here if the bench binaries are missing
 #   output-dir  where the BENCH_*.json files land (default: .)
@@ -117,6 +120,11 @@ if [ -n "$faults" ]; then
     "$build_dir/bench/fig09_end_to_end" --threads "$threads" \
         --validate --faults "$fault_spec" \
         --json "$out_dir/BENCH_FAULT_fig09_end_to_end.json" || status=1
+    # Overload resilience under chaos: admission, shedding, and
+    # degradation must keep their gates while faults fire.
+    "$build_dir/bench/abl_overload" --threads "$threads" \
+        --validate --faults "$fault_spec" \
+        --json "$out_dir/BENCH_FAULT_abl_overload.json" 400 || status=1
     if [ "$status" -eq 0 ]; then
         echo "== fault-matrix smoke: PASS"
     else

@@ -105,7 +105,7 @@ Accelerator::regStats(StatsRegistry& registry)
 int
 Accelerator::enqueue(Addr header_addr, Addr key_addr, Addr result_addr,
                      QueryMode mode, std::uint64_t query_id,
-                     CompletionFn on_complete)
+                     CompletionFn on_complete, int tenant)
 {
     const int slot = qst_.allocate();
     if (slot < 0)
@@ -116,6 +116,7 @@ Accelerator::enqueue(Addr header_addr, Addr key_addr, Addr result_addr,
     entry.resultAddr = result_addr;
     entry.mode = mode;
     entry.queryId = query_id;
+    entry.tenant = tenant;
     entry.enqueued = env_.events.now();
     completions_[static_cast<std::size_t>(slot)] =
         std::move(on_complete);

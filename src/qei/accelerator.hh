@@ -98,12 +98,14 @@ class Accelerator : public SimObject
 
     /**
      * Accept a query into the Query Queue at the current event time.
+     * @p tenant tags the QST entry for per-tenant accounting (0 —
+     * the default — for every single-tenant path).
      * @return the QST id, or -1 when the table is full (the caller —
      * software — is responsible for not overflowing, Sec. IV-A).
      */
     int enqueue(Addr header_addr, Addr key_addr, Addr result_addr,
                 QueryMode mode, std::uint64_t query_id,
-                CompletionFn on_complete);
+                CompletionFn on_complete, int tenant = 0);
 
     /** One key of a QUERY_BATCH descriptor. */
     struct BatchMember

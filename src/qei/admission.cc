@@ -1,0 +1,192 @@
+#include "admission.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qei {
+
+const char*
+toString(AdmissionPolicy policy)
+{
+    switch (policy) {
+      case AdmissionPolicy::None:
+        return "none";
+      case AdmissionPolicy::QueueLimit:
+        return "queue-limit";
+      case AdmissionPolicy::TokenBucket:
+        return "token-bucket";
+      case AdmissionPolicy::Adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
+const char*
+toString(TenantShare share)
+{
+    switch (share) {
+      case TenantShare::None:
+        return "none";
+      case TenantShare::Hard:
+        return "hard";
+      case TenantShare::Weighted:
+        return "weighted";
+    }
+    return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : SimObject("admission"), config_(config),
+      window_(config.window > 0 ? config.window : 1)
+{
+    if (config_.policy == AdmissionPolicy::QueueLimit) {
+        simAssert(config_.queueLimit > 0,
+                  "QueueLimit admission needs a positive queue limit");
+    }
+    if (config_.policy == AdmissionPolicy::TokenBucket) {
+        simAssert(config_.tokensPerKCycle > 0.0,
+                  "TokenBucket admission needs a positive rate, got {}",
+                  config_.tokensPerKCycle);
+        simAssert(config_.bucketDepth >= 1.0,
+                  "TokenBucket admission needs depth >= 1, got {}",
+                  config_.bucketDepth);
+    }
+    if (config_.policy == AdmissionPolicy::Adaptive) {
+        simAssert(config_.sloP99 > 0.0,
+                  "Adaptive admission needs a positive sojourn-p99 "
+                  "SLO, got {}",
+                  config_.sloP99);
+        simAssert(config_.recoverFraction > 0.0 &&
+                      config_.recoverFraction <= 1.0,
+                  "Adaptive recover fraction must be in (0, 1], got {}",
+                  config_.recoverFraction);
+    }
+}
+
+void
+AdmissionController::regStats(StatsRegistry& registry)
+{
+    const std::string base = fullPath() + ".";
+    registry.addCounter(base + "admitted", admitted_,
+                        "arrivals admitted to the pending queue");
+    registry.addCounter(base + "shed", shed_,
+                        "arrivals shed by the admission policy");
+    registry.addCounter(base + "degraded", degraded_,
+                        "shed queries degraded to the core-execute "
+                        "path");
+    registry.addCounter(base + "slo_breaches", breaches_,
+                        "Adaptive: windowed-p99 SLO breach episodes");
+    registry.addCounter(base + "slo_recoveries", recoveries_,
+                        "Adaptive: hysteresis recoveries from "
+                        "shedding");
+}
+
+AdmissionController::Bucket&
+AdmissionController::bucket(int tenant)
+{
+    const std::size_t idx =
+        tenant >= 0 ? static_cast<std::size_t>(tenant) : 0;
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1);
+    return buckets_[idx];
+}
+
+bool
+AdmissionController::decide(int tenant, Cycles now,
+                            std::size_t pending_depth)
+{
+    bool admit = true;
+    switch (config_.policy) {
+      case AdmissionPolicy::None:
+        break;
+      case AdmissionPolicy::QueueLimit:
+        // Tail drop: an arrival that would grow the pending queue
+        // past the limit is shed; queued work is never evicted.
+        admit = pending_depth < config_.queueLimit;
+        break;
+      case AdmissionPolicy::TokenBucket: {
+        Bucket& b = bucket(tenant);
+        if (!b.primed) {
+            // A fresh tenant starts with a full bucket.
+            b.tokens = config_.bucketDepth;
+            b.lastRefill = now;
+            b.primed = true;
+        } else if (now > b.lastRefill) {
+            b.tokens = std::min(
+                config_.bucketDepth,
+                b.tokens + static_cast<double>(now - b.lastRefill) *
+                               config_.tokensPerKCycle / 1024.0);
+            b.lastRefill = now;
+        }
+        admit = b.tokens >= 1.0;
+        if (admit)
+            b.tokens -= 1.0;
+        break;
+      }
+      case AdmissionPolicy::Adaptive:
+        // The breach/recover state machine advances on admitted
+        // completions (onAdmittedCompletion); arrivals only read it —
+        // with one exception: a drained backlog is overload's end.
+        // Without this, a shed episode that outlives the queue would
+        // never see another admitted completion and shed forever.
+        if (shedding_ && pending_depth == 0) {
+            shedding_ = false;
+            recoveries_.inc();
+            // Stale pre-breach sojourns must not instantly re-breach.
+            window_.reset();
+        }
+        admit = !shedding_;
+        break;
+    }
+    if (admit)
+        admitted_.inc();
+    else
+        shed_.inc();
+    return admit;
+}
+
+void
+AdmissionController::onAdmittedCompletion(double sojourn_cycles)
+{
+    if (config_.policy != AdmissionPolicy::Adaptive)
+        return;
+    window_.push(sojourn_cycles);
+    if (window_.count() < std::max<std::size_t>(config_.minSamples, 1))
+        return;
+    const double p99 = window_.percentile(0.99);
+    if (!shedding_ && p99 > config_.sloP99) {
+        shedding_ = true;
+        breaches_.inc();
+    } else if (shedding_ &&
+               p99 <= config_.sloP99 * config_.recoverFraction) {
+        shedding_ = false;
+        recoveries_.inc();
+    }
+}
+
+int
+tenantGuaranteedSlots(const TenantQuota& quota, int capacity,
+                      int tenant, int tenants)
+{
+    if (!quota.active() || tenants <= 1)
+        return capacity;
+    long sumW = 0;
+    long w = 1;
+    for (int t = 0; t < tenants; ++t) {
+        const long wt =
+            quota.weights.empty()
+                ? 1
+                : quota.weights[std::min<std::size_t>(
+                      static_cast<std::size_t>(t),
+                      quota.weights.size() - 1)];
+        simAssert(wt > 0, "tenant weights must be positive, got {}",
+                  wt);
+        sumW += wt;
+        if (t == tenant)
+            w = wt;
+    }
+    return std::max(1, static_cast<int>(capacity * w / sumW));
+}
+
+} // namespace qei

@@ -22,12 +22,57 @@
 
 #include "common/sim_object.hh"
 #include "common/stats.hh"
+#include "qei/admission.hh"
 #include "qei/planner.hh"
 #include "qei/system.hh"
 #include "qei/topology.hh"
 #include "traffic/traffic.hh"
 
 namespace qei {
+
+/**
+ * Per-tenant serving accounting, adopted as "tenant.<id>" children of
+ * DriverMetrics (stats paths system.driver.tenant.<id>.*). Created
+ * only by the Driver's multi-tenant serving path, so single-tenant
+ * stats dumps are unchanged.
+ */
+class TenantStats : public SimObject
+{
+  public:
+    TenantStats() : SimObject("tenant") {}
+
+    void regStats(StatsRegistry& registry) override;
+
+    void
+    reset()
+    {
+        offered_.reset();
+        admitted_.reset();
+        shed_.reset();
+        degraded_.reset();
+        sojourn_.reset();
+        occupancy_.reset();
+    }
+
+    Counter& offered() { return offered_; }
+    Counter& admitted() { return admitted_; }
+    Counter& shed() { return shed_; }
+    Counter& degraded() { return degraded_; }
+    /** Admitted-only sojourn histogram (32-cycle buckets). */
+    const Histogram& sojourn() const { return sojourn_; }
+    /** QST slots held by this tenant, sampled at each issue. */
+    ScalarStat& occupancy() { return occupancy_; }
+
+  private:
+    friend class DriverMetrics;
+
+    Counter offered_;
+    Counter admitted_;
+    Counter shed_;
+    Counter degraded_;
+    Histogram sojourn_{32.0, 8192};
+    ScalarStat occupancy_;
+};
 
 /**
  * Per-query latency histograms, registered as the "driver" child of
@@ -40,11 +85,26 @@ class DriverMetrics : public SimObject
     DriverMetrics() : SimObject("driver") {}
 
     void
-    record(Cycles queue_wait, Cycles service)
+    record(Cycles queue_wait, Cycles service, int tenant = 0)
     {
         queueWait_.sample(static_cast<double>(queue_wait));
         service_.sample(static_cast<double>(service));
         sojourn_.sample(static_cast<double>(queue_wait + service));
+        if (TenantStats* t = tenantStats(tenant))
+            t->sojourn_.sample(
+                static_cast<double>(queue_wait + service));
+    }
+
+    /** Fold one shed-and-degraded completion: the degraded histogram
+     *  plus the tenant's, never the admitted-only histograms. */
+    void
+    recordDegraded(int tenant, Cycles queue_wait, Cycles service)
+    {
+        degradedSojourn_.sample(
+            static_cast<double>(queue_wait + service));
+        if (TenantStats* t = tenantStats(tenant))
+            t->sojourn_.sample(
+                static_cast<double>(queue_wait + service));
     }
 
     void
@@ -53,11 +113,41 @@ class DriverMetrics : public SimObject
         sojourn_.reset();
         queueWait_.reset();
         service_.reset();
+        degradedSojourn_.reset();
+        for (auto& t : tenants_)
+            t->reset();
+    }
+
+    /**
+     * Create (and adopt, as "tenant.<id>") per-tenant accounting for
+     * tenants [0, @p count). Existing children are kept, so repeated
+     * runs on one system reuse them (reset() zeroes the counters).
+     */
+    void ensureTenants(int count);
+
+    /** Tenant @p tenant's accounting; nullptr when never created
+     *  (every single-tenant path). */
+    TenantStats*
+    tenantStats(int tenant)
+    {
+        const auto idx = static_cast<std::size_t>(tenant);
+        return tenant >= 0 && idx < tenants_.size()
+                   ? tenants_[idx].get()
+                   : nullptr;
+    }
+
+    int tenantCount() const
+    {
+        return static_cast<int>(tenants_.size());
     }
 
     const Histogram& sojourn() const { return sojourn_; }
     const Histogram& queueWait() const { return queueWait_; }
     const Histogram& service() const { return service_; }
+    const Histogram& degradedSojourn() const
+    {
+        return degradedSojourn_;
+    }
 
     void regStats(StatsRegistry& registry) override;
 
@@ -71,6 +161,9 @@ class DriverMetrics : public SimObject
     Histogram sojourn_{32.0, 8192};
     Histogram queueWait_{32.0, 8192};
     Histogram service_{32.0, 8192};
+    /** Sojourn of shed-and-degraded queries (serving path only). */
+    Histogram degradedSojourn_{32.0, 8192};
+    std::vector<std::unique_ptr<TenantStats>> tenants_;
 };
 
 /**
@@ -122,6 +215,17 @@ struct DriverConfig
      * system; plain values keep the config copyable.
      */
     PlannerConfig planner;
+    /**
+     * Admission-control parameters (src/qei/admission.hh). The
+     * default policy None constructs no controller and takes none of
+     * the serving-path branches, so historical runs stay
+     * byte-identical. A non-None policy (or a multi-tenant arrival
+     * stream, or an active tenant quota) routes open-loop runs
+     * through the Driver's serving loop: per-tenant pending queues,
+     * quota-aware issue, shedding, and optional shed-to-core
+     * degradation. Requires an open-loop, non-batched source.
+     */
+    AdmissionConfig admission;
 
     DriverConfig(Topology topo) : topology(std::move(topo)) {}
     DriverConfig(const SchemeConfig& scheme) : topology(scheme) {}
@@ -182,6 +286,13 @@ struct DriverConfig
         planner = std::move(p);
         return *this;
     }
+
+    DriverConfig&
+    withAdmission(AdmissionConfig a)
+    {
+        admission = a;
+        return *this;
+    }
 };
 
 /**
@@ -211,6 +322,19 @@ class Driver
     QeiRunStats runOpenLoop(const std::vector<QueryJob>& jobs,
                             const RoiProfile& profile,
                             const std::vector<traffic::Arrival>& arrivals);
+
+    /**
+     * The overload-resilient serving loop: per-tenant pending FIFOs,
+     * admission control per arrival, quota-aware round-robin issue,
+     * and optional shed-to-core degradation. Only taken when the
+     * config opts in (non-None admission policy, a multi-tenant
+     * arrival stream, or an active tenant quota) — the plain
+     * runOpenLoop path above stays untouched, keeping single-tenant
+     * artifacts byte-identical.
+     */
+    QeiRunStats runServing(const std::vector<QueryJob>& jobs,
+                           const RoiProfile& profile,
+                           const std::vector<traffic::Arrival>& arrivals);
 
     QeiSystem& system_;
     const DriverConfig& config_;

@@ -81,6 +81,8 @@ struct QstEntry
     std::uint32_t epoch = 0;
     /** QUERY_BATCH context this entry belongs to; -1 for scalar. */
     std::int32_t batchId = -1;
+    /** Logical tenant the query belongs to (0 when single-tenant). */
+    std::int32_t tenant = 0;
     std::uint64_t queryId = 0;
     Cycles enqueued = 0;
     Cycles completed = 0;

@@ -51,6 +51,30 @@ enum class DataPath : std::uint8_t {
     DevicePath,
 };
 
+/**
+ * How a deployment splits QST slots between tenants (the multi-tenant
+ * fairness knob; see src/qei/admission.hh for the serving-side layer
+ * that enforces it).
+ */
+enum class TenantShare : std::uint8_t {
+    None = 0, ///< no per-tenant cap; first come, first served
+    Hard,     ///< strict partition: a tenant never exceeds its share
+    Weighted, ///< guaranteed share + work-conserving borrowing
+};
+
+/** Per-tenant QST slot quota configuration. */
+struct TenantQuota
+{
+    TenantShare share = TenantShare::None;
+    /**
+     * Relative slot weights per tenant; empty means equal shares.
+     * Tenants beyond the vector reuse the last weight.
+     */
+    std::vector<int> weights;
+
+    bool active() const { return share != TenantShare::None; }
+};
+
 /** Full parameterisation of one integration scheme. */
 struct SchemeConfig
 {
@@ -86,6 +110,13 @@ struct SchemeConfig
     bool remoteComparators = false;
     /** Keys at or below this many bytes compare locally in the DPU. */
     std::uint32_t localCompareMaxBytes = 8;
+
+    /**
+     * Per-tenant QST slot quotas, enforced by the Driver's serving
+     * path. Default None keeps every historical deployment (and its
+     * artifacts) untouched.
+     */
+    TenantQuota tenantQuota;
 
     std::string name() const;
 

@@ -170,7 +170,7 @@ QeiSystem::responseLatency(int core, const Accelerator& target,
 void
 QeiSystem::recordCompletion(const QstEntry& entry, Cycles issue_at,
                             Cycles response_latency,
-                            Cycles queue_wait)
+                            Cycles queue_wait, bool degraded)
 {
     watchdog_->noteProgress();
     trace::QueryAttribution a;
@@ -187,10 +187,18 @@ QeiSystem::recordCompletion(const QstEntry& entry, Cycles issue_at,
     const Cycles endToEnd =
         (events_.now() + response_latency) - issue_at;
     a.endToEnd = endToEnd;
-    driverStats_->record(queue_wait, endToEnd);
-    if (metrics::active(metrics_)) {
-        metrics_->onSojourn(
-            static_cast<double>(queue_wait + endToEnd));
+    if (degraded) {
+        // Shed-and-degraded work is charged to the breakdown below
+        // but kept out of the admitted-only serving histograms and
+        // the tail monitor.
+        driverStats_->recordDegraded(entry.tenant, queue_wait,
+                                     endToEnd);
+    } else {
+        driverStats_->record(queue_wait, endToEnd, entry.tenant);
+        if (metrics::active(metrics_)) {
+            metrics_->onSojourn(
+                static_cast<double>(queue_wait + endToEnd));
+        }
     }
     // Zero by construction (every scheduled delay is charged to one
     // component); anything unaccounted would land in Other.

@@ -32,6 +32,7 @@
 
 namespace qei {
 
+class AdmissionController;
 class Driver;
 class DriverMetrics;
 class OffloadPlanner;
@@ -90,6 +91,40 @@ struct QeiRunStats
     std::uint64_t faultFlushes = 0;
     /** QUERY_NB retries after finding the target QST full. */
     std::uint64_t qstBackoffs = 0;
+
+    // -- overload resilience (admission + multi-tenant serving;
+    //    zeros on every path but the Driver's serving loop) --
+    /** Arrivals admitted past the admission layer. */
+    std::uint64_t admittedQueries = 0;
+    /** Arrivals shed by the admission policy. */
+    std::uint64_t sheddedQueries = 0;
+    /** Shed queries that degraded to the core-execute path. */
+    std::uint64_t degradedQueries = 0;
+    /**
+     * Order-independent digest over the *admitted* subset only
+     * (equals resultChecksum when nothing was shed or degraded).
+     * Identical across --threads and across shed-to-core degradation
+     * on/off — the admitted-set stability invariant abl_overload
+     * asserts.
+     */
+    std::uint64_t admittedChecksum = 0;
+
+    /** Per-tenant serving outcome (empty on single-tenant paths). */
+    struct TenantSummary
+    {
+        int tenant = 0;
+        std::uint64_t offered = 0;
+        std::uint64_t admitted = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t degraded = 0;
+        /** Admitted-only sojourn digest. */
+        double sojournP50 = 0.0;
+        double sojournP99 = 0.0;
+        double sojournMean = 0.0;
+        /** Mean in-flight QST slots held at issue time. */
+        double occupancyMean = 0.0;
+    };
+    std::vector<TenantSummary> tenants;
 
     // -- offload planner (zeros when no planner is attached) --
     /** Issue-path planner consultations this run. */
@@ -276,6 +311,21 @@ class QeiSystem : public SimObject
     }
 
     /**
+     * Attach (or detach, with nullptr) the admission controller: the
+     * Driver's serving loop consults it per arrival and feeds it per
+     * admitted completion. Borrowed — the owner (runQei) must outlive
+     * the runs that use it. Null (the default, and whenever the
+     * configured policy is None) means every arrival is admitted and
+     * no "system.admission" node exists, keeping historical artifacts
+     * byte-identical.
+     */
+    void setAdmission(AdmissionController* admission)
+    {
+        admission_ = admission;
+    }
+    AdmissionController* admission() { return admission_; }
+
+    /**
      * Live full-QST deferrals (scalar QUERY_NB retries plus batch
      * admission backoffs), cumulative across runs — the counter the
      * metrics backoff-rate series differentiates.
@@ -349,10 +399,16 @@ class QeiSystem : public SimObject
      * non-blocking queries, whose polling is charged in aggregate);
      * @p queue_wait the software queueing delay before issue (only
      * non-zero under an open-loop traffic source).
+     * @p degraded marks a shed query completing on the core-execute
+     * path: it is charged to the breakdown (SwFallback) and the
+     * degraded histogram, but excluded from the admitted-only
+     * sojourn/queue-wait/service histograms and the metrics tail
+     * monitor, so serving percentiles describe admitted work.
      */
     void recordCompletion(const QstEntry& entry, Cycles issue_at,
                           Cycles response_latency,
-                          Cycles queue_wait = 0);
+                          Cycles queue_wait = 0,
+                          bool degraded = false);
 
     /** Gather per-accelerator counters into @p stats. */
     void collectAccelStats(QeiRunStats& stats) const;
@@ -484,6 +540,8 @@ class QeiSystem : public SimObject
     metrics::MetricsSampler* metrics_ = nullptr;
     /** Borrowed offload planner; null for static runs. */
     OffloadPlanner* planner_ = nullptr;
+    /** Borrowed admission controller; null = admit everything. */
+    AdmissionController* admission_ = nullptr;
     /** Scalar QUERY_NB full-QST retries, cumulative across runs. */
     Counter backoffs_;
     trace::TraceSink* trace_ = nullptr;

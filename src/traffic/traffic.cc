@@ -1,6 +1,8 @@
 #include "traffic.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/format.hh"
 #include "common/logging.hh"
@@ -129,6 +131,160 @@ Bursty::schedule(std::size_t count)
     return out;
 }
 
+Diurnal::Diurnal(double mean_gap_cycles, double amplitude,
+                 double period_cycles, std::uint64_t seed, int tenants)
+    : meanGap_(mean_gap_cycles),
+      amplitude_(amplitude < 0.0 ? 0.0
+                                 : (amplitude > 0.95 ? 0.95 : amplitude)),
+      period_(period_cycles), seed_(seed),
+      tenants_(tenants > 0 ? tenants : 1)
+{
+    simAssert(mean_gap_cycles > 0.0,
+              "Diurnal: mean gap must be positive, got {}",
+              mean_gap_cycles);
+    simAssert(period_cycles > 0.0,
+              "Diurnal: period must be positive, got {}", period_cycles);
+}
+
+std::string
+Diurnal::description() const
+{
+    return fmt("diurnal: Poisson with sinusoidal rate envelope "
+               "(mean gap {:.1f} cycles, amplitude {:.2f}, "
+               "period {:.0f} cycles)",
+               meanGap_, amplitude_, period_);
+}
+
+std::vector<Arrival>
+Diurnal::schedule(std::size_t count)
+{
+    Rng rng(seed_);
+    std::vector<Arrival> out(count);
+    const double twoPi = 2.0 * 3.14159265358979323846;
+    double clock = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        // Rate envelope evaluated at the current clock; the local mean
+        // gap is the base gap divided by the envelope.
+        const double envelope =
+            1.0 + amplitude_ * std::sin(twoPi * clock / period_);
+        clock += expGap(rng, meanGap_ / std::max(envelope, 0.05));
+        out[i] = Arrival{static_cast<Cycles>(clock), i,
+                         tenantFor(i, tenants_)};
+    }
+    return out;
+}
+
+TraceReplay::TraceReplay(std::vector<Cycles> ticks, int tenants)
+    : ticks_(std::move(ticks)), tenants_(tenants > 0 ? tenants : 1)
+{
+    simAssert(!ticks_.empty(), "TraceReplay: empty trace");
+    for (std::size_t i = 1; i < ticks_.size(); ++i)
+        simAssert(ticks_[i] >= ticks_[i - 1],
+                  "TraceReplay: ticks must be sorted ({} after {})",
+                  ticks_[i], ticks_[i - 1]);
+}
+
+std::string
+TraceReplay::description() const
+{
+    return fmt("replay: {} recorded arrival ticks, repeated with a "
+               "span offset when more queries are requested",
+               ticks_.size());
+}
+
+std::vector<Arrival>
+TraceReplay::schedule(std::size_t count)
+{
+    std::vector<Arrival> out(count);
+    // Repeats are shifted by the trace span plus one mean gap so the
+    // wrapped stream keeps both the recorded shape and its rate.
+    const Cycles span = ticks_.back() - ticks_.front();
+    const Cycles meanGap =
+        ticks_.size() > 1 ? std::max<Cycles>(span / (ticks_.size() - 1), 1)
+                          : 1;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t lap = i / ticks_.size();
+        const Cycles offset = static_cast<Cycles>(lap) * (span + meanGap);
+        out[i] = Arrival{offset + ticks_[i % ticks_.size()], i,
+                         tenantFor(i, tenants_)};
+    }
+    return out;
+}
+
+TenantMix::TenantMix(std::vector<Stream> streams)
+    : streams_(std::move(streams))
+{
+    simAssert(!streams_.empty(), "TenantMix: no streams");
+    for (const Stream& s : streams_) {
+        simAssert(s.source != nullptr, "TenantMix: null sub-source");
+        simAssert(s.weight > 0.0,
+                  "TenantMix: weights must be positive, got {}",
+                  s.weight);
+    }
+}
+
+std::string
+TenantMix::description() const
+{
+    std::string names;
+    for (const Stream& s : streams_) {
+        if (!names.empty())
+            names += "+";
+        names += s.source->name();
+    }
+    return fmt("mix: {} tenants ({}), weighted count split, merged by "
+               "arrival tick",
+               streams_.size(), names);
+}
+
+std::vector<Arrival>
+TenantMix::schedule(std::size_t count)
+{
+    // Largest-remainder apportioning of count over the weights; wholly
+    // deterministic, ties broken by tenant index.
+    double sumW = 0.0;
+    for (const Stream& s : streams_)
+        sumW += s.weight;
+    std::vector<std::size_t> share(streams_.size(), 0);
+    std::vector<std::pair<double, std::size_t>> remainder;
+    std::size_t assigned = 0;
+    for (std::size_t t = 0; t < streams_.size(); ++t) {
+        const double exact = count * streams_[t].weight / sumW;
+        share[t] = static_cast<std::size_t>(exact);
+        assigned += share[t];
+        remainder.emplace_back(exact - share[t], t);
+    }
+    std::stable_sort(remainder.begin(), remainder.end(),
+                     [](const auto& a, const auto& b) {
+                         if (a.first != b.first)
+                             return a.first > b.first;
+                         return a.second < b.second;
+                     });
+    for (std::size_t k = 0; assigned < count; ++k, ++assigned)
+        ++share[remainder[k % remainder.size()].second];
+
+    std::vector<Arrival> merged;
+    merged.reserve(count);
+    for (std::size_t t = 0; t < streams_.size(); ++t) {
+        for (Arrival a : streams_[t].source->schedule(share[t])) {
+            a.tenant = static_cast<int>(t);
+            merged.push_back(a);
+        }
+    }
+    // Merge by tick; ties keep tenant order (stable). queryIndex is
+    // reassigned to the merged order so it indexes the Prepared
+    // streams 0..count-1 as the Driver contract requires.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Arrival& a, const Arrival& b) {
+                         if (a.tick != b.tick)
+                             return a.tick < b.tick;
+                         return a.tenant < b.tenant;
+                     });
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        merged[i].queryIndex = i;
+    return merged;
+}
+
 std::vector<std::unique_ptr<TrafficSource>>
 catalog()
 {
@@ -136,6 +292,13 @@ catalog()
     out.push_back(std::make_unique<ClosedLoop>());
     out.push_back(std::make_unique<PoissonOpenLoop>(100.0));
     out.push_back(std::make_unique<Bursty>(100.0));
+    out.push_back(std::make_unique<Diurnal>(100.0));
+    out.push_back(std::make_unique<TraceReplay>(
+        std::vector<Cycles>{0, 40, 90, 200, 210, 500}));
+    out.push_back(std::make_unique<TenantMix>(std::vector<TenantMix::Stream>{
+        {std::make_shared<Bursty>(50.0), 2.0},
+        {std::make_shared<PoissonOpenLoop>(100.0, 2), 1.0},
+    }));
     return out;
 }
 

@@ -147,6 +147,91 @@ class Bursty : public TrafficSource
 };
 
 /**
+ * Diurnal arrivals: Poisson draws whose instantaneous rate follows a
+ * sinusoidal envelope, the classic day/night cloud traffic shape. At
+ * simulation scale one "day" is @p period_cycles; the offered rate
+ * swings between (1 - amplitude) and (1 + amplitude) times the base
+ * rate 1/mean_gap_cycles.
+ */
+class Diurnal : public TrafficSource
+{
+  public:
+    /**
+     * @param mean_gap_cycles mean inter-arrival gap at the envelope
+     *        midpoint (base offered load = 1/mean_gap_cycles).
+     * @param amplitude peak-to-midpoint rate swing in [0, 1).
+     * @param period_cycles length of one full envelope cycle.
+     */
+    Diurnal(double mean_gap_cycles, double amplitude = 0.5,
+            double period_cycles = 50000.0, std::uint64_t seed = 1,
+            int tenants = 1);
+
+    std::string name() const override { return "diurnal"; }
+    std::string description() const override;
+    std::vector<Arrival> schedule(std::size_t count) override;
+
+  private:
+    double meanGap_;
+    double amplitude_;
+    double period_;
+    std::uint64_t seed_;
+    int tenants_;
+};
+
+/**
+ * Trace replay: arrivals at explicit, recorded ticks. When asked for
+ * more queries than the trace holds, the trace repeats shifted by its
+ * own span (plus one mean gap), so long runs keep the recorded shape.
+ */
+class TraceReplay : public TrafficSource
+{
+  public:
+    /**
+     * @param ticks recorded arrival ticks (sorted ascending; must be
+     *        non-empty).
+     */
+    explicit TraceReplay(std::vector<Cycles> ticks, int tenants = 1);
+
+    std::string name() const override { return "replay"; }
+    std::string description() const override;
+    std::vector<Arrival> schedule(std::size_t count) override;
+
+  private:
+    std::vector<Cycles> ticks_;
+    int tenants_;
+};
+
+/**
+ * Multi-tenant merge: one sub-source per tenant, each producing its
+ * weighted share of the total count; arrivals are merged by tick and
+ * tagged with the owning tenant. This is how an adversarial deployment
+ * is expressed — e.g. tenant 0 a Bursty source at several times the
+ * rate of the Poisson background tenants.
+ */
+class TenantMix : public TrafficSource
+{
+  public:
+    struct Stream
+    {
+        std::shared_ptr<TrafficSource> source;
+        /** Fraction of the total query count (normalized over the
+         *  streams; largest-remainder apportioning, deterministic). */
+        double weight = 1.0;
+    };
+
+    explicit TenantMix(std::vector<Stream> streams);
+
+    std::string name() const override { return "mix"; }
+    std::string description() const override;
+    std::vector<Arrival> schedule(std::size_t count) override;
+
+    int tenants() const { return static_cast<int>(streams_.size()); }
+
+  private:
+    std::vector<Stream> streams_;
+};
+
+/**
  * One default-parameterized instance of every traffic source, for
  * enumeration (`--list-traffic`): name() + description() of each
  * available arrival process.

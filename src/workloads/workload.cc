@@ -124,6 +124,16 @@ runQei(World& world, const Prepared& prepared,
         system.adopt(*planner);
         system.setPlanner(planner.get());
     }
+    // Admission control: constructed only for a non-None policy, so
+    // historical runs carry no "system.admission" stats node. The
+    // Driver's serving loop consults it per arrival.
+    std::unique_ptr<AdmissionController> admission;
+    if (config.admission.active()) {
+        admission =
+            std::make_unique<AdmissionController>(config.admission);
+        system.adopt(*admission);
+        system.setAdmission(admission.get());
+    }
     // Telemetry rides daemon events, so arming it changes no query
     // timing; declared after the system so it dies first (its probes
     // borrow registry pointers into the component tree).

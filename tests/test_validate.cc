@@ -268,7 +268,7 @@ TEST(Experiments, RenderIsByteStableAndCanonicallyOrdered)
 TEST(Experiments, CanonicalOrderCoversAllHarnesses)
 {
     const std::vector<std::string>& order = canonicalBenchOrder();
-    EXPECT_EQ(order.size(), 19u);
+    EXPECT_EQ(order.size(), 20u);
     EXPECT_EQ(order.front(), "fig01_profiling");
     EXPECT_EQ(order.back(), "debug_probe");
 }
